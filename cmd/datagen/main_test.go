@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pinocchio/internal/dataset"
+)
+
+func TestRunWritesLoadableCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "checkins.csv")
+	if err := run("foursquare", 0.03, 5, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadCSV(f, "reloaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) == 0 || ds.TotalCheckIns() == 0 {
+		t.Errorf("empty dataset: %d objects, %d check-ins", len(ds.Objects), ds.TotalCheckIns())
+	}
+}
+
+func TestRunPresets(t *testing.T) {
+	for _, preset := range []string{"foursquare", "f", "gowalla", "g"} {
+		out := filepath.Join(t.TempDir(), preset+".csv")
+		if err := run(preset, 0.01, 0, out); err != nil {
+			t.Errorf("preset %q: %v", preset, err)
+		}
+	}
+	if err := run("mapquest", 0.01, 0, ""); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("unknown preset: %v", err)
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("foursquare", 0.01, 0, "/nonexistent-dir/x.csv"); err == nil {
+		t.Error("unwritable path should error")
+	}
+}

@@ -1,0 +1,122 @@
+// Command pinocchio runs one PRIME-LS query over a check-in dataset:
+// it samples (or loads) candidate locations and reports the optimal
+// location together with work statistics.
+//
+// Usage:
+//
+//	pinocchio -data checkins.csv -candidates 600 -tau 0.7 -algo pin-vo -topk 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/probfn"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "check-in CSV (from datagen); empty generates a small foursquare-like dataset")
+		m        = flag.Int("candidates", 600, "number of candidate locations sampled from venues")
+		tau      = flag.Float64("tau", 0.7, "influence probability threshold in (0,1)")
+		rho      = flag.Float64("rho", 0.9, "power-law PF behavior factor")
+		lambda   = flag.Float64("lambda", 1.0, "power-law PF decay factor")
+		algo     = flag.String("algo", "pin-vo", "algorithm: na, pin, pin-vo, pin-vo*, pin-par")
+		workers  = flag.Int("workers", 0, "worker count for pin-par (0 = GOMAXPROCS)")
+		topK     = flag.Int("topk", 0, "also report the top-K most influential candidates (uses PIN)")
+		seed     = flag.Int64("seed", 1, "candidate sampling seed")
+	)
+	flag.Parse()
+
+	if err := run(*dataPath, *m, *tau, *rho, *lambda, *algo, *topK, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "pinocchio:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath string, m int, tau, rho, lambda float64, algo string, topK int, seed int64, workers int) error {
+	ds, err := loadOrGenerate(dataPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d objects, %d venues, %d check-ins\n",
+		ds.Name, len(ds.Objects), len(ds.Venues), ds.TotalCheckIns())
+
+	if m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	pf, err := probfn.NewPowerLaw(rho, 1.0, lambda)
+	if err != nil {
+		return err
+	}
+	p := &core.Problem{Objects: ds.Objects, Candidates: cs.Points, PF: pf, Tau: tau}
+
+	solve := func() (*core.Result, error) { return nil, fmt.Errorf("unknown algorithm %q", algo) }
+	label := algo
+	switch algo {
+	case "na":
+		solve = func() (*core.Result, error) { return core.Solve(core.AlgNA, p) }
+	case "pin":
+		solve = func() (*core.Result, error) { return core.Solve(core.AlgPinocchio, p) }
+	case "pin-vo":
+		solve = func() (*core.Result, error) { return core.Solve(core.AlgPinocchioVO, p) }
+	case "pin-vo*":
+		solve = func() (*core.Result, error) { return core.Solve(core.AlgPinocchioVOStar, p) }
+	case "pin-par":
+		solve = func() (*core.Result, error) { return core.PinocchioParallel(p, workers) }
+	}
+
+	start := time.Now()
+	res, err := solve()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	best := cs.Points[res.BestIndex]
+	fmt.Printf("%s selected candidate #%d at (%.3f, %.3f) km\n", label, res.BestIndex, best.X, best.Y)
+	fmt.Printf("  influence: %d of %d objects (%.1f%%)\n",
+		res.BestInfluence, len(ds.Objects), 100*float64(res.BestInfluence)/float64(len(ds.Objects)))
+	fmt.Printf("  elapsed: %v\n", elapsed)
+	fmt.Printf("  %v (pruned %.1f%% of pairs)\n", res.Stats, 100*res.Stats.PruneRatio())
+
+	if topK > 0 {
+		ranked, err := core.RankAll(p)
+		if err != nil {
+			return err
+		}
+		if topK > len(ranked) {
+			topK = len(ranked)
+		}
+		fmt.Printf("top-%d candidates by influence:\n", topK)
+		for i := 0; i < topK; i++ {
+			r := ranked[i]
+			pt := cs.Points[r.Index]
+			fmt.Printf("  %2d. #%d at (%.3f, %.3f): inf=%d, ground-truth visitors=%d\n",
+				i+1, r.Index, pt.X, pt.Y, r.Influence, cs.Truth[r.Index])
+		}
+	}
+	return nil
+}
+
+func loadOrGenerate(path string) (*dataset.Dataset, error) {
+	if path == "" {
+		cfg := dataset.Scaled(dataset.FoursquareLike(), 0.2)
+		return dataset.Generate(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, path)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pinocchio/internal/dataset"
+)
+
+// writeSmallDataset generates a small CSV for the CLI tests.
+func writeSmallDataset(t *testing.T) string {
+	t.Helper()
+	cfg := dataset.Scaled(dataset.FoursquareLike(), 0.02)
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "small.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeSmallDataset(t)
+	for _, algo := range []string{"na", "pin", "pin-vo", "pin-vo*", "pin-par"} {
+		if err := run(path, 40, 0.7, 0.9, 1.0, algo, 0, 1, 2); err != nil {
+			t.Errorf("algo %q: %v", algo, err)
+		}
+	}
+	if err := run(path, 40, 0.7, 0.9, 1.0, "quantum", 0, 1, 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("unknown algorithm: %v", err)
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	path := writeSmallDataset(t)
+	if err := run(path, 30, 0.7, 0.9, 1.0, "pin-vo", 5, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGeneratedFallback(t *testing.T) {
+	// Empty path generates a dataset instead of loading.
+	if err := run("", 30, 0.5, 0.9, 1.0, "pin-vo", 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/does/not/exist.csv", 30, 0.7, 0.9, 1.0, "pin-vo", 0, 1, 0); err == nil {
+		t.Error("missing file should error")
+	}
+	path := writeSmallDataset(t)
+	if err := run(path, 30, 0.7, 2.0, 1.0, "pin-vo", 0, 1, 0); err == nil {
+		t.Error("invalid rho should error")
+	}
+	// More candidates than venues clamps instead of failing.
+	if err := run(path, 1_000_000, 0.7, 0.9, 1.0, "pin-vo", 0, 1, 0); err != nil {
+		t.Errorf("clamped candidates: %v", err)
+	}
+}

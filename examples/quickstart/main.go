@@ -1,0 +1,69 @@
+// Quickstart: build a tiny PRIME-LS instance by hand and pick the
+// optimal location with each solver.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pinocchio"
+)
+
+func main() {
+	// Two moving objects. The first commutes between two areas; the
+	// second stays around one. Coordinates are in kilometres.
+	commuter, err := pinocchio.NewObject(1, []pinocchio.Point{
+		{X: 0.0, Y: 0.0}, {X: 0.2, Y: 0.1}, {X: 0.1, Y: 0.3}, // home area
+		{X: 5.0, Y: 4.8}, {X: 5.2, Y: 5.1}, {X: 4.9, Y: 5.0}, // office area
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	homebody, err := pinocchio.NewObject(2, []pinocchio.Point{
+		{X: 0.1, Y: 0.1}, {X: 0.3, Y: 0.0}, {X: 0.0, Y: 0.2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three candidate spots for a new facility.
+	candidates := []pinocchio.Point{
+		{X: 0.1, Y: 0.1}, // in the shared home area
+		{X: 5.0, Y: 5.0}, // in the commuter's office area
+		{X: 2.5, Y: 2.5}, // midway, close to nothing
+	}
+
+	problem := &pinocchio.Problem{
+		Objects:    []*pinocchio.Object{commuter, homebody},
+		Candidates: candidates,
+		PF:         pinocchio.DefaultPF(), // check-in power law: 0.9/(1+d)
+		Tau:        0.7,                   // influenced when cumulative probability ≥ 0.7
+	}
+
+	// The recommended solver: PINOCCHIO-VO.
+	res, err := pinocchio.Select(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal location: candidate #%d at %v, influencing %d object(s)\n",
+		res.BestIndex, candidates[res.BestIndex], res.BestInfluence)
+	fmt.Printf("work: %v\n\n", res.Stats)
+
+	// The exact per-candidate influence vector via PINOCCHIO.
+	ranked, err := pinocchio.RankAll(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all candidates by influence:")
+	for _, r := range ranked {
+		fmt.Printf("  candidate #%d at %v: influences %d\n",
+			r.Index, candidates[r.Index], r.Influence)
+	}
+
+	// The minMaxRadius measure behind the pruning rules.
+	fmt.Printf("\nminMaxRadius(τ=0.7) for n=1: %.2f km, n=6: %.2f km\n",
+		pinocchio.MinMaxRadius(problem.PF, 0.7, 1),
+		pinocchio.MinMaxRadius(problem.PF, 0.7, 6))
+}

@@ -1,0 +1,3 @@
+module pinocchio
+
+go 1.22

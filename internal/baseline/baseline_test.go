@@ -1,0 +1,283 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+)
+
+func TestBRNNVotesSimple(t *testing.T) {
+	// Object 0's positions are all nearest to candidate 0; object 1's
+	// to candidate 1; object 2 splits 2-1 toward candidate 0.
+	o0 := object.MustNew(0, []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}})
+	o1 := object.MustNew(1, []geo.Point{{X: 10, Y: 10}, {X: 11, Y: 10}})
+	o2 := object.MustNew(2, []geo.Point{{X: 0, Y: 2}, {X: 1, Y: 1}, {X: 10, Y: 9}})
+	cands := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 10}}
+
+	votes, err := BRNNVotes([]*object.Object{o0, o1, o2}, cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if votes[0] != 2 || votes[1] != 1 {
+		t.Errorf("votes = %v, want [2 1]", votes)
+	}
+	best, n, err := BRNNSelect([]*object.Object{o0, o1, o2}, cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 0 || n != 2 {
+		t.Errorf("BRNNSelect = (%d, %d), want (0, 2)", best, n)
+	}
+}
+
+func TestBRNNIgnoresNonNearestPositions(t *testing.T) {
+	// The paper's Fig. 1 critique: an object with one position next to
+	// a candidate and many near another still votes by NN count. Four
+	// positions near c1, one exactly on c0 -> vote goes to c1 even if
+	// cumulative influence might favor c0.
+	o := object.MustNew(0, []geo.Point{
+		{X: 0, Y: 0},                                                         // on c0
+		{X: 9.5, Y: 10}, {X: 10.5, Y: 10}, {X: 10, Y: 9.5}, {X: 10, Y: 10.5}, // near c1
+	})
+	cands := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	votes, err := BRNNVotes([]*object.Object{o}, cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if votes[1] != 1 || votes[0] != 0 {
+		t.Errorf("votes = %v, want [0 1]", votes)
+	}
+}
+
+func TestBRNNEmptyInput(t *testing.T) {
+	if _, err := BRNNVotes(nil, []geo.Point{{X: 0, Y: 0}}, 8); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("err = %v", err)
+	}
+	o := object.MustNew(0, []geo.Point{{X: 0, Y: 0}})
+	if _, err := BRNNVotes([]*object.Object{o}, nil, 8); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := BRNNSelect(nil, nil, 8); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("BRNNSelect err = %v", err)
+	}
+	if _, err := BRNNTopK(nil, nil, 8, 3); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("BRNNTopK err = %v", err)
+	}
+}
+
+func TestBRNNTopKOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	var objs []*object.Object
+	for k := 0; k < 40; k++ {
+		n := 1 + rng.Intn(10)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		objs = append(objs, object.MustNew(k, pts))
+	}
+	cands := make([]geo.Point, 15)
+	for j := range cands {
+		cands[j] = geo.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+	}
+	votes, err := BRNNVotes(objs, cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := BRNNTopK(objs, cands, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("TopK length %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if votes[top[i]] > votes[top[i-1]] {
+			t.Fatalf("TopK not sorted by votes: %v", top)
+		}
+	}
+	// All votes sum to the number of objects (each object votes once).
+	sum := 0
+	for _, v := range votes {
+		sum += v
+	}
+	if sum != len(objs) {
+		t.Errorf("total votes %d, want %d", sum, len(objs))
+	}
+	if over, _ := BRNNTopK(objs, cands, 8, 100); len(over) != len(cands) {
+		t.Errorf("k beyond m: %d", len(over))
+	}
+}
+
+func TestRangeParamsValidate(t *testing.T) {
+	bad := []RangeParams{
+		{Proportion: 0, Radius: 1},
+		{Proportion: -0.5, Radius: 1},
+		{Proportion: 1.5, Radius: 1},
+		{Proportion: 0.5, Radius: 0},
+		{Proportion: 0.5, Radius: -2},
+	}
+	for _, rp := range bad {
+		if rp.Validate() == nil {
+			t.Errorf("params %+v should be invalid", rp)
+		}
+	}
+	if err := (RangeParams{Proportion: 0.5, Radius: 0.2}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestDefaultRangeGrid(t *testing.T) {
+	grid := DefaultRangeGrid(40) // 40 km scale -> default range 0.2 km
+	if len(grid) != 9 {
+		t.Fatalf("grid size %d, want 9", len(grid))
+	}
+	seenRadii := map[float64]bool{}
+	for _, rp := range grid {
+		if err := rp.Validate(); err != nil {
+			t.Errorf("grid entry invalid: %v", err)
+		}
+		seenRadii[rp.Radius] = true
+	}
+	for _, want := range []float64{0.1, 0.2, 0.4} {
+		if !seenRadii[want] {
+			t.Errorf("missing radius %v in grid: %v", want, seenRadii)
+		}
+	}
+}
+
+func TestRangeScoresSemantics(t *testing.T) {
+	// Object with 4 positions; candidate 0 covers 3 of them within
+	// radius 1.5, candidate 1 covers 1.
+	o := object.MustNew(0, []geo.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 10, Y: 10},
+	})
+	cands := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	objs := []*object.Object{o}
+
+	// 50% proportion: candidate 0 (3/4) influences, candidate 1 (1/4)
+	// does not.
+	scores, err := RangeScores(objs, cands, RangeParams{Proportion: 0.5, Radius: 1.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 1 || scores[1] != 0 {
+		t.Errorf("scores = %v, want [1 0]", scores)
+	}
+	// 25% proportion: both influence.
+	scores, err = RangeScores(objs, cands, RangeParams{Proportion: 0.25, Radius: 1.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 1 || scores[1] != 1 {
+		t.Errorf("scores = %v, want [1 1]", scores)
+	}
+	// 100% proportion: neither.
+	scores, err = RangeScores(objs, cands, RangeParams{Proportion: 1, Radius: 1.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0 || scores[1] != 0 {
+		t.Errorf("scores = %v, want [0 0]", scores)
+	}
+}
+
+func TestRangeScoresErrors(t *testing.T) {
+	o := object.MustNew(0, []geo.Point{{X: 0, Y: 0}})
+	if _, err := RangeScores(nil, []geo.Point{{X: 0, Y: 0}}, RangeParams{Proportion: 0.5, Radius: 1}, 8); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RangeScores([]*object.Object{o}, []geo.Point{{X: 0, Y: 0}}, RangeParams{}, 8); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestRangeTopKAveraged(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	var objs []*object.Object
+	for k := 0; k < 30; k++ {
+		n := 2 + rng.Intn(8)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		objs = append(objs, object.MustNew(k, pts))
+	}
+	cands := make([]geo.Point, 12)
+	for j := range cands {
+		cands[j] = geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	grid := DefaultRangeGrid(10)
+	rankings, err := RangeTopKAveraged(objs, cands, grid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rankings) != len(grid) {
+		t.Fatalf("rankings %d, want %d", len(rankings), len(grid))
+	}
+	for _, r := range rankings {
+		if len(r) != len(cands) {
+			t.Fatalf("ranking covers %d of %d candidates", len(r), len(cands))
+		}
+		seen := map[int]bool{}
+		for _, c := range r {
+			if seen[c] {
+				t.Fatal("candidate ranked twice")
+			}
+			seen[c] = true
+		}
+	}
+	if _, err := RangeTopKAveraged(objs, cands, nil, 8); err == nil {
+		t.Error("empty grid should error")
+	}
+}
+
+func TestBRkNNGeneralizesBRNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	var objs []*object.Object
+	for k := 0; k < 25; k++ {
+		n := 1 + rng.Intn(8)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 15, Y: rng.Float64() * 15}
+		}
+		objs = append(objs, object.MustNew(k, pts))
+	}
+	cands := make([]geo.Point, 10)
+	for j := range cands {
+		cands[j] = geo.Point{X: rng.Float64() * 15, Y: rng.Float64() * 15}
+	}
+	// k=1 must reproduce BRNNVotes exactly.
+	v1, err := BRkNNVotes(objs, cands, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := BRNNVotes(objs, cands, 8)
+	for i := range ref {
+		if v1[i] != ref[i] {
+			t.Fatalf("k=1 votes[%d] = %d, BRNN says %d", i, v1[i], ref[i])
+		}
+	}
+	// Larger k still assigns exactly one vote per object.
+	v3, err := BRkNNVotes(objs, cands, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range v3 {
+		sum += v
+	}
+	if sum != len(objs) {
+		t.Errorf("k=3 votes sum %d, want %d", sum, len(objs))
+	}
+	// Validation.
+	if _, err := BRkNNVotes(objs, cands, 8, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := BRkNNVotes(nil, cands, 8, 1); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty objects: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package baseline implements the classical location-selection
+// semantics PINOCCHIO is compared against in §6.2: BRNN* (the
+// MaxBRNN/MaxOverlap nearest-neighbor semantics extended to mobile
+// objects) and RANGE (proportion-of-positions-within-range semantics).
+// Both rank candidates so Precision@K / AP@K can be evaluated against
+// the check-in ground truth.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/rtree"
+)
+
+// ErrEmptyInput reports a baseline invoked without objects or
+// candidates.
+var ErrEmptyInput = errors.New("baseline: objects and candidates must be non-empty")
+
+// BRNNVotes extends MaxBRNN to moving objects the way §6.2 does: for
+// each object, the candidate that is the nearest neighbor of the most
+// of its positions "influences the most positions" and receives that
+// object's vote; the per-candidate vote counts are the BRNN* scores.
+// Position-count ties go to the smaller candidate index, making the
+// scores deterministic.
+func BRNNVotes(objects []*object.Object, candidates []geo.Point, fanout int) ([]int, error) {
+	if len(objects) == 0 || len(candidates) == 0 {
+		return nil, ErrEmptyInput
+	}
+	items := make([]rtree.Item, len(candidates))
+	for i, c := range candidates {
+		items[i] = rtree.Item{Point: c, ID: i}
+	}
+	tree := rtree.Bulk(items, fanout)
+
+	votes := make([]int, len(candidates))
+	counts := make(map[int]int)
+	for _, o := range objects {
+		clear(counts)
+		for _, p := range o.Positions {
+			nn, ok := tree.Nearest(p)
+			if !ok {
+				continue
+			}
+			counts[nn.Item.ID]++
+		}
+		best, bestCount := -1, 0
+		for cand, cnt := range counts {
+			if cnt > bestCount || (cnt == bestCount && cand < best) {
+				best, bestCount = cand, cnt
+			}
+		}
+		if best >= 0 {
+			votes[best]++
+		}
+	}
+	return votes, nil
+}
+
+// BRNNSelect returns the candidate selected by most objects under the
+// BRNN* semantics (smallest index on ties) together with its vote
+// count.
+func BRNNSelect(objects []*object.Object, candidates []geo.Point, fanout int) (int, int, error) {
+	votes, err := BRNNVotes(objects, candidates, fanout)
+	if err != nil {
+		return 0, 0, err
+	}
+	best, bestVotes := 0, votes[0]
+	for i, v := range votes {
+		if v > bestVotes {
+			best, bestVotes = i, v
+		}
+	}
+	return best, bestVotes, nil
+}
+
+// rankByScore returns candidate indices sorted by score descending,
+// index ascending on ties.
+func rankByScore(scores []int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// BRNNTopK returns the K candidates with the most BRNN* votes.
+func BRNNTopK(objects []*object.Object, candidates []geo.Point, fanout, k int) ([]int, error) {
+	votes, err := BRNNVotes(objects, candidates, fanout)
+	if err != nil {
+		return nil, err
+	}
+	ranked := rankByScore(votes)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ranked[:k], nil
+}
+
+// BRkNNVotes generalizes BRNNVotes to the MaxBRkNN semantics of Wong
+// et al. [16]: a position counts toward every one of its k nearest
+// candidates, and each object votes for the candidate collecting the
+// most of its positions' kNN memberships. k = 1 reduces to BRNNVotes.
+func BRkNNVotes(objects []*object.Object, candidates []geo.Point, fanout, k int) ([]int, error) {
+	if len(objects) == 0 || len(candidates) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be at least 1, got %d", k)
+	}
+	items := make([]rtree.Item, len(candidates))
+	for i, c := range candidates {
+		items[i] = rtree.Item{Point: c, ID: i}
+	}
+	tree := rtree.Bulk(items, fanout)
+
+	votes := make([]int, len(candidates))
+	counts := make(map[int]int)
+	for _, o := range objects {
+		clear(counts)
+		for _, p := range o.Positions {
+			for _, nn := range tree.NearestNeighbors(p, k) {
+				counts[nn.Item.ID]++
+			}
+		}
+		best, bestCount := -1, 0
+		for cand, cnt := range counts {
+			if cnt > bestCount || (cnt == bestCount && cand < best) {
+				best, bestCount = cand, cnt
+			}
+		}
+		if best >= 0 {
+			votes[best]++
+		}
+	}
+	return votes, nil
+}

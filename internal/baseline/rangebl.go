@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/rtree"
+)
+
+// RangeParams configures one RANGE baseline instance: an object is
+// influenced by a candidate when at least Proportion of its positions
+// lie within Radius of it.
+type RangeParams struct {
+	Proportion float64 // minimum fraction of positions, in (0, 1]
+	Radius     float64 // range, same unit as positions
+}
+
+// Validate checks the parameter domain.
+func (rp RangeParams) Validate() error {
+	if !(rp.Proportion > 0 && rp.Proportion <= 1) {
+		return fmt.Errorf("baseline: proportion %v not in (0,1]", rp.Proportion)
+	}
+	if rp.Radius <= 0 {
+		return fmt.Errorf("baseline: radius %v must be positive", rp.Radius)
+	}
+	return nil
+}
+
+// DefaultRangeGrid reproduces §6.2's nine parameter combinations:
+// proportions {25%, 50%, 75%} × radii {default/2, default, 2·default},
+// where the default range is 5‰ of the complete scale (e.g. 0.2 km for
+// Foursquare).
+func DefaultRangeGrid(scale float64) []RangeParams {
+	base := scale * 5 / 1000
+	var grid []RangeParams
+	for _, prop := range []float64{0.25, 0.50, 0.75} {
+		for _, mult := range []float64{0.5, 1, 2} {
+			grid = append(grid, RangeParams{Proportion: prop, Radius: base * mult})
+		}
+	}
+	return grid
+}
+
+// RangeScores computes per-candidate influence counts under one RANGE
+// parameterization: the number of objects with ≥ Proportion of their
+// positions within Radius of the candidate.
+func RangeScores(objects []*object.Object, candidates []geo.Point, rp RangeParams, fanout int) ([]int, error) {
+	if len(objects) == 0 || len(candidates) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if err := rp.Validate(); err != nil {
+		return nil, err
+	}
+	items := make([]rtree.Item, len(candidates))
+	for i, c := range candidates {
+		items[i] = rtree.Item{Point: c, ID: i}
+	}
+	tree := rtree.Bulk(items, fanout)
+
+	scores := make([]int, len(candidates))
+	within := make([]int, len(candidates))
+	for _, o := range objects {
+		for i := range within {
+			within[i] = 0
+		}
+		for _, p := range o.Positions {
+			tree.SearchCircle(p, rp.Radius, func(it rtree.Item) bool {
+				within[it.ID]++
+				return true
+			})
+		}
+		need := rp.Proportion * float64(o.N())
+		for cand, cnt := range within {
+			if float64(cnt) >= need {
+				scores[cand]++
+			}
+		}
+	}
+	return scores, nil
+}
+
+// RangeTopKAveraged ranks candidates for each parameter combination in
+// grid, then returns for each K the average of the per-combination
+// rankings — the "Avg. RANGE" rows of Tables 3 and 4. It returns one
+// ranking per combination; callers average the precision metrics
+// across them.
+func RangeTopKAveraged(objects []*object.Object, candidates []geo.Point, grid []RangeParams, fanout int) ([][]int, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("baseline: empty parameter grid")
+	}
+	rankings := make([][]int, len(grid))
+	for i, rp := range grid {
+		scores, err := RangeScores(objects, candidates, rp, fanout)
+		if err != nil {
+			return nil, err
+		}
+		rankings[i] = rankByScore(scores)
+	}
+	return rankings, nil
+}

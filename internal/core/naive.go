@@ -1,0 +1,37 @@
+package core
+
+// NA is the exhaustive baseline of §6.1: it computes the cumulative
+// influence probability for every object/candidate pair and returns
+// the most influential candidate. Its cost is Θ(m·r·n̄) position
+// probes, the yardstick the pruning rules are measured against.
+func NA(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := len(p.Objects)
+	m := len(p.Candidates)
+	res := &Result{Influences: make([]int, m)}
+	res.Stats.PairsTotal = int64(r) * int64(m)
+
+	for j, c := range p.Candidates {
+		for _, o := range p.Objects {
+			res.Stats.Validated++
+			if influencedFull(p.PF, p.Tau, c, o.Positions, &res.Stats) {
+				res.Influences[j]++
+			}
+		}
+	}
+	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	return res, nil
+}
+
+// argmax returns the smallest index attaining the maximum value.
+func argmax(v []int) (idx, max int) {
+	idx, max = 0, v[0]
+	for i, x := range v {
+		if x > max {
+			idx, max = i, x
+		}
+	}
+	return idx, max
+}

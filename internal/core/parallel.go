@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// PinocchioParallel is a data-parallel PINOCCHIO (Algorithm 2): the
+// per-object pruning + validation loop shards objects across workers.
+// Each worker accumulates a private influence vector and Stats, merged
+// at the end, so there is no contention on the hot path. The candidate
+// R-tree and the minMaxRadius table are built once and read
+// concurrently (searches do not mutate the tree; the radius table is
+// pre-populated before the workers start).
+//
+// Results are identical to Pinocchio; only wall-clock time differs.
+func PinocchioParallel(p *Problem, workers int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := len(p.Candidates)
+	res := &Result{Influences: make([]int, m)}
+	st := &res.Stats
+	st.PairsTotal = int64(len(p.Objects)) * int64(m)
+
+	// buildA2D pre-computes every per-object radius, so the shared
+	// table is read-only afterwards.
+	a2d := buildA2D(p, st)
+	tree := p.candidateTree()
+
+	if workers > len(a2d) {
+		workers = len(a2d)
+	}
+	type shardResult struct {
+		influences []int
+		stats      Stats
+	}
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := shardResult{influences: make([]int, m)}
+			lst := &local.stats
+			for k := w; k < len(a2d); k += workers {
+				e := a2d[k]
+				touched, ia := pruneObject(tree, e,
+					func(cand int) { local.influences[cand]++ },
+					func(cand int) {
+						lst.Validated++
+						if influencedEarlyStop(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, lst) {
+							local.influences[cand]++
+						}
+					})
+				lst.PrunedByIA += ia
+				lst.PrunedByNIB += int64(m) - touched
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		for j, v := range r.influences {
+			res.Influences[j] += v
+		}
+		st.PrunedByIA += r.stats.PrunedByIA
+		st.PrunedByNIB += r.stats.PrunedByNIB
+		st.Validated += r.stats.Validated
+		st.PositionProbes += r.stats.PositionProbes
+		st.EarlyStops += r.stats.EarlyStops
+	}
+	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelMatchesSequential: sharding must not change anything but
+// wall-clock. Run with -race to exercise the concurrency claims.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	for trial := 0; trial < 8; trial++ {
+		p := randomProblem(rng, 50+rng.Intn(100), 40+rng.Intn(60), 0.3+0.2*float64(trial%3))
+		seq, err := Pinocchio(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 17} {
+			par, err := PinocchioParallel(p, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for j := range seq.Influences {
+				if par.Influences[j] != seq.Influences[j] {
+					t.Fatalf("trial %d workers=%d: influence[%d] = %d, want %d",
+						trial, workers, j, par.Influences[j], seq.Influences[j])
+				}
+			}
+			if par.BestIndex != seq.BestIndex {
+				t.Fatalf("trial %d workers=%d: best %d, want %d",
+					trial, workers, par.BestIndex, seq.BestIndex)
+			}
+			// The pruning counters are deterministic regardless of
+			// sharding (probes/early stops depend only on per-pair
+			// work, which is identical).
+			if par.Stats.PrunedByIA != seq.Stats.PrunedByIA ||
+				par.Stats.PrunedByNIB != seq.Stats.PrunedByNIB ||
+				par.Stats.Validated != seq.Stats.Validated {
+				t.Fatalf("trial %d workers=%d: stats diverged: %v vs %v",
+					trial, workers, par.Stats, seq.Stats)
+			}
+		}
+	}
+}
+
+func TestParallelDefaultsWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	p := randomProblem(rng, 30, 20, 0.7)
+	res, err := PinocchioParallel(p, 0) // 0 → GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := Pinocchio(p)
+	if res.BestInfluence != seq.BestInfluence {
+		t.Errorf("default workers: influence %d vs %d", res.BestInfluence, seq.BestInfluence)
+	}
+	// More workers than objects clamps without error.
+	if _, err := PinocchioParallel(p, 10000); err != nil {
+		t.Errorf("huge worker count: %v", err)
+	}
+	if _, err := PinocchioParallel(&Problem{}, 2); err == nil {
+		t.Error("invalid problem should error")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"pinocchio/internal/object"
+	"pinocchio/internal/rtree"
+)
+
+// a2dEntry is one tuple of the moving-object 2D array A_2D built by
+// Algorithm 1: the object's positions plus its precomputed pruning
+// geometry (IA and NIB, both induced by minMaxRadius).
+type a2dEntry struct {
+	obj     *object.Object
+	regions object.Regions
+}
+
+// buildA2D runs Algorithm 1: for each object, memoize
+// minMaxRadius(τ, n_k) in the per-n table HM and derive the IA/NIB
+// geometry from MBR(O_k).
+func buildA2D(p *Problem, st *Stats) []a2dEntry {
+	hm := object.NewRadiusTable(p.PF, p.Tau)
+	a2d := make([]a2dEntry, len(p.Objects))
+	for k, o := range p.Objects {
+		mu := hm.Get(o.N())
+		a2d[k] = a2dEntry{obj: o, regions: object.NewRegions(o, mu)}
+	}
+	st.DistinctN = hm.Len()
+	return a2d
+}
+
+// pruneObject classifies the candidates relevant to one object with a
+// single R-tree range query over the MBR of its non-influence boundary
+// and per-candidate minDist/maxDist tests. It calls influenced for
+// IA-certain candidates and validate for the remnant set C”.
+// Candidates outside the NIB box are never touched: they are pruned
+// implicitly and accounted to PrunedByNIB by the caller.
+func pruneObject(tree *rtree.Tree, e a2dEntry, influenced func(cand int), validate func(cand int)) (touched int64, iaHits int64) {
+	tree.SearchRect(e.regions.NIBBox(), func(it rtree.Item) bool {
+		touched++
+		switch e.regions.Classify(it.Point) {
+		case object.Influenced:
+			iaHits++
+			influenced(it.ID)
+		case object.NeedsValidation:
+			validate(it.ID)
+		default:
+			// Inside the NIB box corners but outside the rounded NIB
+			// region: pruned by Lemma 3 like the untouched candidates.
+			touched--
+		}
+		return true
+	})
+	return touched, iaHits
+}
+
+// Pinocchio is Algorithm 2. The pruning phase resolves most
+// object/candidate pairs with the influence-arcs and non-influence
+// boundary rules; the remnant pairs are validated by the full
+// cumulative-probability computation. It returns exact influence for
+// every candidate.
+func Pinocchio(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.Candidates)
+	res := &Result{Influences: make([]int, m)}
+	st := &res.Stats
+	st.PairsTotal = int64(len(p.Objects)) * int64(m)
+
+	a2d := buildA2D(p, st)
+	tree := p.candidateTree()
+
+	for _, e := range a2d {
+		touched, ia := pruneObject(tree, e,
+			func(cand int) { res.Influences[cand]++ },
+			func(cand int) {
+				st.Validated++
+				if influencedFull(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, st) {
+					res.Influences[cand]++
+				}
+			})
+		st.PrunedByIA += ia
+		st.PrunedByNIB += int64(m) - touched
+	}
+
+	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	return res, nil
+}

@@ -1,0 +1,141 @@
+// Package core implements the PRIME-LS problem (Definition 3) and the
+// paper's algorithms for it: the NA exhaustive baseline, PINOCCHIO
+// (Algorithm 2, minMaxRadius pruning + sequential validation) and
+// PINOCCHIO-VO (Algorithm 3, pruning + upper/lower influence bounds +
+// early-stopping validation), plus the PINOCCHIO-VO* ablation that uses
+// the validation optimizations without the pruning phase.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/rtree"
+)
+
+// Validation errors returned by Problem.Validate.
+var (
+	ErrNoObjects    = errors.New("core: problem needs at least one moving object")
+	ErrNoCandidates = errors.New("core: problem needs at least one candidate location")
+	ErrNilPF        = errors.New("core: problem needs a probability function")
+	ErrBadTau       = errors.New("core: threshold tau must lie in (0, 1)")
+)
+
+// Problem is a PRIME-LS instance: moving objects Ω, candidate
+// locations C, a distance-based probability function PF and the
+// influence threshold τ.
+type Problem struct {
+	Objects    []*object.Object
+	Candidates []geo.Point
+	PF         probfn.Func
+	Tau        float64
+
+	// Fanout is the node capacity of the candidate R-tree; 0 selects
+	// rtree.DefaultMaxEntries (8, the paper's setting).
+	Fanout int
+}
+
+// Validate checks the instance is well formed.
+func (p *Problem) Validate() error {
+	switch {
+	case len(p.Objects) == 0:
+		return ErrNoObjects
+	case len(p.Candidates) == 0:
+		return ErrNoCandidates
+	case p.PF == nil:
+		return ErrNilPF
+	case !(p.Tau > 0 && p.Tau < 1):
+		return fmt.Errorf("%w: got %v", ErrBadTau, p.Tau)
+	}
+	return nil
+}
+
+// fanout resolves the effective R-tree fan-out.
+func (p *Problem) fanout() int {
+	if p.Fanout > 0 {
+		return p.Fanout
+	}
+	return rtree.DefaultMaxEntries
+}
+
+// candidateTree bulk-loads the candidate set into an R-tree; the
+// item ID is the candidate index into p.Candidates.
+func (p *Problem) candidateTree() *rtree.Tree {
+	items := make([]rtree.Item, len(p.Candidates))
+	for i, c := range p.Candidates {
+		items[i] = rtree.Item{Point: c, ID: i}
+	}
+	return rtree.Bulk(items, p.fanout())
+}
+
+// Result reports the outcome of a PRIME-LS computation.
+type Result struct {
+	// BestIndex is the index into Problem.Candidates of the selected
+	// optimal location. Among equally influential candidates the
+	// smallest index is returned by the exact algorithms (NA,
+	// PINOCCHIO); PINOCCHIO-VO guarantees the same influence value but
+	// may return a different equally optimal candidate.
+	BestIndex int
+
+	// BestInfluence is inf(BestIndex), the number of moving objects
+	// influenced by the selected candidate.
+	BestInfluence int
+
+	// Influences is the exact influence of every candidate for
+	// algorithms that compute it (NA, PINOCCHIO); nil for the VO
+	// variants, which only certify the optimum.
+	Influences []int
+
+	// Stats holds the work counters accumulated during the run.
+	Stats Stats
+}
+
+// Stats instruments the algorithms: the counters behind Fig. 10
+// (pruning effect) and the validation-cost discussion of §5.
+type Stats struct {
+	// PairsTotal is r·m, the number of object/candidate pairs.
+	PairsTotal int64
+	// PrunedByIA counts pairs resolved by the influence-arcs rule
+	// (candidate certainly influences the object, no validation).
+	PrunedByIA int64
+	// PrunedByNIB counts pairs resolved by the non-influence-boundary
+	// rule (candidate certainly cannot influence the object).
+	PrunedByNIB int64
+	// Validated counts pairs whose cumulative influence probability
+	// was (at least partially) computed.
+	Validated int64
+	// SkippedByBounds counts pairs never validated because Strategy 1
+	// eliminated the candidate (maxInf < maxminInf).
+	SkippedByBounds int64
+	// PositionProbes counts PF evaluations: the per-position work the
+	// early-stopping Strategy 2 reduces.
+	PositionProbes int64
+	// EarlyStops counts validations finished by Lemma 4 before
+	// exhausting an object's positions.
+	EarlyStops int64
+	// HeapPops counts candidates fully processed by the VO heap loop.
+	HeapPops int64
+	// DistinctN is the number of distinct position counts, i.e. the
+	// size of the minMaxRadius memo table (HashMap HM of Algorithm 1).
+	DistinctN int
+}
+
+// PruneRatio returns the fraction of object/candidate pairs resolved
+// without validation by the two pruning rules.
+func (s Stats) PruneRatio() float64 {
+	if s.PairsTotal == 0 {
+		return 0
+	}
+	return float64(s.PrunedByIA+s.PrunedByNIB) / float64(s.PairsTotal)
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"stats{pairs=%d ia=%d nib=%d validated=%d skipped=%d probes=%d earlyStops=%d pops=%d}",
+		s.PairsTotal, s.PrunedByIA, s.PrunedByNIB, s.Validated,
+		s.SkippedByBounds, s.PositionProbes, s.EarlyStops, s.HeapPops)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTopTMatchesRankAll: the certified top-t must equal the exact
+// ranking's prefix for every t.
+func TestTopTMatchesRankAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(rng, 40+rng.Intn(60), 30+rng.Intn(40), 0.3+0.2*float64(trial%3))
+		exact, err := RankAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tt := range []int{1, 2, 5, 10, len(p.Candidates)} {
+			got, _, err := PinocchioVOTopT(p, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tt
+			if want > len(exact) {
+				want = len(exact)
+			}
+			if len(got) != want {
+				t.Fatalf("trial %d t=%d: got %d candidates, want %d", trial, tt, len(got), want)
+			}
+			for i := 0; i < want; i++ {
+				if got[i] != exact[i] {
+					t.Fatalf("trial %d t=%d rank %d: got %+v, want %+v",
+						trial, tt, i, got[i], exact[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopTSkipsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	p := randomProblem(rng, 200, 150, 0.7)
+	_, st1, err := PinocchioVOTopT(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stAll, err := PinocchioVOTopT(p, len(p.Candidates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Validated >= stAll.Validated {
+		t.Errorf("top-1 validated %d, not fewer than top-all %d",
+			st1.Validated, stAll.Validated)
+	}
+	// Full-width top-t certifies everything, so nothing can be skipped
+	// by bounds.
+	if stAll.SkippedByBounds != 0 {
+		t.Errorf("top-all skipped %d pairs", stAll.SkippedByBounds)
+	}
+	// Pair accounting for the top-1 run.
+	got := st1.PrunedByIA + st1.PrunedByNIB + st1.Validated + st1.SkippedByBounds
+	if got != st1.PairsTotal {
+		t.Errorf("pair accounting: %d, want %d", got, st1.PairsTotal)
+	}
+}
+
+func TestTopTArgValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(217))
+	p := randomProblem(rng, 5, 5, 0.5)
+	if _, _, err := PinocchioVOTopT(p, 0); err == nil {
+		t.Error("t=0 should error")
+	}
+	if _, _, err := PinocchioVOTopT(p, -1); err == nil {
+		t.Error("negative t should error")
+	}
+	if _, _, err := PinocchioVOTopT(&Problem{}, 1); err == nil {
+		t.Error("invalid problem should error")
+	}
+	// t beyond m clamps.
+	got, _, err := PinocchioVOTopT(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("clamped t returned %d", len(got))
+	}
+}
+
+func TestTopTAgreesWithVOBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(219))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(rng, 50, 40, 0.7)
+		vo, err := PinocchioVO(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, _, err := PinocchioVOTopT(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top[0].Influence != vo.BestInfluence {
+			t.Fatalf("trial %d: top-1 influence %d vs VO %d",
+				trial, top[0].Influence, vo.BestInfluence)
+		}
+	}
+}

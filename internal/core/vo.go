@@ -1,0 +1,172 @@
+package core
+
+import "container/heap"
+
+// candHeap orders candidate indices by maxInf descending, breaking
+// ties by minInf descending — the Max Heap H of Algorithm 3 (line 13).
+// Keys of non-top elements never change while they sit in the heap
+// (validation only mutates the bounds of the candidate being
+// processed), so the heap property is preserved without re-sifting.
+type candHeap struct {
+	order  []int
+	maxInf []int
+	minInf []int
+}
+
+func (h *candHeap) Len() int { return len(h.order) }
+func (h *candHeap) Less(i, j int) bool {
+	a, b := h.order[i], h.order[j]
+	if h.maxInf[a] != h.maxInf[b] {
+		return h.maxInf[a] > h.maxInf[b]
+	}
+	return h.minInf[a] > h.minInf[b]
+}
+func (h *candHeap) Swap(i, j int)      { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *candHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
+func (h *candHeap) Pop() interface{} {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// voState is the shared machinery of PINOCCHIO-VO and PINOCCHIO-VO*:
+// influence bounds, verification sets and the Strategy 1/2 validation
+// loop.
+type voState struct {
+	p      *Problem
+	minInf []int   // identified influence (lower bound)
+	maxInf []int   // possible influence (upper bound)
+	vs     [][]int // verification set: object indices per candidate
+}
+
+// runValidation executes lines 13-29 of Algorithm 3 and returns the
+// optimal candidate index and its exact influence.
+func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int) {
+	m := len(s.p.Candidates)
+
+	// maxminInf = max over minInf after pruning; it only grows.
+	bestIdx, bestVal = 0, s.minInf[0]
+	for c := 1; c < m; c++ {
+		if s.minInf[c] > bestVal {
+			bestIdx, bestVal = c, s.minInf[c]
+		}
+	}
+	maxminInf := bestVal
+
+	h := &candHeap{order: make([]int, m), maxInf: s.maxInf, minInf: s.minInf}
+	for i := range h.order {
+		h.order[i] = i
+	}
+	heap.Init(h)
+
+	for h.Len() > 0 {
+		top := h.order[0]
+		if s.maxInf[top] < maxminInf {
+			// Strategy 1: every remaining candidate is dominated.
+			for _, c := range h.order {
+				st.SkippedByBounds += int64(len(s.vs[c]))
+			}
+			break
+		}
+		st.HeapPops++
+		for vi, ok := range s.vs[top] {
+			st.Validated++
+			obj := s.p.Objects[ok]
+			if influencedEarlyStop(s.p.PF, s.p.Tau, s.p.Candidates[top], obj.Positions, st) {
+				s.minInf[top]++
+			} else {
+				s.maxInf[top]--
+				if s.maxInf[top] < maxminInf {
+					// Strategy 1 inside validation: the candidate can
+					// no longer win; skip its remaining objects.
+					st.SkippedByBounds += int64(len(s.vs[top]) - vi - 1)
+					break
+				}
+			}
+		}
+		if s.minInf[top] > bestVal {
+			bestIdx, bestVal = top, s.minInf[top]
+		}
+		if s.minInf[top] > maxminInf {
+			maxminInf = s.minInf[top]
+		}
+		heap.Pop(h)
+	}
+	return bestIdx, bestVal
+}
+
+// PinocchioVO is Algorithm 3: the PINOCCHIO pruning phase feeding the
+// bound-ordered validation of §5 (Strategy 1 upper/lower influence
+// bounds, Strategy 2 early stopping). It certifies the optimal
+// candidate without computing exact influence for dominated ones, so
+// Result.Influences is nil.
+func PinocchioVO(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.Candidates)
+	res := &Result{}
+	st := &res.Stats
+	st.PairsTotal = int64(len(p.Objects)) * int64(m)
+
+	a2d := buildA2D(p, st)
+	tree := p.candidateTree()
+
+	s := &voState{
+		p:      p,
+		minInf: make([]int, m),
+		maxInf: make([]int, m),
+		vs:     make([][]int, m),
+	}
+	for k, e := range a2d {
+		k := k
+		touched, ia := pruneObject(tree, e,
+			func(cand int) { s.minInf[cand]++ },
+			func(cand int) { s.vs[cand] = append(s.vs[cand], k) })
+		st.PrunedByIA += ia
+		st.PrunedByNIB += int64(m) - touched
+	}
+	// maxInf(c) = r − #objects whose NIB excludes c
+	//           = IA hits + |VS(c)|.
+	for c := 0; c < m; c++ {
+		s.maxInf[c] = s.minInf[c] + len(s.vs[c])
+	}
+
+	res.BestIndex, res.BestInfluence = s.runValidation(st)
+	return res, nil
+}
+
+// PinocchioVOStar is the PIN-VO* ablation of §6.1: the validation
+// optimizations (Strategies 1 and 2) without the pruning phase. Every
+// candidate starts with bounds [0, r] and a verification set holding
+// all objects.
+func PinocchioVOStar(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.Candidates)
+	r := len(p.Objects)
+	res := &Result{}
+	st := &res.Stats
+	st.PairsTotal = int64(r) * int64(m)
+
+	all := make([]int, r)
+	for k := range all {
+		all[k] = k
+	}
+	s := &voState{
+		p:      p,
+		minInf: make([]int, m),
+		maxInf: make([]int, m),
+		vs:     make([][]int, m),
+	}
+	for c := 0; c < m; c++ {
+		s.maxInf[c] = r
+		s.vs[c] = all
+	}
+
+	res.BestIndex, res.BestInfluence = s.runValidation(st)
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/rtree"
+)
+
+// Venue is a point of interest together with its generated check-in
+// log totals — the ground truth the precision experiments score
+// against (the paper treats real check-in logs the same way).
+// CheckIns counts visit records; Visitors counts distinct users, the
+// "actual number of visitors" of §6.1 that influence semantics
+// predicts.
+type Venue struct {
+	ID       int
+	Point    geo.Point
+	CheckIns int
+	Visitors int
+}
+
+// CheckIn is one visit record: who, where, and the recorded (GPS-
+// scattered) coordinates of the fix.
+type CheckIn struct {
+	UserID  int
+	VenueID int
+	Point   geo.Point
+}
+
+// Dataset is a generated (or loaded) check-in workload.
+type Dataset struct {
+	Name    string
+	Extent  geo.Rect
+	Venues  []Venue
+	Objects []*object.Object
+	// CheckIns holds the raw visit log; CheckIns[i] corresponds to
+	// nothing positional beyond its venue (check-in positions are
+	// venue positions).
+	CheckIns []CheckIn
+}
+
+// TotalCheckIns returns the number of visit records.
+func (d *Dataset) TotalCheckIns() int { return len(d.CheckIns) }
+
+// Generate builds a synthetic dataset from the configuration. The
+// same configuration (including Seed) always produces the same
+// dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	extent := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: cfg.WidthKm, Y: cfg.HeightKm}}
+
+	// Hotspots: uniform centers with Zipf-like weights so some city
+	// districts dominate, as in real check-in data.
+	type hotspot struct {
+		center geo.Point
+		weight float64
+	}
+	hotspots := make([]hotspot, cfg.Hotspots)
+	totalHW := 0.0
+	for h := range hotspots {
+		hotspots[h].center = geo.Point{
+			X: rng.Float64() * cfg.WidthKm,
+			Y: rng.Float64() * cfg.HeightKm,
+		}
+		hotspots[h].weight = 1 / math.Pow(float64(h+1), 0.8)
+		totalHW += hotspots[h].weight
+	}
+	pickHotspot := func() int {
+		t := rng.Float64() * totalHW
+		for h := range hotspots {
+			t -= hotspots[h].weight
+			if t <= 0 {
+				return h
+			}
+		}
+		return len(hotspots) - 1
+	}
+
+	// Venues: clustered around hotspots, popularity Zipf-distributed.
+	venues := make([]Venue, cfg.Venues)
+	popularity := make([]float64, cfg.Venues)
+	venueItems := make([]rtree.Item, cfg.Venues)
+	for v := range venues {
+		h := hotspots[pickHotspot()]
+		p := geo.Point{
+			X: clamp(h.center.X+rng.NormFloat64()*cfg.HotspotSpreadKm, 0, cfg.WidthKm),
+			Y: clamp(h.center.Y+rng.NormFloat64()*cfg.HotspotSpreadKm, 0, cfg.HeightKm),
+		}
+		venues[v] = Venue{ID: v, Point: p}
+		// Mild Zipf popularity: intrinsic venue appeal is invisible to
+		// purely geometric selection methods, so a gentle exponent
+		// keeps check-in counts dominated by the spatial exposure both
+		// PRIME-LS and the baselines estimate, as in the real data.
+		popularity[v] = 1 / math.Pow(float64(v+1), 0.6)
+		venueItems[v] = rtree.Item{Point: p, ID: v}
+	}
+	venueTree := rtree.Bulk(venueItems, rtree.DefaultMaxEntries)
+
+	// localPool returns the venues reachable from an anchor: everything
+	// within the distance-decay radius (check-in behavior spans the
+	// whole neighborhood, not just the closest block), padded with the
+	// nearest venues when the anchor sits in a sparse area and capped
+	// for memory.
+	const minPool, maxPool = 20, 400
+	localPool := func(anchor geo.Point) []int {
+		var pool []int
+		venueTree.SearchCircle(anchor, 2*cfg.CheckinDecayKm, func(it rtree.Item) bool {
+			pool = append(pool, it.ID)
+			return len(pool) < maxPool
+		})
+		if len(pool) < minPool {
+			pool = pool[:0]
+			for _, n := range venueTree.NearestNeighbors(anchor, minPool) {
+				pool = append(pool, n.Item.ID)
+			}
+		}
+		return pool
+	}
+
+	ds := &Dataset{Name: cfg.Name, Extent: extent, Venues: venues}
+	ds.Objects = make([]*object.Object, cfg.Users)
+	visited := make(map[int]bool, 64) // venues seen by the current user
+
+	for u := 0; u < cfg.Users; u++ {
+		clear(visited)
+		n := sampleCheckinCount(rng, cfg)
+
+		// Anchors: each picks a hotspot center across the whole frame,
+		// jittered — activity regions therefore span a large share of
+		// the extent and overlap heavily.
+		nAnchors := cfg.MinAnchors + rng.Intn(cfg.MaxAnchors-cfg.MinAnchors+1)
+		type anchorPool struct {
+			pool    []int
+			weights []float64
+			total   float64
+			anchor  geo.Point
+		}
+		anchors := make([]anchorPool, nAnchors)
+		for a := range anchors {
+			h := hotspots[pickHotspot()]
+			anchor := geo.Point{
+				X: clamp(h.center.X+rng.NormFloat64()*cfg.HotspotSpreadKm*2, 0, cfg.WidthKm),
+				Y: clamp(h.center.Y+rng.NormFloat64()*cfg.HotspotSpreadKm*2, 0, cfg.HeightKm),
+			}
+			pool := localPool(anchor)
+			weights := make([]float64, len(pool))
+			total := 0.0
+			for i, v := range pool {
+				d := anchor.Dist(venues[v].Point)
+				// Visits spread broadly over the pool: real users
+				// check in at many distinct venues, with only a mild
+				// preference for intrinsically popular ones.
+				weights[i] = math.Pow(popularity[v], 0.5) * math.Exp(-d/cfg.CheckinDecayKm)
+				total += weights[i]
+			}
+			anchors[a] = anchorPool{pool: pool, weights: weights, total: total, anchor: anchor}
+		}
+
+		positions := make([]geo.Point, n)
+		for i := 0; i < n; i++ {
+			ap := &anchors[rng.Intn(nAnchors)]
+			v := ap.pool[weightedPick(rng, ap.weights, ap.total)]
+			// The recorded coordinates carry GPS scatter around the
+			// venue, as real check-in fixes do.
+			positions[i] = geo.Point{
+				X: clamp(venues[v].Point.X+rng.NormFloat64()*cfg.GPSNoiseKm, 0, cfg.WidthKm),
+				Y: clamp(venues[v].Point.Y+rng.NormFloat64()*cfg.GPSNoiseKm, 0, cfg.HeightKm),
+			}
+			ds.Venues[v].CheckIns++
+			if !visited[v] {
+				visited[v] = true
+				ds.Venues[v].Visitors++
+			}
+			ds.CheckIns = append(ds.CheckIns, CheckIn{UserID: u, VenueID: v, Point: positions[i]})
+		}
+		o, err := object.New(u, positions)
+		if err != nil {
+			return nil, err
+		}
+		ds.Objects[u] = o
+	}
+	return ds, nil
+}
+
+// sampleCheckinCount draws a per-user check-in count from a log-normal
+// clipped to [MinCheckins, MaxCheckins], with σ chosen to give the
+// long right tail of Table 2 and μ adjusted toward the target mean.
+func sampleCheckinCount(rng *rand.Rand, cfg Config) int {
+	sigma := cfg.CheckinSigma
+	// Mean of lognormal = exp(mu + sigma²/2).
+	mu := math.Log(float64(cfg.MeanCheckins)) - sigma*sigma/2
+	for {
+		v := math.Exp(mu + rng.NormFloat64()*sigma)
+		n := int(math.Round(v))
+		if n < cfg.MinCheckins {
+			n = cfg.MinCheckins
+		}
+		if n <= cfg.MaxCheckins {
+			return n
+		}
+		// Resample the rare over-cap draws rather than piling mass at
+		// the cap.
+	}
+}
+
+// weightedPick returns an index into weights proportional to weight.
+func weightedPick(rng *rand.Rand, weights []float64, total float64) int {
+	t := rng.Float64() * total
+	for i, w := range weights {
+		t -= w
+		if t <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

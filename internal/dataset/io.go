@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+)
+
+// csvHeader is the check-in log schema: the recorded fix coordinates
+// plus the venue's canonical coordinates, so both the objects and the
+// venue ground truth round-trip exactly.
+var csvHeader = []string{"user_id", "venue_id", "x_km", "y_km", "venue_x_km", "venue_y_km"}
+
+// maxReasonableID bounds user and venue ids accepted by ReadCSV; the
+// loader allocates dense slices keyed by id.
+const maxReasonableID = 50_000_000
+
+// WriteCSV serializes the dataset as a check-in log, one row per
+// check-in, preceded by a header. Venue ground truth is reconstructed
+// on load by counting rows per venue.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, ci := range d.CheckIns {
+		v := d.Venues[ci.VenueID]
+		rec := []string{
+			strconv.Itoa(ci.UserID),
+			strconv.Itoa(ci.VenueID),
+			ff(ci.Point.X), ff(ci.Point.Y),
+			ff(v.Point.X), ff(v.Point.Y),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a check-in log written by WriteCSV (or any file in
+// the same schema) and reconstructs the dataset: objects from per-user
+// rows, venues with check-in counts from per-venue rows.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if header[0] != "user_id" {
+		return nil, fmt.Errorf("dataset: unexpected header %v", header)
+	}
+
+	type venueAcc struct {
+		point    geo.Point
+		count    int
+		visitors map[int]bool
+	}
+	venueByID := map[int]*venueAcc{}
+	userPositions := map[int][]geo.Point{}
+	var checkIns []CheckIn
+	maxVenue := -1
+	maxUser := -1
+
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		uid, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: user_id: %w", line, err)
+		}
+		vid, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: venue_id: %w", line, err)
+		}
+		var coords [4]float64
+		for i := 0; i < 4; i++ {
+			coords[i], err = strconv.ParseFloat(rec[2+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: field %s: %w", line, csvHeader[2+i], err)
+			}
+		}
+		if uid < 0 || vid < 0 {
+			return nil, fmt.Errorf("dataset: line %d: negative id", line)
+		}
+		// Dense id spaces only: the loader materializes venues as a
+		// slice, so an absurd id in a small file would allocate
+		// gigabytes. Real exports number users and venues contiguously.
+		if uid > maxReasonableID || vid > maxReasonableID {
+			return nil, fmt.Errorf("dataset: line %d: id beyond %d", line, maxReasonableID)
+		}
+		fix := geo.Point{X: coords[0], Y: coords[1]}
+		vp := geo.Point{X: coords[2], Y: coords[3]}
+		va, ok := venueByID[vid]
+		if !ok {
+			va = &venueAcc{point: vp, visitors: map[int]bool{}}
+			venueByID[vid] = va
+		}
+		va.count++
+		va.visitors[uid] = true
+		userPositions[uid] = append(userPositions[uid], fix)
+		checkIns = append(checkIns, CheckIn{UserID: uid, VenueID: vid, Point: fix})
+		if vid > maxVenue {
+			maxVenue = vid
+		}
+		if uid > maxUser {
+			maxUser = uid
+		}
+	}
+	if len(checkIns) == 0 {
+		return nil, fmt.Errorf("dataset: no check-ins in input")
+	}
+
+	ds := &Dataset{Name: name, CheckIns: checkIns}
+	ds.Venues = make([]Venue, maxVenue+1)
+	for vid := range ds.Venues {
+		ds.Venues[vid].ID = vid
+		if va, ok := venueByID[vid]; ok {
+			ds.Venues[vid].Point = va.point
+			ds.Venues[vid].CheckIns = va.count
+			ds.Venues[vid].Visitors = len(va.visitors)
+		}
+	}
+	extent := geo.EmptyRect()
+	for uid := 0; uid <= maxUser; uid++ {
+		pts, ok := userPositions[uid]
+		if !ok {
+			continue // sparse user ids tolerated
+		}
+		o, err := object.New(uid, pts)
+		if err != nil {
+			return nil, err
+		}
+		ds.Objects = append(ds.Objects, o)
+		extent = extent.Union(o.MBR())
+	}
+	ds.Extent = extent
+	return ds, nil
+}

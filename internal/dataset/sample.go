@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+)
+
+// ErrNotEnough reports a sampling request larger than the population.
+var ErrNotEnough = errors.New("dataset: not enough elements to sample")
+
+// CandidateSet is a sampled candidate pool together with the
+// ground-truth visitor count of each candidate, the currency of the
+// precision experiments.
+type CandidateSet struct {
+	Points   []geo.Point
+	Truth    []int // distinct visitors at each candidate's venue
+	VenueIDs []int
+}
+
+// SampleCandidates draws m distinct venues as candidate locations,
+// weighting venues by their check-in count — the equivalent of the
+// paper's "positions from check-in coordinates by random uniform
+// sampling" (uniform over check-in records lands on venues with
+// probability proportional to their visits).
+func SampleCandidates(d *Dataset, m int, rng *rand.Rand) (*CandidateSet, error) {
+	if m <= 0 || m > len(d.Venues) {
+		return nil, ErrNotEnough
+	}
+	// Weighted sampling without replacement via exponential keys
+	// (Efraimidis-Spirakis): key = U^(1/w); take the m largest.
+	type keyed struct {
+		key float64
+		v   int
+	}
+	keys := make([]keyed, 0, len(d.Venues))
+	for _, v := range d.Venues {
+		w := float64(v.CheckIns)
+		if w <= 0 {
+			w = 0.01 // unvisited venues stay sampleable, rarely
+		}
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		keys = append(keys, keyed{key: math.Pow(u, 1/w), v: v.ID})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
+	// Shuffle the selected venues: the selection order correlates with
+	// popularity (higher-weight venues tend to sort first), and any
+	// consumer breaking score ties by index would silently inherit
+	// that ground-truth signal.
+	rng.Shuffle(m, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	cs := &CandidateSet{
+		Points:   make([]geo.Point, m),
+		Truth:    make([]int, m),
+		VenueIDs: make([]int, m),
+	}
+	for i := 0; i < m; i++ {
+		v := d.Venues[keys[i].v]
+		cs.Points[i] = v.Point
+		cs.Truth[i] = v.Visitors
+		cs.VenueIDs[i] = v.ID
+	}
+	return cs, nil
+}
+
+// RelevantTopK ranks the candidate indices of cs by ground-truth
+// check-ins descending (ties by index) and returns the top k — the
+// "relevant locations" of Tables 3 and 4.
+func (cs *CandidateSet) RelevantTopK(k int) []int {
+	idx := make([]int, len(cs.Points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if cs.Truth[idx[a]] != cs.Truth[idx[b]] {
+			return cs.Truth[idx[a]] > cs.Truth[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return idx[:k]
+}
+
+// SampleObjects returns count objects drawn without replacement, for
+// the object-scalability sweep (Fig. 9).
+func SampleObjects(d *Dataset, count int, rng *rand.Rand) ([]*object.Object, error) {
+	if count <= 0 || count > len(d.Objects) {
+		return nil, ErrNotEnough
+	}
+	perm := rng.Perm(len(d.Objects))
+	out := make([]*object.Object, count)
+	for i := 0; i < count; i++ {
+		out[i] = d.Objects[perm[i]]
+	}
+	return out, nil
+}
+
+// NGroup is one bucket of Table 5: objects whose position count falls
+// in [Lo, Hi).
+type NGroup struct {
+	Lo, Hi  int // Hi == 0 means unbounded
+	Objects []*object.Object
+}
+
+// Contains reports whether n falls in the group's range.
+func (g NGroup) Contains(n int) bool {
+	return n >= g.Lo && (g.Hi == 0 || n < g.Hi)
+}
+
+// GroupByN partitions objects into the position-count buckets of
+// Table 5: [1,10), [10,30), [30,50), [50,70), [70,∞).
+func GroupByN(objects []*object.Object) []NGroup {
+	groups := []NGroup{
+		{Lo: 1, Hi: 10}, {Lo: 10, Hi: 30}, {Lo: 30, Hi: 50}, {Lo: 50, Hi: 70}, {Lo: 70, Hi: 0},
+	}
+	for _, o := range objects {
+		for g := range groups {
+			if groups[g].Contains(o.N()) {
+				groups[g].Objects = append(groups[g].Objects, o)
+				break
+			}
+		}
+	}
+	return groups
+}
+
+// ResampleN builds, for each object with at least n positions, an
+// instance holding exactly n positions chosen uniformly without
+// replacement — the fixed-n instance sets of Fig. 11b and Fig. 13.
+func ResampleN(objects []*object.Object, n int, rng *rand.Rand) []*object.Object {
+	var out []*object.Object
+	for _, o := range objects {
+		if o.N() < n {
+			continue
+		}
+		perm := rng.Perm(o.N())
+		pts := make([]geo.Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = o.Positions[perm[i]]
+		}
+		inst, err := object.New(o.ID, pts)
+		if err != nil {
+			continue // unreachable: n ≥ 1 by construction
+		}
+		out = append(out, inst)
+	}
+	return out
+}
+
+// FilterMinN returns the objects with at least n positions (the
+// "1,999 moving objects with more than 50 positions" selection of
+// Fig. 11b).
+func FilterMinN(objects []*object.Object, n int) []*object.Object {
+	var out []*object.Object
+	for _, o := range objects {
+		if o.N() >= n {
+			out = append(out, o)
+		}
+	}
+	return out
+}

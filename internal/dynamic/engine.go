@@ -1,0 +1,305 @@
+// Package dynamic implements the incremental PRIME-LS engine the paper
+// names as future work (§7): maintaining the influence of every
+// candidate location while "candidate locations, objects as well as
+// their positions keep on changing".
+//
+// The engine keeps, per moving object, the set of candidates it
+// currently influences. Updates recompute only the affected
+// object/candidate pairs, reusing the static solver's pruning
+// geometry:
+//
+//   - adding a position can only create influence (the cumulative
+//     probability is monotone in the position set), so only currently
+//     non-influenced candidates inside the object's new non-influence
+//     boundary are validated;
+//   - object insertion/update prunes with the same IA/NIB rules as
+//     Algorithm 2, touching one object's row instead of all r;
+//   - candidate insertion classifies the new point against every
+//     object's regions, validating only the remnant ones;
+//   - removals are pure bookkeeping.
+//
+// Memory is O(Σ_O |influenced(O)|), the size of the current influence
+// relation.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/rtree"
+)
+
+// Errors reported by the engine.
+var (
+	ErrUnknownObject    = errors.New("dynamic: unknown object")
+	ErrUnknownCandidate = errors.New("dynamic: unknown candidate")
+	ErrDuplicateObject  = errors.New("dynamic: object id already present")
+)
+
+// Stats counts the incremental work performed since construction.
+type Stats struct {
+	Validations    int64 // exact cumulative-probability evaluations
+	PositionProbes int64 // PF evaluations inside validations
+	PrunedByIA     int64 // pairs settled by the influence-arcs rule
+	PrunedByNIB    int64 // pairs settled without touching them
+}
+
+// objState is one tracked moving object and the candidates it
+// currently influences.
+type objState struct {
+	obj        *object.Object
+	influenced map[int]bool
+}
+
+// Engine maintains exact candidate influences under updates.
+type Engine struct {
+	pf  probfn.Func
+	tau float64
+
+	candTree   *rtree.Tree
+	candPoints map[int]geo.Point
+	nextCandID int
+
+	objects map[int]*objState
+	radii   *object.RadiusTable
+
+	influence map[int]int
+	stats     Stats
+}
+
+// New returns an empty engine for the given probability function and
+// threshold.
+func New(pf probfn.Func, tau float64) (*Engine, error) {
+	if pf == nil {
+		return nil, errors.New("dynamic: nil probability function")
+	}
+	if !(tau > 0 && tau < 1) {
+		return nil, fmt.Errorf("dynamic: tau %v outside (0,1)", tau)
+	}
+	return &Engine{
+		pf:         pf,
+		tau:        tau,
+		candTree:   rtree.New(rtree.DefaultMaxEntries),
+		candPoints: map[int]geo.Point{},
+		objects:    map[int]*objState{},
+		radii:      object.NewRadiusTable(pf, tau),
+		influence:  map[int]int{},
+	}, nil
+}
+
+// Stats returns the work counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Objects returns the number of tracked moving objects.
+func (e *Engine) Objects() int { return len(e.objects) }
+
+// Candidates returns the number of live candidate locations.
+func (e *Engine) Candidates() int { return len(e.candPoints) }
+
+// validate runs the early-stopping influence decision for one pair.
+func (e *Engine) validate(c geo.Point, o *object.Object) bool {
+	e.stats.Validations++
+	bar := 1 - e.tau
+	nonInf := 1.0
+	for _, p := range o.Positions {
+		e.stats.PositionProbes++
+		nonInf *= 1 - e.pf.Prob(c.Dist(p))
+		if nonInf <= bar {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCandidate registers a new candidate location and computes its
+// influence over the current objects. It returns the candidate's id.
+func (e *Engine) AddCandidate(pt geo.Point) int {
+	id := e.nextCandID
+	e.nextCandID++
+	e.candPoints[id] = pt
+	e.candTree.Insert(rtree.Item{Point: pt, ID: id})
+
+	inf := 0
+	for _, os := range e.objects {
+		regions := object.NewRegions(os.obj, e.radii.Get(os.obj.N()))
+		switch regions.Classify(pt) {
+		case object.Influenced:
+			e.stats.PrunedByIA++
+			os.influenced[id] = true
+			inf++
+		case object.NeedsValidation:
+			if e.validate(pt, os.obj) {
+				os.influenced[id] = true
+				inf++
+			}
+		default:
+			e.stats.PrunedByNIB++
+		}
+	}
+	e.influence[id] = inf
+	return id
+}
+
+// RemoveCandidate unregisters a candidate.
+func (e *Engine) RemoveCandidate(id int) error {
+	pt, ok := e.candPoints[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownCandidate, id)
+	}
+	e.candTree.Delete(rtree.Item{Point: pt, ID: id})
+	delete(e.candPoints, id)
+	delete(e.influence, id)
+	for _, os := range e.objects {
+		delete(os.influenced, id)
+	}
+	return nil
+}
+
+// computeInfluenced prunes and validates one object against the
+// current candidates, returning the set it influences.
+func (e *Engine) computeInfluenced(o *object.Object, skipInfluenced map[int]bool) map[int]bool {
+	regions := object.NewRegions(o, e.radii.Get(o.N()))
+	out := map[int]bool{}
+	touched := int64(0)
+	e.candTree.SearchRect(regions.NIBBox(), func(it rtree.Item) bool {
+		touched++
+		if skipInfluenced != nil && skipInfluenced[it.ID] {
+			// Already influenced and influence is monotone under the
+			// update being processed: stays influenced.
+			out[it.ID] = true
+			return true
+		}
+		switch regions.Classify(it.Point) {
+		case object.Influenced:
+			e.stats.PrunedByIA++
+			out[it.ID] = true
+		case object.NeedsValidation:
+			if e.validate(it.Point, o) {
+				out[it.ID] = true
+			}
+		}
+		return true
+	})
+	e.stats.PrunedByNIB += int64(len(e.candPoints)) - touched
+	return out
+}
+
+// AddObject starts tracking a moving object.
+func (e *Engine) AddObject(id int, positions []geo.Point) error {
+	if _, ok := e.objects[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateObject, id)
+	}
+	o, err := object.New(id, positions)
+	if err != nil {
+		return err
+	}
+	influenced := e.computeInfluenced(o, nil)
+	e.objects[id] = &objState{obj: o, influenced: influenced}
+	for c := range influenced {
+		e.influence[c]++
+	}
+	return nil
+}
+
+// RemoveObject stops tracking an object.
+func (e *Engine) RemoveObject(id int) error {
+	os, ok := e.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	for c := range os.influenced {
+		e.influence[c]--
+	}
+	delete(e.objects, id)
+	return nil
+}
+
+// AddPosition appends a newly observed position to an object.
+// Influence is monotone under position addition, so only currently
+// non-influenced candidates are re-validated.
+func (e *Engine) AddPosition(id int, p geo.Point) error {
+	os, ok := e.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	positions := append(append([]geo.Point{}, os.obj.Positions...), p)
+	o, err := object.New(id, positions)
+	if err != nil {
+		return err
+	}
+	newInfluenced := e.computeInfluenced(o, os.influenced)
+	for c := range newInfluenced {
+		if !os.influenced[c] {
+			e.influence[c]++
+		}
+	}
+	os.obj = o
+	os.influenced = newInfluenced
+	return nil
+}
+
+// UpdateObject replaces an object's positions wholesale (the general
+// "positions keep on changing" case, where influence may both appear
+// and disappear).
+func (e *Engine) UpdateObject(id int, positions []geo.Point) error {
+	os, ok := e.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	o, err := object.New(id, positions)
+	if err != nil {
+		return err
+	}
+	newInfluenced := e.computeInfluenced(o, nil)
+	for c := range os.influenced {
+		if !newInfluenced[c] {
+			e.influence[c]--
+		}
+	}
+	for c := range newInfluenced {
+		if !os.influenced[c] {
+			e.influence[c]++
+		}
+	}
+	os.obj = o
+	os.influenced = newInfluenced
+	return nil
+}
+
+// Influence returns the current influence of a candidate.
+func (e *Engine) Influence(id int) (int, error) {
+	v, ok := e.influence[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownCandidate, id)
+	}
+	return v, nil
+}
+
+// Best returns the most influential live candidate (smallest id on
+// ties) and its influence. ok is false when no candidates are
+// registered.
+func (e *Engine) Best() (id, influence int, ok bool) {
+	best := -1
+	bestInf := -1
+	for c, inf := range e.influence {
+		if inf > bestInf || (inf == bestInf && c < best) {
+			best, bestInf = c, inf
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestInf, true
+}
+
+// Influences returns a copy of the current influence map.
+func (e *Engine) Influences() map[int]int {
+	out := make(map[int]int, len(e.influence))
+	for c, v := range e.influence {
+		out[c] = v
+	}
+	return out
+}

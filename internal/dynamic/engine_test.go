@@ -1,0 +1,291 @@
+package dynamic
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+func randPoint(rng *rand.Rand) geo.Point {
+	return geo.Point{X: rng.Float64() * 30, Y: rng.Float64() * 20}
+}
+
+func randPositions(rng *rand.Rand, n int) []geo.Point {
+	cx, cy := rng.Float64()*30, rng.Float64()*20
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: cx + rng.NormFloat64()*2, Y: cy + rng.NormFloat64()*2}
+	}
+	return pts
+}
+
+// oracle recomputes every influence from scratch with the static
+// solver on the engine's current state.
+func oracle(t *testing.T, e *Engine, tau float64) map[int]int {
+	t.Helper()
+	if len(e.objects) == 0 || len(e.candPoints) == 0 {
+		out := map[int]int{}
+		for c := range e.candPoints {
+			out[c] = 0
+		}
+		return out
+	}
+	var objs []*object.Object
+	for _, os := range e.objects {
+		objs = append(objs, os.obj)
+	}
+	var ids []int
+	var pts []geo.Point
+	for c, pt := range e.candPoints {
+		ids = append(ids, c)
+		pts = append(pts, pt)
+	}
+	p := &core.Problem{Objects: objs, Candidates: pts, PF: e.pf, Tau: tau}
+	res, err := core.Pinocchio(p)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	out := map[int]int{}
+	for i, c := range ids {
+		out[c] = res.Influences[i]
+	}
+	return out
+}
+
+func checkAgainstOracle(t *testing.T, e *Engine, tau float64, step string) {
+	t.Helper()
+	want := oracle(t, e, tau)
+	got := e.Influences()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d candidates tracked, oracle has %d", step, len(got), len(want))
+	}
+	for c, w := range want {
+		if got[c] != w {
+			t.Fatalf("%s: influence[%d] = %d, oracle says %d", step, c, got[c], w)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0.7); err == nil {
+		t.Error("nil PF should fail")
+	}
+	for _, tau := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := New(probfn.DefaultPowerLaw(), tau); err == nil {
+			t.Errorf("tau=%v should fail", tau)
+		}
+	}
+}
+
+func TestEmptyEngine(t *testing.T) {
+	e, err := New(probfn.DefaultPowerLaw(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := e.Best(); ok {
+		t.Error("Best on empty engine should report not ok")
+	}
+	if e.Objects() != 0 || e.Candidates() != 0 {
+		t.Error("empty engine has non-zero counts")
+	}
+	if err := e.RemoveObject(1); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("RemoveObject: %v", err)
+	}
+	if err := e.RemoveCandidate(1); !errors.Is(err, ErrUnknownCandidate) {
+		t.Errorf("RemoveCandidate: %v", err)
+	}
+	if _, err := e.Influence(0); !errors.Is(err, ErrUnknownCandidate) {
+		t.Errorf("Influence: %v", err)
+	}
+	if err := e.AddPosition(0, geo.Point{}); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("AddPosition: %v", err)
+	}
+	if err := e.UpdateObject(0, []geo.Point{{X: 1, Y: 1}}); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("UpdateObject: %v", err)
+	}
+}
+
+func TestBasicLifecycle(t *testing.T) {
+	tau := 0.7
+	e, err := New(probfn.DefaultPowerLaw(), tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := e.AddCandidate(geo.Point{X: 0, Y: 0})
+	c1 := e.AddCandidate(geo.Point{X: 20, Y: 20})
+
+	if err := e.AddObject(1, []geo.Point{{X: 0.05, Y: 0}, {X: 0.1, Y: 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	if inf, _ := e.Influence(c0); inf != 1 {
+		t.Errorf("near candidate influence = %d, want 1", inf)
+	}
+	if inf, _ := e.Influence(c1); inf != 0 {
+		t.Errorf("far candidate influence = %d, want 0", inf)
+	}
+	best, inf, ok := e.Best()
+	if !ok || best != c0 || inf != 1 {
+		t.Errorf("Best = (%d, %d, %v)", best, inf, ok)
+	}
+
+	// Duplicate object id.
+	if err := e.AddObject(1, []geo.Point{{X: 1, Y: 1}}); !errors.Is(err, ErrDuplicateObject) {
+		t.Errorf("duplicate AddObject: %v", err)
+	}
+	// Empty positions propagate the object error.
+	if err := e.AddObject(2, nil); err == nil {
+		t.Error("empty positions should fail")
+	}
+
+	// The object moves near c1: now both influence it.
+	if err := e.AddPosition(1, geo.Point{X: 20, Y: 20.05}); err != nil {
+		t.Fatal(err)
+	}
+	if inf, _ := e.Influence(c1); inf != 1 {
+		t.Errorf("after AddPosition: far candidate influence = %d, want 1", inf)
+	}
+	if inf, _ := e.Influence(c0); inf != 1 {
+		t.Errorf("after AddPosition: near candidate influence = %d, want 1 (monotone)", inf)
+	}
+
+	// Wholesale update away from c0.
+	if err := e.UpdateObject(1, []geo.Point{{X: 20, Y: 20}, {X: 20.1, Y: 19.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if inf, _ := e.Influence(c0); inf != 0 {
+		t.Errorf("after UpdateObject: c0 influence = %d, want 0", inf)
+	}
+	if inf, _ := e.Influence(c1); inf != 1 {
+		t.Errorf("after UpdateObject: c1 influence = %d, want 1", inf)
+	}
+
+	// Remove everything.
+	if err := e.RemoveObject(1); err != nil {
+		t.Fatal(err)
+	}
+	if inf, _ := e.Influence(c1); inf != 0 {
+		t.Errorf("after RemoveObject: influence = %d", inf)
+	}
+	if err := e.RemoveCandidate(c0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Candidates() != 1 {
+		t.Errorf("Candidates = %d", e.Candidates())
+	}
+}
+
+// TestRandomizedAgainstOracle drives the engine through random update
+// sequences and cross-checks every influence against a from-scratch
+// recomputation after each step.
+func TestRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	tau := 0.6
+	e, err := New(probfn.DefaultPowerLaw(), tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objIDs []int
+	var candIDs []int
+	nextObj := 0
+
+	for step := 0; step < 120; step++ {
+		op := rng.Intn(7)
+		switch {
+		case op == 0 || len(candIDs) == 0: // add candidate
+			id := e.AddCandidate(randPoint(rng))
+			candIDs = append(candIDs, id)
+		case op == 1 || len(objIDs) == 0: // add object
+			id := nextObj
+			nextObj++
+			if err := e.AddObject(id, randPositions(rng, 1+rng.Intn(15))); err != nil {
+				t.Fatal(err)
+			}
+			objIDs = append(objIDs, id)
+		case op == 2: // add position
+			id := objIDs[rng.Intn(len(objIDs))]
+			if err := e.AddPosition(id, randPoint(rng)); err != nil {
+				t.Fatal(err)
+			}
+		case op == 3: // update object
+			id := objIDs[rng.Intn(len(objIDs))]
+			if err := e.UpdateObject(id, randPositions(rng, 1+rng.Intn(15))); err != nil {
+				t.Fatal(err)
+			}
+		case op == 4 && len(objIDs) > 1: // remove object
+			i := rng.Intn(len(objIDs))
+			if err := e.RemoveObject(objIDs[i]); err != nil {
+				t.Fatal(err)
+			}
+			objIDs = append(objIDs[:i], objIDs[i+1:]...)
+		case op == 5 && len(candIDs) > 1: // remove candidate
+			i := rng.Intn(len(candIDs))
+			if err := e.RemoveCandidate(candIDs[i]); err != nil {
+				t.Fatal(err)
+			}
+			candIDs = append(candIDs[:i], candIDs[i+1:]...)
+		default: // churn: add candidate
+			id := e.AddCandidate(randPoint(rng))
+			candIDs = append(candIDs, id)
+		}
+		if step%5 == 0 {
+			checkAgainstOracle(t, e, tau, "step")
+		}
+	}
+	checkAgainstOracle(t, e, tau, "final")
+
+	// The engine did meaningful pruning along the way.
+	st := e.Stats()
+	if st.PrunedByIA+st.PrunedByNIB == 0 {
+		t.Error("no pairs pruned during the run")
+	}
+	if st.Validations == 0 {
+		t.Error("no validations recorded")
+	}
+}
+
+// TestAddPositionIncrementalCost: appending one position to one object
+// must cost far fewer validations than recomputing the whole relation.
+func TestAddPositionIncrementalCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(243))
+	tau := 0.7
+	e, err := New(probfn.DefaultPowerLaw(), tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 100; c++ {
+		e.AddCandidate(randPoint(rng))
+	}
+	for o := 0; o < 100; o++ {
+		if err := e.AddObject(o, randPositions(rng, 5+rng.Intn(10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.Stats().Validations
+	if err := e.AddPosition(7, randPoint(rng)); err != nil {
+		t.Fatal(err)
+	}
+	delta := e.Stats().Validations - before
+	if delta > 100 {
+		t.Errorf("AddPosition validated %d pairs, more than one object row", delta)
+	}
+	checkAgainstOracle(t, e, tau, "after incremental add")
+}
+
+func TestBestTieBreaksByID(t *testing.T) {
+	e, err := New(probfn.DefaultPowerLaw(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two candidates influencing nothing: tie at 0 influence.
+	e.AddCandidate(geo.Point{X: 5, Y: 5})
+	e.AddCandidate(geo.Point{X: 6, Y: 6})
+	id, inf, ok := e.Best()
+	if !ok || id != 0 || inf != 0 {
+		t.Errorf("Best = (%d, %d, %v), want (0, 0, true)", id, inf, ok)
+	}
+}

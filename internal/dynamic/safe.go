@@ -1,0 +1,110 @@
+package dynamic
+
+import (
+	"sync"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+// SafeEngine wraps Engine with a mutex so concurrent producers
+// (position streams, candidate management) and readers (dashboards
+// polling Best) can share one instance. Reads block writes and vice
+// versa; the underlying engine remains single-writer internally.
+type SafeEngine struct {
+	mu sync.RWMutex
+	e  *Engine
+}
+
+// NewSafe returns a goroutine-safe incremental engine.
+func NewSafe(pf probfn.Func, tau float64) (*SafeEngine, error) {
+	e, err := New(pf, tau)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeEngine{e: e}, nil
+}
+
+// AddCandidate registers a candidate; see Engine.AddCandidate.
+func (s *SafeEngine) AddCandidate(pt geo.Point) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.AddCandidate(pt)
+}
+
+// RemoveCandidate unregisters a candidate; see Engine.RemoveCandidate.
+func (s *SafeEngine) RemoveCandidate(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.RemoveCandidate(id)
+}
+
+// AddObject starts tracking an object; see Engine.AddObject.
+func (s *SafeEngine) AddObject(id int, positions []geo.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.AddObject(id, positions)
+}
+
+// RemoveObject stops tracking an object; see Engine.RemoveObject.
+func (s *SafeEngine) RemoveObject(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.RemoveObject(id)
+}
+
+// AddPosition appends a position; see Engine.AddPosition.
+func (s *SafeEngine) AddPosition(id int, p geo.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.AddPosition(id, p)
+}
+
+// UpdateObject replaces an object's positions; see Engine.UpdateObject.
+func (s *SafeEngine) UpdateObject(id int, positions []geo.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.UpdateObject(id, positions)
+}
+
+// Influence returns a candidate's current influence.
+func (s *SafeEngine) Influence(id int) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Influence(id)
+}
+
+// Best returns the current optimal candidate.
+func (s *SafeEngine) Best() (id, influence int, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Best()
+}
+
+// Influences returns a snapshot of all influences.
+func (s *SafeEngine) Influences() map[int]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Influences()
+}
+
+// Objects returns the number of tracked objects.
+func (s *SafeEngine) Objects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Objects()
+}
+
+// Candidates returns the number of live candidates.
+func (s *SafeEngine) Candidates() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Candidates()
+}
+
+// Stats returns the work counters.
+func (s *SafeEngine) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.e.Stats()
+}

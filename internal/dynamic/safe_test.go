@@ -1,0 +1,127 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+func TestNewSafeValidation(t *testing.T) {
+	if _, err := NewSafe(nil, 0.7); err == nil {
+		t.Error("nil PF should fail")
+	}
+	if _, err := NewSafe(probfn.DefaultPowerLaw(), 1.5); err == nil {
+		t.Error("bad tau should fail")
+	}
+}
+
+// TestSafeEngineConcurrentUse hammers the wrapper from concurrent
+// writers and readers; run with -race. Final state is cross-checked
+// against a sequential replay.
+func TestSafeEngineConcurrentUse(t *testing.T) {
+	s, err := NewSafe(probfn.DefaultPowerLaw(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed candidates.
+	for i := 0; i < 30; i++ {
+		s.AddCandidate(geo.Point{X: float64(i), Y: float64(i % 7)})
+	}
+
+	const writers = 4
+	const objectsPerWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < objectsPerWriter; i++ {
+				id := w*objectsPerWriter + i
+				pts := []geo.Point{{X: rng.Float64() * 30, Y: rng.Float64() * 10}}
+				if err := s.AddObject(id, pts); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.AddPosition(id, geo.Point{X: rng.Float64() * 30, Y: rng.Float64() * 10}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Best()
+					s.Influences()
+					s.Objects()
+					s.Candidates()
+					s.Stats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if s.Objects() != writers*objectsPerWriter {
+		t.Fatalf("objects = %d, want %d", s.Objects(), writers*objectsPerWriter)
+	}
+
+	// Sequential replay must land on the same influences.
+	ref, err := New(probfn.DefaultPowerLaw(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		ref.AddCandidate(geo.Point{X: float64(i), Y: float64(i % 7)})
+	}
+	for w := 0; w < writers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < objectsPerWriter; i++ {
+			id := w*objectsPerWriter + i
+			pts := []geo.Point{{X: rng.Float64() * 30, Y: rng.Float64() * 10}}
+			if err := ref.AddObject(id, pts); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.AddPosition(id, geo.Point{X: rng.Float64() * 30, Y: rng.Float64() * 10}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := ref.Influences()
+	got := s.Influences()
+	for c, w := range want {
+		if got[c] != w {
+			t.Fatalf("influence[%d] = %d, sequential replay says %d", c, got[c], w)
+		}
+	}
+
+	// Remaining wrapper methods.
+	if err := s.RemoveObject(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateObject(1, []geo.Point{{X: 1, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveCandidate(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Influence(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+)
+
+// DynamicConfig parameterizes the extension experiment: an update
+// stream over a live PRIME-LS instance, comparing the incremental
+// engine (the paper's §7 future work, implemented in
+// internal/dynamic) against recomputing with PINOCCHIO-VO after every
+// update.
+type DynamicConfig struct {
+	Candidates int
+	Objects    int
+	Updates    []int // update-stream lengths swept
+	Tau        float64
+}
+
+// DefaultDynamicConfig sizes the experiment to the environment.
+func DefaultDynamicConfig(env *Env) DynamicConfig {
+	objs := len(env.F.Objects)
+	if objs > 800 {
+		objs = 800
+	}
+	return DynamicConfig{
+		Candidates: 300,
+		Objects:    objs,
+		Updates:    []int{50, 100, 200},
+		Tau:        DefaultTau,
+	}
+}
+
+// DynamicPoint is one measurement: the stream length and both
+// strategies' total time, plus the verified-equal final best.
+type DynamicPoint struct {
+	Updates       int
+	IncrementalMs float64
+	RecomputeMs   float64
+	FinalBest     int
+}
+
+// DynamicResult is the extension experiment's outcome.
+type DynamicResult struct {
+	Points []DynamicPoint
+}
+
+// RunDynamic replays the same update stream through the incremental
+// engine and through per-update recomputation and times both. Final
+// influences are cross-checked so the speedup is for identical
+// answers.
+func RunDynamic(env *Env, cfg DynamicConfig) (*DynamicResult, error) {
+	if cfg.Candidates <= 0 || cfg.Objects <= 0 || len(cfg.Updates) == 0 {
+		return nil, fmt.Errorf("experiments: empty dynamic config")
+	}
+	ds := env.F
+	rng := env.rng(171)
+	m := cfg.Candidates
+	if m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	nObj := cfg.Objects
+	if nObj > len(ds.Objects) {
+		nObj = len(ds.Objects)
+	}
+	baseObjs, err := dataset.SampleObjects(ds, nObj, rng)
+	if err != nil {
+		return nil, err
+	}
+	pf := defaultPF()
+
+	res := &DynamicResult{}
+	for _, updates := range cfg.Updates {
+		// Pre-generate the stream so both strategies replay the exact
+		// same updates.
+		type update struct {
+			obj int
+			pt  geo.Point
+		}
+		stream := make([]update, updates)
+		for i := range stream {
+			o := baseObjs[rng.Intn(len(baseObjs))]
+			anchor := o.Positions[rng.Intn(o.N())]
+			stream[i] = update{
+				obj: o.ID,
+				pt:  geo.Point{X: anchor.X + rng.NormFloat64(), Y: anchor.Y + rng.NormFloat64()},
+			}
+		}
+
+		// Strategy A: incremental engine.
+		eng, err := dynamic.New(pf, cfg.Tau)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range cs.Points {
+			eng.AddCandidate(pt)
+		}
+		for _, o := range baseObjs {
+			if err := eng.AddObject(o.ID, o.Positions); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for _, u := range stream {
+			if err := eng.AddPosition(u.obj, u.pt); err != nil {
+				return nil, err
+			}
+		}
+		incMs := float64(time.Since(start).Microseconds()) / 1000
+		_, incBest, _ := eng.Best()
+
+		// Strategy B: recompute with PINOCCHIO-VO after every update.
+		positions := map[int][]geo.Point{}
+		var order []int
+		for _, o := range baseObjs {
+			positions[o.ID] = append([]geo.Point{}, o.Positions...)
+			order = append(order, o.ID)
+		}
+		var lastBest int
+		start = time.Now()
+		for _, u := range stream {
+			positions[u.obj] = append(positions[u.obj], u.pt)
+			objs, err := objectsFromMap(order, positions)
+			if err != nil {
+				return nil, err
+			}
+			p := problem(objs, cs.Points, pf, cfg.Tau)
+			r, err := core.PinocchioVO(p)
+			if err != nil {
+				return nil, err
+			}
+			lastBest = r.BestInfluence
+		}
+		recMs := float64(time.Since(start).Microseconds()) / 1000
+
+		if incBest != lastBest {
+			return nil, fmt.Errorf("experiments: incremental best %d != recompute best %d",
+				incBest, lastBest)
+		}
+		res.Points = append(res.Points, DynamicPoint{
+			Updates:       updates,
+			IncrementalMs: incMs,
+			RecomputeMs:   recMs,
+			FinalBest:     incBest,
+		})
+	}
+	return res, nil
+}
+
+// objectsFromMap rebuilds object values in a stable order.
+func objectsFromMap(order []int, positions map[int][]geo.Point) ([]*object.Object, error) {
+	out := make([]*object.Object, 0, len(order))
+	for _, id := range order {
+		o, err := object.New(id, positions[id])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Tables renders the extension experiment.
+func (r *DynamicResult) Tables() []*Table {
+	t := &Table{
+		Title:  "Extension: incremental engine vs per-update recompute (Foursquare-like)",
+		Header: []string{"#updates", "incremental ms", "recompute ms", "speedup", "final maxInf"},
+	}
+	for _, p := range r.Points {
+		sp := "-"
+		if p.IncrementalMs > 0 {
+			sp = fmt.Sprintf("%.0fx", p.RecomputeMs/p.IncrementalMs)
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Updates), ms(p.IncrementalMs), ms(p.RecomputeMs), sp,
+			fmt.Sprintf("%d", p.FinalBest))
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/metrics"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// Fig11Config parameterizes the effect-of-n experiment.
+type Fig11Config struct {
+	Candidates int
+	Tau        float64
+	// FixedNs are the instance sizes of panel (b); objects with at
+	// least max(FixedNs) positions are resampled to each size.
+	FixedNs []int
+	// IncludeNA also times the NA baseline per group to report the
+	// paper's runtime-ratio panel; expensive at full scale.
+	IncludeNA bool
+}
+
+// DefaultFig11Config mirrors Fig. 11.
+func DefaultFig11Config() Fig11Config {
+	return Fig11Config{
+		Candidates: DefaultCandidates,
+		Tau:        DefaultTau,
+		FixedNs:    []int{10, 20, 30, 40, 50},
+		IncludeNA:  true,
+	}
+}
+
+// NGroupPoint is one group's measurement: runtime of PIN-VO (and NA),
+// the group's maximum influence and its share of the group size, plus
+// the winning location.
+type NGroupPoint struct {
+	Label        string
+	Objects      int
+	VOms         float64
+	NAms         float64
+	MaxInfluence int
+	InfShare     float64 // MaxInfluence / Objects
+	Best         geo.Point
+}
+
+// Fig11Result holds both panels plus the result-location spread the
+// paper discusses (avg pairwise distance ≤ ~0.3 km, identical pairs).
+type Fig11Result struct {
+	Groups    []NGroupPoint // panel (a): natural Table 5 groups
+	Fixed     []NGroupPoint // panel (b): fixed-n instances
+	GroupsPD  metrics.PairwiseDistanceStats
+	FixedPD   metrics.PairwiseDistanceStats
+	MinNFixed int
+}
+
+// RunFig11 measures the effect of the number of positions n on the
+// Gowalla-like dataset.
+func RunFig11(env *Env, cfg Fig11Config) (*Fig11Result, error) {
+	if cfg.Candidates <= 0 || len(cfg.FixedNs) == 0 {
+		return nil, fmt.Errorf("experiments: empty fig11 config")
+	}
+	ds := env.G
+	rng := env.rng(111)
+	m := cfg.Candidates
+	if m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	pf := defaultPF()
+	res := &Fig11Result{}
+
+	// Panel (a): the natural position-count groups of Table 5.
+	var groupBests []geo.Point
+	for _, g := range dataset.GroupByN(ds.Objects) {
+		if len(g.Objects) == 0 {
+			continue
+		}
+		label := fmt.Sprintf("[%d,%d)", g.Lo, g.Hi)
+		if g.Hi == 0 {
+			label = fmt.Sprintf("[%d,+inf)", g.Lo)
+		}
+		pt, err := measureGroup(label, g.Objects, cs.Points, pf, cfg.Tau, cfg.IncludeNA)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, *pt)
+		groupBests = append(groupBests, pt.Best)
+	}
+	res.GroupsPD = metrics.PairwiseDistances(groupBests)
+
+	// Panel (b): equal objects, different instance sizes.
+	maxN := 0
+	for _, n := range cfg.FixedNs {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	res.MinNFixed = maxN
+	rich := dataset.FilterMinN(ds.Objects, maxN)
+	if len(rich) == 0 {
+		return nil, fmt.Errorf("experiments: no objects with ≥ %d positions", maxN)
+	}
+	var fixedBests []geo.Point
+	for _, n := range cfg.FixedNs {
+		inst := dataset.ResampleN(rich, n, rng)
+		pt, err := measureGroup(fmt.Sprintf("n=%d", n), inst, cs.Points, pf, cfg.Tau, cfg.IncludeNA)
+		if err != nil {
+			return nil, err
+		}
+		res.Fixed = append(res.Fixed, *pt)
+		fixedBests = append(fixedBests, pt.Best)
+	}
+	res.FixedPD = metrics.PairwiseDistances(fixedBests)
+	return res, nil
+}
+
+func measureGroup(label string, objs []*object.Object, cands []geo.Point, pf probfn.Func, tau float64, includeNA bool) (*NGroupPoint, error) {
+	p := problem(objs, cands, pf, tau)
+	vo, voDur, err := timeSolve(core.AlgPinocchioVO, p)
+	if err != nil {
+		return nil, err
+	}
+	pt := &NGroupPoint{
+		Label:        label,
+		Objects:      len(objs),
+		VOms:         float64(voDur.Microseconds()) / 1000,
+		MaxInfluence: vo.BestInfluence,
+		InfShare:     float64(vo.BestInfluence) / float64(len(objs)),
+		Best:         cands[vo.BestIndex],
+	}
+	if includeNA {
+		na, naDur, err := timeSolve(core.AlgNA, p)
+		if err != nil {
+			return nil, err
+		}
+		if na.BestInfluence != vo.BestInfluence {
+			return nil, fmt.Errorf("experiments: NA/VO disagreement in group %s", label)
+		}
+		pt.NAms = float64(naDur.Microseconds()) / 1000
+	}
+	return pt, nil
+}
+
+// Tables renders the Fig. 11 panels and the stability summary.
+func (r *Fig11Result) Tables() []*Table {
+	render := func(title string, pts []NGroupPoint, pd metrics.PairwiseDistanceStats) *Table {
+		t := &Table{
+			Title:  title,
+			Header: []string{"group", "#objects", "PIN-VO ms", "NA ms", "maxInf", "inf share"},
+		}
+		for _, p := range pts {
+			na := "-"
+			if p.NAms > 0 {
+				na = ms(p.NAms)
+			}
+			t.AddRow(p.Label, fmt.Sprintf("%d", p.Objects), ms(p.VOms), na,
+				fmt.Sprintf("%d", p.MaxInfluence), pct(p.InfShare))
+		}
+		t.AddRow("result spread", fmt.Sprintf("avg %.2f km", pd.Avg),
+			fmt.Sprintf("max %.2f km", pd.Max),
+			fmt.Sprintf("%d identical", pd.IdenticalPairs), "", "")
+		return t
+	}
+	return []*Table{
+		render("Fig 11a: effect of n (natural groups, Gowalla-like)", r.Groups, r.GroupsPD),
+		render("Fig 11b: effect of n (fixed-n instances)", r.Fixed, r.FixedPD),
+	}
+}

@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6) on the synthetic stand-ins for the
+// Foursquare and Gowalla datasets. Each experiment has a Run function
+// returning a typed result plus a Tables() rendering that prints the
+// same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// Default parameter settings of §6.1.
+const (
+	DefaultTau        = 0.7
+	DefaultRho        = 0.9
+	DefaultLambda     = 1.0
+	DefaultD0         = 1.0
+	DefaultCandidates = 600
+)
+
+// Env holds the generated datasets and shared defaults for a suite
+// run. Scale < 1 shrinks the datasets proportionally for fast runs
+// while preserving their distributional shape.
+type Env struct {
+	F     *dataset.Dataset // Foursquare-like (Singapore frame)
+	G     *dataset.Dataset // Gowalla-like (California frame)
+	Scale float64
+	Seed  int64
+}
+
+// NewEnv generates both datasets at the given scale (1.0 reproduces
+// the Table 2 cardinalities).
+func NewEnv(scale float64, seed int64) (*Env, error) {
+	fcfg := dataset.Scaled(dataset.FoursquareLike(), scale)
+	gcfg := dataset.Scaled(dataset.GowallaLike(), scale)
+	fcfg.Seed += seed
+	gcfg.Seed += seed
+	f, err := dataset.Generate(fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating F: %w", err)
+	}
+	g, err := dataset.Generate(gcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating G: %w", err)
+	}
+	return &Env{F: f, G: g, Scale: scale, Seed: seed}, nil
+}
+
+// rng returns a deterministic generator derived from the env seed and
+// a per-experiment salt, so experiments are independent of each other
+// and of execution order.
+func (e *Env) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.Seed*1000003 + salt))
+}
+
+// defaultPF returns the §6.1 default probability function.
+func defaultPF() probfn.Func {
+	return probfn.PowerLaw{Rho: DefaultRho, D0: DefaultD0, Lambda: DefaultLambda}
+}
+
+// problem assembles a PRIME-LS instance from a dataset slice and
+// candidate points.
+func problem(objs []*object.Object, cands []geo.Point, pf probfn.Func, tau float64) *core.Problem {
+	return &core.Problem{Objects: objs, Candidates: cands, PF: pf, Tau: tau}
+}
+
+// timeSolve runs one solver and returns its result and wall time.
+func timeSolve(alg core.Algorithm, p *core.Problem) (*core.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := core.Solve(alg, p)
+	return res, time.Since(start), err
+}

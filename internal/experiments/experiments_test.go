@@ -1,0 +1,444 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pinocchio/internal/core"
+)
+
+// testEnv is shared across tests: generating datasets is the dominant
+// cost, and every experiment samples independently from it.
+var testEnvCache *Env
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if testEnvCache == nil {
+		env, err := NewEnv(0.05, 7)
+		if err != nil {
+			t.Fatalf("NewEnv: %v", err)
+		}
+		testEnvCache = env
+	}
+	return testEnvCache
+}
+
+func TestNewEnvScales(t *testing.T) {
+	env := testEnv(t)
+	if len(env.F.Objects) == 0 || len(env.G.Objects) == 0 {
+		t.Fatal("datasets empty")
+	}
+	if len(env.F.Objects) >= 2321 {
+		t.Errorf("scale 0.05 should shrink F: %d objects", len(env.F.Objects))
+	}
+}
+
+func TestRunPrecisionOrdering(t *testing.T) {
+	env := testEnv(t)
+	cfg := DefaultPrecisionConfig()
+	cfg.Groups = 3
+	cfg.CandidatesPerGroup = 60
+	res, err := RunPrecision(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PrimeLS) != len(cfg.Ks) {
+		t.Fatalf("series length %d", len(res.PrimeLS))
+	}
+	// The paper's headline: PRIME-LS beats BRNN* on average. Check the
+	// mean over K (any single K may tie at tiny scale).
+	meanOf := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	if meanOf(res.PrimeLS) < meanOf(res.BRNN) {
+		t.Errorf("PRIME-LS mean P@K %.3f below BRNN* %.3f",
+			meanOf(res.PrimeLS), meanOf(res.BRNN))
+	}
+	// Precision grows with K on average (both lists capped at K).
+	if res.PrimeLS[len(res.PrimeLS)-1] < res.PrimeLS[0] {
+		t.Logf("note: P@%d=%.3f < P@%d=%.3f (can happen at tiny scale)",
+			cfg.Ks[len(cfg.Ks)-1], res.PrimeLS[len(res.PrimeLS)-1], cfg.Ks[0], res.PrimeLS[0])
+	}
+	// All metrics in [0, 1].
+	for _, series := range [][]float64{res.PrimeLS, res.AvgRange, res.BRNN, res.PrimeLSAP, res.AvgRangeAP, res.BRNNAP} {
+		for _, v := range series {
+			if v < 0 || v > 1 {
+				t.Fatalf("metric %v outside [0,1]", v)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	for _, tb := range res.Tables() {
+		tb.Render(&buf)
+	}
+	if !strings.Contains(buf.String(), "PRIME-LS") {
+		t.Error("rendered tables missing PRIME-LS row")
+	}
+	if _, err := RunPrecision(env, PrecisionConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestRunFig8ShapeAndOrdering(t *testing.T) {
+	env := testEnv(t)
+	cfg := ScalabilityConfig{
+		CandidateCounts: []int{50, 100, 150},
+		Algorithms:      core.Algorithms(),
+		Tau:             DefaultTau,
+	}
+	res, err := RunFig8(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*ScalabilitySeries{res.F, res.G} {
+		if len(s.MsPerAlg[core.AlgNA]) != 3 {
+			t.Fatalf("NA series length %d", len(s.MsPerAlg[core.AlgNA]))
+		}
+		// The paper's headline shape: PIN-VO does strictly less work
+		// than NA at every point. Work counters are deterministic;
+		// wall time on a shared machine is not, so it is only logged.
+		for i := range s.CandidateCounts {
+			if s.ProbesPerAlg[core.AlgPinocchioVO][i] >= s.ProbesPerAlg[core.AlgNA][i] {
+				t.Errorf("%s m=%d: PIN-VO probes %d not fewer than NA %d",
+					s.Dataset, s.CandidateCounts[i],
+					s.ProbesPerAlg[core.AlgPinocchioVO][i], s.ProbesPerAlg[core.AlgNA][i])
+			}
+			t.Logf("%s m=%d: NA %.2fms PIN-VO %.2fms",
+				s.Dataset, s.CandidateCounts[i],
+				s.MsPerAlg[core.AlgNA][i], s.MsPerAlg[core.AlgPinocchioVO][i])
+		}
+	}
+	var buf bytes.Buffer
+	for _, tb := range res.Tables() {
+		tb.Render(&buf)
+	}
+	if !strings.Contains(buf.String(), "PIN-VO") {
+		t.Error("tables missing PIN-VO column")
+	}
+	if _, err := RunFig8(env, ScalabilityConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	env := testEnv(t)
+	total := len(env.G.Objects)
+	cfg := Fig9Config{
+		ObjectCounts: []int{total / 3, 2 * total / 3, total},
+		Candidates:   80,
+		Algorithms:   []core.Algorithm{core.AlgPinocchio, core.AlgPinocchioVO},
+		Tau:          DefaultTau,
+	}
+	res, err := RunFig9(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series.BestInfluence) != 3 {
+		t.Fatalf("points %d", len(res.Series.BestInfluence))
+	}
+	// More objects -> max influence cannot shrink dramatically; it is
+	// not strictly monotone under resampling but the full set should
+	// dominate the smallest subset.
+	if res.Series.BestInfluence[2] < res.Series.BestInfluence[0]/2 {
+		t.Errorf("influence shrank with more objects: %v", res.Series.BestInfluence)
+	}
+	if len(res.Tables()) != 1 {
+		t.Error("fig9 renders one table")
+	}
+	if _, err := RunFig9(env, Fig9Config{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestRunFig10PruningShape(t *testing.T) {
+	env := testEnv(t)
+	cfg := DefaultFig10Config()
+	cfg.Candidates = 100
+	res, err := RunFig10(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range [][]PruningPoint{res.F, res.G} {
+		if len(series) != len(cfg.Taus) {
+			t.Fatalf("series length %d", len(series))
+		}
+		for i, p := range series {
+			if p.IAFrac < 0 || p.NIBFrac < 0 || p.IAFrac+p.NIBFrac+p.Validated > 1.000001 {
+				t.Fatalf("invalid fractions %+v", p)
+			}
+			// Monotone trends of Fig. 10: as τ grows, IA hits shrink
+			// and NIB exclusions grow.
+			if i > 0 {
+				if p.IAFrac > series[i-1].IAFrac+1e-9 {
+					t.Errorf("IA fraction grew with tau: %v -> %v", series[i-1], p)
+				}
+				if p.NIBFrac < series[i-1].NIBFrac-1e-9 {
+					t.Errorf("NIB fraction shrank with tau: %v -> %v", series[i-1], p)
+				}
+			}
+		}
+	}
+	if len(res.Tables()) != 2 {
+		t.Error("fig10 renders two tables")
+	}
+	if _, err := RunFig10(env, Fig10Config{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	env := testEnv(t)
+	cfg := Fig11Config{
+		Candidates: 80,
+		Tau:        DefaultTau,
+		FixedNs:    []int{5, 10, 15},
+		IncludeNA:  true,
+	}
+	res, err := RunFig11(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fixed) != 3 {
+		t.Fatalf("fixed points %d", len(res.Fixed))
+	}
+	// Fig 11 trend: groups with more positions have a higher share of
+	// influenced objects. Compare first and last fixed-n point.
+	first, last := res.Fixed[0], res.Fixed[len(res.Fixed)-1]
+	if last.InfShare < first.InfShare {
+		t.Errorf("influence share should grow with n: n=%d %.3f vs n=%d %.3f",
+			first.Objects, first.InfShare, last.Objects, last.InfShare)
+	}
+	// NA was requested: ratios recorded.
+	for _, p := range res.Fixed {
+		if p.NAms <= 0 {
+			t.Errorf("NA not timed for %s", p.Label)
+		}
+	}
+	if len(res.Tables()) != 2 {
+		t.Error("fig11 renders two tables")
+	}
+	if _, err := RunFig11(env, Fig11Config{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestRunFig12TauTrend(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig12(env, nil, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range [][]SweepPoint{res.F, res.G} {
+		if len(series) != 5 {
+			t.Fatalf("series length %d", len(series))
+		}
+		// Max influence must fall as tau grows (Fig. 12b).
+		for i := 1; i < len(series); i++ {
+			if series[i].MaxInfluence > series[i-1].MaxInfluence {
+				t.Errorf("influence grew with tau: %v -> %v", series[i-1], series[i])
+			}
+		}
+	}
+	if len(res.Tables()) != 2 {
+		t.Error("sweep renders two tables")
+	}
+}
+
+func TestRunFig13LevelCurve(t *testing.T) {
+	env := testEnv(t)
+	cfg := Fig13Config{
+		Candidates:   60,
+		FitNs:        []int{4, 8, 12, 16, 20},
+		ValidateNs:   []int{6, 10, 14},
+		ReferenceN:   8,
+		ReferenceTau: 0.6,
+		Degree:       2,
+	}
+	res, err := RunFig13(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 5 || len(res.Validation) != 3 {
+		t.Fatalf("curve %d validation %d", len(res.Curve), len(res.Validation))
+	}
+	// Level-curve shape: larger n tolerates larger tau for the same
+	// influence, so tuned tau should be non-decreasing in n (allowing
+	// small wiggle from integer influence matching).
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].Tau < res.Curve[i-1].Tau-0.1 {
+			t.Errorf("tuned tau dropped sharply: n=%d tau=%.3f -> n=%d tau=%.3f",
+				res.Curve[i-1].N, res.Curve[i-1].Tau, res.Curve[i].N, res.Curve[i].Tau)
+		}
+	}
+	// Validation error should be small (paper: < 1.2%; allow more at
+	// tiny scale).
+	if res.MeanAbsErr > 0.25 {
+		t.Errorf("validation error %.1f%% too large", res.MeanAbsErr*100)
+	}
+	if res.Fit.Degree() != 2 {
+		t.Errorf("fit degree %d", res.Fit.Degree())
+	}
+	if len(res.Tables()) != 1 {
+		t.Error("fig13 renders one table")
+	}
+	if _, err := RunFig13(env, Fig13Config{Degree: 5, FitNs: []int{1}}); err == nil {
+		t.Error("bad config should error")
+	}
+}
+
+func TestRunFig14LambdaTrend(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig14(env, nil, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range [][]SweepPoint{res.F, res.G} {
+		if len(series) != 3 {
+			t.Fatalf("series length %d", len(series))
+		}
+		// Larger lambda -> faster decay -> smaller influence.
+		for i := 1; i < len(series); i++ {
+			if series[i].MaxInfluence > series[i-1].MaxInfluence {
+				t.Errorf("influence grew with lambda: %+v -> %+v", series[i-1], series[i])
+			}
+		}
+	}
+}
+
+func TestRunFig15RhoTrend(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig15(env, nil, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range [][]SweepPoint{res.F, res.G} {
+		// Larger rho -> stronger influence.
+		for i := 1; i < len(series); i++ {
+			if series[i].MaxInfluence < series[i-1].MaxInfluence {
+				t.Errorf("influence fell with rho: %+v -> %+v", series[i-1], series[i])
+			}
+		}
+	}
+}
+
+func TestRunFig16AllPFsComplete(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig16(env, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.F) != 4 || len(res.G) != 4 {
+		t.Fatalf("PF points: F %d, G %d", len(res.F), len(res.G))
+	}
+	names := map[string]bool{}
+	for _, p := range res.F {
+		names[p.Label] = true
+	}
+	for _, want := range []string{"logsig", "convex", "concave", "linear"} {
+		if !names[want] {
+			t.Errorf("missing PF %q in %v", want, names)
+		}
+	}
+}
+
+func TestRunSuiteSmokeTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke test is slow")
+	}
+	env, err := NewEnv(0.02, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// Full suite minus the NA-heavy panels for speed.
+	cfg := AllExperiments()
+	if err := RunSuite(env, cfg, &buf); err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 3", "Table 4", "Fig 7a", "Fig 7b", "Fig 8a", "Fig 8b",
+		"Fig 9", "Fig 10", "Fig 11a", "Fig 11b", "Fig 12", "Fig 13",
+		"Fig 14", "Fig 15", "Fig 16", "Extension",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("xxx", "y")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "xxx") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestRunDynamicSpeedup(t *testing.T) {
+	env := testEnv(t)
+	cfg := DynamicConfig{
+		Candidates: 60,
+		Objects:    60,
+		Updates:    []int{20, 40},
+		Tau:        DefaultTau,
+	}
+	res, err := RunDynamic(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.IncrementalMs >= p.RecomputeMs {
+			t.Errorf("updates=%d: incremental %.2fms not faster than recompute %.2fms",
+				p.Updates, p.IncrementalMs, p.RecomputeMs)
+		}
+	}
+	if len(res.Tables()) != 1 {
+		t.Error("dynamic renders one table")
+	}
+	if _, err := RunDynamic(env, DynamicConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	res := RunFig7(nil)
+	if len(res.Distances) == 0 {
+		t.Fatal("no distances")
+	}
+	// Each series starts at its rho and decays monotonically.
+	for lambda, series := range res.Lambda {
+		if series[0] != 0.9 {
+			t.Errorf("lambda=%v: PF(0) = %v, want 0.9", lambda, series[0])
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i] > series[i-1] {
+				t.Errorf("lambda=%v: series not decaying at %d", lambda, i)
+			}
+		}
+	}
+	for rho, series := range res.Rho {
+		if series[0] != rho {
+			t.Errorf("rho=%v: PF(0) = %v", rho, series[0])
+		}
+	}
+	if len(res.Tables()) != 2 {
+		t.Error("fig7 renders two tables")
+	}
+	// Custom distances are respected.
+	custom := RunFig7([]float64{0, 1})
+	if len(custom.Distances) != 2 {
+		t.Error("custom distances ignored")
+	}
+}

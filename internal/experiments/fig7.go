@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pinocchio/internal/probfn"
+)
+
+// Fig7Result tabulates the probability functions of Fig. 7: the
+// power-law family at the λ settings (panel a) and ρ settings
+// (panel b) the evaluation sweeps.
+type Fig7Result struct {
+	Distances []float64
+	Lambda    map[float64][]float64 // λ -> PF(d) series at ρ = 0.9
+	Rho       map[float64][]float64 // ρ -> PF(d) series at λ = 1.0
+}
+
+// RunFig7 samples the PF families over distance.
+func RunFig7(distances []float64) *Fig7Result {
+	if len(distances) == 0 {
+		distances = []float64{0, 0.5, 1, 2, 4, 8, 16}
+	}
+	res := &Fig7Result{
+		Distances: distances,
+		Lambda:    map[float64][]float64{},
+		Rho:       map[float64][]float64{},
+	}
+	for _, lambda := range []float64{0.75, 1.0, 1.25} {
+		pf := probfn.PowerLaw{Rho: DefaultRho, D0: DefaultD0, Lambda: lambda}
+		series := make([]float64, len(distances))
+		for i, d := range distances {
+			series[i] = pf.Prob(d)
+		}
+		res.Lambda[lambda] = series
+	}
+	for _, rho := range []float64{0.5, 0.7, 0.9} {
+		pf := probfn.PowerLaw{Rho: rho, D0: DefaultD0, Lambda: DefaultLambda}
+		series := make([]float64, len(distances))
+		for i, d := range distances {
+			series[i] = pf.Prob(d)
+		}
+		res.Rho[rho] = series
+	}
+	return res
+}
+
+// Tables renders both Fig. 7 panels.
+func (r *Fig7Result) Tables() []*Table {
+	header := []string{"d (km)"}
+	for _, d := range r.Distances {
+		header = append(header, fmt.Sprintf("%.1f", d))
+	}
+	a := &Table{Title: "Fig 7a: power-law PF, varying lambda (rho=0.9)", Header: header}
+	for _, lambda := range []float64{0.75, 1.0, 1.25} {
+		row := []string{fmt.Sprintf("lambda=%.2f", lambda)}
+		for _, v := range r.Lambda[lambda] {
+			row = append(row, f3(v))
+		}
+		a.AddRow(row...)
+	}
+	b := &Table{Title: "Fig 7b: power-law PF, varying rho (lambda=1.0)", Header: header}
+	for _, rho := range []float64{0.5, 0.7, 0.9} {
+		row := []string{fmt.Sprintf("rho=%.2f", rho)}
+		for _, v := range r.Rho[rho] {
+			row = append(row, f3(v))
+		}
+		b.AddRow(row...)
+	}
+	return []*Table{a, b}
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/mathx"
+	"pinocchio/internal/metrics"
+	"pinocchio/internal/object"
+)
+
+// Fig13Config parameterizes the ⟨n, τ⟩ level-curve experiment.
+type Fig13Config struct {
+	Candidates int
+	// FitNs are the instance sizes whose tuned τ feed the polynomial
+	// fit (the paper uses 10,20,30,40,50); ValidateNs are held out
+	// (15,25,35,45).
+	FitNs        []int
+	ValidateNs   []int
+	ReferenceN   int
+	ReferenceTau float64
+	// Degree of the fitted polynomial τ(n).
+	Degree int
+}
+
+// DefaultFig13Config mirrors Fig. 13.
+func DefaultFig13Config() Fig13Config {
+	return Fig13Config{
+		Candidates:   DefaultCandidates,
+		FitNs:        []int{10, 20, 30, 40, 50},
+		ValidateNs:   []int{15, 25, 35, 45},
+		ReferenceN:   20,
+		ReferenceTau: DefaultTau,
+		Degree:       2,
+	}
+}
+
+// LevelPoint is one tuned ⟨n, τ⟩ pair on the equal-influence curve.
+type LevelPoint struct {
+	N            int
+	Tau          float64
+	MaxInfluence int
+	Best         geo.Point
+}
+
+// Fig13Result holds the tuned curve, the fitted polynomial and the
+// held-out validation error.
+type Fig13Result struct {
+	ReferenceInfluence int
+	Curve              []LevelPoint // tuned points at FitNs
+	Fit                mathx.Poly   // τ as a polynomial in n
+	Validation         []LevelPoint // predicted τ at ValidateNs
+	// MeanAbsErr is the mean relative error of maximum influence at
+	// the validation points versus the reference (the paper reports
+	// < 1.2 %).
+	MeanAbsErr float64
+	// ResultSpread summarizes how close the tuned optimal locations
+	// are to each other (the paper: avg 0.16 km, several identical).
+	ResultSpread metrics.PairwiseDistanceStats
+}
+
+// RunFig13 explores the relationship between n and τ: for each
+// instance size it tunes τ until the maximum influence matches the
+// reference setting, fits τ(n) by least squares, and validates the fit
+// on held-out sizes.
+func RunFig13(env *Env, cfg Fig13Config) (*Fig13Result, error) {
+	if len(cfg.FitNs) <= cfg.Degree {
+		return nil, fmt.Errorf("experiments: need more fit points than degree")
+	}
+	ds := env.G
+	rng := env.rng(131)
+	m := cfg.Candidates
+	if m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	pf := defaultPF()
+
+	maxN := cfg.ReferenceN
+	for _, n := range append(append([]int{}, cfg.FitNs...), cfg.ValidateNs...) {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	rich := dataset.FilterMinN(ds.Objects, maxN)
+	if len(rich) < 10 {
+		return nil, fmt.Errorf("experiments: only %d objects with ≥ %d positions", len(rich), maxN)
+	}
+
+	// Per-size instance sets are resampled once and reused.
+	instances := map[int][]*object.Object{}
+	solve := func(n int, tau float64) (int, geo.Point, error) {
+		inst, ok := instances[n]
+		if !ok {
+			inst = dataset.ResampleN(rich, n, env.rng(1310+int64(n)))
+			instances[n] = inst
+		}
+		p := problem(inst, cs.Points, pf, tau)
+		res, err := core.PinocchioVO(p)
+		if err != nil {
+			return 0, geo.Point{}, err
+		}
+		return res.BestInfluence, cs.Points[res.BestIndex], nil
+	}
+
+	refInf, _, err := solve(cfg.ReferenceN, cfg.ReferenceTau)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{ReferenceInfluence: refInf}
+
+	// tune finds τ whose max influence is closest to refInf by
+	// bisection: influence is non-increasing in τ.
+	tune := func(n int) (LevelPoint, error) {
+		lo, hi := 0.001, 0.999
+		best := LevelPoint{N: n, Tau: cfg.ReferenceTau}
+		bestGap := math.MaxInt32
+		for iter := 0; iter < 20; iter++ {
+			mid := (lo + hi) / 2
+			inf, bestPt, err := solve(n, mid)
+			if err != nil {
+				return best, err
+			}
+			gap := inf - refInf
+			ag := gap
+			if ag < 0 {
+				ag = -ag
+			}
+			if ag < bestGap {
+				bestGap = ag
+				best = LevelPoint{N: n, Tau: mid, MaxInfluence: inf, Best: bestPt}
+			}
+			switch {
+			case gap == 0:
+				return best, nil
+			case gap > 0: // too many influenced: raise τ
+				lo = mid
+			default:
+				hi = mid
+			}
+		}
+		return best, nil
+	}
+
+	var bests []geo.Point
+	xs := make([]float64, 0, len(cfg.FitNs))
+	ys := make([]float64, 0, len(cfg.FitNs))
+	for _, n := range cfg.FitNs {
+		var pt LevelPoint
+		if n == cfg.ReferenceN {
+			inf, bp, err := solve(n, cfg.ReferenceTau)
+			if err != nil {
+				return nil, err
+			}
+			pt = LevelPoint{N: n, Tau: cfg.ReferenceTau, MaxInfluence: inf, Best: bp}
+		} else {
+			var err error
+			pt, err = tune(n)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.Curve = append(res.Curve, pt)
+		bests = append(bests, pt.Best)
+		xs = append(xs, float64(pt.N))
+		ys = append(ys, pt.Tau)
+	}
+	res.ResultSpread = metrics.PairwiseDistances(bests)
+
+	fit, err := mathx.PolyFit(xs, ys, cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = fit
+
+	// Validate: predicted τ at held-out n should land near the
+	// reference influence.
+	sumErr := 0.0
+	for _, n := range cfg.ValidateNs {
+		tau := clampTau(fit.Eval(float64(n)))
+		inf, bp, err := solve(n, tau)
+		if err != nil {
+			return nil, err
+		}
+		res.Validation = append(res.Validation, LevelPoint{N: n, Tau: tau, MaxInfluence: inf, Best: bp})
+		sumErr += math.Abs(float64(inf-refInf)) / float64(refInf)
+	}
+	if len(cfg.ValidateNs) > 0 {
+		res.MeanAbsErr = sumErr / float64(len(cfg.ValidateNs))
+	}
+	return res, nil
+}
+
+func clampTau(t float64) float64 {
+	if t < 0.001 {
+		return 0.001
+	}
+	if t > 0.999 {
+		return 0.999
+	}
+	return t
+}
+
+// Tables renders the Fig. 13 level curve and validation.
+func (r *Fig13Result) Tables() []*Table {
+	t := &Table{
+		Title:  "Fig 13: <n, tau> level curve (equal max influence)",
+		Header: []string{"n", "tau", "maxInf", "role"},
+	}
+	for _, p := range r.Curve {
+		t.AddRow(fmt.Sprintf("%d", p.N), f3(p.Tau), fmt.Sprintf("%d", p.MaxInfluence), "tuned (fit)")
+	}
+	for _, p := range r.Validation {
+		t.AddRow(fmt.Sprintf("%d", p.N), f3(p.Tau), fmt.Sprintf("%d", p.MaxInfluence), "polyfit (validated)")
+	}
+	t.AddRow("fit", r.Fit.String(), "", "")
+	t.AddRow("reference inf", fmt.Sprintf("%d", r.ReferenceInfluence),
+		fmt.Sprintf("mean |err| %.2f%%", r.MeanAbsErr*100), "")
+	t.AddRow("result spread", fmt.Sprintf("avg %.2f km", r.ResultSpread.Avg),
+		fmt.Sprintf("%d identical", r.ResultSpread.IdenticalPairs), "")
+	return []*Table{t}
+}

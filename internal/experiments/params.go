@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/probfn"
+)
+
+// SweepPoint is one measurement of a parameter sweep: PIN-VO runtime
+// and the resulting maximum influence.
+type SweepPoint struct {
+	Param        float64
+	Label        string
+	VOms         float64
+	MaxInfluence int
+}
+
+// SweepResult holds one sweep per dataset.
+type SweepResult struct {
+	Name string
+	F, G []SweepPoint
+}
+
+// sweepSetting is one point of a parameter sweep: the PF/τ pair it
+// runs under and how the point is labelled.
+type sweepSetting struct {
+	param float64
+	label string
+	pf    probfn.Func
+	tau   float64
+}
+
+// sweep runs PIN-VO on both datasets for each provided PF/τ setting.
+func sweep(env *Env, name string, candidates int, settings []sweepSetting) (*SweepResult, error) {
+	res := &SweepResult{Name: name}
+	for i, ds := range []*dataset.Dataset{env.F, env.G} {
+		rng := env.rng(121 + int64(i))
+		m := candidates
+		if m > len(ds.Venues) {
+			m = len(ds.Venues)
+		}
+		cs, err := dataset.SampleCandidates(ds, m, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range settings {
+			p := problem(ds.Objects, cs.Points, s.pf, s.tau)
+			r, dur, err := timeSolve(core.AlgPinocchioVO, p)
+			if err != nil {
+				return nil, err
+			}
+			pt := SweepPoint{
+				Param:        s.param,
+				Label:        s.label,
+				VOms:         float64(dur.Microseconds()) / 1000,
+				MaxInfluence: r.BestInfluence,
+			}
+			if i == 0 {
+				res.F = append(res.F, pt)
+			} else {
+				res.G = append(res.G, pt)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunFig12 sweeps the probability threshold τ (Fig. 12).
+func RunFig12(env *Env, taus []float64, candidates int) (*SweepResult, error) {
+	if len(taus) == 0 {
+		taus = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	var settings []sweepSetting
+	for _, tau := range taus {
+		settings = append(settings, sweepSetting{param: tau, label: f2(tau), pf: defaultPF(), tau: tau})
+	}
+	return sweep(env, "Fig 12: effect of tau", candidates, settings)
+}
+
+// RunFig14 sweeps the power-law decay factor λ (Fig. 14).
+func RunFig14(env *Env, lambdas []float64, candidates int) (*SweepResult, error) {
+	if len(lambdas) == 0 {
+		lambdas = []float64{0.75, 1.0, 1.25}
+	}
+	var settings []sweepSetting
+	for _, l := range lambdas {
+		pf := probfn.PowerLaw{Rho: DefaultRho, D0: DefaultD0, Lambda: l}
+		settings = append(settings, sweepSetting{param: l, label: f2(l), pf: pf, tau: DefaultTau})
+	}
+	return sweep(env, "Fig 14: effect of lambda", candidates, settings)
+}
+
+// RunFig15 sweeps the behavior factor ρ (Fig. 15).
+func RunFig15(env *Env, rhos []float64, candidates int) (*SweepResult, error) {
+	if len(rhos) == 0 {
+		rhos = []float64{0.5, 0.7, 0.9}
+	}
+	var settings []sweepSetting
+	for _, rho := range rhos {
+		pf := probfn.PowerLaw{Rho: rho, D0: DefaultD0, Lambda: DefaultLambda}
+		settings = append(settings, sweepSetting{param: rho, label: f2(rho), pf: pf, tau: DefaultTau})
+	}
+	return sweep(env, "Fig 15: effect of rho", candidates, settings)
+}
+
+// Fig16PFs returns the four alternative probability functions of
+// Fig. 16, normalized to comparable scales as the paper describes
+// (Logsig with ρ=0.5; the others share its value range and a support
+// of a few kilometres).
+func Fig16PFs() []probfn.Func {
+	return []probfn.Func{
+		probfn.Logsig{Rho: 0.5, Scale: 1, Shift: 0},
+		probfn.Convex{Rho: 0.5, Scale: 1},
+		probfn.Concave{Rho: 0.5, Range: 6},
+		probfn.Linear{Rho: 0.5, Range: 6},
+	}
+}
+
+// RunFig16 compares the framework under the four alternative PFs
+// (Fig. 16b). τ drops to 0.3 because these PFs cap at ρ=0.5, making
+// the default 0.7 unreachable for single positions.
+func RunFig16(env *Env, candidates int) (*SweepResult, error) {
+	var settings []sweepSetting
+	for i, pf := range Fig16PFs() {
+		settings = append(settings, sweepSetting{param: float64(i), label: pf.Name(), pf: pf, tau: 0.3})
+	}
+	return sweep(env, "Fig 16: different probability functions", candidates, settings)
+}
+
+// Tables renders a sweep result as two panels.
+func (r *SweepResult) Tables() []*Table {
+	render := func(name string, pts []SweepPoint) *Table {
+		t := &Table{
+			Title:  fmt.Sprintf("%s — %s", r.Name, name),
+			Header: []string{"param", "PIN-VO ms", "maxInf"},
+		}
+		for _, p := range pts {
+			t.AddRow(p.Label, ms(p.VOms), fmt.Sprintf("%d", p.MaxInfluence))
+		}
+		return t
+	}
+	return []*Table{render("Foursquare-like", r.F), render("Gowalla-like", r.G)}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pinocchio/internal/baseline"
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/metrics"
+	"pinocchio/internal/rtree"
+)
+
+// PrecisionConfig parameterizes the Tables 3/4 experiment.
+type PrecisionConfig struct {
+	// Groups is the number of independently sampled candidate groups
+	// averaged over (the paper uses 50).
+	Groups int
+	// CandidatesPerGroup is the per-group pool size (the paper uses
+	// 200).
+	CandidatesPerGroup int
+	// Ks are the cut-offs evaluated (the paper uses 10..50).
+	Ks []int
+	// Tau is the PRIME-LS threshold.
+	Tau float64
+}
+
+// DefaultPrecisionConfig mirrors §6.2, with a smaller group count kept
+// proportional at reduced scales.
+func DefaultPrecisionConfig() PrecisionConfig {
+	return PrecisionConfig{
+		Groups:             10,
+		CandidatesPerGroup: 200,
+		Ks:                 []int{10, 20, 30, 40, 50},
+		Tau:                DefaultTau,
+	}
+}
+
+// PrecisionResult is the measured content of Tables 3 and 4: for each
+// K, the mean P@K and AP@K of the three semantics.
+type PrecisionResult struct {
+	Ks         []int
+	PrimeLS    []float64 // P@K
+	AvgRange   []float64
+	BRNN       []float64
+	PrimeLSAP  []float64 // AP@K
+	AvgRangeAP []float64
+	BRNNAP     []float64
+}
+
+// RunPrecision evaluates PRIME-LS against the BRNN* and RANGE
+// baselines on the Foursquare-like dataset, scoring against the
+// check-in ground truth (Tables 3 and 4).
+func RunPrecision(env *Env, cfg PrecisionConfig) (*PrecisionResult, error) {
+	if cfg.Groups <= 0 || cfg.CandidatesPerGroup <= 0 || len(cfg.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: bad precision config %+v", cfg)
+	}
+	ds := env.F
+	if cfg.CandidatesPerGroup > len(ds.Venues) {
+		cfg.CandidatesPerGroup = len(ds.Venues)
+	}
+	rng := env.rng(34)
+	pf := defaultPF()
+	grid := baseline.DefaultRangeGrid(ds.Extent.Width())
+
+	res := &PrecisionResult{
+		Ks:         cfg.Ks,
+		PrimeLS:    make([]float64, len(cfg.Ks)),
+		AvgRange:   make([]float64, len(cfg.Ks)),
+		BRNN:       make([]float64, len(cfg.Ks)),
+		PrimeLSAP:  make([]float64, len(cfg.Ks)),
+		AvgRangeAP: make([]float64, len(cfg.Ks)),
+		BRNNAP:     make([]float64, len(cfg.Ks)),
+	}
+
+	for g := 0; g < cfg.Groups; g++ {
+		cs, err := dataset.SampleCandidates(ds, cfg.CandidatesPerGroup, rng)
+		if err != nil {
+			return nil, err
+		}
+
+		p := problem(ds.Objects, cs.Points, pf, cfg.Tau)
+		primeRanking, err := core.RankAll(p)
+		if err != nil {
+			return nil, err
+		}
+		primeIdx := make([]int, len(primeRanking))
+		for i, r := range primeRanking {
+			primeIdx[i] = r.Index
+		}
+
+		brnnIdx, err := baseline.BRNNTopK(ds.Objects, cs.Points, rtree.DefaultMaxEntries, len(cs.Points))
+		if err != nil {
+			return nil, err
+		}
+		rangeRankings, err := baseline.RangeTopKAveraged(ds.Objects, cs.Points, grid, rtree.DefaultMaxEntries)
+		if err != nil {
+			return nil, err
+		}
+
+		for ki, k := range cfg.Ks {
+			relevant := cs.RelevantTopK(k)
+			res.PrimeLS[ki] += metrics.PrecisionAtK(primeIdx, relevant, k)
+			res.BRNN[ki] += metrics.PrecisionAtK(brnnIdx, relevant, k)
+			res.AvgRange[ki] += metrics.MeanOverRankings(metrics.PrecisionAtK, rangeRankings, relevant, k)
+			res.PrimeLSAP[ki] += metrics.AveragePrecisionAtK(primeIdx, relevant, k)
+			res.BRNNAP[ki] += metrics.AveragePrecisionAtK(brnnIdx, relevant, k)
+			res.AvgRangeAP[ki] += metrics.MeanOverRankings(metrics.AveragePrecisionAtK, rangeRankings, relevant, k)
+		}
+	}
+	for ki := range cfg.Ks {
+		n := float64(cfg.Groups)
+		res.PrimeLS[ki] /= n
+		res.AvgRange[ki] /= n
+		res.BRNN[ki] /= n
+		res.PrimeLSAP[ki] /= n
+		res.AvgRangeAP[ki] /= n
+		res.BRNNAP[ki] /= n
+	}
+	return res, nil
+}
+
+// Tables renders the result as the paper's Table 3 (Precision) and
+// Table 4 (Average Precision).
+func (r *PrecisionResult) Tables() []*Table {
+	header := []string{"Semantics"}
+	for _, k := range r.Ks {
+		header = append(header, fmt.Sprintf("@%d", k))
+	}
+	t3 := &Table{Title: "Table 3: Precision comparison (Foursquare-like)", Header: header}
+	t4 := &Table{Title: "Table 4: Average Precision comparison (Foursquare-like)", Header: header}
+	addRow := func(t *Table, name string, vals []float64) {
+		row := []string{name}
+		for _, v := range vals {
+			row = append(row, f3(v))
+		}
+		t.AddRow(row...)
+	}
+	addRow(t3, "PRIME-LS", r.PrimeLS)
+	addRow(t3, "Avg. RANGE", r.AvgRange)
+	addRow(t3, "BRNN*", r.BRNN)
+	addRow(t4, "PRIME-LS", r.PrimeLSAP)
+	addRow(t4, "Avg. RANGE", r.AvgRangeAP)
+	addRow(t4, "BRNN*", r.BRNNAP)
+	return []*Table{t3, t4}
+}

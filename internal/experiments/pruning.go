@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+)
+
+// Fig10Config parameterizes the pruning-effect sweep.
+type Fig10Config struct {
+	Taus       []float64
+	Candidates int
+}
+
+// DefaultFig10Config mirrors Fig. 10: τ ∈ {0.1, 0.3, 0.5, 0.7, 0.9}
+// with the default 600 candidates.
+func DefaultFig10Config() Fig10Config {
+	return Fig10Config{
+		Taus:       []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		Candidates: DefaultCandidates,
+	}
+}
+
+// PruningPoint is the Fig. 10 measurement at one τ: the share of
+// object/candidate pairs resolved by each rule.
+type PruningPoint struct {
+	Tau        float64
+	IAFrac     float64 // pruned by influence arcs
+	NIBFrac    float64 // pruned by non-influence boundary
+	Validated  float64 // remnant pairs that needed validation
+	TotalPairs int64
+}
+
+// Fig10Result holds the per-dataset pruning series.
+type Fig10Result struct {
+	F, G []PruningPoint
+}
+
+// RunFig10 measures the pruning effect of the two rules across τ on
+// both datasets (the paper reports ≈2/3 of candidates pruned on
+// average).
+func RunFig10(env *Env, cfg Fig10Config) (*Fig10Result, error) {
+	if len(cfg.Taus) == 0 || cfg.Candidates <= 0 {
+		return nil, fmt.Errorf("experiments: empty fig10 config")
+	}
+	f, err := pruningSeries(env, env.F, cfg, 101)
+	if err != nil {
+		return nil, err
+	}
+	g, err := pruningSeries(env, env.G, cfg, 102)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{F: f, G: g}, nil
+}
+
+func pruningSeries(env *Env, ds *dataset.Dataset, cfg Fig10Config, salt int64) ([]PruningPoint, error) {
+	rng := env.rng(salt)
+	m := cfg.Candidates
+	if m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	pf := defaultPF()
+	var out []PruningPoint
+	for _, tau := range cfg.Taus {
+		p := problem(ds.Objects, cs.Points, pf, tau)
+		res, err := core.Pinocchio(p)
+		if err != nil {
+			return nil, err
+		}
+		st := res.Stats
+		total := float64(st.PairsTotal)
+		out = append(out, PruningPoint{
+			Tau:        tau,
+			IAFrac:     float64(st.PrunedByIA) / total,
+			NIBFrac:    float64(st.PrunedByNIB) / total,
+			Validated:  float64(st.Validated) / total,
+			TotalPairs: st.PairsTotal,
+		})
+	}
+	return out, nil
+}
+
+// Tables renders both Fig. 10 panels.
+func (r *Fig10Result) Tables() []*Table {
+	render := func(name string, pts []PruningPoint) *Table {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 10: pruning effect — %s", name),
+			Header: []string{"tau", "pruned by IA", "pruned by NIB", "validated", "total pruned"},
+		}
+		for _, p := range pts {
+			t.AddRow(f2(p.Tau), pct(p.IAFrac), pct(p.NIBFrac), pct(p.Validated), pct(p.IAFrac+p.NIBFrac))
+		}
+		return t
+	}
+	return []*Table{render("Foursquare-like", r.F), render("Gowalla-like", r.G)}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+)
+
+// ScalabilityConfig parameterizes the Fig. 8 candidate sweep.
+type ScalabilityConfig struct {
+	// CandidateCounts are the m values swept (the paper uses
+	// 200..1000 in steps of 200).
+	CandidateCounts []int
+	// Algorithms to time; NA dominates the runtime, drop it for quick
+	// runs.
+	Algorithms []core.Algorithm
+	Tau        float64
+}
+
+// DefaultScalabilityConfig mirrors Fig. 8.
+func DefaultScalabilityConfig() ScalabilityConfig {
+	return ScalabilityConfig{
+		CandidateCounts: []int{200, 400, 600, 800, 1000},
+		Algorithms:      core.Algorithms(),
+		Tau:             DefaultTau,
+	}
+}
+
+// ScalabilitySeries is the timing series of one dataset: MsPerAlg maps
+// the algorithm to per-candidate-count wall milliseconds.
+type ScalabilitySeries struct {
+	Dataset         string
+	CandidateCounts []int
+	MsPerAlg        map[core.Algorithm][]float64
+	// ProbesPerAlg records the deterministic work counter (PF
+	// evaluations) per algorithm and sweep point — the noise-free
+	// counterpart of the wall-clock series.
+	ProbesPerAlg map[core.Algorithm][]int64
+	// BestInfluence per count (identical across algorithms, recorded
+	// from the last one run as a consistency check).
+	BestInfluence []int
+}
+
+// Fig8Result holds the Fig. 8 series for both datasets.
+type Fig8Result struct {
+	F, G *ScalabilitySeries
+}
+
+// RunFig8 measures running time versus candidate count for each
+// algorithm on both datasets.
+func RunFig8(env *Env, cfg ScalabilityConfig) (*Fig8Result, error) {
+	f, err := scaleOverCandidates(env, env.F, cfg, 81)
+	if err != nil {
+		return nil, err
+	}
+	g, err := scaleOverCandidates(env, env.G, cfg, 82)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{F: f, G: g}, nil
+}
+
+func scaleOverCandidates(env *Env, ds *dataset.Dataset, cfg ScalabilityConfig, salt int64) (*ScalabilitySeries, error) {
+	if len(cfg.CandidateCounts) == 0 || len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiments: empty scalability config")
+	}
+	rng := env.rng(salt)
+	s := &ScalabilitySeries{
+		Dataset:         ds.Name,
+		CandidateCounts: cfg.CandidateCounts,
+		MsPerAlg:        make(map[core.Algorithm][]float64),
+		ProbesPerAlg:    make(map[core.Algorithm][]int64),
+	}
+	pf := defaultPF()
+	for _, m := range cfg.CandidateCounts {
+		mm := m
+		if mm > len(ds.Venues) {
+			mm = len(ds.Venues)
+		}
+		cs, err := dataset.SampleCandidates(ds, mm, rng)
+		if err != nil {
+			return nil, err
+		}
+		p := problem(ds.Objects, cs.Points, pf, cfg.Tau)
+		best := -1
+		for _, alg := range cfg.Algorithms {
+			res, dur, err := timeSolve(alg, p)
+			if err != nil {
+				return nil, err
+			}
+			s.MsPerAlg[alg] = append(s.MsPerAlg[alg], float64(dur.Microseconds())/1000)
+			s.ProbesPerAlg[alg] = append(s.ProbesPerAlg[alg], res.Stats.PositionProbes)
+			if best >= 0 && res.BestInfluence != best {
+				return nil, fmt.Errorf("experiments: %v best influence %d != %d on %s m=%d",
+					alg, res.BestInfluence, best, ds.Name, m)
+			}
+			best = res.BestInfluence
+		}
+		s.BestInfluence = append(s.BestInfluence, best)
+	}
+	return s, nil
+}
+
+// Tables renders both Fig. 8 panels.
+func (r *Fig8Result) Tables() []*Table {
+	return []*Table{
+		r.F.table("Fig 8a: runtime vs #candidates (ms)"),
+		r.G.table("Fig 8b: runtime vs #candidates (ms)"),
+	}
+}
+
+func (s *ScalabilitySeries) table(title string) *Table {
+	t := &Table{Title: fmt.Sprintf("%s — %s", title, s.Dataset)}
+	t.Header = []string{"#candidates"}
+	algs := make([]core.Algorithm, 0, len(s.MsPerAlg))
+	for _, a := range core.Algorithms() {
+		if _, ok := s.MsPerAlg[a]; ok {
+			algs = append(algs, a)
+			t.Header = append(t.Header, a.String())
+		}
+	}
+	t.Header = append(t.Header, "maxInf")
+	for i, m := range s.CandidateCounts {
+		row := []string{fmt.Sprintf("%d", m)}
+		for _, a := range algs {
+			row = append(row, ms(s.MsPerAlg[a][i]))
+		}
+		row = append(row, fmt.Sprintf("%d", s.BestInfluence[i]))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig9Config parameterizes the object-count sweep of Fig. 9.
+type Fig9Config struct {
+	// ObjectCounts are the r values swept (the paper uses 2k..10k from
+	// Gowalla).
+	ObjectCounts []int
+	Candidates   int
+	Algorithms   []core.Algorithm
+	Tau          float64
+}
+
+// DefaultFig9Config mirrors Fig. 9, clamped to the generated dataset
+// size at reduced scales.
+func DefaultFig9Config(env *Env) Fig9Config {
+	total := len(env.G.Objects)
+	counts := make([]int, 0, 5)
+	for i := 1; i <= 5; i++ {
+		counts = append(counts, total*i/5)
+	}
+	return Fig9Config{
+		ObjectCounts: counts,
+		Candidates:   DefaultCandidates,
+		Algorithms:   core.Algorithms(),
+		Tau:          DefaultTau,
+	}
+}
+
+// Fig9Result is the object-scalability series on the Gowalla-like
+// dataset.
+type Fig9Result struct {
+	Series *ScalabilitySeries // CandidateCounts reused as object counts
+}
+
+// RunFig9 measures runtime versus object count with a fixed candidate
+// set.
+func RunFig9(env *Env, cfg Fig9Config) (*Fig9Result, error) {
+	if len(cfg.ObjectCounts) == 0 || len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiments: empty fig9 config")
+	}
+	ds := env.G
+	rng := env.rng(91)
+	m := cfg.Candidates
+	if m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	pf := defaultPF()
+	s := &ScalabilitySeries{
+		Dataset:         ds.Name,
+		CandidateCounts: cfg.ObjectCounts,
+		MsPerAlg:        make(map[core.Algorithm][]float64),
+		ProbesPerAlg:    make(map[core.Algorithm][]int64),
+	}
+	for _, r := range cfg.ObjectCounts {
+		rr := r
+		if rr > len(ds.Objects) {
+			rr = len(ds.Objects)
+		}
+		objs, err := dataset.SampleObjects(ds, rr, rng)
+		if err != nil {
+			return nil, err
+		}
+		p := problem(objs, cs.Points, pf, cfg.Tau)
+		best := -1
+		for _, alg := range cfg.Algorithms {
+			res, dur, err := timeSolve(alg, p)
+			if err != nil {
+				return nil, err
+			}
+			s.MsPerAlg[alg] = append(s.MsPerAlg[alg], float64(dur.Microseconds())/1000)
+			s.ProbesPerAlg[alg] = append(s.ProbesPerAlg[alg], res.Stats.PositionProbes)
+			if best >= 0 && res.BestInfluence != best {
+				return nil, fmt.Errorf("experiments: %v disagreement at r=%d", alg, r)
+			}
+			best = res.BestInfluence
+		}
+		s.BestInfluence = append(s.BestInfluence, best)
+	}
+	return &Fig9Result{Series: s}, nil
+}
+
+// Tables renders Fig. 9.
+func (r *Fig9Result) Tables() []*Table {
+	t := r.Series.table("Fig 9: runtime vs #objects (ms)")
+	t.Header[0] = "#objects"
+	return []*Table{t}
+}

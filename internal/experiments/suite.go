@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// SuiteConfig selects which experiments a full run regenerates.
+type SuiteConfig struct {
+	Precision bool
+	Fig7      bool
+	Fig8      bool
+	Fig9      bool
+	Fig10     bool
+	Fig11     bool
+	Fig12     bool
+	Fig13     bool
+	Fig14     bool
+	Fig15     bool
+	Fig16     bool
+	// Dynamic runs the extension experiment (incremental engine vs
+	// per-update recompute) — not a paper artifact.
+	Dynamic bool
+}
+
+// AllExperiments selects everything.
+func AllExperiments() SuiteConfig {
+	return SuiteConfig{
+		Precision: true, Fig7: true, Fig8: true, Fig9: true, Fig10: true, Fig11: true,
+		Fig12: true, Fig13: true, Fig14: true, Fig15: true, Fig16: true,
+		Dynamic: true,
+	}
+}
+
+// RunSuite executes the selected experiments and renders their tables
+// to w, in the order the paper presents them.
+func RunSuite(env *Env, cfg SuiteConfig, w io.Writer) error {
+	emit := func(tables []*Table, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			t.Render(w)
+		}
+		return nil
+	}
+
+	fmt.Fprintf(w, "PINOCCHIO experiment suite — scale %.3f, F: %d objects / %d venues, G: %d / %d\n\n",
+		env.Scale, len(env.F.Objects), len(env.F.Venues), len(env.G.Objects), len(env.G.Venues))
+
+	if cfg.Precision {
+		r, err := RunPrecision(env, DefaultPrecisionConfig())
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("precision: %w", err)
+		}
+	}
+	if cfg.Fig7 {
+		r := RunFig7(nil)
+		for _, t := range r.Tables() {
+			t.Render(w)
+		}
+	}
+	if cfg.Fig8 {
+		r, err := RunFig8(env, DefaultScalabilityConfig())
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig8: %w", err)
+		}
+	}
+	if cfg.Fig9 {
+		r, err := RunFig9(env, DefaultFig9Config(env))
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig9: %w", err)
+		}
+	}
+	if cfg.Fig10 {
+		r, err := RunFig10(env, DefaultFig10Config())
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig10: %w", err)
+		}
+	}
+	if cfg.Fig11 {
+		r, err := RunFig11(env, DefaultFig11Config())
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig11: %w", err)
+		}
+	}
+	if cfg.Fig12 {
+		r, err := RunFig12(env, nil, DefaultCandidates)
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig12: %w", err)
+		}
+	}
+	if cfg.Fig13 {
+		r, err := RunFig13(env, DefaultFig13Config())
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig13: %w", err)
+		}
+	}
+	if cfg.Fig14 {
+		r, err := RunFig14(env, nil, DefaultCandidates)
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig14: %w", err)
+		}
+	}
+	if cfg.Fig15 {
+		r, err := RunFig15(env, nil, DefaultCandidates)
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig15: %w", err)
+		}
+	}
+	if cfg.Fig16 {
+		r, err := RunFig16(env, DefaultCandidates)
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("fig16: %w", err)
+		}
+	}
+	if cfg.Dynamic {
+		r, err := RunDynamic(env, DefaultDynamicConfig(env))
+		if err := emit(tablesOrNil(r, err), err); err != nil {
+			return fmt.Errorf("dynamic: %w", err)
+		}
+	}
+	return nil
+}
+
+// tabler is anything that renders itself as tables.
+type tabler interface{ Tables() []*Table }
+
+func tablesOrNil(r tabler, err error) []*Table {
+	if err != nil {
+		return nil
+	}
+	return r.Tables()
+}

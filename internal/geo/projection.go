@@ -1,0 +1,63 @@
+package geo
+
+import "math"
+
+// EarthRadiusKm is the mean Earth radius used by the geographic
+// helpers, in kilometres.
+const EarthRadiusKm = 6371.0088
+
+// LatLon is a geographic coordinate in degrees, the raw form in which
+// check-in datasets record positions.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Haversine returns the great-circle distance between a and b in
+// kilometres.
+func Haversine(a, b LatLon) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(la1)*math.Cos(la2)*s2*s2
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Projection maps geographic coordinates into a local planar frame in
+// kilometres via the equirectangular projection about a reference
+// point. At city scale (the 39×27 km extent of the paper's datasets)
+// the planar distance agrees with the spherical distance to well under
+// 0.1 %, so the Cartesian pruning geometry of §4.2 remains exact for
+// practical purposes while distances keep their geographic meaning.
+type Projection struct {
+	origin LatLon
+	cosLat float64
+}
+
+// NewProjection returns a Projection centered at origin.
+func NewProjection(origin LatLon) *Projection {
+	return &Projection{origin: origin, cosLat: math.Cos(origin.Lat * math.Pi / 180)}
+}
+
+// Origin returns the reference point of the projection.
+func (pr *Projection) Origin() LatLon { return pr.origin }
+
+// ToPlane projects a geographic coordinate into the planar frame.
+func (pr *Projection) ToPlane(ll LatLon) Point {
+	kmPerDeg := EarthRadiusKm * math.Pi / 180
+	return Point{
+		X: (ll.Lon - pr.origin.Lon) * kmPerDeg * pr.cosLat,
+		Y: (ll.Lat - pr.origin.Lat) * kmPerDeg,
+	}
+}
+
+// ToLatLon inverts ToPlane.
+func (pr *Projection) ToLatLon(p Point) LatLon {
+	kmPerDeg := EarthRadiusKm * math.Pi / 180
+	return LatLon{
+		Lat: pr.origin.Lat + p.Y/kmPerDeg,
+		Lon: pr.origin.Lon + p.X/(kmPerDeg*pr.cosLat),
+	}
+}

@@ -1,0 +1,88 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b LatLon
+		want float64 // km
+		tol  float64
+	}{
+		{"same point", LatLon{1.3, 103.8}, LatLon{1.3, 103.8}, 0, 1e-9},
+		{"one degree latitude", LatLon{0, 0}, LatLon{1, 0}, 111.195, 0.01},
+		{"one degree longitude at equator", LatLon{0, 0}, LatLon{0, 1}, 111.195, 0.01},
+		{"singapore to KL", LatLon{1.3521, 103.8198}, LatLon{3.1390, 101.6869}, 309.3, 1},
+		{"antipodal-ish", LatLon{0, 0}, LatLon{0, 180}, math.Pi * EarthRadiusKm, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Haversine(tt.a, tt.b); math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Haversine = %v, want %v ± %v", got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := LatLon{rng.Float64()*180 - 90, rng.Float64()*360 - 180}
+		b := LatLon{rng.Float64()*180 - 90, rng.Float64()*360 - 180}
+		if d1, d2 := Haversine(a, b), Haversine(b, a); !almostEq(d1, d2, 1e-9) {
+			t.Fatalf("Haversine not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(LatLon{1.3521, 103.8198}) // Singapore
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		ll := LatLon{
+			Lat: 1.3521 + (rng.Float64()-0.5)*0.3,
+			Lon: 103.8198 + (rng.Float64()-0.5)*0.4,
+		}
+		back := pr.ToLatLon(pr.ToPlane(ll))
+		if !almostEq(back.Lat, ll.Lat, 1e-9) || !almostEq(back.Lon, ll.Lon, 1e-9) {
+			t.Fatalf("round trip drifted: %v -> %v", ll, back)
+		}
+	}
+}
+
+// TestProjectionDistanceAgreesWithHaversine checks that planar
+// distances in the projected frame match great-circle distances to a
+// small relative error at city scale — the property that lets the
+// framework use exact planar pruning geometry on geographic data.
+func TestProjectionDistanceAgreesWithHaversine(t *testing.T) {
+	origin := LatLon{1.3521, 103.8198}
+	pr := NewProjection(origin)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		a := LatLon{origin.Lat + (rng.Float64()-0.5)*0.25, origin.Lon + (rng.Float64()-0.5)*0.36}
+		b := LatLon{origin.Lat + (rng.Float64()-0.5)*0.25, origin.Lon + (rng.Float64()-0.5)*0.36}
+		hv := Haversine(a, b)
+		pl := pr.ToPlane(a).Dist(pr.ToPlane(b))
+		if hv < 0.5 {
+			continue // relative error unstable for near-zero distances
+		}
+		if rel := math.Abs(hv-pl) / hv; rel > 1e-3 {
+			t.Fatalf("planar %v vs haversine %v: rel err %v", pl, hv, rel)
+		}
+	}
+}
+
+func TestProjectionOrigin(t *testing.T) {
+	origin := LatLon{37.0, -122.0}
+	pr := NewProjection(origin)
+	if pr.Origin() != origin {
+		t.Errorf("Origin = %v", pr.Origin())
+	}
+	if p := pr.ToPlane(origin); !almostEq(p.X, 0, 1e-12) || !almostEq(p.Y, 0, 1e-12) {
+		t.Errorf("origin should project to (0,0), got %v", p)
+	}
+}

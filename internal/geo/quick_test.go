@@ -1,0 +1,31 @@
+package geo
+
+import (
+	"math/rand"
+	"reflect"
+)
+
+// smallCoord returns a bounded random coordinate so property tests
+// exercise realistic city-scale geometry rather than float overflow.
+func smallCoord(rng *rand.Rand) float64 {
+	return (rng.Float64() - 0.5) * 200 // [-100, 100) km
+}
+
+func smallPointPairs(vals []reflect.Value, rng *rand.Rand) {
+	for i := range vals {
+		vals[i] = reflect.ValueOf(smallCoord(rng))
+	}
+}
+
+func smallPointTriples(vals []reflect.Value, rng *rand.Rand) {
+	for i := range vals {
+		vals[i] = reflect.ValueOf(smallCoord(rng))
+	}
+}
+
+// randRect returns a random non-empty rectangle within the test frame.
+func randRect(rng *rand.Rand) Rect {
+	a := Point{smallCoord(rng), smallCoord(rng)}
+	b := Point{smallCoord(rng), smallCoord(rng)}
+	return RectFromPoints([]Point{a, b})
+}

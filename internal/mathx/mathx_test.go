@@ -1,0 +1,186 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPolyEval(t *testing.T) {
+	p := Poly{Coeffs: []float64{1, -2, 3}} // 1 − 2x + 3x²
+	tests := []struct{ x, want float64 }{
+		{0, 1}, {1, 2}, {2, 9}, {-1, 6},
+	}
+	for _, tt := range tests {
+		if got := p.Eval(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if p.Degree() != 2 {
+		t.Errorf("Degree = %d", p.Degree())
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestPolyFitRecoversExactPolynomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 50; trial++ {
+		deg := rng.Intn(4)
+		true_ := make([]float64, deg+1)
+		for i := range true_ {
+			true_[i] = rng.NormFloat64() * 3
+		}
+		tp := Poly{Coeffs: true_}
+		n := deg + 1 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i) + rng.Float64() // distinct, increasing
+			y[i] = tp.Eval(x[i])
+		}
+		got, err := PolyFit(x, y, deg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range true_ {
+			if math.Abs(got.Coeffs[i]-true_[i]) > 1e-6*math.Max(1, math.Abs(true_[i])) {
+				t.Fatalf("trial %d deg %d: coeff %d = %v, want %v",
+					trial, deg, i, got.Coeffs[i], true_[i])
+			}
+		}
+	}
+}
+
+func TestPolyFitLeastSquaresOnNoisyLine(t *testing.T) {
+	// y = 2 + 0.5x plus symmetric noise: the fit should land close.
+	rng := rand.New(rand.NewSource(113))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / 10
+		y[i] = 2 + 0.5*x[i] + rng.NormFloat64()*0.1
+	}
+	p, err := PolyFit(x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Coeffs[0]-2) > 0.05 || math.Abs(p.Coeffs[1]-0.5) > 0.01 {
+		t.Errorf("fit %v, want ≈ [2, 0.5]", p.Coeffs)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("mismatched lengths: %v", err)
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); !errors.Is(err, ErrBadInput) {
+		t.Errorf("degree ≥ n: %v", err)
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative degree: %v", err)
+	}
+	// All x identical: Vandermonde is singular for degree ≥ 1.
+	if _, err := PolyFit([]float64{3, 3, 3}, []float64{1, 2, 3}, 1); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular system: %v", err)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	A := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero pivot at (0,0) requires a row swap.
+	A := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 5}
+	x, err := SolveLinear(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-5) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [5 3]", x)
+	}
+}
+
+func TestSolveLinearErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("non-square: %v", err)
+	}
+	if _, err := SolveLinear([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular: %v", err)
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("rhs mismatch: %v", err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev(nil) != 0 || Stddev([]float64{5}) != 0 {
+		t.Error("degenerate stddev should be 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	// Input not modified.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMaxAbsResidual(t *testing.T) {
+	p := Poly{Coeffs: []float64{0, 1}} // y = x
+	x := []float64{0, 1, 2}
+	y := []float64{0, 1.5, 2}
+	if got := MaxAbsResidual(p, x, y); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MaxAbsResidual = %v, want 0.5", got)
+	}
+	if got := MaxAbsResidual(p, nil, nil); got != 0 {
+		t.Errorf("empty residual = %v", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package mathx provides the small numeric routines the experiment
+// harness needs: least-squares polynomial fitting (the Go stand-in for
+// Matlab's polyfit used in Fig. 13b) and summary statistics.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fitting errors.
+var (
+	ErrBadInput = errors.New("mathx: x and y must have equal length > degree")
+	ErrSingular = errors.New("mathx: normal equations are singular")
+)
+
+// Poly is a polynomial in ascending-coefficient order:
+// Coeffs[i] multiplies x^i.
+type Poly struct {
+	Coeffs []float64
+}
+
+// Eval evaluates the polynomial at x via Horner's method.
+func (p Poly) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + p.Coeffs[i]
+	}
+	return v
+}
+
+// Degree returns the degree of the polynomial.
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// String implements fmt.Stringer.
+func (p Poly) String() string {
+	s := ""
+	for i, c := range p.Coeffs {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%.6g·x^%d", c, i)
+	}
+	return s
+}
+
+// PolyFit fits a degree-d polynomial to the points (x[i], y[i]) by
+// least squares, solving the normal equations (VᵀV)a = Vᵀy with
+// Gaussian elimination and partial pivoting.
+func PolyFit(x, y []float64, degree int) (Poly, error) {
+	n := len(x)
+	if n != len(y) || degree < 0 || n <= degree {
+		return Poly{}, fmt.Errorf("%w: n=%d, len(y)=%d, degree=%d", ErrBadInput, n, len(y), degree)
+	}
+	k := degree + 1
+
+	// Normal matrix A[i][j] = Σ x^(i+j), rhs b[i] = Σ y·x^i.
+	A := make([][]float64, k)
+	b := make([]float64, k)
+	// Precompute power sums Σ x^p for p = 0 .. 2·degree.
+	pows := make([]float64, 2*k-1)
+	for _, xi := range x {
+		xp := 1.0
+		for p := range pows {
+			pows[p] += xp
+			xp *= xi
+		}
+	}
+	for i := 0; i < k; i++ {
+		A[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			A[i][j] = pows[i+j]
+		}
+	}
+	for idx, xi := range x {
+		xp := 1.0
+		for i := 0; i < k; i++ {
+			b[i] += y[idx] * xp
+			xp *= xi
+		}
+	}
+
+	coeffs, err := SolveLinear(A, b)
+	if err != nil {
+		return Poly{}, err
+	}
+	return Poly{Coeffs: coeffs}, nil
+}
+
+// SolveLinear solves the square system A·x = b in place with Gaussian
+// elimination and partial pivoting. A and b are modified.
+func SolveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, ErrBadInput
+	}
+	for i := range A {
+		if len(A[i]) != n {
+			return nil, ErrBadInput
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := b[i]
+		for j := i + 1; j < n; j++ {
+			v -= A[i][j] * x[j]
+		}
+		x[i] = v / A[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,60 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation, or 0 for fewer
+// than two values.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median, or 0 for an empty slice. The input is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// MaxAbsResidual returns the largest |y[i] − p.Eval(x[i])| — the fit
+// quality measure reported alongside Fig. 13b.
+func MaxAbsResidual(p Poly, x, y []float64) float64 {
+	worst := 0.0
+	for i := range x {
+		if r := math.Abs(y[i] - p.Eval(x[i])); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

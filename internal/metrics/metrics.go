@@ -1,0 +1,154 @@
+// Package metrics implements the effectiveness measures of §6.2:
+// Precision@K and Average Precision@K against the check-in ground
+// truth, plus the pairwise result-location distance statistics used in
+// the discussion of Fig. 11.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"pinocchio/internal/geo"
+)
+
+// PrecisionAtK returns |recommended[:K] ∩ relevant[:K]| / K.
+// When K exceeds either list, the shorter prefix is used for that
+// list but the divisor stays K, matching the usual definition. As the
+// paper notes, with the same K for relevant and recommended sets
+// Recall@K equals Precision@K.
+func PrecisionAtK(recommended, relevant []int, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	rel := prefixSet(relevant, k)
+	hits := 0
+	for i, c := range recommended {
+		if i >= k {
+			break
+		}
+		if rel[c] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// AveragePrecisionAtK returns AP@K: the mean over cut-offs i ≤ K, at
+// positions where a relevant item appears, of Precision@i, divided by
+// min(K, |relevant|). This is the standard AP@K used in ranking
+// evaluation.
+func AveragePrecisionAtK(recommended, relevant []int, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	rel := prefixSet(relevant, k)
+	denom := len(rel)
+	if denom > k {
+		denom = k
+	}
+	if denom == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for i, c := range recommended {
+		if i >= k {
+			break
+		}
+		if rel[c] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(denom)
+}
+
+// prefixSet returns the first k entries of ids as a set.
+func prefixSet(ids []int, k int) map[int]bool {
+	s := make(map[int]bool, k)
+	for i, c := range ids {
+		if i >= k {
+			break
+		}
+		s[c] = true
+	}
+	return s
+}
+
+// MeanOverRankings averages metric(ranking, relevant, k) over several
+// rankings — used for the nine-combination RANGE average of Tables 3
+// and 4.
+func MeanOverRankings(metric func(rec, rel []int, k int) float64, rankings [][]int, relevant []int, k int) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rankings {
+		s += metric(r, relevant, k)
+	}
+	return s / float64(len(rankings))
+}
+
+// PairwiseDistanceStats summarizes the spread of a set of result
+// locations: the average and maximum pairwise distance and the number
+// of identical pairs — the Fig. 11 result-stability numbers.
+type PairwiseDistanceStats struct {
+	Avg, Max       float64
+	IdenticalPairs int
+	Pairs          int
+}
+
+// PairwiseDistances computes PairwiseDistanceStats over the given
+// points.
+func PairwiseDistances(pts []geo.Point) PairwiseDistanceStats {
+	var st PairwiseDistanceStats
+	sum := 0.0
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			d := pts[i].Dist(pts[j])
+			st.Pairs++
+			sum += d
+			if d > st.Max {
+				st.Max = d
+			}
+			if d == 0 {
+				st.IdenticalPairs++
+			}
+		}
+	}
+	if st.Pairs > 0 {
+		st.Avg = sum / float64(st.Pairs)
+	}
+	return st
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain at K for
+// a recommended ranking against graded relevance (e.g. ground-truth
+// visitor counts): DCG@K / IDCG@K with the standard log2 discount.
+// It returns 0 when no positive relevance exists in the top-K ideal.
+func NDCGAtK(recommended []int, relevance []float64, k int) float64 {
+	if k <= 0 || len(relevance) == 0 {
+		return 0
+	}
+	dcg := 0.0
+	for i, c := range recommended {
+		if i >= k {
+			break
+		}
+		if c >= 0 && c < len(relevance) {
+			dcg += relevance[c] / log2(float64(i+2))
+		}
+	}
+	ideal := append([]float64(nil), relevance...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := 0.0
+	for i := 0; i < k && i < len(ideal); i++ {
+		idcg += ideal[i] / log2(float64(i+2))
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"pinocchio/internal/geo"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	tests := []struct {
+		name     string
+		rec, rel []int
+		k        int
+		want     float64
+	}{
+		{"perfect", []int{1, 2, 3}, []int{3, 2, 1}, 3, 1},
+		{"disjoint", []int{1, 2, 3}, []int{4, 5, 6}, 3, 0},
+		{"half", []int{1, 2, 3, 4}, []int{1, 2, 9, 9}, 4, 0.5},
+		{"k=1 hit", []int{7}, []int{7}, 1, 1},
+		{"k=1 miss", []int{7}, []int{8}, 1, 0},
+		{"k beyond lists", []int{1}, []int{1}, 10, 0.1},
+		{"k zero", []int{1}, []int{1}, 0, 0},
+		{"k negative", []int{1}, []int{1}, -2, 0},
+		{"only first k of relevant counts", []int{5}, []int{1, 5}, 1, 0},
+		{"empty recommended", nil, []int{1}, 3, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PrecisionAtK(tt.rec, tt.rel, tt.k); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("P@%d = %v, want %v", tt.k, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPrecisionSymmetryWithEqualK(t *testing.T) {
+	// With |rel| capped at K, Recall@K = Precision@K (footnote 6): the
+	// value is symmetric in swapping the two lists.
+	rec := []int{1, 2, 3, 4, 5}
+	rel := []int{3, 4, 5, 6, 7}
+	k := 5
+	if a, b := PrecisionAtK(rec, rel, k), PrecisionAtK(rel, rec, k); a != b {
+		t.Errorf("asymmetric: %v vs %v", a, b)
+	}
+}
+
+func TestAveragePrecisionAtK(t *testing.T) {
+	tests := []struct {
+		name     string
+		rec, rel []int
+		k        int
+		want     float64
+	}{
+		{"perfect", []int{1, 2}, []int{1, 2}, 2, 1},
+		{"miss all", []int{1, 2}, []int{3, 4}, 2, 0},
+		// Relevant item at rank 2 of 2: AP = (1/2)/min(2, |rel∩topK|=2... )
+		// rel set {3} -> denom = 1; hit at position 2 contributes 1/2.
+		{"single hit at rank 2", []int{1, 3}, []int{3}, 2, 0.5},
+		// hits at ranks 1 and 3: (1/1 + 2/3)/2
+		{"hits at 1 and 3", []int{5, 9, 6}, []int{5, 6}, 3, (1.0 + 2.0/3) / 2},
+		{"k zero", []int{1}, []int{1}, 0, 0},
+		{"empty relevant", []int{1}, nil, 3, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AveragePrecisionAtK(tt.rec, tt.rel, tt.k); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("AP@%d = %v, want %v", tt.k, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAPRewardsEarlyHits(t *testing.T) {
+	rel := []int{1}
+	early := AveragePrecisionAtK([]int{1, 9, 9}, rel, 3)
+	late := AveragePrecisionAtK([]int{9, 9, 1}, rel, 3)
+	if early <= late {
+		t.Errorf("AP should reward early hits: early %v vs late %v", early, late)
+	}
+	// Same P@K though.
+	if PrecisionAtK([]int{1, 9, 9}, rel, 3) != PrecisionAtK([]int{9, 9, 1}, rel, 3) {
+		t.Error("P@K should not depend on position")
+	}
+}
+
+func TestMeanOverRankings(t *testing.T) {
+	rankings := [][]int{
+		{1, 2, 3}, // P@2 = 1
+		{1, 4, 5}, // P@2 = 0.5
+		{4, 5, 6}, // P@2 = 0
+	}
+	rel := []int{1, 2}
+	got := MeanOverRankings(PrecisionAtK, rankings, rel, 2)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mean = %v, want 0.5", got)
+	}
+	if MeanOverRankings(PrecisionAtK, nil, rel, 2) != 0 {
+		t.Error("no rankings should give 0")
+	}
+}
+
+func TestPairwiseDistances(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 0, Y: 0}}
+	st := PairwiseDistances(pts)
+	if st.Pairs != 3 {
+		t.Errorf("Pairs = %d", st.Pairs)
+	}
+	if st.Max != 5 {
+		t.Errorf("Max = %v", st.Max)
+	}
+	if st.IdenticalPairs != 1 {
+		t.Errorf("IdenticalPairs = %d", st.IdenticalPairs)
+	}
+	if want := (5.0 + 5.0 + 0) / 3; math.Abs(st.Avg-want) > 1e-12 {
+		t.Errorf("Avg = %v, want %v", st.Avg, want)
+	}
+	empty := PairwiseDistances(nil)
+	if empty.Pairs != 0 || empty.Avg != 0 || empty.Max != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+	one := PairwiseDistances([]geo.Point{{X: 1, Y: 1}})
+	if one.Pairs != 0 {
+		t.Errorf("single point pairs = %d", one.Pairs)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	rel := []float64{3, 2, 1, 0}
+	// Ideal ranking gets 1.
+	if got := NDCGAtK([]int{0, 1, 2, 3}, rel, 4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ideal NDCG = %v", got)
+	}
+	// Reversed ranking scores lower but positive.
+	rev := NDCGAtK([]int{3, 2, 1, 0}, rel, 4)
+	if rev <= 0 || rev >= 1 {
+		t.Errorf("reversed NDCG = %v", rev)
+	}
+	// Order within NDCG respects swaps: promoting a better item helps.
+	better := NDCGAtK([]int{0, 2, 1, 3}, rel, 4)
+	worse := NDCGAtK([]int{2, 0, 1, 3}, rel, 4)
+	if better <= worse {
+		t.Errorf("NDCG ordering: %v vs %v", better, worse)
+	}
+	// Degenerate inputs.
+	if NDCGAtK(nil, rel, 3) != 0 {
+		t.Error("empty recommendation should give 0")
+	}
+	if NDCGAtK([]int{0}, nil, 3) != 0 {
+		t.Error("no relevance should give 0")
+	}
+	if NDCGAtK([]int{0}, rel, 0) != 0 {
+		t.Error("k=0 should give 0")
+	}
+	if NDCGAtK([]int{0}, []float64{0, 0}, 2) != 0 {
+		t.Error("all-zero relevance should give 0")
+	}
+	// Out-of-range indices are ignored, not a panic.
+	if got := NDCGAtK([]int{99, -1, 0}, rel, 3); got <= 0 {
+		t.Errorf("out-of-range ids should be skipped: %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+package object
+
+import (
+	"math"
+	"sync"
+
+	"pinocchio/internal/probfn"
+)
+
+// MinMaxRadius computes the paper's novel distance measure
+// (Definition 5):
+//
+//	minMaxRadius(τ, n) = PF⁻¹(1 − (1−τ)^(1/n))
+//
+// It is the radius of the circle around a candidate c such that an
+// object whose n positions all lie inside is influenced with
+// probability at least τ (Theorem 1), and an object whose positions
+// all lie outside cannot be influenced (Theorem 2).
+func MinMaxRadius(pf probfn.Func, tau float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := 1 - math.Pow(1-tau, 1/float64(n))
+	return pf.Inverse(p)
+}
+
+// RadiusTable memoizes minMaxRadius per position count n — the HashMap
+// HM of Algorithm 1. The number of distinct n across a dataset is far
+// smaller than the number of objects, so the PF inverse is evaluated
+// once per distinct n. Safe for concurrent readers once sealed;
+// the plain Get path is not goroutine-safe (matching the paper's
+// single-threaded algorithms), use GetLocked from concurrent code.
+type RadiusTable struct {
+	pf  probfn.Func
+	tau float64
+	hm  map[int]float64
+	mu  sync.Mutex
+}
+
+// NewRadiusTable returns an empty memo table for the given PF and τ.
+func NewRadiusTable(pf probfn.Func, tau float64) *RadiusTable {
+	return &RadiusTable{pf: pf, tau: tau, hm: make(map[int]float64)}
+}
+
+// Tau returns the probability threshold the table was built for.
+func (rt *RadiusTable) Tau() float64 { return rt.tau }
+
+// PF returns the probability function the table was built for.
+func (rt *RadiusTable) PF() probfn.Func { return rt.pf }
+
+// Get returns minMaxRadius(τ, n), computing and caching it on first
+// use.
+func (rt *RadiusTable) Get(n int) float64 {
+	if r, ok := rt.hm[n]; ok {
+		return r
+	}
+	r := MinMaxRadius(rt.pf, rt.tau, n)
+	rt.hm[n] = r
+	return r
+}
+
+// GetLocked is Get guarded by a mutex, for use by concurrent
+// validation workers.
+func (rt *RadiusTable) GetLocked(n int) float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.Get(n)
+}
+
+// Len returns the number of distinct n cached so far.
+func (rt *RadiusTable) Len() int { return len(rt.hm) }

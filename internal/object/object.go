@@ -1,0 +1,61 @@
+// Package object models the moving objects of the PRIME-LS problem: a
+// set of discrete positions per object, the MBR activity region, the
+// minMaxRadius measure (Definition 5), and the two pruning regions it
+// induces — the influence arcs (Lemma 2) and the non-influence boundary
+// (Lemma 3).
+package object
+
+import (
+	"errors"
+	"fmt"
+
+	"pinocchio/internal/geo"
+)
+
+// ErrNoPositions reports construction of a moving object with no
+// positions; every definition in the paper assumes n ≥ 1.
+var ErrNoPositions = errors.New("object: moving object needs at least one position")
+
+// Object is a moving object O = {p1, …, pn}: an identifier plus the
+// discrete positions describing its mobility (check-ins or uniformly
+// sampled trajectory points, §3.1).
+type Object struct {
+	ID        int
+	Positions []geo.Point
+	mbr       geo.Rect
+}
+
+// New builds an Object and precomputes its activity-region MBR. The
+// position slice is retained, not copied.
+func New(id int, positions []geo.Point) (*Object, error) {
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("%w (object %d)", ErrNoPositions, id)
+	}
+	return &Object{
+		ID:        id,
+		Positions: positions,
+		mbr:       geo.RectFromPoints(positions),
+	}, nil
+}
+
+// MustNew is New for static inputs known to be valid; it panics on
+// error. Intended for tests and examples.
+func MustNew(id int, positions []geo.Point) *Object {
+	o, err := New(id, positions)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// N returns the number of positions of the object.
+func (o *Object) N() int { return len(o.Positions) }
+
+// MBR returns the minimum bounding rectangle of the object's positions
+// (its activity region).
+func (o *Object) MBR() geo.Rect { return o.mbr }
+
+// String implements fmt.Stringer.
+func (o *Object) String() string {
+	return fmt.Sprintf("O%d{n=%d, mbr=%v}", o.ID, len(o.Positions), o.mbr)
+}

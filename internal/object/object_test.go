@@ -1,0 +1,216 @@
+package object
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, nil); !errors.Is(err, ErrNoPositions) {
+		t.Errorf("New with no positions: err = %v", err)
+	}
+	o, err := New(7, []geo.Point{{X: 1, Y: 2}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if o.ID != 7 || o.N() != 1 {
+		t.Errorf("object fields: %+v", o)
+	}
+	if got := o.MBR(); got != (geo.Rect{Min: geo.Point{X: 1, Y: 2}, Max: geo.Point{X: 1, Y: 2}}) {
+		t.Errorf("point MBR = %v", got)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on empty positions")
+		}
+	}()
+	MustNew(0, nil)
+}
+
+func TestMBREnclosesAllPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]geo.Point, n)
+		for j := range pts {
+			pts[j] = geo.Point{X: rng.NormFloat64() * 10, Y: rng.NormFloat64() * 10}
+		}
+		o := MustNew(i, pts)
+		for _, p := range pts {
+			if !o.MBR().ContainsPoint(p) {
+				t.Fatalf("MBR %v misses position %v", o.MBR(), p)
+			}
+		}
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	o := MustNew(3, []geo.Point{{X: 0, Y: 0}})
+	if o.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestMinMaxRadiusDefinition(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	for _, tau := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for _, n := range []int{1, 2, 5, 10, 50, 200} {
+			got := MinMaxRadius(pf, tau, n)
+			want := pf.Inverse(1 - math.Pow(1-tau, 1/float64(n)))
+			if got != want {
+				t.Errorf("MinMaxRadius(τ=%v, n=%d) = %v, want %v", tau, n, got, want)
+			}
+		}
+	}
+}
+
+func TestMinMaxRadiusDegeneratesToClassicalForN1(t *testing.T) {
+	// For n = 1, minMaxRadius = PF⁻¹(τ): Lemma 1's classical radius.
+	pf := probfn.DefaultPowerLaw()
+	for _, tau := range []float64{0.1, 0.5, 0.85} {
+		if got, want := MinMaxRadius(pf, tau, 1), pf.Inverse(tau); math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=1 radius %v, want PF⁻¹(τ) = %v", got, want)
+		}
+	}
+}
+
+func TestMinMaxRadiusMonotonicity(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	// Fixed n: radius grows as τ decreases.
+	for _, n := range []int{1, 5, 30} {
+		prev := -1.0
+		for _, tau := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+			r := MinMaxRadius(pf, tau, n)
+			if r < prev {
+				t.Errorf("radius should grow as τ falls: n=%d τ=%v r=%v prev=%v", n, tau, r, prev)
+			}
+			prev = r
+		}
+	}
+	// Fixed τ: radius grows with n.
+	for _, tau := range []float64{0.3, 0.7} {
+		prev := -1.0
+		for n := 1; n <= 100; n *= 2 {
+			r := MinMaxRadius(pf, tau, n)
+			if r < prev {
+				t.Errorf("radius should grow with n: τ=%v n=%d r=%v prev=%v", tau, n, r, prev)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestMinMaxRadiusEdgeN(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	if got := MinMaxRadius(pf, 0.7, 0); got != 0 {
+		t.Errorf("n=0 should give 0, got %v", got)
+	}
+	if got := MinMaxRadius(pf, 0.7, -3); got != 0 {
+		t.Errorf("negative n should give 0, got %v", got)
+	}
+}
+
+// TestTheorem1 verifies: if all positions lie within minMaxRadius of c
+// then Pr_c(O) ≥ τ.
+func TestTheorem1(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	rng := rand.New(rand.NewSource(53))
+	tau := 0.7
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		mu := MinMaxRadius(pf, tau, n)
+		c := geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			// Random point within distance mu of c.
+			ang := rng.Float64() * 2 * math.Pi
+			rad := rng.Float64() * mu
+			pts[i] = geo.Point{X: c.X + rad*math.Cos(ang), Y: c.Y + rad*math.Sin(ang)}
+		}
+		nonInf := 1.0
+		for _, p := range pts {
+			nonInf *= 1 - pf.Prob(c.Dist(p))
+		}
+		if pr := 1 - nonInf; pr < tau-1e-9 {
+			t.Fatalf("Theorem 1 violated: n=%d Pr=%v < τ=%v", n, pr, tau)
+		}
+	}
+}
+
+// TestTheorem2 verifies: if all positions lie strictly outside
+// minMaxRadius of c then Pr_c(O) < τ.
+func TestTheorem2(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	rng := rand.New(rand.NewSource(54))
+	tau := 0.7
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		mu := MinMaxRadius(pf, tau, n)
+		c := geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			ang := rng.Float64() * 2 * math.Pi
+			rad := mu * (1.0001 + rng.Float64()*3)
+			pts[i] = geo.Point{X: c.X + rad*math.Cos(ang), Y: c.Y + rad*math.Sin(ang)}
+		}
+		nonInf := 1.0
+		for _, p := range pts {
+			nonInf *= 1 - pf.Prob(c.Dist(p))
+		}
+		if pr := 1 - nonInf; pr >= tau {
+			t.Fatalf("Theorem 2 violated: n=%d Pr=%v ≥ τ=%v", n, pr, tau)
+		}
+	}
+}
+
+func TestRadiusTableMemoizes(t *testing.T) {
+	rt := NewRadiusTable(probfn.DefaultPowerLaw(), 0.7)
+	if rt.Tau() != 0.7 {
+		t.Errorf("Tau = %v", rt.Tau())
+	}
+	if rt.PF() == nil {
+		t.Error("PF should round-trip")
+	}
+	a := rt.Get(24)
+	b := rt.Get(24)
+	if a != b {
+		t.Errorf("memoized values differ: %v vs %v", a, b)
+	}
+	if rt.Len() != 1 {
+		t.Errorf("Len = %d after one distinct n", rt.Len())
+	}
+	rt.Get(48)
+	if rt.Len() != 2 {
+		t.Errorf("Len = %d after two distinct n", rt.Len())
+	}
+	if want := MinMaxRadius(probfn.DefaultPowerLaw(), 0.7, 24); a != want {
+		t.Errorf("cached value %v, want %v", a, want)
+	}
+}
+
+func TestRadiusTableGetLockedConcurrent(t *testing.T) {
+	rt := NewRadiusTable(probfn.DefaultPowerLaw(), 0.5)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for n := 1; n <= 200; n++ {
+				rt.GetLocked(n)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if rt.Len() != 200 {
+		t.Errorf("Len = %d, want 200", rt.Len())
+	}
+}

@@ -1,0 +1,218 @@
+package object
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+func regionsForTest(w, h, mu float64) Regions {
+	return Regions{
+		MBR:    geo.Rect{Min: geo.Point{X: -w / 2, Y: -h / 2}, Max: geo.Point{X: w / 2, Y: h / 2}},
+		Radius: mu,
+	}
+}
+
+func TestClassifyBuckets(t *testing.T) {
+	// MBR 2×2 centered at origin, μ = 3: half-diagonal √2 < 3, so IA
+	// is non-empty.
+	r := regionsForTest(2, 2, 3)
+	tests := []struct {
+		name string
+		c    geo.Point
+		want Class
+	}{
+		{"center", geo.Point{X: 0, Y: 0}, Influenced},               // maxDist = √2 ≤ 3
+		{"corner", geo.Point{X: 1, Y: 1}, Influenced},               // maxDist = 2√2 ≤ 3
+		{"just outside IA", geo.Point{X: 2, Y: 2}, NeedsValidation}, // maxDist = √18 > 3, minDist = √2 ≤ 3
+		{"inside NIB band", geo.Point{X: 3.5, Y: 0}, NeedsValidation},
+		{"on NIB edge", geo.Point{X: 4, Y: 0}, NeedsValidation}, // minDist = 3 = μ
+		{"outside NIB", geo.Point{X: 4.01, Y: 0}, NotInfluenced},
+		{"far corner diagonal", geo.Point{X: 4, Y: 4}, NotInfluenced}, // minDist = 3√2 > 3
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Classify(tt.c); got != tt.want {
+				t.Errorf("Classify(%v) = %v, want %v", tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Influenced.String() != "influenced" ||
+		NeedsValidation.String() != "needs-validation" ||
+		NotInfluenced.String() != "not-influenced" ||
+		Class(99).String() != "unknown" {
+		t.Error("Class.String mismatch")
+	}
+}
+
+func TestIAEmptyWhenRadiusSmall(t *testing.T) {
+	// μ below half-diagonal: no point can be within μ of all corners.
+	r := regionsForTest(4, 2, 2) // half-diag = √5 ≈ 2.236 > 2
+	if r.IANonEmpty() {
+		t.Error("IA should be empty")
+	}
+	if r.InIA(geo.Point{X: 0, Y: 0}) {
+		t.Error("center should not be in empty IA")
+	}
+	if r.IAArea() != 0 {
+		t.Errorf("empty IA area = %v", r.IAArea())
+	}
+}
+
+func TestNIBBox(t *testing.T) {
+	r := regionsForTest(2, 4, 1.5)
+	want := geo.Rect{Min: geo.Point{X: -2.5, Y: -3.5}, Max: geo.Point{X: 2.5, Y: 3.5}}
+	if got := r.NIBBox(); got != want {
+		t.Errorf("NIBBox = %v, want %v", got, want)
+	}
+	// NIBBox must contain the whole NIB region (it is its MBR).
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 2000; i++ {
+		p := geo.Point{X: (rng.Float64() - 0.5) * 12, Y: (rng.Float64() - 0.5) * 12}
+		if r.InNIB(p) && !r.NIBBox().ContainsPoint(p) {
+			t.Fatalf("point %v in NIB but outside NIBBox", p)
+		}
+	}
+}
+
+// TestIAAreaAgainstMonteCarlo cross-checks the closed-form S_I.
+func TestIAAreaAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	cases := []struct{ w, h, mu float64 }{
+		{2, 2, 3},
+		{4, 2, 4},
+		{1, 5, 4},
+		{0, 0, 2},                   // point MBR: S_I = πμ²
+		{3, 0, 2.5},                 // segment MBR
+		{2, 2, math.Sqrt2 * 1.0001}, // barely non-empty
+	}
+	for _, c := range cases {
+		r := regionsForTest(c.w, c.h, c.mu)
+		got := r.IAArea()
+		// Monte Carlo over the bounding box of the IA region (it is
+		// inside the MBR expanded... actually inside the NIB box).
+		box := r.NIBBox()
+		const samples = 400000
+		hits := 0
+		for i := 0; i < samples; i++ {
+			p := geo.Point{
+				X: box.Min.X + rng.Float64()*box.Width(),
+				Y: box.Min.Y + rng.Float64()*box.Height(),
+			}
+			if r.InIA(p) {
+				hits++
+			}
+		}
+		mc := float64(hits) / samples * box.Area()
+		tol := 0.02*mc + 0.01
+		if math.Abs(got-mc) > tol {
+			t.Errorf("w=%v h=%v mu=%v: IAArea = %v, MC estimate %v", c.w, c.h, c.mu, got, mc)
+		}
+	}
+}
+
+func TestIAAreaPointMBRIsDisk(t *testing.T) {
+	r := regionsForTest(0, 0, 2)
+	if got, want := r.IAArea(), math.Pi*4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("point-MBR IA area = %v, want πμ² = %v", got, want)
+	}
+}
+
+// TestNIBAreaAgainstMonteCarlo cross-checks the closed-form S_N.
+func TestNIBAreaAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	cases := []struct{ w, h, mu float64 }{
+		{2, 2, 1},
+		{4, 1, 2.5},
+		{0, 0, 3}, // point MBR: πμ²
+	}
+	for _, c := range cases {
+		r := regionsForTest(c.w, c.h, c.mu)
+		got := r.NIBArea()
+		box := r.NIBBox()
+		const samples = 400000
+		hits := 0
+		for i := 0; i < samples; i++ {
+			p := geo.Point{
+				X: box.Min.X + rng.Float64()*box.Width(),
+				Y: box.Min.Y + rng.Float64()*box.Height(),
+			}
+			if r.InNIB(p) {
+				hits++
+			}
+		}
+		mc := float64(hits) / samples * box.Area()
+		if math.Abs(got-mc) > 0.02*mc+0.01 {
+			t.Errorf("w=%v h=%v mu=%v: NIBArea = %v, MC estimate %v", c.w, c.h, c.mu, got, mc)
+		}
+	}
+}
+
+// TestIAInsideNIB: the influence-arcs region is always contained in
+// the non-influence boundary region (maxDist ≥ minDist).
+func TestIAInsideNIB(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for i := 0; i < 100; i++ {
+		w, h := rng.Float64()*10, rng.Float64()*10
+		mu := rng.Float64() * 15
+		r := regionsForTest(w, h, mu)
+		for j := 0; j < 100; j++ {
+			p := geo.Point{X: (rng.Float64() - 0.5) * 40, Y: (rng.Float64() - 0.5) * 40}
+			if r.InIA(p) && !r.InNIB(p) {
+				t.Fatalf("point %v in IA but not NIB (w=%v h=%v mu=%v)", p, w, h, mu)
+			}
+		}
+	}
+}
+
+// TestClassifySoundAgainstExactInfluence is the central correctness
+// property of the pruning phase: Influenced ⇒ Pr_c(O) ≥ τ and
+// NotInfluenced ⇒ Pr_c(O) < τ, for random objects and candidates.
+func TestClassifySoundAgainstExactInfluence(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	rng := rand.New(rand.NewSource(66))
+	tau := 0.7
+	rt := NewRadiusTable(pf, tau)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]geo.Point, n)
+		cx, cy := rng.Float64()*20, rng.Float64()*20
+		for i := range pts {
+			pts[i] = geo.Point{X: cx + rng.NormFloat64()*3, Y: cy + rng.NormFloat64()*3}
+		}
+		o := MustNew(trial, pts)
+		r := NewRegions(o, rt.Get(n))
+		c := geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+
+		nonInf := 1.0
+		for _, p := range pts {
+			nonInf *= 1 - pf.Prob(c.Dist(p))
+		}
+		pr := 1 - nonInf
+
+		switch r.Classify(c) {
+		case Influenced:
+			if pr < tau-1e-9 {
+				t.Fatalf("IA claimed influence but Pr=%v < τ", pr)
+			}
+		case NotInfluenced:
+			if pr >= tau {
+				t.Fatalf("NIB claimed no influence but Pr=%v ≥ τ", pr)
+			}
+		}
+	}
+}
+
+func TestNewRegionsUsesObjectMBR(t *testing.T) {
+	o := MustNew(1, []geo.Point{{X: 0, Y: 0}, {X: 2, Y: 4}})
+	r := NewRegions(o, 1.5)
+	if r.MBR != o.MBR() || r.Radius != 1.5 {
+		t.Errorf("NewRegions = %+v", r)
+	}
+}

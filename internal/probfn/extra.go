@@ -1,0 +1,80 @@
+package probfn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gaussian is the distance-decay model Yiu et al. [23] use for
+// distance-weighted quality: Pr(d) = ρ·exp(−d²/(2σ²)). Included for
+// PF-generality beyond the Fig. 16 set.
+type Gaussian struct {
+	Rho   float64 // probability at distance zero, in (0, 1]
+	Sigma float64 // spatial scale, > 0
+}
+
+// NewGaussian validates parameters and returns the Gaussian PF.
+func NewGaussian(rho, sigma float64) (Gaussian, error) {
+	switch {
+	case rho <= 0 || rho > 1:
+		return Gaussian{}, fmt.Errorf("%w: rho %v not in (0,1]", ErrInvalidParam, rho)
+	case sigma <= 0:
+		return Gaussian{}, fmt.Errorf("%w: sigma %v must be positive", ErrInvalidParam, sigma)
+	}
+	return Gaussian{Rho: rho, Sigma: sigma}, nil
+}
+
+// Prob implements Func.
+func (f Gaussian) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return f.Rho * math.Exp(-d*d/(2*f.Sigma*f.Sigma))
+}
+
+// Inverse implements Func.
+func (f Gaussian) Inverse(p float64) float64 {
+	if p >= f.Rho {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return f.Sigma * math.Sqrt(2*math.Log(f.Rho/p))
+}
+
+// Name implements Func.
+func (f Gaussian) Name() string { return "gaussian" }
+
+// Step is the binary range model of classical LS: probability Rho
+// within Range, zero beyond. With Rho = 1 and a single position per
+// object, PRIME-LS under Step degenerates to the classical range
+// semantics (the Remark of §4.2.2).
+type Step struct {
+	Rho   float64
+	Range float64
+}
+
+// Prob implements Func.
+func (f Step) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	if d <= f.Range {
+		return f.Rho
+	}
+	return 0
+}
+
+// Inverse implements Func. Every probability in (0, Rho] is achieved
+// on the whole disk, so the maximal distance is Range; probabilities
+// above Rho are unachievable, and the support is compact.
+func (f Step) Inverse(p float64) float64 {
+	if p > f.Rho {
+		return 0
+	}
+	return f.Range
+}
+
+// Name implements Func.
+func (f Step) Name() string { return "step" }

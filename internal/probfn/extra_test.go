@@ -1,0 +1,105 @@
+package probfn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pinocchio/internal/geo"
+)
+
+func TestNewGaussianValidation(t *testing.T) {
+	bad := []struct{ rho, sigma float64 }{
+		{0, 1}, {-1, 1}, {1.1, 1}, {0.5, 0}, {0.5, -2},
+	}
+	for _, c := range bad {
+		if _, err := NewGaussian(c.rho, c.sigma); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("NewGaussian(%v) err = %v", c, err)
+		}
+	}
+	f, err := NewGaussian(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Prob(0) != 0.8 {
+		t.Errorf("Prob(0) = %v", f.Prob(0))
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	f := Gaussian{Rho: 0.8, Sigma: 2}
+	// One sigma: ρ·e^(−1/2).
+	if got, want := f.Prob(2), 0.8*math.Exp(-0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Prob(σ) = %v, want %v", got, want)
+	}
+	// Monotone and inverse round trip.
+	prev := math.Inf(1)
+	for d := 0.0; d < 20; d += 0.1 {
+		v := f.Prob(d)
+		if v > prev {
+			t.Fatalf("not monotone at %v", d)
+		}
+		prev = v
+	}
+	for _, p := range []float64{0.79, 0.5, 0.1, 0.001} {
+		d := f.Inverse(p)
+		if math.Abs(f.Prob(d)-p) > 1e-9 {
+			t.Errorf("round trip at %v: %v", p, f.Prob(d))
+		}
+	}
+	if f.Inverse(0.9) != 0 {
+		t.Error("unachievable p should give 0")
+	}
+	if !math.IsInf(f.Inverse(0), 1) {
+		t.Error("p=0 should be infinite for unbounded support")
+	}
+	if f.Name() != "gaussian" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestStepSemantics(t *testing.T) {
+	f := Step{Rho: 1, Range: 2}
+	if f.Prob(0) != 1 || f.Prob(2) != 1 {
+		t.Error("inside range should be Rho")
+	}
+	if f.Prob(2.0001) != 0 {
+		t.Error("outside range should be 0")
+	}
+	if f.Prob(-1) != 1 {
+		t.Error("negative distance clamps to 0")
+	}
+	if f.Inverse(0.5) != 2 || f.Inverse(0) != 2 {
+		t.Errorf("Inverse = %v, %v", f.Inverse(0.5), f.Inverse(0))
+	}
+	if f.Inverse(1.5) != 0 {
+		t.Error("p above Rho should give 0")
+	}
+	if f.Name() != "step" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+// TestStepDegeneratesToRangeSemantics: with ρ=1 an object is
+// influenced iff any position is within Range — the classical binary
+// range criterion the paper's limitations section describes.
+func TestStepDegeneratesToRangeSemantics(t *testing.T) {
+	f := Step{Rho: 1, Range: 1}
+	positions := []geo.Point{{X: 5, Y: 0}, {X: 0.5, Y: 0}}
+	c := geo.Point{X: 0, Y: 0}
+	nonInf := 1.0
+	for _, p := range positions {
+		nonInf *= 1 - f.Prob(c.Dist(p))
+	}
+	if pr := 1 - nonInf; pr != 1 {
+		t.Errorf("one position in range should certainly influence, Pr = %v", pr)
+	}
+	far := []geo.Point{{X: 5, Y: 0}, {X: 0, Y: 3}}
+	nonInf = 1.0
+	for _, p := range far {
+		nonInf *= 1 - f.Prob(c.Dist(p))
+	}
+	if pr := 1 - nonInf; pr != 0 {
+		t.Errorf("no position in range: Pr = %v, want 0", pr)
+	}
+}

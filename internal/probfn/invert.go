@@ -1,0 +1,78 @@
+package probfn
+
+import "math"
+
+// Inverted adapts an arbitrary monotone non-increasing probability
+// function that lacks an analytic inverse: Inverse is computed by
+// bisection over distance. It lets users plug custom PFs into the
+// framework "without any modification", as §6.2 promises.
+type Inverted struct {
+	// ProbFn is the forward probability function.
+	ProbFn func(d float64) float64
+	// MaxDist bounds the bisection search. Distances beyond MaxDist
+	// are treated as having probability ProbFn(MaxDist).
+	MaxDist float64
+	// Label is returned by Name.
+	Label string
+}
+
+// bisectIters gives ~1e-12 relative precision over any practical range.
+const bisectIters = 64
+
+// Prob implements Func.
+func (f Inverted) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return f.ProbFn(d)
+}
+
+// Inverse implements Func by bisection: the largest d in [0, MaxDist]
+// with ProbFn(d) ≥ p.
+func (f Inverted) Inverse(p float64) float64 {
+	if p <= 0 {
+		return f.MaxDist
+	}
+	if f.ProbFn(0) < p {
+		return 0
+	}
+	if f.ProbFn(f.MaxDist) >= p {
+		return f.MaxDist
+	}
+	lo, hi := 0.0, f.MaxDist // invariant: ProbFn(lo) ≥ p > ProbFn(hi)
+	for i := 0; i < bisectIters; i++ {
+		mid := (lo + hi) / 2
+		if f.ProbFn(mid) >= p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Name implements Func.
+func (f Inverted) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "inverted"
+}
+
+// CheckMonotone samples fn on [0, maxDist] and reports whether it is
+// non-increasing within tolerance — a guard for user-supplied PFs.
+func CheckMonotone(fn func(float64) float64, maxDist float64, samples int) bool {
+	if samples < 2 {
+		samples = 2
+	}
+	prev := math.Inf(1)
+	for i := 0; i < samples; i++ {
+		d := maxDist * float64(i) / float64(samples-1)
+		v := fn(d)
+		if v > prev+1e-12 {
+			return false
+		}
+		prev = v
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+// Package probfn defines the distance-based influence probability
+// functions PF of the PRIME-LS problem (§3.1) and the concrete families
+// the paper evaluates: the power-law check-in model of Liu et al. [21]
+// used as the default PF, and the Logsig / Convex / Concave / Linear
+// alternatives of Fig. 16.
+//
+// A probability function maps a non-negative distance to an influence
+// probability and must be monotonically non-increasing in distance;
+// minMaxRadius (Definition 5) additionally needs its inverse
+// PF⁻¹: probability → distance. All functions here provide analytic
+// inverses; Invert adapts any monotone Func without one via bisection.
+package probfn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Func is a distance-based influence probability function.
+type Func interface {
+	// Prob returns the influence probability at distance d ≥ 0. The
+	// result is in [0, 1] and non-increasing in d.
+	Prob(d float64) float64
+
+	// Inverse returns the largest distance at which the influence
+	// probability is still at least p, i.e. PF⁻¹(p). For p above
+	// Prob(0) it returns 0 (no distance achieves p); for p ≤ 0 it
+	// returns +Inf when the function never reaches 0, or the distance
+	// where it does.
+	Inverse(p float64) float64
+
+	// Name identifies the function family in reports and benchmarks.
+	Name() string
+}
+
+// ErrInvalidParam reports a probability-function parameter outside its
+// valid domain.
+var ErrInvalidParam = errors.New("probfn: invalid parameter")
+
+// PowerLaw is the distance-decay check-in probability of [21]:
+//
+//	Pr(d) = Rho · (D0 + d)^(−Lambda)   scaled so Pr(0) = Rho.
+//
+// The paper sets d0 = 1.0, ρ ∈ {0.5, 0.7, 0.9} (the maximum influence
+// probability, at distance zero) and λ ∈ {0.75, 1.0, 1.25} (the decay
+// rate). With d0 = 1 the scaling is the identity and the form matches
+// the paper exactly.
+type PowerLaw struct {
+	Rho    float64 // probability at distance zero, in (0, 1]
+	D0     float64 // distance offset, > 0
+	Lambda float64 // decay exponent, > 0
+}
+
+// NewPowerLaw validates parameters and returns the power-law PF.
+func NewPowerLaw(rho, d0, lambda float64) (PowerLaw, error) {
+	switch {
+	case rho <= 0 || rho > 1:
+		return PowerLaw{}, fmt.Errorf("%w: rho %v not in (0,1]", ErrInvalidParam, rho)
+	case d0 <= 0:
+		return PowerLaw{}, fmt.Errorf("%w: d0 %v must be positive", ErrInvalidParam, d0)
+	case lambda <= 0:
+		return PowerLaw{}, fmt.Errorf("%w: lambda %v must be positive", ErrInvalidParam, lambda)
+	}
+	return PowerLaw{Rho: rho, D0: d0, Lambda: lambda}, nil
+}
+
+// DefaultPowerLaw returns the paper's default setting: ρ = 0.9,
+// d0 = 1.0, λ = 1.0.
+func DefaultPowerLaw() PowerLaw {
+	return PowerLaw{Rho: 0.9, D0: 1.0, Lambda: 1.0}
+}
+
+// Prob implements Func. Pr(d) = ρ·d0^λ·(d0+d)^−λ, the [21] model
+// normalized so that Prob(0) = ρ for every (d0, λ).
+func (f PowerLaw) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return f.Rho * math.Pow(f.D0/(f.D0+d), f.Lambda)
+}
+
+// Inverse implements Func.
+func (f PowerLaw) Inverse(p float64) float64 {
+	if p >= f.Rho {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return f.D0*math.Pow(f.Rho/p, 1/f.Lambda) - f.D0
+}
+
+// Name implements Func.
+func (f PowerLaw) Name() string {
+	return fmt.Sprintf("powerlaw(rho=%.2f,lambda=%.2f)", f.Rho, f.Lambda)
+}
+
+// Logsig is the log-sigmoid variation of Fig. 16a:
+//
+//	Pr(d) = Rho / (1 + e^(Scale·d − Shift))
+//
+// With Shift = 0 and Scale = 1 this is the paper's
+// logsig(dist) = ρ/(1+e^dist). Scale controls how many distance units
+// the sigmoid spans; Shift moves its inflection point.
+type Logsig struct {
+	Rho   float64 // maximum scale factor, in (0, 1]
+	Scale float64 // distance scaling, > 0
+	Shift float64 // inflection offset, ≥ 0
+}
+
+// NewLogsig validates parameters and returns the log-sigmoid PF.
+func NewLogsig(rho, scale, shift float64) (Logsig, error) {
+	switch {
+	case rho <= 0 || rho > 1:
+		return Logsig{}, fmt.Errorf("%w: rho %v not in (0,1]", ErrInvalidParam, rho)
+	case scale <= 0:
+		return Logsig{}, fmt.Errorf("%w: scale %v must be positive", ErrInvalidParam, scale)
+	case shift < 0:
+		return Logsig{}, fmt.Errorf("%w: shift %v must be non-negative", ErrInvalidParam, shift)
+	}
+	return Logsig{Rho: rho, Scale: scale, Shift: shift}, nil
+}
+
+// Prob implements Func.
+func (f Logsig) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return f.Rho / (1 + math.Exp(f.Scale*d-f.Shift))
+}
+
+// Inverse implements Func.
+func (f Logsig) Inverse(p float64) float64 {
+	if p >= f.Prob(0) {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return (math.Log(f.Rho/p-1) + f.Shift) / f.Scale
+}
+
+// Name implements Func.
+func (f Logsig) Name() string { return "logsig" }
+
+// Convex is the convex half of the log-sigmoid (its tail right of the
+// inflection point), normalized to the scale of Logsig: steep decay
+// near zero flattening out with distance.
+type Convex struct {
+	Rho   float64
+	Scale float64
+}
+
+// Prob implements Func: ρ·2σ(−Scale·d) where σ is the logistic
+// function; 2σ(−x) ∈ (0, 1] for x ≥ 0, so Prob(0) = ρ.
+func (f Convex) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return f.Rho * 2 / (1 + math.Exp(f.Scale*d))
+}
+
+// Inverse implements Func.
+func (f Convex) Inverse(p float64) float64 {
+	if p >= f.Prob(0) {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log(2*f.Rho/p-1) / f.Scale
+}
+
+// Name implements Func.
+func (f Convex) Name() string { return "convex" }
+
+// Concave is the concave half of the log-sigmoid (its plateau left of
+// the inflection point): slow decay near zero that accelerates, hitting
+// zero at distance Range.
+type Concave struct {
+	Rho   float64
+	Range float64 // distance at which probability reaches 0, > 0
+}
+
+// Prob implements Func. A quarter-circle profile: ρ·sqrt(1−(d/R)²),
+// the canonical concave non-increasing shape on [0, R].
+func (f Concave) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	if d >= f.Range {
+		return 0
+	}
+	x := d / f.Range
+	return f.Rho * math.Sqrt(1-x*x)
+}
+
+// Inverse implements Func.
+func (f Concave) Inverse(p float64) float64 {
+	if p >= f.Rho {
+		return 0
+	}
+	if p <= 0 {
+		return f.Range
+	}
+	x := p / f.Rho
+	return f.Range * math.Sqrt(1-x*x)
+}
+
+// Name implements Func.
+func (f Concave) Name() string { return "concave" }
+
+// Linear decays linearly from Rho at distance 0 to 0 at distance Range.
+type Linear struct {
+	Rho   float64
+	Range float64
+}
+
+// Prob implements Func.
+func (f Linear) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	if d >= f.Range {
+		return 0
+	}
+	return f.Rho * (1 - d/f.Range)
+}
+
+// Inverse implements Func.
+func (f Linear) Inverse(p float64) float64 {
+	if p >= f.Rho {
+		return 0
+	}
+	if p <= 0 {
+		return f.Range
+	}
+	return f.Range * (1 - p/f.Rho)
+}
+
+// Name implements Func.
+func (f Linear) Name() string { return "linear" }
+
+// Exponential decays as Pr(d) = Rho·e^(−d/Scale). Not part of the
+// paper's Fig. 16 set but a common alternative; included to demonstrate
+// PF-generality of the framework.
+type Exponential struct {
+	Rho   float64
+	Scale float64 // e-folding distance, > 0
+}
+
+// Prob implements Func.
+func (f Exponential) Prob(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return f.Rho * math.Exp(-d/f.Scale)
+}
+
+// Inverse implements Func.
+func (f Exponential) Inverse(p float64) float64 {
+	if p >= f.Rho {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -f.Scale * math.Log(p/f.Rho)
+}
+
+// Name implements Func.
+func (f Exponential) Name() string { return "exponential" }

@@ -1,0 +1,261 @@
+package probfn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// allFuncs returns representative instances of every family for
+// generic-property tests.
+func allFuncs() []Func {
+	return []Func{
+		DefaultPowerLaw(),
+		PowerLaw{Rho: 0.5, D0: 1, Lambda: 0.75},
+		PowerLaw{Rho: 0.7, D0: 2, Lambda: 1.25},
+		Logsig{Rho: 0.5, Scale: 1, Shift: 0},
+		Logsig{Rho: 0.9, Scale: 0.5, Shift: 2},
+		Convex{Rho: 0.5, Scale: 1},
+		Concave{Rho: 0.5, Range: 10},
+		Linear{Rho: 0.5, Range: 10},
+		Exponential{Rho: 0.9, Scale: 3},
+	}
+}
+
+func TestProbInRangeAndMonotone(t *testing.T) {
+	for _, f := range allFuncs() {
+		t.Run(f.Name(), func(t *testing.T) {
+			prev := math.Inf(1)
+			for d := 0.0; d <= 50; d += 0.05 {
+				p := f.Prob(d)
+				if p < 0 || p > 1 {
+					t.Fatalf("Prob(%v) = %v outside [0,1]", d, p)
+				}
+				if p > prev+1e-12 {
+					t.Fatalf("Prob not non-increasing at d=%v: %v > %v", d, p, prev)
+				}
+				prev = p
+			}
+		})
+	}
+}
+
+func TestNegativeDistanceClamped(t *testing.T) {
+	for _, f := range allFuncs() {
+		if got, want := f.Prob(-3), f.Prob(0); got != want {
+			t.Errorf("%s: Prob(-3) = %v, want Prob(0) = %v", f.Name(), got, want)
+		}
+	}
+}
+
+// TestInverseRoundTrip checks PF(PF⁻¹(p)) == p for achievable p, the
+// identity minMaxRadius depends on.
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, f := range allFuncs() {
+		t.Run(f.Name(), func(t *testing.T) {
+			p0 := f.Prob(0)
+			for i := 0; i < 200; i++ {
+				p := rng.Float64() * p0 * 0.999
+				if p < 1e-6 {
+					continue
+				}
+				d := f.Inverse(p)
+				if math.IsInf(d, 1) {
+					t.Fatalf("Inverse(%v) infinite for achievable probability", p)
+				}
+				if back := f.Prob(d); math.Abs(back-p) > 1e-9*math.Max(1, p) {
+					t.Fatalf("Prob(Inverse(%v)) = %v, drift %v", p, back, back-p)
+				}
+			}
+		})
+	}
+}
+
+func TestInverseBoundaryBehaviour(t *testing.T) {
+	for _, f := range allFuncs() {
+		t.Run(f.Name(), func(t *testing.T) {
+			if d := f.Inverse(f.Prob(0) + 0.01); d != 0 {
+				t.Errorf("Inverse above Prob(0) = %v, want 0", d)
+			}
+			if d := f.Inverse(f.Prob(0)); d != 0 {
+				t.Errorf("Inverse(Prob(0)) = %v, want 0", d)
+			}
+			d := f.Inverse(0)
+			// Either +Inf (never reaches zero) or a finite cut-off with
+			// probability zero beyond it.
+			if !math.IsInf(d, 1) && f.Prob(d+1e-9) > 1e-12 {
+				t.Errorf("Inverse(0) = %v but Prob just beyond = %v", d, f.Prob(d+1e-9))
+			}
+		})
+	}
+}
+
+// TestInverseIsMaximalDistance verifies Inverse(p) is the boundary:
+// distances below it have Prob ≥ p and distances above have Prob < p.
+func TestInverseIsMaximalDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, f := range allFuncs() {
+		t.Run(f.Name(), func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				p := 1e-4 + rng.Float64()*(f.Prob(0)-2e-4)
+				d := f.Inverse(p)
+				if f.Prob(d*0.999) < p-1e-9 {
+					t.Fatalf("Prob just inside Inverse(%v) = %v < p", p, f.Prob(d*0.999))
+				}
+				if f.Prob(d*1.001+1e-9) > p+1e-9 {
+					t.Fatalf("Prob just outside Inverse(%v) = %v > p", p, f.Prob(d*1.001))
+				}
+			}
+		})
+	}
+}
+
+func TestPowerLawMatchesPaperForm(t *testing.T) {
+	// With d0 = 1 the normalized form equals ρ(d0+d)^−λ exactly.
+	f := PowerLaw{Rho: 0.9, D0: 1, Lambda: 0.75}
+	for _, d := range []float64{0, 0.5, 1, 2, 10} {
+		want := 0.9 * math.Pow(1+d, -0.75)
+		if got := f.Prob(d); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Prob(%v) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestPowerLawRhoIsMaxProbability(t *testing.T) {
+	for _, rho := range []float64{0.5, 0.7, 0.9} {
+		f := PowerLaw{Rho: rho, D0: 1, Lambda: 1}
+		if got := f.Prob(0); math.Abs(got-rho) > 1e-12 {
+			t.Errorf("Prob(0) = %v, want rho %v", got, rho)
+		}
+	}
+}
+
+func TestPowerLawLambdaOrdersDecay(t *testing.T) {
+	// Larger λ ⇒ faster decay ⇒ smaller probability at any d > 0.
+	slow := PowerLaw{Rho: 0.9, D0: 1, Lambda: 0.75}
+	mid := PowerLaw{Rho: 0.9, D0: 1, Lambda: 1.0}
+	fast := PowerLaw{Rho: 0.9, D0: 1, Lambda: 1.25}
+	for _, d := range []float64{0.1, 1, 5, 20} {
+		if !(slow.Prob(d) > mid.Prob(d) && mid.Prob(d) > fast.Prob(d)) {
+			t.Errorf("lambda ordering violated at d=%v: %v, %v, %v",
+				d, slow.Prob(d), mid.Prob(d), fast.Prob(d))
+		}
+	}
+}
+
+func TestNewPowerLawValidation(t *testing.T) {
+	cases := []struct{ rho, d0, lambda float64 }{
+		{0, 1, 1}, {-0.1, 1, 1}, {1.1, 1, 1},
+		{0.9, 0, 1}, {0.9, -1, 1},
+		{0.9, 1, 0}, {0.9, 1, -2},
+	}
+	for _, c := range cases {
+		if _, err := NewPowerLaw(c.rho, c.d0, c.lambda); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("NewPowerLaw(%v) error = %v, want ErrInvalidParam", c, err)
+		}
+	}
+	if f, err := NewPowerLaw(0.9, 1, 1); err != nil || f != DefaultPowerLaw() {
+		t.Errorf("valid params rejected: %v, %v", f, err)
+	}
+}
+
+func TestNewLogsigValidation(t *testing.T) {
+	bad := []struct{ rho, scale, shift float64 }{
+		{0, 1, 0}, {1.5, 1, 0}, {0.5, 0, 0}, {0.5, -1, 0}, {0.5, 1, -1},
+	}
+	for _, c := range bad {
+		if _, err := NewLogsig(c.rho, c.scale, c.shift); !errors.Is(err, ErrInvalidParam) {
+			t.Errorf("NewLogsig(%v) error = %v, want ErrInvalidParam", c, err)
+		}
+	}
+	if _, err := NewLogsig(0.5, 1, 0); err != nil {
+		t.Errorf("valid logsig rejected: %v", err)
+	}
+}
+
+func TestLogsigMatchesPaperAtShiftZero(t *testing.T) {
+	// logsig(dist) = 1/(1+e^dist)·ρ with ρ = 0.5 (§6.2).
+	f := Logsig{Rho: 0.5, Scale: 1, Shift: 0}
+	for _, d := range []float64{0, 0.5, 1, 3} {
+		want := 0.5 / (1 + math.Exp(d))
+		if got := f.Prob(d); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Prob(%v) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestCompactSupportFunctions(t *testing.T) {
+	// Concave and Linear hit exactly zero at Range.
+	for _, f := range []Func{Concave{Rho: 0.5, Range: 4}, Linear{Rho: 0.5, Range: 4}} {
+		if got := f.Prob(4); got != 0 {
+			t.Errorf("%s: Prob(Range) = %v, want 0", f.Name(), got)
+		}
+		if got := f.Prob(100); got != 0 {
+			t.Errorf("%s: Prob beyond Range = %v, want 0", f.Name(), got)
+		}
+		if got := f.Inverse(0); got != 4 {
+			t.Errorf("%s: Inverse(0) = %v, want Range", f.Name(), got)
+		}
+	}
+}
+
+func TestInvertedMatchesAnalyticInverse(t *testing.T) {
+	analytic := DefaultPowerLaw()
+	numeric := Inverted{ProbFn: analytic.Prob, MaxDist: 1e6, Label: "numeric-powerlaw"}
+	rng := rand.New(rand.NewSource(47))
+	for i := 0; i < 200; i++ {
+		p := 0.001 + rng.Float64()*0.89
+		da, dn := analytic.Inverse(p), numeric.Inverse(p)
+		if math.Abs(da-dn) > 1e-6*math.Max(1, da) {
+			t.Fatalf("Inverse(%v): analytic %v vs bisection %v", p, da, dn)
+		}
+	}
+}
+
+func TestInvertedEdgeCases(t *testing.T) {
+	f := Inverted{ProbFn: func(d float64) float64 { return 0.5 * math.Exp(-d) }, MaxDist: 100}
+	if d := f.Inverse(0.9); d != 0 {
+		t.Errorf("unachievable probability should give 0, got %v", d)
+	}
+	if d := f.Inverse(0); d != 100 {
+		t.Errorf("Inverse(0) = %v, want MaxDist", d)
+	}
+	if d := f.Inverse(1e-50); d != 100 {
+		t.Errorf("tiny p below Prob(MaxDist): Inverse = %v, want MaxDist", d)
+	}
+	if f.Name() != "inverted" {
+		t.Errorf("default Name = %q", f.Name())
+	}
+	if (Inverted{Label: "x"}).Name() != "x" {
+		t.Error("Label not used")
+	}
+	if got, want := f.Prob(-1), f.Prob(0); got != want {
+		t.Errorf("negative distance not clamped: %v vs %v", got, want)
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	if !CheckMonotone(func(d float64) float64 { return 1 / (1 + d) }, 100, 1000) {
+		t.Error("decreasing function flagged as non-monotone")
+	}
+	if CheckMonotone(math.Sin, 10, 1000) {
+		t.Error("sin flagged as monotone")
+	}
+	if !CheckMonotone(func(float64) float64 { return 0.5 }, 10, 1) {
+		t.Error("constant function with clamped samples should pass")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, f := range allFuncs() {
+		if f.Name() == "" {
+			t.Errorf("%T has empty name", f)
+		}
+	}
+	if !strings.Contains(DefaultPowerLaw().Name(), "0.90") {
+		t.Errorf("powerlaw name should embed rho: %q", DefaultPowerLaw().Name())
+	}
+}

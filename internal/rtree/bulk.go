@@ -1,0 +1,81 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"pinocchio/internal/geo"
+)
+
+// Bulk builds a packed R-tree from items using sort-tile-recursive
+// (STR) loading. The candidate set C is static for the lifetime of a
+// PRIME-LS query, so bulk loading gives better-shaped nodes (and hence
+// fewer range-query node visits) than repeated insertion.
+func Bulk(items []Item, maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	t := &Tree{maxEntries: maxEntries, minEntries: maxEntries / 2}
+	if len(items) == 0 {
+		t.root = &node{leaf: true}
+		t.height = 1
+		return t
+	}
+
+	// Leaf level: STR tiling.
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = entry{rect: geo.Rect{Min: it.Point, Max: it.Point}, item: it}
+	}
+	nodes := packLevel(entries, maxEntries, true)
+	t.height = 1
+
+	for len(nodes) > 1 {
+		parents := make([]entry, len(nodes))
+		for i, n := range nodes {
+			parents[i] = entry{rect: n.bounds(), child: n}
+		}
+		nodes = packLevel(parents, maxEntries, false)
+		t.height++
+	}
+	t.root = nodes[0]
+	t.size = len(items)
+	return t
+}
+
+// packLevel tiles entries into nodes of at most maxEntries each: sort
+// by center X, cut into vertical slices of ~sqrt(#nodes) runs, sort
+// each slice by center Y, then chop into nodes.
+func packLevel(entries []entry, maxEntries int, leaf bool) []*node {
+	nNodes := (len(entries) + maxEntries - 1) / maxEntries
+	if nNodes == 1 {
+		return []*node{{leaf: leaf, entries: entries}}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].rect.Center().X < entries[j].rect.Center().X
+	})
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nNodes))))
+	perSlice := sliceCount * maxEntries
+
+	var nodes []*node
+	for start := 0; start < len(entries); start += perSlice {
+		end := start + perSlice
+		if end > len(entries) {
+			end = len(entries)
+		}
+		slice := entries[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Y < slice[j].rect.Center().Y
+		})
+		for s := 0; s < len(slice); s += maxEntries {
+			e := s + maxEntries
+			if e > len(slice) {
+				e = len(slice)
+			}
+			nodeEntries := make([]entry, e-s)
+			copy(nodeEntries, slice[s:e])
+			nodes = append(nodes, &node{leaf: leaf, entries: nodeEntries})
+		}
+	}
+	return nodes
+}

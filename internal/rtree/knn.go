@@ -1,0 +1,74 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"pinocchio/internal/geo"
+)
+
+// Neighbor is one result of a k-nearest-neighbor query.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// nnEntry is a frontier element of the best-first search: either a node
+// (subtree) keyed by minDist or an item keyed by exact distance.
+type nnEntry struct {
+	distSq float64
+	node   *node
+	item   Item
+	isItem bool
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestNeighbors returns the k items closest to q in ascending
+// distance order, using the classic best-first (Hjaltason–Samet)
+// traversal. Fewer than k are returned when the tree is smaller.
+func (t *Tree) NearestNeighbors(q geo.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &nnHeap{{distSq: t.root.bounds().MinDistSq(q), node: t.root}}
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(nnEntry)
+		if e.isItem {
+			out = append(out, Neighbor{Item: e.item, Dist: q.Dist(e.item.Point)})
+			continue
+		}
+		n := e.node
+		for i := range n.entries {
+			ne := &n.entries[i]
+			if n.leaf {
+				heap.Push(h, nnEntry{distSq: q.DistSq(ne.item.Point), item: ne.item, isItem: true})
+			} else {
+				heap.Push(h, nnEntry{distSq: ne.rect.MinDistSq(q), node: ne.child})
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the single nearest item to q and true, or a zero
+// Neighbor and false when the tree is empty.
+func (t *Tree) Nearest(q geo.Point) (Neighbor, bool) {
+	ns := t.NearestNeighbors(q, 1)
+	if len(ns) == 0 {
+		return Neighbor{}, false
+	}
+	return ns[0], true
+}

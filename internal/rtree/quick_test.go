@@ -1,0 +1,142 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pinocchio/internal/geo"
+)
+
+// opSequence is a randomized insert/delete script generated for quick.
+type opSequence struct {
+	inserts []geo.Point
+	deletes []int // indices into inserts, deleted in order if present
+}
+
+// Generate implements quick.Generator.
+func (opSequence) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 1 + rng.Intn(size*4+8)
+	seq := opSequence{inserts: make([]geo.Point, n)}
+	for i := range seq.inserts {
+		seq.inserts[i] = geo.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+	}
+	for i := 0; i < n/2; i++ {
+		seq.deletes = append(seq.deletes, rng.Intn(n))
+	}
+	return reflect.ValueOf(seq)
+}
+
+// TestQuickInsertDeleteConsistency drives random scripts through the
+// tree and checks Len and full-range retrieval against a map oracle.
+func TestQuickInsertDeleteConsistency(t *testing.T) {
+	f := func(seq opSequence) bool {
+		tr := New(6)
+		alive := map[int]bool{}
+		for i, p := range seq.inserts {
+			tr.Insert(Item{Point: p, ID: i})
+			alive[i] = true
+		}
+		for _, d := range seq.deletes {
+			want := alive[d]
+			got := tr.Delete(Item{Point: seq.inserts[d], ID: d})
+			if got != want {
+				return false
+			}
+			delete(alive, d)
+		}
+		if tr.Len() != len(alive) {
+			return false
+		}
+		seen := map[int]bool{}
+		tr.All(func(it Item) bool {
+			seen[it.ID] = true
+			return true
+		})
+		if len(seen) != len(alive) {
+			return false
+		}
+		for id := range alive {
+			if !seen[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRangeQueryOracle: arbitrary rectangle queries equal brute
+// force on arbitrary point sets.
+func TestQuickRangeQueryOracle(t *testing.T) {
+	type input struct {
+		Seed int64
+		N    uint8
+	}
+	f := func(in input) bool {
+		rng := rand.New(rand.NewSource(in.Seed))
+		n := int(in.N)%200 + 1
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Point: geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}, ID: i}
+		}
+		tr := Bulk(items, 8)
+		for q := 0; q < 10; q++ {
+			a := geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+			b := geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+			r := geo.RectFromPoints([]geo.Point{a, b})
+			got := map[int]bool{}
+			tr.SearchRect(r, func(it Item) bool {
+				got[it.ID] = true
+				return true
+			})
+			for _, it := range items {
+				if r.ContainsPoint(it.Point) != got[it.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNearestIsNearest: the reported nearest neighbor is at least
+// as close as every stored item.
+func TestQuickNearestIsNearest(t *testing.T) {
+	type input struct {
+		Seed int64
+		N    uint8
+	}
+	f := func(in input) bool {
+		rng := rand.New(rand.NewSource(in.Seed))
+		n := int(in.N)%150 + 1
+		items := make([]Item, n)
+		tr := New(8)
+		for i := range items {
+			items[i] = Item{Point: geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}, ID: i}
+			tr.Insert(items[i])
+		}
+		for q := 0; q < 10; q++ {
+			query := geo.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+			nn, ok := tr.Nearest(query)
+			if !ok {
+				return false
+			}
+			for _, it := range items {
+				if query.Dist(it.Point) < nn.Dist-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,366 @@
+// Package rtree implements an in-memory R-tree (Guttman, SIGMOD 1984)
+// over planar points, the spatial index PINOCCHIO uses to manage the
+// candidate-location set C (§4.3) and that the BRNN* baseline uses for
+// nearest-neighbor search.
+//
+// The tree stores point entries with an integer payload (the candidate
+// index). It supports dynamic insertion with quadratic split, deletion
+// with re-insertion, rectangle and circle range search, best-first
+// k-nearest-neighbor search, and sort-tile-recursive (STR) bulk loading
+// for building a well-packed tree from a static candidate set.
+package rtree
+
+import (
+	"fmt"
+
+	"pinocchio/internal/geo"
+)
+
+// DefaultMaxEntries mirrors the paper's experimental setting: "the
+// maximum number of elements in each R-tree node is 8".
+const DefaultMaxEntries = 8
+
+// Item is a stored point with its payload. ID is opaque to the tree; in
+// PINOCCHIO it is the candidate index into C.
+type Item struct {
+	Point geo.Point
+	ID    int
+}
+
+// entry is a slot in a node: either a child pointer (internal node) or
+// an item (leaf).
+type entry struct {
+	rect  geo.Rect
+	child *node // nil at leaves
+	item  Item  // valid at leaves
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is an R-tree over point items. The zero value is not usable;
+// construct with New or Bulk.
+type Tree struct {
+	root       *node
+	maxEntries int
+	minEntries int
+	size       int
+	height     int
+}
+
+// New returns an empty R-tree. maxEntries is the node fan-out; values
+// below 4 are raised to 4. The minimum fill is maxEntries/2, Guttman's
+// recommended m = M/2.
+func New(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: maxEntries / 2,
+		height:     1,
+	}
+}
+
+// Len returns the number of items stored.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (1 for a tree holding only a
+// root leaf). Exposed for tests and diagnostics.
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the MBR of all stored items, or an empty rect when the
+// tree is empty.
+func (t *Tree) Bounds() geo.Rect {
+	if t.size == 0 {
+		return geo.EmptyRect()
+	}
+	return t.root.bounds()
+}
+
+func (n *node) bounds() geo.Rect {
+	r := geo.EmptyRect()
+	for i := range n.entries {
+		r = r.Union(n.entries[i].rect)
+	}
+	return r
+}
+
+// Insert adds an item to the tree.
+func (t *Tree) Insert(it Item) {
+	e := entry{rect: geo.Rect{Min: it.Point, Max: it.Point}, item: it}
+	t.insertEntry(e, t.height)
+	t.size++
+}
+
+// insertEntry inserts e at the given level counted from the leaves
+// (level == height targets leaves; smaller levels are used by deletion
+// re-insertion of orphaned subtrees).
+func (t *Tree) insertEntry(e entry, level int) {
+	leafPath := t.choosePath(e.rect, level)
+	target := leafPath[len(leafPath)-1]
+	target.entries = append(target.entries, e)
+	t.adjustPath(leafPath, e.rect)
+
+	for i := len(leafPath) - 1; i >= 0; i-- {
+		n := leafPath[i]
+		if len(n.entries) <= t.maxEntries {
+			break
+		}
+		left, right := t.splitNode(n)
+		if i == 0 {
+			// Grow a new root.
+			t.root = &node{
+				leaf: false,
+				entries: []entry{
+					{rect: left.bounds(), child: left},
+					{rect: right.bounds(), child: right},
+				},
+			}
+			t.height++
+			break
+		}
+		parent := leafPath[i-1]
+		// Replace the entry pointing at n with the two halves.
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j] = entry{rect: left.bounds(), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry{rect: right.bounds(), child: right})
+	}
+}
+
+// choosePath descends from the root to the node at the given level
+// (1-based from the root; level == height reaches a leaf), picking at
+// each step the child needing least area enlargement, breaking ties by
+// smaller area (Guttman's ChooseLeaf).
+func (t *Tree) choosePath(r geo.Rect, level int) []*node {
+	path := make([]*node, 0, t.height)
+	n := t.root
+	path = append(path, n)
+	for len(path) < level {
+		best := -1
+		var bestEnl, bestArea float64
+		for i := range n.entries {
+			enl := n.entries[i].rect.Enlargement(r)
+			area := n.entries[i].rect.Area()
+			if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.entries[best].child
+		path = append(path, n)
+	}
+	return path
+}
+
+// adjustPath grows the covering rectangles along the insertion path.
+func (t *Tree) adjustPath(path []*node, r geo.Rect) {
+	for i := 0; i < len(path)-1; i++ {
+		parent, child := path[i], path[i+1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].rect = parent.entries[j].rect.Union(r)
+				break
+			}
+		}
+	}
+}
+
+// splitNode splits an overfull node with Guttman's quadratic split.
+// The receiver is reused as the left half; the right half is returned.
+func (t *Tree) splitNode(n *node) (left, right *node) {
+	entries := n.entries
+
+	// PickSeeds: the pair wasting the most area together.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+
+	left = &node{leaf: n.leaf, entries: []entry{entries[seedA]}}
+	right = &node{leaf: n.leaf, entries: []entry{entries[seedB]}}
+	leftRect := entries[seedA].rect
+	rightRect := entries[seedB].rect
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, entries[i])
+		}
+	}
+
+	for len(rest) > 0 {
+		// Force-assign when one side must take everything remaining to
+		// reach the minimum fill.
+		if len(left.entries)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				left.entries = append(left.entries, e)
+				leftRect = leftRect.Union(e.rect)
+			}
+			break
+		}
+		if len(right.entries)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				right.entries = append(right.entries, e)
+				rightRect = rightRect.Union(e.rect)
+			}
+			break
+		}
+
+		// PickNext: entry with the greatest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			dl := leftRect.Enlargement(e.rect)
+			dr := rightRect.Enlargement(e.rect)
+			diff := dl - dr
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+
+		dl := leftRect.Enlargement(e.rect)
+		dr := rightRect.Enlargement(e.rect)
+		toLeft := dl < dr
+		if dl == dr {
+			// Tie-break: smaller area, then fewer entries.
+			la, ra := leftRect.Area(), rightRect.Area()
+			if la != ra {
+				toLeft = la < ra
+			} else {
+				toLeft = len(left.entries) <= len(right.entries)
+			}
+		}
+		if toLeft {
+			left.entries = append(left.entries, e)
+			leftRect = leftRect.Union(e.rect)
+		} else {
+			right.entries = append(right.entries, e)
+			rightRect = rightRect.Union(e.rect)
+		}
+	}
+
+	// Reuse n as left so parents keep a valid child pointer.
+	n.entries = left.entries
+	n.leaf = left.leaf
+	return n, right
+}
+
+// Delete removes one item equal to it (same point and ID). It reports
+// whether an item was removed. Underfull nodes are condensed and their
+// remaining entries re-inserted, per Guttman's CondenseTree.
+func (t *Tree) Delete(it Item) bool {
+	path, idx := t.findLeaf(t.root, it, nil)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(path)
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, it Item, path []*node) ([]*node, int) {
+	path = append(path, n)
+	target := geo.Rect{Min: it.Point, Max: it.Point}
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].item == it {
+				return path, i
+			}
+		}
+		return nil, -1
+	}
+	for i := range n.entries {
+		if n.entries[i].rect.ContainsRect(target) {
+			if p, idx := t.findLeaf(n.entries[i].child, it, path); p != nil {
+				return p, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks the deletion path bottom-up, removing underfull nodes
+// and queuing their entries for re-insertion, then tightening MBRs.
+func (t *Tree) condense(path []*node) {
+	type orphan struct {
+		e     entry
+		level int // level (root=1) the entry lived at
+	}
+	var orphans []orphan
+
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		if len(n.entries) < t.minEntries {
+			// Remove n from its parent, orphan its entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: i + 1})
+			}
+		} else {
+			// Tighten the parent's covering rect.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries[j].rect = n.bounds()
+					break
+				}
+			}
+		}
+	}
+
+	for _, o := range orphans {
+		if o.e.child == nil {
+			t.insertEntry(o.e, t.height)
+		} else {
+			// Re-insert a subtree at the level that keeps all leaves at
+			// the same depth.
+			subHeight := heightOf(o.e.child)
+			t.insertEntry(o.e, t.height-subHeight)
+		}
+	}
+}
+
+func heightOf(n *node) int {
+	h := 1
+	for !n.leaf {
+		n = n.entries[0].child
+		h++
+	}
+	return h
+}
+
+// String returns a short diagnostic description.
+func (t *Tree) String() string {
+	return fmt.Sprintf("rtree{size=%d height=%d fanout=%d}", t.size, t.height, t.maxEntries)
+}

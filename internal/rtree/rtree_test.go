@@ -1,0 +1,476 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pinocchio/internal/geo"
+)
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Point: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			ID:    i,
+		}
+	}
+	return items
+}
+
+func buildInserted(items []Item, fanout int) *Tree {
+	t := New(fanout)
+	for _, it := range items {
+		t.Insert(it)
+	}
+	return t
+}
+
+// checkInvariants verifies the structural R-tree invariants: covering
+// rectangles tightly contain children, all leaves at equal depth, node
+// occupancy within [min, max] except the root.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	leafDepth := -1
+	var walk func(n *node, depth int, isRoot bool)
+	walk = func(n *node, depth int, isRoot bool) {
+		if !isRoot {
+			if len(n.entries) < tr.minEntries || len(n.entries) > tr.maxEntries {
+				t.Fatalf("node occupancy %d outside [%d,%d]", len(n.entries), tr.minEntries, tr.maxEntries)
+			}
+		} else if len(n.entries) > tr.maxEntries {
+			t.Fatalf("root occupancy %d > max %d", len(n.entries), tr.maxEntries)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaves at differing depths %d vs %d", leafDepth, depth)
+			}
+			for i := range n.entries {
+				e := &n.entries[i]
+				want := geo.Rect{Min: e.item.Point, Max: e.item.Point}
+				if e.rect != want {
+					t.Fatalf("leaf entry rect %v != point rect %v", e.rect, want)
+				}
+			}
+			return
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child == nil {
+				t.Fatal("internal entry with nil child")
+			}
+			if got := e.child.bounds(); got != e.rect {
+				t.Fatalf("stale covering rect: entry %v vs child bounds %v", e.rect, got)
+			}
+			walk(e.child, depth+1, false)
+		}
+	}
+	if tr.size > 0 {
+		walk(tr.root, 1, true)
+		if leafDepth != tr.height {
+			t.Fatalf("recorded height %d != leaf depth %d", tr.height, leafDepth)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Errorf("Bounds of empty tree = %v", tr.Bounds())
+	}
+	if got := tr.CollectRect(geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1, Y: 1}}); len(got) != 0 {
+		t.Errorf("search on empty tree returned %v", got)
+	}
+	if _, ok := tr.Nearest(geo.Point{X: 0, Y: 0}); ok {
+		t.Error("Nearest on empty tree should report not found")
+	}
+	if tr.Delete(Item{}) {
+		t.Error("Delete on empty tree should fail")
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New(4)
+	pts := []geo.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2},
+		{X: 3, Y: 3}, {X: 4, Y: 4}, {X: 5, Y: 5},
+	}
+	for i, p := range pts {
+		tr.Insert(Item{Point: p, ID: i})
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(pts))
+	}
+	checkInvariants(t, tr)
+
+	got := tr.CollectRect(geo.Rect{Min: geo.Point{X: 0.5, Y: 0.5}, Max: geo.Point{X: 3.5, Y: 3.5}})
+	ids := idsOf(got)
+	if want := []int{1, 2, 3}; !equalInts(ids, want) {
+		t.Errorf("range search = %v, want %v", ids, want)
+	}
+}
+
+func idsOf(items []Item) []int {
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteRect is the oracle for rectangle search.
+func bruteRect(items []Item, r geo.Rect) []int {
+	var ids []int
+	for _, it := range items {
+		if r.ContainsPoint(it.Point) {
+			ids = append(ids, it.ID)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// bruteCircle is the oracle for circle search.
+func bruteCircle(items []Item, c geo.Point, radius float64) []int {
+	var ids []int
+	for _, it := range items {
+		if c.Dist(it.Point) <= radius {
+			ids = append(ids, it.ID)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func TestSearchRectMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	items := randomItems(rng, 500)
+	for _, build := range []struct {
+		name string
+		tr   *Tree
+	}{
+		{"inserted", buildInserted(items, 8)},
+		{"bulk", Bulk(items, 8)},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			checkInvariants(t, build.tr)
+			for i := 0; i < 100; i++ {
+				a := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+				b := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+				r := geo.RectFromPoints([]geo.Point{a, b})
+				got := idsOf(build.tr.CollectRect(r))
+				want := bruteRect(items, r)
+				if !equalInts(got, want) {
+					t.Fatalf("rect %v: got %d items, want %d", r, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestSearchCircleMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	items := randomItems(rng, 500)
+	tr := Bulk(items, 8)
+	for i := 0; i < 100; i++ {
+		c := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		radius := rng.Float64() * 30
+		var got []int
+		tr.SearchCircle(c, radius, func(it Item) bool {
+			got = append(got, it.ID)
+			return true
+		})
+		sort.Ints(got)
+		want := bruteCircle(items, c, radius)
+		if !equalInts(got, want) {
+			t.Fatalf("circle (%v, r=%v): got %v, want %v", c, radius, got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	items := randomItems(rng, 100)
+	tr := Bulk(items, 8)
+	count := 0
+	completed := tr.SearchRect(tr.Bounds(), func(Item) bool {
+		count++
+		return count < 5
+	})
+	if completed {
+		t.Error("early-stopped traversal should report incomplete")
+	}
+	if count != 5 {
+		t.Errorf("visited %d items, want 5", count)
+	}
+	count = 0
+	completed = tr.SearchCircle(geo.Point{X: 50, Y: 50}, 1000, func(Item) bool {
+		count++
+		return count < 3
+	})
+	if completed || count != 3 {
+		t.Errorf("circle early stop: completed=%v count=%d", completed, count)
+	}
+}
+
+func TestAllVisitsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	items := randomItems(rng, 200)
+	tr := buildInserted(items, 6)
+	seen := make(map[int]bool)
+	tr.All(func(it Item) bool {
+		if seen[it.ID] {
+			t.Fatalf("item %d visited twice", it.ID)
+		}
+		seen[it.ID] = true
+		return true
+	})
+	if len(seen) != len(items) {
+		t.Errorf("visited %d, want %d", len(seen), len(items))
+	}
+}
+
+func TestNearestNeighborsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	items := randomItems(rng, 300)
+	tr := Bulk(items, 8)
+	for i := 0; i < 50; i++ {
+		q := geo.Point{X: rng.Float64() * 120, Y: rng.Float64() * 120}
+		k := 1 + rng.Intn(10)
+		got := tr.NearestNeighbors(q, k)
+		if len(got) != k {
+			t.Fatalf("got %d neighbors, want %d", len(got), k)
+		}
+		// Oracle: sort all by distance.
+		type distItem struct {
+			d  float64
+			id int
+		}
+		all := make([]distItem, len(items))
+		for j, it := range items {
+			all[j] = distItem{q.Dist(it.Point), it.ID}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		for j := 0; j < k; j++ {
+			if got[j].Dist != all[j].d {
+				t.Fatalf("neighbor %d: dist %v, want %v", j, got[j].Dist, all[j].d)
+			}
+			if j > 0 && got[j].Dist < got[j-1].Dist {
+				t.Fatalf("neighbors not sorted by distance")
+			}
+		}
+	}
+}
+
+func TestNearestNeighborsKLargerThanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	items := randomItems(rng, 5)
+	tr := buildInserted(items, 8)
+	got := tr.NearestNeighbors(geo.Point{X: 0, Y: 0}, 50)
+	if len(got) != 5 {
+		t.Errorf("got %d, want all 5", len(got))
+	}
+	if tr.NearestNeighbors(geo.Point{X: 0, Y: 0}, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	items := randomItems(rng, 300)
+	tr := buildInserted(items, 8)
+
+	perm := rng.Perm(len(items))
+	for i, pi := range perm {
+		if !tr.Delete(items[pi]) {
+			t.Fatalf("delete %d failed", items[pi].ID)
+		}
+		if tr.Len() != len(items)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+		if tr.Len() > 0 {
+			checkInvariants(t, tr)
+		}
+		// Deleted item is gone.
+		found := false
+		tr.SearchRect(geo.Rect{Min: items[pi].Point, Max: items[pi].Point}, func(it Item) bool {
+			if it == items[pi] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			t.Fatalf("item %d still present after delete", items[pi].ID)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("tree not empty after deleting everything: %d", tr.Len())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	items := randomItems(rng, 50)
+	tr := buildInserted(items, 8)
+	if tr.Delete(Item{Point: geo.Point{X: -5, Y: -5}, ID: 999}) {
+		t.Error("deleting a missing item should fail")
+	}
+	// Same point, different ID must not match.
+	if tr.Delete(Item{Point: items[0].Point, ID: -1}) {
+		t.Error("deleting with wrong ID should fail")
+	}
+	if tr.Len() != 50 {
+		t.Errorf("Len changed to %d", tr.Len())
+	}
+}
+
+func TestDeleteInterleavedWithSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	items := randomItems(rng, 400)
+	tr := buildInserted(items, 8)
+	alive := make(map[int]Item, len(items))
+	for _, it := range items {
+		alive[it.ID] = it
+	}
+	for i := 0; i < 200; i++ {
+		victim := items[rng.Intn(len(items))]
+		if _, ok := alive[victim.ID]; ok {
+			if !tr.Delete(victim) {
+				t.Fatalf("delete of live item %d failed", victim.ID)
+			}
+			delete(alive, victim.ID)
+		}
+		// Verify a random range query against the live set.
+		a := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		b := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		r := geo.RectFromPoints([]geo.Point{a, b})
+		got := idsOf(tr.CollectRect(r))
+		var want []int
+		for _, it := range alive {
+			if r.ContainsPoint(it.Point) {
+				want = append(want, it.ID)
+			}
+		}
+		sort.Ints(want)
+		if !equalInts(got, want) {
+			t.Fatalf("iter %d: rect search mismatch after deletes", i)
+		}
+	}
+}
+
+func TestBulkSmallAndDegenerate(t *testing.T) {
+	if tr := Bulk(nil, 8); tr.Len() != 0 {
+		t.Errorf("bulk of nothing: Len = %d", tr.Len())
+	}
+	one := []Item{{Point: geo.Point{X: 1, Y: 1}, ID: 0}}
+	tr := Bulk(one, 8)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if n, ok := tr.Nearest(geo.Point{X: 0, Y: 0}); !ok || n.Item.ID != 0 {
+		t.Errorf("Nearest = %v, %v", n, ok)
+	}
+}
+
+func TestBulkDuplicatePoints(t *testing.T) {
+	items := make([]Item, 40)
+	for i := range items {
+		items[i] = Item{Point: geo.Point{X: 1, Y: 1}, ID: i}
+	}
+	tr := Bulk(items, 8)
+	checkInvariants(t, tr)
+	got := tr.CollectRect(geo.Rect{Min: geo.Point{X: 1, Y: 1}, Max: geo.Point{X: 1, Y: 1}})
+	if len(got) != 40 {
+		t.Errorf("found %d duplicates, want 40", len(got))
+	}
+}
+
+func TestLowFanoutClamped(t *testing.T) {
+	tr := New(1)
+	if tr.maxEntries < 4 {
+		t.Errorf("fanout not clamped: %d", tr.maxEntries)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(Item{Point: geo.Point{X: float64(i), Y: float64(i % 7)}, ID: i})
+	}
+	checkInvariants(t, tr)
+}
+
+func TestHeightGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := New(4)
+	prev := tr.Height()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(Item{Point: geo.Point{X: rng.Float64(), Y: rng.Float64()}, ID: i})
+		if h := tr.Height(); h < prev {
+			t.Fatalf("height shrank during insertion: %d -> %d", prev, h)
+		} else {
+			prev = h
+		}
+	}
+	if tr.Height() < 4 {
+		t.Errorf("1000 items at fanout 4 should stack several levels, height=%d", tr.Height())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestStringDiagnostic(t *testing.T) {
+	tr := New(8)
+	if tr.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestBulkLowFanoutClamped(t *testing.T) {
+	items := []Item{
+		{Point: geo.Point{X: 0, Y: 0}, ID: 0},
+		{Point: geo.Point{X: 1, Y: 1}, ID: 1},
+	}
+	tr := Bulk(items, 1)
+	if tr.maxEntries < 4 {
+		t.Errorf("Bulk fanout not clamped: %d", tr.maxEntries)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestBulkThenInsertAndDelete(t *testing.T) {
+	// A bulk-loaded tree must accept dynamic updates afterwards.
+	rng := rand.New(rand.NewSource(41))
+	items := randomItems(rng, 100)
+	tr := Bulk(items, 8)
+	extra := Item{Point: geo.Point{X: -5, Y: -5}, ID: 1000}
+	tr.Insert(extra)
+	if tr.Len() != 101 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checkInvariants(t, tr)
+	if !tr.Delete(extra) {
+		t.Fatal("delete of inserted item failed")
+	}
+	if !tr.Delete(items[0]) {
+		t.Fatal("delete of bulk item failed")
+	}
+	checkInvariants(t, tr)
+}

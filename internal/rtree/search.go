@@ -1,0 +1,94 @@
+package rtree
+
+import "pinocchio/internal/geo"
+
+// SearchRect visits every item whose point lies in r (boundary
+// inclusive). The visit function returns false to stop early; SearchRect
+// reports whether the traversal ran to completion.
+func (t *Tree) SearchRect(r geo.Rect, visit func(Item) bool) bool {
+	if t.size == 0 || r.IsEmpty() {
+		return true
+	}
+	return searchRect(t.root, r, visit)
+}
+
+func searchRect(n *node, r geo.Rect, visit func(Item) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !r.Intersects(e.rect) {
+			continue
+		}
+		if n.leaf {
+			if r.ContainsPoint(e.item.Point) {
+				if !visit(e.item) {
+					return false
+				}
+			}
+		} else if !searchRect(e.child, r, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchCircle visits every item within distance radius of center
+// (boundary inclusive). This is the range-query shape issued per moving
+// object by the pruning phase.
+func (t *Tree) SearchCircle(center geo.Point, radius float64, visit func(Item) bool) bool {
+	if t.size == 0 || radius < 0 {
+		return true
+	}
+	r2 := radius * radius
+	return searchCircle(t.root, center, r2, visit)
+}
+
+func searchCircle(n *node, center geo.Point, r2 float64, visit func(Item) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.rect.MinDistSq(center) > r2 {
+			continue
+		}
+		if n.leaf {
+			if center.DistSq(e.item.Point) <= r2 {
+				if !visit(e.item) {
+					return false
+				}
+			}
+		} else if !searchCircle(e.child, center, r2, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// CollectRect returns all items in r. Convenience wrapper over
+// SearchRect for callers that want a slice.
+func (t *Tree) CollectRect(r geo.Rect) []Item {
+	var out []Item
+	t.SearchRect(r, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// All visits every item in the tree.
+func (t *Tree) All(visit func(Item) bool) bool {
+	if t.size == 0 {
+		return true
+	}
+	return all(t.root, visit)
+}
+
+func all(n *node, visit func(Item) bool) bool {
+	for i := range n.entries {
+		if n.leaf {
+			if !visit(n.entries[i].item) {
+				return false
+			}
+		} else if !all(n.entries[i].child, visit) {
+			return false
+		}
+	}
+	return true
+}

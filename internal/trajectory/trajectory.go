@@ -1,0 +1,221 @@
+// Package trajectory handles continuously moving objects, the second
+// data modality of §3.1: a continuous trajectory "can be discretized
+// as a series of positions by sampling using the same time interval".
+// It provides timestamped trajectories, uniform-interval resampling
+// with linear interpolation (all devices are assumed to share one
+// sampling rate, footnote 3), stay-point extraction, and conversion to
+// the discrete moving objects the solvers consume.
+//
+// The paper's accuracy/cost guidance (§6.2, effect of n) is encoded in
+// RecommendedPositions: 24 hourly to 48 half-hourly samples balance
+// mobility-pattern fidelity against validation cost.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+)
+
+// Recommended sampling bounds from the §6.2 discussion.
+const (
+	RecommendedMinPositions = 24 // hourly over a day
+	RecommendedMaxPositions = 48 // half-hourly over a day
+)
+
+// Errors returned by the package.
+var (
+	ErrTooFewFixes = errors.New("trajectory: need at least two fixes")
+	ErrBadInterval = errors.New("trajectory: interval must be positive")
+)
+
+// Fix is one timestamped GPS observation.
+type Fix struct {
+	T time.Time
+	P geo.Point
+}
+
+// Trajectory is a time-ordered sequence of fixes for one object.
+type Trajectory struct {
+	ID    int
+	Fixes []Fix
+}
+
+// New builds a trajectory, sorting fixes chronologically. It fails
+// with fewer than two fixes — a single fix is a static object, not a
+// trajectory.
+func New(id int, fixes []Fix) (*Trajectory, error) {
+	if len(fixes) < 2 {
+		return nil, fmt.Errorf("%w (object %d has %d)", ErrTooFewFixes, id, len(fixes))
+	}
+	sorted := append([]Fix(nil), fixes...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T.Before(sorted[j].T) })
+	return &Trajectory{ID: id, Fixes: sorted}, nil
+}
+
+// Duration returns the time span covered by the trajectory.
+func (tr *Trajectory) Duration() time.Duration {
+	return tr.Fixes[len(tr.Fixes)-1].T.Sub(tr.Fixes[0].T)
+}
+
+// At returns the interpolated position at time t, clamping to the
+// endpoints outside the covered span.
+func (tr *Trajectory) At(t time.Time) geo.Point {
+	fixes := tr.Fixes
+	if !t.After(fixes[0].T) {
+		return fixes[0].P
+	}
+	last := fixes[len(fixes)-1]
+	if !t.Before(last.T) {
+		return last.P
+	}
+	// Binary search for the segment containing t.
+	i := sort.Search(len(fixes), func(i int) bool { return !fixes[i].T.Before(t) })
+	a, b := fixes[i-1], fixes[i]
+	span := b.T.Sub(a.T)
+	if span <= 0 {
+		return a.P
+	}
+	f := float64(t.Sub(a.T)) / float64(span)
+	return geo.Point{
+		X: a.P.X + f*(b.P.X-a.P.X),
+		Y: a.P.Y + f*(b.P.Y-a.P.Y),
+	}
+}
+
+// Sample discretizes the trajectory at a uniform interval, the
+// footnote-3 assumption. The first sample is at the first fix; the
+// last fix is always included so the full span contributes.
+func (tr *Trajectory) Sample(interval time.Duration) ([]geo.Point, error) {
+	if interval <= 0 {
+		return nil, ErrBadInterval
+	}
+	start := tr.Fixes[0].T
+	end := tr.Fixes[len(tr.Fixes)-1].T
+	var pts []geo.Point
+	for t := start; !t.After(end); t = t.Add(interval) {
+		pts = append(pts, tr.At(t))
+	}
+	if lastT := start.Add(time.Duration(len(pts)-1) * interval); lastT.Before(end) {
+		pts = append(pts, tr.At(end))
+	}
+	return pts, nil
+}
+
+// SampleN discretizes the trajectory into exactly n uniform samples
+// spanning its duration (n ≥ 2).
+func (tr *Trajectory) SampleN(n int) ([]geo.Point, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("trajectory: SampleN needs n ≥ 2, got %d", n)
+	}
+	start := tr.Fixes[0].T
+	span := tr.Duration()
+	pts := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		pts[i] = tr.At(start.Add(time.Duration(f * float64(span))))
+	}
+	return pts, nil
+}
+
+// ToObject converts the trajectory into a discrete moving object by
+// uniform-interval sampling.
+func (tr *Trajectory) ToObject(interval time.Duration) (*object.Object, error) {
+	pts, err := tr.Sample(interval)
+	if err != nil {
+		return nil, err
+	}
+	return object.New(tr.ID, pts)
+}
+
+// RecommendedPositions returns a sample count in the paper's
+// recommended 24–48 band, scaled to the trajectory's duration: one
+// position per half hour, clamped to [24, 48] (and to at least 2 for
+// very short trajectories).
+func (tr *Trajectory) RecommendedPositions() int {
+	halfHours := int(tr.Duration() / (30 * time.Minute))
+	switch {
+	case halfHours < 2:
+		return 2
+	case halfHours < RecommendedMinPositions:
+		return halfHours
+	case halfHours > RecommendedMaxPositions:
+		return RecommendedMaxPositions
+	default:
+		return halfHours
+	}
+}
+
+// StayPoint is a dwell region extracted from a trajectory: the object
+// stayed within Radius of Center for at least MinDwell.
+type StayPoint struct {
+	Center geo.Point
+	Start  time.Time
+	End    time.Time
+	Fixes  int
+}
+
+// StayPoints extracts dwell regions: maximal runs of consecutive fixes
+// within radius of the run's centroid lasting at least minDwell. Stay
+// points are the natural "positions" for check-in-style modeling of
+// continuous data (§3.1's discrete case).
+func (tr *Trajectory) StayPoints(radius float64, minDwell time.Duration) []StayPoint {
+	var out []StayPoint
+	fixes := tr.Fixes
+	i := 0
+	for i < len(fixes) {
+		j := i + 1
+		sumX, sumY := fixes[i].P.X, fixes[i].P.Y
+		for j < len(fixes) {
+			// Candidate centroid including fixes[j].
+			cx := (sumX + fixes[j].P.X) / float64(j-i+1)
+			cy := (sumY + fixes[j].P.Y) / float64(j-i+1)
+			c := geo.Point{X: cx, Y: cy}
+			ok := true
+			for k := i; k <= j; k++ {
+				if c.Dist(fixes[k].P) > radius {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			sumX += fixes[j].P.X
+			sumY += fixes[j].P.Y
+			j++
+		}
+		// Run is fixes[i:j].
+		if dwell := fixes[j-1].T.Sub(fixes[i].T); dwell >= minDwell && j-i >= 2 {
+			out = append(out, StayPoint{
+				Center: geo.Point{X: sumX / float64(j-i), Y: sumY / float64(j-i)},
+				Start:  fixes[i].T,
+				End:    fixes[j-1].T,
+				Fixes:  j - i,
+			})
+			i = j
+		} else {
+			i++
+		}
+	}
+	return out
+}
+
+// ObjectFromStayPoints converts a trajectory to a moving object whose
+// positions are its stay-point centers; it falls back to uniform
+// sampling at interval when no stay points qualify.
+func (tr *Trajectory) ObjectFromStayPoints(radius float64, minDwell time.Duration, fallback time.Duration) (*object.Object, error) {
+	sps := tr.StayPoints(radius, minDwell)
+	if len(sps) == 0 {
+		return tr.ToObject(fallback)
+	}
+	pts := make([]geo.Point, len(sps))
+	for i, sp := range sps {
+		pts[i] = sp.Center
+	}
+	return object.New(tr.ID, pts)
+}

@@ -1,0 +1,249 @@
+package trajectory
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pinocchio/internal/geo"
+)
+
+var t0 = time.Date(2016, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func fix(minutes int, x, y float64) Fix {
+	return Fix{T: t0.Add(time.Duration(minutes) * time.Minute), P: geo.Point{X: x, Y: y}}
+}
+
+func TestNewValidatesAndSorts(t *testing.T) {
+	if _, err := New(1, nil); !errors.Is(err, ErrTooFewFixes) {
+		t.Errorf("nil fixes: %v", err)
+	}
+	if _, err := New(1, []Fix{fix(0, 0, 0)}); !errors.Is(err, ErrTooFewFixes) {
+		t.Errorf("single fix: %v", err)
+	}
+	tr, err := New(1, []Fix{fix(60, 1, 1), fix(0, 0, 0), fix(30, 0.5, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tr.Fixes); i++ {
+		if tr.Fixes[i].T.Before(tr.Fixes[i-1].T) {
+			t.Fatal("fixes not sorted")
+		}
+	}
+	if tr.Duration() != time.Hour {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	// The input slice must not be mutated.
+	raw := []Fix{fix(60, 1, 1), fix(0, 0, 0)}
+	if _, err := New(2, raw); err != nil {
+		t.Fatal(err)
+	}
+	if !raw[0].T.Equal(t0.Add(time.Hour)) {
+		t.Error("New mutated its input")
+	}
+}
+
+func TestAtInterpolatesLinearly(t *testing.T) {
+	tr, _ := New(1, []Fix{fix(0, 0, 0), fix(60, 6, 0), fix(120, 6, 6)})
+	tests := []struct {
+		minutes int
+		want    geo.Point
+	}{
+		{-30, geo.Point{X: 0, Y: 0}}, // clamp before
+		{0, geo.Point{X: 0, Y: 0}},   // endpoint
+		{30, geo.Point{X: 3, Y: 0}},  // mid first segment
+		{60, geo.Point{X: 6, Y: 0}},  // joint
+		{90, geo.Point{X: 6, Y: 3}},  // mid second segment
+		{120, geo.Point{X: 6, Y: 6}}, // endpoint
+		{999, geo.Point{X: 6, Y: 6}}, // clamp after
+	}
+	for _, tt := range tests {
+		got := tr.At(t0.Add(time.Duration(tt.minutes) * time.Minute))
+		if got.Dist(tt.want) > 1e-9 {
+			t.Errorf("At(%d min) = %v, want %v", tt.minutes, got, tt.want)
+		}
+	}
+}
+
+func TestAtDuplicateTimestamps(t *testing.T) {
+	tr, _ := New(1, []Fix{fix(0, 0, 0), fix(0, 5, 5), fix(60, 10, 10)})
+	// Must not divide by zero on the zero-length segment.
+	got := tr.At(t0)
+	if got.Dist(geo.Point{X: 0, Y: 0}) > 1e-9 && got.Dist(geo.Point{X: 5, Y: 5}) > 1e-9 {
+		t.Errorf("At(duplicate ts) = %v", got)
+	}
+}
+
+func TestSampleUniformInterval(t *testing.T) {
+	tr, _ := New(1, []Fix{fix(0, 0, 0), fix(120, 12, 0)})
+	pts, err := tr.Sample(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 { // 0, 30, 60, 90, 120
+		t.Fatalf("samples = %d, want 5", len(pts))
+	}
+	for i, p := range pts {
+		want := float64(i) * 3
+		if p.X != want || p.Y != 0 {
+			t.Errorf("sample %d = %v, want (%v, 0)", i, p, want)
+		}
+	}
+	// Non-divisible span: last fix still included.
+	tr2, _ := New(2, []Fix{fix(0, 0, 0), fix(100, 10, 0)})
+	pts2, _ := tr2.Sample(30 * time.Minute)
+	last := pts2[len(pts2)-1]
+	if last.X != 10 {
+		t.Errorf("last sample %v should be the final fix", last)
+	}
+	if _, err := tr.Sample(0); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("zero interval: %v", err)
+	}
+	if _, err := tr.Sample(-time.Minute); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("negative interval: %v", err)
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	tr, _ := New(1, []Fix{fix(0, 0, 0), fix(60, 6, 0)})
+	pts, err := tr.SampleN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("samples = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[3].X != 6 {
+		t.Errorf("endpoints %v %v", pts[0], pts[3])
+	}
+	if pts[1].Dist(geo.Point{X: 2, Y: 0}) > 1e-9 {
+		t.Errorf("interior sample %v", pts[1])
+	}
+	if _, err := tr.SampleN(1); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestToObject(t *testing.T) {
+	tr, _ := New(7, []Fix{fix(0, 0, 0), fix(60, 6, 6)})
+	o, err := tr.ToObject(20 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ID != 7 {
+		t.Errorf("ID = %d", o.ID)
+	}
+	if o.N() != 4 { // 0, 20, 40, 60
+		t.Errorf("N = %d", o.N())
+	}
+	if !o.MBR().ContainsPoint(geo.Point{X: 3, Y: 3}) {
+		t.Errorf("MBR %v misses path midpoint", o.MBR())
+	}
+}
+
+func TestRecommendedPositions(t *testing.T) {
+	mk := func(minutes int) *Trajectory {
+		tr, _ := New(1, []Fix{fix(0, 0, 0), fix(minutes, 1, 1)})
+		return tr
+	}
+	tests := []struct {
+		minutes int
+		want    int
+	}{
+		{30, 2},        // very short: floor of 2
+		{5 * 60, 10},   // 10 half-hours, below the band
+		{24 * 60, 48},  // a day of half-hours caps the band
+		{100 * 60, 48}, // longer: capped at 48
+		{13 * 60, 26},  // inside the band
+	}
+	for _, tt := range tests {
+		if got := mk(tt.minutes).RecommendedPositions(); got != tt.want {
+			t.Errorf("%d min: RecommendedPositions = %d, want %d", tt.minutes, got, tt.want)
+		}
+	}
+}
+
+func TestStayPoints(t *testing.T) {
+	// Dwell at origin for 2h (5 fixes), commute, dwell at (10,10) for 1h.
+	fixes := []Fix{
+		fix(0, 0, 0), fix(30, 0.05, 0), fix(60, 0, 0.05), fix(90, 0.02, 0.02), fix(120, 0, 0),
+		fix(150, 5, 5), // in transit
+		fix(180, 10, 10), fix(210, 10.03, 10), fix(240, 10, 10.04),
+	}
+	tr, _ := New(1, fixes)
+	sps := tr.StayPoints(0.2, time.Hour)
+	if len(sps) != 2 {
+		t.Fatalf("stay points = %d, want 2", len(sps))
+	}
+	if sps[0].Center.Dist(geo.Point{X: 0, Y: 0}) > 0.1 {
+		t.Errorf("first stay center %v", sps[0].Center)
+	}
+	if sps[1].Center.Dist(geo.Point{X: 10, Y: 10}) > 0.1 {
+		t.Errorf("second stay center %v", sps[1].Center)
+	}
+	if sps[0].Fixes != 5 {
+		t.Errorf("first stay fixes = %d", sps[0].Fixes)
+	}
+	if got := sps[0].End.Sub(sps[0].Start); got != 2*time.Hour {
+		t.Errorf("first dwell = %v", got)
+	}
+	// Tight radius: no stay survives.
+	if got := tr.StayPoints(0.001, time.Hour); len(got) != 0 {
+		t.Errorf("tiny radius found %d stays", len(got))
+	}
+}
+
+func TestObjectFromStayPoints(t *testing.T) {
+	fixes := []Fix{
+		fix(0, 0, 0), fix(30, 0.05, 0), fix(60, 0, 0.05), fix(90, 0.02, 0.02),
+		fix(120, 8, 8), fix(121, 12, 0),
+	}
+	tr, _ := New(3, fixes)
+	o, err := tr.ObjectFromStayPoints(0.2, time.Hour, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.N() != 1 {
+		t.Fatalf("stay-point object N = %d, want 1", o.N())
+	}
+	// No qualifying stays: fallback to uniform sampling.
+	fast, _ := New(4, []Fix{fix(0, 0, 0), fix(60, 50, 50)})
+	o2, err := fast.ObjectFromStayPoints(0.2, time.Hour, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.N() != 3 { // 0, 30, 60 minutes
+		t.Errorf("fallback object N = %d, want 3", o2.N())
+	}
+}
+
+// TestSamplePreservesPath: samples always lie on the piecewise-linear
+// path (within its MBR and between consecutive fixes).
+func TestSamplePreservesPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		fixes := make([]Fix, n)
+		for i := range fixes {
+			fixes[i] = fix(i*17, rng.Float64()*100, rng.Float64()*100)
+		}
+		tr, err := New(trial, fixes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbr := geo.EmptyRect()
+		for _, f := range tr.Fixes {
+			mbr = mbr.ExtendPoint(f.P)
+		}
+		pts, err := tr.Sample(7 * time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if !mbr.Expand(1e-9).ContainsPoint(p) {
+				t.Fatalf("sample %v escapes fix MBR %v", p, mbr)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package pinocchio is a Go implementation of PINOCCHIO, the
+// probabilistic influence-based location-selection framework over
+// moving objects of Wang et al. (TKDE 2016 / ICDE 2017).
+//
+// Given a set of moving objects (each a set of positions, e.g.
+// check-ins), a set of candidate locations, a monotonically decreasing
+// distance-based probability function PF and a threshold τ, the
+// PRIME-LS problem asks for the candidate that influences the most
+// objects, where an object is influenced when its cumulative
+// probability 1 − Π(1 − PF(dist)) reaches τ.
+//
+// The package exposes the paper's algorithms directly:
+//
+//   - Select — PINOCCHIO-VO (Algorithm 3), the fastest exact solver;
+//   - SelectPinocchio — PINOCCHIO (Algorithm 2), which additionally
+//     yields the exact influence of every candidate;
+//   - SelectNaive — the exhaustive NA baseline;
+//   - TopK / RankAll — influence rankings for recommendation-style use.
+//
+// See the examples directory for runnable scenarios and DESIGN.md for
+// the architecture and the reproduction of the paper's evaluation.
+package pinocchio
+
+import (
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// Point is a planar position (kilometres in the examples, but any
+// consistent unit works as long as the probability function agrees).
+type Point = geo.Point
+
+// Rect is an axis-aligned rectangle (MBR).
+type Rect = geo.Rect
+
+// LatLon is a geographic coordinate; use NewProjection to map
+// real-world data into the planar frame.
+type LatLon = geo.LatLon
+
+// Projection maps geographic coordinates to the planar frame.
+type Projection = geo.Projection
+
+// NewProjection returns a local equirectangular projection centered at
+// origin.
+func NewProjection(origin LatLon) *Projection { return geo.NewProjection(origin) }
+
+// Object is a moving object: an ID plus its set of positions.
+type Object = object.Object
+
+// NewObject builds a moving object from its positions; it fails when
+// positions is empty.
+func NewObject(id int, positions []Point) (*Object, error) {
+	return object.New(id, positions)
+}
+
+// ProbabilityFunc is the distance-based influence probability PF.
+type ProbabilityFunc = probfn.Func
+
+// PowerLawPF returns the paper's default check-in probability model
+// Pr(d) = ρ·(d0/(d0+d))^λ. The paper's defaults are ρ=0.9, d0=1,
+// λ=1.
+func PowerLawPF(rho, d0, lambda float64) (ProbabilityFunc, error) {
+	return probfn.NewPowerLaw(rho, d0, lambda)
+}
+
+// DefaultPF returns the default power-law PF (ρ=0.9, d0=1, λ=1).
+func DefaultPF() ProbabilityFunc { return probfn.DefaultPowerLaw() }
+
+// CustomPF adapts any monotone non-increasing probability function;
+// its inverse is computed numerically over [0, maxDist].
+func CustomPF(label string, fn func(d float64) float64, maxDist float64) ProbabilityFunc {
+	return probfn.Inverted{ProbFn: fn, MaxDist: maxDist, Label: label}
+}
+
+// Problem is a PRIME-LS instance.
+type Problem = core.Problem
+
+// Result reports the selected location and work counters.
+type Result = core.Result
+
+// Stats holds the instrumentation counters of a run.
+type Stats = core.Stats
+
+// Ranked pairs a candidate index with its exact influence.
+type Ranked = core.Ranked
+
+// Select solves the PRIME-LS instance with PINOCCHIO-VO (Algorithm 3),
+// the recommended solver: minMaxRadius pruning plus bound-ordered
+// validation with early stopping.
+func Select(p *Problem) (*Result, error) { return core.PinocchioVO(p) }
+
+// SelectPinocchio solves with PINOCCHIO (Algorithm 2); slower than
+// Select but Result.Influences holds the exact influence of every
+// candidate.
+func SelectPinocchio(p *Problem) (*Result, error) { return core.Pinocchio(p) }
+
+// SelectNaive solves by exhaustive enumeration (the NA baseline).
+func SelectNaive(p *Problem) (*Result, error) { return core.NA(p) }
+
+// RankAll returns every candidate with its exact influence, sorted
+// descending.
+func RankAll(p *Problem) ([]Ranked, error) { return core.RankAll(p) }
+
+// TopK returns the indices of the k most influential candidates.
+func TopK(p *Problem, k int) ([]int, error) { return core.TopK(p, k) }
+
+// MinMaxRadius exposes the paper's distance measure (Definition 5):
+// the radius within which n positions guarantee influence at
+// threshold tau, and outside which influence is impossible.
+func MinMaxRadius(pf ProbabilityFunc, tau float64, n int) float64 {
+	return object.MinMaxRadius(pf, tau, n)
+}
+
+// Dataset is a check-in workload (synthetic or loaded from CSV).
+type Dataset = dataset.Dataset
+
+// DatasetConfig parameterizes the synthetic check-in generator.
+type DatasetConfig = dataset.Config
+
+// FoursquareLike returns the generator preset calibrated to the
+// paper's Foursquare (Singapore) dataset statistics.
+func FoursquareLike() DatasetConfig { return dataset.FoursquareLike() }
+
+// GowallaLike returns the generator preset calibrated to the paper's
+// Gowalla (California) dataset statistics.
+func GowallaLike() DatasetConfig { return dataset.GowallaLike() }
+
+// GenerateDataset builds a deterministic synthetic check-in dataset.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// SelectTopT certifies the t most influential candidates (sorted by
+// influence descending) without computing exact influence for the
+// dominated rest — the top-t generalization of PINOCCHIO-VO.
+func SelectTopT(p *Problem, t int) ([]Ranked, error) {
+	ranked, _, err := core.PinocchioVOTopT(p, t)
+	return ranked, err
+}
+
+// SelectParallel solves with the data-parallel PINOCCHIO across the
+// given number of workers (0 selects GOMAXPROCS). Results are
+// identical to SelectPinocchio.
+func SelectParallel(p *Problem, workers int) (*Result, error) {
+	return core.PinocchioParallel(p, workers)
+}

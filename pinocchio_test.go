@@ -1,0 +1,179 @@
+package pinocchio_test
+
+import (
+	"math"
+	"testing"
+
+	"pinocchio"
+)
+
+func TestPublicAPISelect(t *testing.T) {
+	a, err := pinocchio.NewObject(1, []pinocchio.Point{{X: 0, Y: 0}, {X: 1, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pinocchio.NewObject(2, []pinocchio.Point{{X: 10, Y: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	problem := &pinocchio.Problem{
+		Objects:    []*pinocchio.Object{a, b},
+		Candidates: []pinocchio.Point{{X: 0.5, Y: 0}, {X: 10, Y: 10}, {X: 50, Y: 50}},
+		PF:         pinocchio.DefaultPF(),
+		Tau:        0.7,
+	}
+	for name, solve := range map[string]func(*pinocchio.Problem) (*pinocchio.Result, error){
+		"Select":          pinocchio.Select,
+		"SelectPinocchio": pinocchio.SelectPinocchio,
+		"SelectNaive":     pinocchio.SelectNaive,
+	} {
+		res, err := solve(problem)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.BestInfluence != 1 {
+			t.Errorf("%s: best influence %d, want 1", name, res.BestInfluence)
+		}
+		if res.BestIndex == 2 {
+			t.Errorf("%s: picked the far candidate", name)
+		}
+	}
+
+	ranked, err := pinocchio.RankAll(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("RankAll returned %d", len(ranked))
+	}
+	if ranked[2].Influence != 0 {
+		t.Errorf("far candidate should influence nobody, got %d", ranked[2].Influence)
+	}
+	top, err := pinocchio.TopK(problem, 2)
+	if err != nil || len(top) != 2 {
+		t.Fatalf("TopK: %v, %v", top, err)
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := pinocchio.NewObject(1, nil); err == nil {
+		t.Error("NewObject with no positions should fail")
+	}
+	if _, err := pinocchio.Select(&pinocchio.Problem{}); err == nil {
+		t.Error("empty problem should fail")
+	}
+	if _, err := pinocchio.PowerLawPF(2, 1, 1); err == nil {
+		t.Error("invalid PF params should fail")
+	}
+}
+
+func TestPublicAPIMinMaxRadius(t *testing.T) {
+	pf := pinocchio.DefaultPF()
+	// n = 1 degenerates to the classical PF⁻¹(τ).
+	if got, want := pinocchio.MinMaxRadius(pf, 0.7, 1), 0.9/0.7-1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinMaxRadius = %v, want %v", got, want)
+	}
+	if pinocchio.MinMaxRadius(pf, 0.7, 10) <= pinocchio.MinMaxRadius(pf, 0.7, 1) {
+		t.Error("radius should grow with n")
+	}
+}
+
+func TestPublicAPICustomPF(t *testing.T) {
+	pf := pinocchio.CustomPF("step-ish", func(d float64) float64 {
+		return 0.8 / (1 + d*d)
+	}, 1000)
+	if pf.Name() != "step-ish" {
+		t.Errorf("Name = %q", pf.Name())
+	}
+	o, _ := pinocchio.NewObject(1, []pinocchio.Point{{X: 0, Y: 0}})
+	problem := &pinocchio.Problem{
+		Objects:    []*pinocchio.Object{o},
+		Candidates: []pinocchio.Point{{X: 0.1, Y: 0}},
+		PF:         pf,
+		Tau:        0.5,
+	}
+	res, err := pinocchio.Select(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestInfluence != 1 {
+		t.Errorf("custom PF influence = %d", res.BestInfluence)
+	}
+}
+
+func TestPublicAPIProjection(t *testing.T) {
+	pr := pinocchio.NewProjection(pinocchio.LatLon{Lat: 1.35, Lon: 103.82})
+	p := pr.ToPlane(pinocchio.LatLon{Lat: 1.36, Lon: 103.83})
+	if p.X == 0 && p.Y == 0 {
+		t.Error("distinct coordinate should project away from origin")
+	}
+	back := pr.ToLatLon(p)
+	if math.Abs(back.Lat-1.36) > 1e-9 || math.Abs(back.Lon-103.83) > 1e-9 {
+		t.Errorf("round trip drifted: %v", back)
+	}
+}
+
+func TestPublicAPIDataset(t *testing.T) {
+	cfg := pinocchio.FoursquareLike()
+	cfg.Users = 50
+	cfg.Venues = 100
+	cfg.MeanCheckins = 10
+	cfg.MaxCheckins = 50
+	ds, err := pinocchio.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) != 50 {
+		t.Errorf("objects = %d", len(ds.Objects))
+	}
+	if _, err := pinocchio.GenerateDataset(pinocchio.DatasetConfig{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	if pinocchio.GowallaLike().Users <= cfg.Users {
+		t.Error("GowallaLike should be the larger preset")
+	}
+}
+
+func TestPublicAPITopTAndParallel(t *testing.T) {
+	var objs []*pinocchio.Object
+	for i := 0; i < 20; i++ {
+		o, err := pinocchio.NewObject(i, []pinocchio.Point{
+			{X: float64(i % 5), Y: float64(i % 3)},
+			{X: float64(i%5) + 0.2, Y: float64(i % 3)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	problem := &pinocchio.Problem{
+		Objects: objs,
+		Candidates: []pinocchio.Point{
+			{X: 0, Y: 0}, {X: 2, Y: 1}, {X: 4, Y: 2}, {X: 50, Y: 50},
+		},
+		PF:  pinocchio.DefaultPF(),
+		Tau: 0.7,
+	}
+	exact, err := pinocchio.RankAll(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := pinocchio.SelectTopT(problem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != exact[0] || top[1] != exact[1] {
+		t.Errorf("SelectTopT = %v, want prefix of %v", top, exact[:2])
+	}
+	par, err := pinocchio.SelectParallel(problem, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := pinocchio.SelectPinocchio(problem)
+	if par.BestIndex != seq.BestIndex || par.BestInfluence != seq.BestInfluence {
+		t.Errorf("SelectParallel diverged: %v vs %v", par.BestIndex, seq.BestIndex)
+	}
+	if _, err := pinocchio.SelectTopT(problem, 0); err == nil {
+		t.Error("t=0 should error")
+	}
+}
