@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race bench bench-snapshot ci fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the checked-in benchmark snapshot (BENCH_PR1.json).
+bench-snapshot:
+	$(GO) run ./cmd/experiments -bench BENCH_PR1.json -seed 7
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+ci:
+	sh scripts/ci.sh

@@ -22,6 +22,7 @@ import (
 	"pinocchio/internal/dynamic"
 	"pinocchio/internal/experiments"
 	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 )
 
@@ -383,6 +384,45 @@ func BenchmarkTopT(b *testing.B) {
 	b.Run("rank-all", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.RankAll(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsOverhead guards the observability layer's zero-cost
+// claim: PINOCCHIO with instrumentation off (nil span, metrics
+// disabled) must stay within noise of the pre-instrumentation
+// baseline, and the sub-benches show what tracing and metric
+// recording actually cost when switched on.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := benchProblem(b)
+	b.Run("disabled", func(b *testing.B) {
+		obs.Disable()
+		p.Obs = nil
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Pinocchio(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		obs.Disable()
+		defer func() { p.Obs = nil }()
+		for i := 0; i < b.N; i++ {
+			p.Obs = obs.NewSpan("query")
+			if _, err := core.Pinocchio(p); err != nil {
+				b.Fatal(err)
+			}
+			p.Obs.End()
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		obs.Enable()
+		defer obs.Disable()
+		p.Obs = nil
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Pinocchio(p); err != nil {
 				b.Fatal(err)
 			}
 		}

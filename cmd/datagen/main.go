@@ -9,19 +9,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"pinocchio/internal/dataset"
+	"pinocchio/internal/obs"
 )
 
 func main() {
 	var (
-		preset = flag.String("preset", "foursquare", "dataset preset: foursquare or gowalla")
-		scale  = flag.Float64("scale", 1.0, "size factor in (0, 1]")
-		seed   = flag.Int64("seed", 0, "seed offset added to the preset seed")
-		out    = flag.String("out", "", "output CSV path (default stdout)")
+		preset   = flag.String("preset", "foursquare", "dataset preset: foursquare or gowalla")
+		scale    = flag.Float64("scale", 1.0, "size factor in (0, 1]")
+		seed     = flag.Int64("seed", 0, "seed offset added to the preset seed")
+		out      = flag.String("out", "", "output CSV path (default stdout)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	if _, err := obs.InitLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
 
 	if err := run(*preset, *scale, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
@@ -59,7 +68,7 @@ func run(preset string, scale float64, seed int64, out string) error {
 	if err := ds.WriteCSV(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "datagen: %s — %d users, %d venues, %d check-ins\n",
-		ds.Name, len(ds.Objects), len(ds.Venues), ds.TotalCheckIns())
+	slog.Info("dataset written", "name", ds.Name, "users", len(ds.Objects),
+		"venues", len(ds.Venues), "check_ins", ds.TotalCheckIns())
 	return nil
 }

@@ -11,26 +11,80 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"pinocchio/internal/experiments"
+	"pinocchio/internal/obs"
 )
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.2, "dataset size factor in (0, 1]")
-		seed  = flag.Int64("seed", 2, "environment seed")
-		only  = flag.String("only", "", "comma-separated subset: precision,fig8,...,fig16 (default all)")
+		scale      = flag.Float64("scale", 0.2, "dataset size factor in (0, 1]")
+		seed       = flag.Int64("seed", 2, "environment seed")
+		only       = flag.String("only", "", "comma-separated subset: precision,fig8,...,fig16 (default all)")
+		bench      = flag.String("bench", "", "skip the suite; write a bench snapshot (BENCH_*.json) to this path")
+		benchIters = flag.Int("bench-iters", 3, "timed runs per algorithm for -bench")
+		benchScale = flag.Float64("bench-scale", 0, "dataset scale for -bench (0 = snapshot default)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 
+	if _, err := obs.InitLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.StartServer(*obsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
+
+	if *bench != "" {
+		if err := runBench(*bench, *benchScale, *benchIters, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*scale, *seed, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench emits the machine-readable benchmark snapshot and prints a
+// one-line summary per algorithm.
+func runBench(path string, scale float64, iters int, seed int64) error {
+	cfg := experiments.DefaultBenchConfig()
+	cfg.Seed = seed
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	if iters > 0 {
+		cfg.Iterations = iters
+	}
+	snap, err := experiments.WriteBenchSnapshot(path, cfg)
+	if err != nil {
+		return err
+	}
+	for _, a := range snap.Algorithms {
+		phases, _ := json.Marshal(a.PhasesMs)
+		slog.Info("bench", "algo", a.Algorithm, "wall_ms", fmt.Sprintf("%.2f", a.WallMs),
+			"prune_ratio", fmt.Sprintf("%.3f", a.PruneRatio), "phases_ms", string(phases))
+	}
+	fmt.Printf("wrote %s (%d algorithms, %d objects × %d candidates)\n",
+		path, len(snap.Algorithms), snap.Objects, snap.Candidates)
+	return nil
 }
 
 func run(scale float64, seed int64, only string) error {

@@ -5,64 +5,162 @@
 // Usage:
 //
 //	pinocchio -data checkins.csv -candidates 600 -tau 0.7 -algo pin-vo -topk 10
+//
+// Observability: -json emits the result as one JSON object, -trace
+// writes the query's span tree, and -obs-addr serves /metrics,
+// /debug/vars and /debug/pprof/ while the query runs (the process
+// then stays up until interrupted so the endpoints can be scraped).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pinocchio/internal/core"
 	"pinocchio/internal/dataset"
+	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 )
 
+// options collects everything run needs, so tests can call it without
+// going through flag parsing.
+type options struct {
+	dataPath   string
+	candidates int
+	tau        float64
+	rho        float64
+	lambda     float64
+	algo       string
+	workers    int
+	topK       int
+	seed       int64
+	jsonOut    bool
+	tracePath  string
+	out        io.Writer // defaults to os.Stdout
+}
+
 func main() {
-	var (
-		dataPath = flag.String("data", "", "check-in CSV (from datagen); empty generates a small foursquare-like dataset")
-		m        = flag.Int("candidates", 600, "number of candidate locations sampled from venues")
-		tau      = flag.Float64("tau", 0.7, "influence probability threshold in (0,1)")
-		rho      = flag.Float64("rho", 0.9, "power-law PF behavior factor")
-		lambda   = flag.Float64("lambda", 1.0, "power-law PF decay factor")
-		algo     = flag.String("algo", "pin-vo", "algorithm: na, pin, pin-vo, pin-vo*, pin-par")
-		workers  = flag.Int("workers", 0, "worker count for pin-par (0 = GOMAXPROCS)")
-		topK     = flag.Int("topk", 0, "also report the top-K most influential candidates (uses PIN)")
-		seed     = flag.Int64("seed", 1, "candidate sampling seed")
-	)
+	var opts options
+	flag.StringVar(&opts.dataPath, "data", "", "check-in CSV (from datagen); empty generates a small foursquare-like dataset")
+	flag.IntVar(&opts.candidates, "candidates", 600, "number of candidate locations sampled from venues")
+	flag.Float64Var(&opts.tau, "tau", 0.7, "influence probability threshold in (0,1)")
+	flag.Float64Var(&opts.rho, "rho", 0.9, "power-law PF behavior factor")
+	flag.Float64Var(&opts.lambda, "lambda", 1.0, "power-law PF decay factor")
+	flag.StringVar(&opts.algo, "algo", "pin-vo", "algorithm: na, pin, pin-vo, pin-vo*, pin-par")
+	flag.IntVar(&opts.workers, "workers", 0, "worker count for pin-par (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.topK, "topk", 0, "also report the top-K most influential candidates (uses PIN)")
+	flag.Int64Var(&opts.seed, "seed", 1, "candidate sampling seed")
+	flag.BoolVar(&opts.jsonOut, "json", false, "print the result as a single JSON object")
+	flag.StringVar(&opts.tracePath, "trace", "", "write the query's span tree as JSON to this file")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
-	if err := run(*dataPath, *m, *tau, *rho, *lambda, *algo, *topK, *seed, *workers); err != nil {
+	if _, err := obs.InitLogging(os.Stderr, *logLevel, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "pinocchio:", err)
 		os.Exit(1)
 	}
+
+	var srv *obs.Server
+	if *obsAddr != "" {
+		var err error
+		srv, err = obs.StartServer(*obsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pinocchio:", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "pinocchio:", err)
+		os.Exit(1)
+	}
+
+	if srv != nil {
+		slog.Info("query done; serving observability endpoints until interrupted",
+			"addr", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
+	}
 }
 
-func run(dataPath string, m int, tau, rho, lambda float64, algo string, topK int, seed int64, workers int) error {
-	ds, err := loadOrGenerate(dataPath)
+// jsonOutput is the -json shape: the winner, the full influence list
+// when the algorithm computes one, the work counters and the phase
+// breakdown from the query's span tree.
+type jsonOutput struct {
+	Dataset       string             `json:"dataset"`
+	Objects       int                `json:"objects"`
+	Venues        int                `json:"venues"`
+	CheckIns      int                `json:"check_ins"`
+	Algorithm     string             `json:"algorithm"`
+	Candidates    int                `json:"candidates"`
+	Tau           float64            `json:"tau"`
+	Seed          int64              `json:"seed"`
+	BestIndex     int                `json:"best_index"`
+	BestX         float64            `json:"best_x"`
+	BestY         float64            `json:"best_y"`
+	BestInfluence int                `json:"best_influence"`
+	ElapsedMs     float64            `json:"elapsed_ms"`
+	PhasesMs      map[string]float64 `json:"phases_ms,omitempty"`
+	Stats         core.Stats         `json:"stats"`
+	PruneRatio    float64            `json:"prune_ratio"`
+	Influences    []int              `json:"influences,omitempty"`
+	TopK          []jsonRanked       `json:"top_k,omitempty"`
+}
+
+// jsonRanked is one -topk row in the JSON output.
+type jsonRanked struct {
+	Index     int     `json:"index"`
+	X         float64 `json:"x"`
+	Y         float64 `json:"y"`
+	Influence int     `json:"influence"`
+	Truth     int     `json:"truth"`
+}
+
+func run(opts options) error {
+	out := opts.out
+	if out == nil {
+		out = os.Stdout
+	}
+	ds, err := loadOrGenerate(opts.dataPath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dataset %s: %d objects, %d venues, %d check-ins\n",
-		ds.Name, len(ds.Objects), len(ds.Venues), ds.TotalCheckIns())
+	slog.Debug("dataset loaded", "name", ds.Name,
+		"objects", len(ds.Objects), "venues", len(ds.Venues))
+	if !opts.jsonOut {
+		fmt.Fprintf(out, "dataset %s: %d objects, %d venues, %d check-ins\n",
+			ds.Name, len(ds.Objects), len(ds.Venues), ds.TotalCheckIns())
+	}
 
+	m := opts.candidates
 	if m > len(ds.Venues) {
 		m = len(ds.Venues)
 	}
-	cs, err := dataset.SampleCandidates(ds, m, rand.New(rand.NewSource(seed)))
+	cs, err := dataset.SampleCandidates(ds, m, rand.New(rand.NewSource(opts.seed)))
 	if err != nil {
 		return err
 	}
-	pf, err := probfn.NewPowerLaw(rho, 1.0, lambda)
+	pf, err := probfn.NewPowerLaw(opts.rho, 1.0, opts.lambda)
 	if err != nil {
 		return err
 	}
-	p := &core.Problem{Objects: ds.Objects, Candidates: cs.Points, PF: pf, Tau: tau}
+	root := obs.NewSpan("query")
+	p := &core.Problem{Objects: ds.Objects, Candidates: cs.Points, PF: pf, Tau: opts.tau, Obs: root}
 
-	solve := func() (*core.Result, error) { return nil, fmt.Errorf("unknown algorithm %q", algo) }
-	label := algo
-	switch algo {
+	solve := func() (*core.Result, error) { return nil, fmt.Errorf("unknown algorithm %q", opts.algo) }
+	switch opts.algo {
 	case "na":
 		solve = func() (*core.Result, error) { return core.Solve(core.AlgNA, p) }
 	case "pin":
@@ -72,7 +170,7 @@ func run(dataPath string, m int, tau, rho, lambda float64, algo string, topK int
 	case "pin-vo*":
 		solve = func() (*core.Result, error) { return core.Solve(core.AlgPinocchioVOStar, p) }
 	case "pin-par":
-		solve = func() (*core.Result, error) { return core.PinocchioParallel(p, workers) }
+		solve = func() (*core.Result, error) { return core.PinocchioParallel(p, opts.workers) }
 	}
 
 	start := time.Now()
@@ -81,27 +179,77 @@ func run(dataPath string, m int, tau, rho, lambda float64, algo string, topK int
 		return err
 	}
 	elapsed := time.Since(start)
+	root.End()
 
-	best := cs.Points[res.BestIndex]
-	fmt.Printf("%s selected candidate #%d at (%.3f, %.3f) km\n", label, res.BestIndex, best.X, best.Y)
-	fmt.Printf("  influence: %d of %d objects (%.1f%%)\n",
-		res.BestInfluence, len(ds.Objects), 100*float64(res.BestInfluence)/float64(len(ds.Objects)))
-	fmt.Printf("  elapsed: %v\n", elapsed)
-	fmt.Printf("  %v (pruned %.1f%% of pairs)\n", res.Stats, 100*res.Stats.PruneRatio())
-
-	if topK > 0 {
-		ranked, err := core.RankAll(p)
+	var ranked []core.Ranked
+	if opts.topK > 0 {
+		p.Obs = nil // keep the ranking pass out of the query's span tree
+		ranked, err = core.RankAll(p)
 		if err != nil {
 			return err
 		}
-		if topK > len(ranked) {
-			topK = len(ranked)
+		if opts.topK > len(ranked) {
+			opts.topK = len(ranked)
 		}
-		fmt.Printf("top-%d candidates by influence:\n", topK)
-		for i := 0; i < topK; i++ {
-			r := ranked[i]
+		ranked = ranked[:opts.topK]
+	}
+
+	if opts.tracePath != "" {
+		data, err := json.MarshalIndent(root, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.tracePath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		slog.Info("trace written", "path", opts.tracePath)
+	}
+
+	if opts.jsonOut {
+		best := cs.Points[res.BestIndex]
+		jo := jsonOutput{
+			Dataset:       ds.Name,
+			Objects:       len(ds.Objects),
+			Venues:        len(ds.Venues),
+			CheckIns:      ds.TotalCheckIns(),
+			Algorithm:     opts.algo,
+			Candidates:    len(cs.Points),
+			Tau:           opts.tau,
+			Seed:          opts.seed,
+			BestIndex:     res.BestIndex,
+			BestX:         best.X,
+			BestY:         best.Y,
+			BestInfluence: res.BestInfluence,
+			ElapsedMs:     float64(elapsed) / float64(time.Millisecond),
+			PhasesMs:      obs.PhaseMillis(root),
+			Stats:         res.Stats,
+			PruneRatio:    res.Stats.PruneRatio(),
+			Influences:    res.Influences,
+		}
+		for _, r := range ranked {
 			pt := cs.Points[r.Index]
-			fmt.Printf("  %2d. #%d at (%.3f, %.3f): inf=%d, ground-truth visitors=%d\n",
+			jo.TopK = append(jo.TopK, jsonRanked{
+				Index: r.Index, X: pt.X, Y: pt.Y,
+				Influence: r.Influence, Truth: cs.Truth[r.Index],
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jo)
+	}
+
+	best := cs.Points[res.BestIndex]
+	fmt.Fprintf(out, "%s selected candidate #%d at (%.3f, %.3f) km\n", opts.algo, res.BestIndex, best.X, best.Y)
+	fmt.Fprintf(out, "  influence: %d of %d objects (%.1f%%)\n",
+		res.BestInfluence, len(ds.Objects), 100*float64(res.BestInfluence)/float64(len(ds.Objects)))
+	fmt.Fprintf(out, "  elapsed: %v\n", elapsed)
+	fmt.Fprintf(out, "  %v (pruned %.1f%% of pairs)\n", res.Stats, 100*res.Stats.PruneRatio())
+
+	if len(ranked) > 0 {
+		fmt.Fprintf(out, "top-%d candidates by influence:\n", len(ranked))
+		for i, r := range ranked {
+			pt := cs.Points[r.Index]
+			fmt.Fprintf(out, "  %2d. #%d at (%.3f, %.3f): inf=%d, ground-truth visitors=%d\n",
 				i+1, r.Index, pt.X, pt.Y, r.Influence, cs.Truth[r.Index])
 		}
 	}

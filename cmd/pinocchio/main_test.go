@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"pinocchio/internal/dataset"
+	"pinocchio/internal/obs"
 )
 
 // writeSmallDataset generates a small CSV for the CLI tests.
@@ -29,43 +32,135 @@ func writeSmallDataset(t *testing.T) string {
 	return path
 }
 
+// defaultOpts returns CLI defaults pointed at path, output discarded.
+func defaultOpts(path string) options {
+	return options{
+		dataPath:   path,
+		candidates: 40,
+		tau:        0.7,
+		rho:        0.9,
+		lambda:     1.0,
+		algo:       "pin-vo",
+		seed:       1,
+		out:        new(bytes.Buffer),
+	}
+}
+
 func TestRunAllAlgorithms(t *testing.T) {
 	path := writeSmallDataset(t)
 	for _, algo := range []string{"na", "pin", "pin-vo", "pin-vo*", "pin-par"} {
-		if err := run(path, 40, 0.7, 0.9, 1.0, algo, 0, 1, 2); err != nil {
+		opts := defaultOpts(path)
+		opts.algo = algo
+		opts.workers = 2
+		if err := run(opts); err != nil {
 			t.Errorf("algo %q: %v", algo, err)
 		}
 	}
-	if err := run(path, 40, 0.7, 0.9, 1.0, "quantum", 0, 1, 0); err == nil ||
-		!strings.Contains(err.Error(), "unknown algorithm") {
+	opts := defaultOpts(path)
+	opts.algo = "quantum"
+	if err := run(opts); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
 		t.Errorf("unknown algorithm: %v", err)
 	}
 }
 
 func TestRunTopK(t *testing.T) {
 	path := writeSmallDataset(t)
-	if err := run(path, 30, 0.7, 0.9, 1.0, "pin-vo", 5, 1, 0); err != nil {
+	opts := defaultOpts(path)
+	opts.candidates = 30
+	opts.topK = 5
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGeneratedFallback(t *testing.T) {
 	// Empty path generates a dataset instead of loading.
-	if err := run("", 30, 0.5, 0.9, 1.0, "pin-vo", 0, 1, 0); err != nil {
+	opts := defaultOpts("")
+	opts.candidates = 30
+	opts.tau = 0.5
+	if err := run(opts); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/does/not/exist.csv", 30, 0.7, 0.9, 1.0, "pin-vo", 0, 1, 0); err == nil {
+	opts := defaultOpts("/does/not/exist.csv")
+	if err := run(opts); err == nil {
 		t.Error("missing file should error")
 	}
 	path := writeSmallDataset(t)
-	if err := run(path, 30, 0.7, 2.0, 1.0, "pin-vo", 0, 1, 0); err == nil {
+	opts = defaultOpts(path)
+	opts.rho = 2.0
+	if err := run(opts); err == nil {
 		t.Error("invalid rho should error")
 	}
 	// More candidates than venues clamps instead of failing.
-	if err := run(path, 1_000_000, 0.7, 0.9, 1.0, "pin-vo", 0, 1, 0); err != nil {
+	opts = defaultOpts(path)
+	opts.candidates = 1_000_000
+	if err := run(opts); err != nil {
 		t.Errorf("clamped candidates: %v", err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeSmallDataset(t)
+	var buf bytes.Buffer
+	opts := defaultOpts(path)
+	opts.algo = "pin"
+	opts.topK = 3
+	opts.jsonOut = true
+	opts.out = &buf
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	var jo jsonOutput
+	if err := json.Unmarshal(buf.Bytes(), &jo); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if jo.Algorithm != "pin" || jo.BestInfluence <= 0 {
+		t.Fatalf("unexpected output: %+v", jo)
+	}
+	if len(jo.Influences) != jo.Candidates {
+		t.Errorf("influences: %d of %d", len(jo.Influences), jo.Candidates)
+	}
+	if len(jo.TopK) != 3 {
+		t.Errorf("top_k: %d", len(jo.TopK))
+	}
+	if jo.PhasesMs["prune"] <= 0 || jo.PhasesMs["validate"] <= 0 {
+		t.Errorf("phase breakdown missing prune/validate: %v", jo.PhasesMs)
+	}
+	if jo.Stats.PairsTotal == 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := writeSmallDataset(t)
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	opts := defaultOpts(path)
+	opts.algo = "pin"
+	opts.tracePath = trace
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sj obs.SpanJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if sj.Name != "query" || len(sj.Children) == 0 {
+		t.Fatalf("unexpected trace root: %+v", sj)
+	}
+	phases := map[string]int64{}
+	for _, c := range sj.Children {
+		phases[c.Name] += c.DurationNS
+	}
+	for _, want := range []string{"prune", "validate"} {
+		if phases[want] <= 0 {
+			t.Errorf("trace phase %q duration = %d ns", want, phases[want])
+		}
 	}
 }

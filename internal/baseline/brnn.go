@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
@@ -30,6 +31,7 @@ func BRNNVotes(objects []*object.Object, candidates []geo.Point, fanout int) ([]
 	if len(objects) == 0 || len(candidates) == 0 {
 		return nil, ErrEmptyInput
 	}
+	defer finishBaseline("brnn", time.Now())
 	items := make([]rtree.Item, len(candidates))
 	for i, c := range candidates {
 		items[i] = rtree.Item{Point: c, ID: i}
@@ -120,6 +122,7 @@ func BRkNNVotes(objects []*object.Object, candidates []geo.Point, fanout, k int)
 	if k < 1 {
 		return nil, fmt.Errorf("baseline: k must be at least 1, got %d", k)
 	}
+	defer finishBaseline("brknn", time.Now())
 	items := make([]rtree.Item, len(candidates))
 	for i, c := range candidates {
 		items[i] = rtree.Item{Point: c, ID: i}

@@ -1,0 +1,27 @@
+package baseline
+
+import (
+	"time"
+
+	"pinocchio/internal/obs"
+)
+
+// Metric names for the comparison baselines (catalogue in DESIGN.md
+// §6); kind labels the semantics ("brnn", "brknn", "range").
+const (
+	mBaselineQueries = "pinocchio_baseline_queries_total"
+	mBaselineSeconds = "pinocchio_baseline_query_seconds"
+)
+
+// finishBaseline folds one baseline scoring pass into the default
+// registry when metric recording is on.
+func finishBaseline(kind string, start time.Time) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	lbl := obs.Labels{"kind": kind}
+	r.Counter(mBaselineQueries, "Baseline scoring passes.", lbl).Inc()
+	r.Histogram(mBaselineSeconds, "Baseline scoring wall time in seconds.",
+		obs.DefBuckets, lbl).Observe(time.Since(start).Seconds())
+}

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"time"
 
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
@@ -52,6 +53,7 @@ func RangeScores(objects []*object.Object, candidates []geo.Point, rp RangeParam
 	if err := rp.Validate(); err != nil {
 		return nil, err
 	}
+	defer finishBaseline("range", time.Now())
 	items := make([]rtree.Item, len(candidates))
 	for i, c := range candidates {
 		items[i] = rtree.Item{Point: c, ID: i}

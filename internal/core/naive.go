@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // NA is the exhaustive baseline of §6.1: it computes the cumulative
 // influence probability for every object/candidate pair and returns
 // the most influential candidate. Its cost is Θ(m·r·n̄) position
@@ -8,11 +10,13 @@ func NA(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	r := len(p.Objects)
 	m := len(p.Candidates)
 	res := &Result{Influences: make([]int, m)}
 	res.Stats.PairsTotal = int64(r) * int64(m)
 
+	valSp := p.Obs.Child("validate")
 	for j, c := range p.Candidates {
 		for _, o := range p.Objects {
 			res.Stats.Validated++
@@ -21,7 +25,9 @@ func NA(p *Problem) (*Result, error) {
 			}
 		}
 	}
+	valSp.End()
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	finishSolve(p.Obs, AlgNA.String(), start, &res.Stats)
 	return res, nil
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"time"
+
+	"pinocchio/internal/obs"
+)
+
+// Metric names exported by the solvers (catalogue in DESIGN.md §6).
+// All pair/probe counters carry an algo label so per-algorithm cost
+// profiles can be compared on one scrape.
+const (
+	mQueries    = "pinocchio_queries_total"
+	mQuerySecs  = "pinocchio_query_seconds"
+	mPairs      = "pinocchio_pairs_total"
+	mPrunedIA   = "pinocchio_pairs_pruned_ia_total"
+	mPrunedNIB  = "pinocchio_pairs_pruned_nib_total"
+	mValidated  = "pinocchio_pairs_validated_total"
+	mSkipped    = "pinocchio_pairs_skipped_bounds_total"
+	mProbes     = "pinocchio_position_probes_total"
+	mEarlyStops = "pinocchio_early_stops_total"
+	mHeapPops   = "pinocchio_heap_pops_total"
+	mPruneRatio = "pinocchio_last_prune_ratio"
+)
+
+// finishSolve closes out one solver run: it annotates the query's
+// root span with the work counters and, when metric recording is on,
+// folds the run into the default registry. start is taken before the
+// algorithm's first phase; the two time.Now calls per query are noise
+// next to a solve, and everything else gates on obs.Enabled().
+func finishSolve(sp *obs.Span, alg string, start time.Time, st *Stats) {
+	if sp != nil {
+		sp.SetAttr("algo", alg)
+		sp.SetAttr("stats", *st)
+		sp.SetAttr("prune_ratio", st.PruneRatio())
+	}
+	if !obs.Enabled() {
+		return
+	}
+	dur := time.Since(start)
+	r := obs.Default()
+	lbl := obs.Labels{"algo": alg}
+	r.Counter(mQueries, "PRIME-LS queries solved.", lbl).Inc()
+	r.Histogram(mQuerySecs, "Query wall time in seconds.", obs.DefBuckets, lbl).Observe(dur.Seconds())
+	r.Counter(mPairs, "Object/candidate pairs considered.", lbl).Add(st.PairsTotal)
+	r.Counter(mPrunedIA, "Pairs resolved by the influence-arcs rule.", lbl).Add(st.PrunedByIA)
+	r.Counter(mPrunedNIB, "Pairs resolved by the non-influence-boundary rule.", lbl).Add(st.PrunedByNIB)
+	r.Counter(mValidated, "Pairs validated by cumulative-probability computation.", lbl).Add(st.Validated)
+	r.Counter(mSkipped, "Pairs skipped by the Strategy 1 bounds.", lbl).Add(st.SkippedByBounds)
+	r.Counter(mProbes, "Probability-function evaluations.", lbl).Add(st.PositionProbes)
+	r.Counter(mEarlyStops, "Validations finished early by Lemma 4.", lbl).Add(st.EarlyStops)
+	r.Counter(mHeapPops, "Candidates fully processed by the VO heap loop.", lbl).Add(st.HeapPops)
+	r.Gauge(mPruneRatio, "Prune ratio of the most recent query.", lbl).Set(st.PruneRatio())
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pinocchio/internal/obs"
+)
+
+// solveTraced runs alg with a fresh root span and returns the span.
+func solveTraced(t *testing.T, alg Algorithm, p *Problem) *obs.Span {
+	t.Helper()
+	tp := *p
+	tp.Obs = obs.NewSpan("query." + alg.String())
+	if _, err := Solve(alg, &tp); err != nil {
+		t.Fatal(err)
+	}
+	tp.Obs.End()
+	return tp.Obs
+}
+
+func TestSolversEmitPhaseSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := randomProblem(rng, 160, 80, 0.5)
+
+	wantPhases := map[Algorithm][]string{
+		AlgNA:              {"validate"},
+		AlgPinocchio:       {"build-a2d", "build-rtree", "prune", "validate"},
+		AlgPinocchioVO:     {"build-a2d", "build-rtree", "prune", "validate"},
+		AlgPinocchioVOStar: {"validate"},
+	}
+	for _, alg := range Algorithms() {
+		sp := solveTraced(t, alg, p)
+		ph := obs.PhaseMillis(sp)
+		for _, phase := range wantPhases[alg] {
+			if _, ok := ph[phase]; !ok {
+				t.Fatalf("%v: phase %q missing from trace %v", alg, phase, ph)
+			}
+		}
+		// The pruning algorithms must attribute real time to both the
+		// prune and validate phases (the acceptance criterion for the
+		// per-phase cost breakdown).
+		if alg == AlgPinocchio || alg == AlgPinocchioVO {
+			if ph["prune"] <= 0 || ph["validate"] <= 0 {
+				t.Fatalf("%v: prune=%vms validate=%vms, want both > 0", alg, ph["prune"], ph["validate"])
+			}
+		}
+		if sp.Attr("algo") != alg.String() {
+			t.Fatalf("%v: span algo attr = %v", alg, sp.Attr("algo"))
+		}
+		st, ok := sp.Attr("stats").(Stats)
+		if !ok || st.PairsTotal == 0 {
+			t.Fatalf("%v: span stats attr = %v", alg, sp.Attr("stats"))
+		}
+		if _, err := sp.MarshalJSON(); err != nil {
+			t.Fatalf("%v: trace JSON: %v", alg, err)
+		}
+	}
+}
+
+func TestSolveRecordsMetricsWhenEnabled(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	rng := rand.New(rand.NewSource(7))
+	p := randomProblem(rng, 60, 40, 0.5)
+	before := obs.Default().Counter(mQueries, "", obs.Labels{"algo": AlgPinocchioVO.String()}).Value()
+	if _, err := PinocchioVO(p); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default().Counter(mQueries, "", obs.Labels{"algo": AlgPinocchioVO.String()}).Value()
+	if after != before+1 {
+		t.Fatalf("query counter %d -> %d, want +1", before, after)
+	}
+	var sb strings.Builder
+	if err := obs.Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), mQueries) || !strings.Contains(sb.String(), mProbes) {
+		t.Fatalf("exposition missing solver metrics:\n%s", sb.String())
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // PinocchioParallel is a data-parallel PINOCCHIO (Algorithm 2): the
@@ -18,6 +20,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -28,8 +31,12 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 
 	// buildA2D pre-computes every per-object radius, so the shared
 	// table is read-only afterwards.
+	buildSp := p.Obs.Child("build-a2d")
 	a2d := buildA2D(p, st)
+	buildSp.End()
+	treeSp := p.Obs.Child("build-rtree")
 	tree := p.candidateTree()
+	treeSp.End()
 
 	if workers > len(a2d) {
 		workers = len(a2d)
@@ -44,6 +51,13 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker gets its own span subtree, so the per-shard
+			// prune/validate split is contention-free and visible in
+			// the trace.
+			workerSp := p.Obs.Child(fmt.Sprintf("worker-%d", w))
+			pruneSp := workerSp.Child("prune")
+			valSp := workerSp.Child("validate")
+			scanStart := pruneSp.StartTimer()
 			local := shardResult{influences: make([]int, m)}
 			lst := &local.stats
 			for k := w; k < len(a2d); k += workers {
@@ -52,13 +66,19 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 					func(cand int) { local.influences[cand]++ },
 					func(cand int) {
 						lst.Validated++
+						tw := valSp.StartTimer()
 						if influencedEarlyStop(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, lst) {
 							local.influences[cand]++
 						}
+						valSp.StopTimer(tw)
 					})
 				lst.PrunedByIA += ia
 				lst.PrunedByNIB += int64(m) - touched
 			}
+			pruneSp.EndExclusive(scanStart, valSp)
+			valSp.End()
+			workerSp.SetAttr("stats", local.stats)
+			workerSp.End()
 			results[w] = local
 		}(w)
 	}
@@ -68,12 +88,9 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 		for j, v := range r.influences {
 			res.Influences[j] += v
 		}
-		st.PrunedByIA += r.stats.PrunedByIA
-		st.PrunedByNIB += r.stats.PrunedByNIB
-		st.Validated += r.stats.Validated
-		st.PositionProbes += r.stats.PositionProbes
-		st.EarlyStops += r.stats.EarlyStops
+		st.Merge(r.stats)
 	}
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	finishSolve(p.Obs, "PIN-PAR", start, st)
 	return res, nil
 }

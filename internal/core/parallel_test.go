@@ -2,7 +2,10 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+
+	"pinocchio/internal/obs"
 )
 
 // TestParallelMatchesSequential: sharding must not change anything but
@@ -38,6 +41,78 @@ func TestParallelMatchesSequential(t *testing.T) {
 				par.Stats.Validated != seq.Stats.Validated {
 				t.Fatalf("trial %d workers=%d: stats diverged: %v vs %v",
 					trial, workers, par.Stats, seq.Stats)
+			}
+		}
+	}
+}
+
+// TestParallelParityAcrossWorkerCounts pins down the contract the
+// observability layer relies on: PinocchioParallel must return the
+// same Influences and best pick as sequential Pinocchio for every
+// worker count, and its full Stats (including probes and early stops,
+// which differ from Pinocchio's full-product validator) must not
+// depend on the worker count. Run under -race this also exercises the
+// per-worker span instrumentation.
+func TestParallelParityAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4711))
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for trial := 0; trial < 4; trial++ {
+		p := randomProblem(rng, 60+rng.Intn(80), 30+rng.Intn(50), 0.4+0.15*float64(trial))
+		seq, err := Pinocchio(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref *Result
+		for _, workers := range workerCounts {
+			tp := *p
+			tp.Obs = obs.NewSpan("pin-par")
+			par, err := PinocchioParallel(&tp, workers)
+			tp.Obs.End()
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for j := range seq.Influences {
+				if par.Influences[j] != seq.Influences[j] {
+					t.Fatalf("trial %d workers=%d: influence[%d] = %d, want %d",
+						trial, workers, j, par.Influences[j], seq.Influences[j])
+				}
+			}
+			if par.BestIndex != seq.BestIndex || par.BestInfluence != seq.BestInfluence {
+				t.Fatalf("trial %d workers=%d: best (%d,%d), want (%d,%d)", trial, workers,
+					par.BestIndex, par.BestInfluence, seq.BestIndex, seq.BestInfluence)
+			}
+			// Per-pair work is sharding-invariant, so the merged Stats
+			// must be identical for every worker count.
+			if ref == nil {
+				ref = par
+			} else if par.Stats != ref.Stats {
+				t.Fatalf("trial %d workers=%d: stats depend on sharding:\n%v\n%v",
+					trial, workers, par.Stats, ref.Stats)
+			}
+			// The sharding-invariant subset also matches the sequential
+			// solver (probes/early stops differ by design: Pinocchio
+			// validates with the full product).
+			if par.Stats.PairsTotal != seq.Stats.PairsTotal ||
+				par.Stats.PrunedByIA != seq.Stats.PrunedByIA ||
+				par.Stats.PrunedByNIB != seq.Stats.PrunedByNIB ||
+				par.Stats.Validated != seq.Stats.Validated ||
+				par.Stats.DistinctN != seq.Stats.DistinctN {
+				t.Fatalf("trial %d workers=%d: stats diverged from sequential:\n%v\n%v",
+					trial, workers, par.Stats, seq.Stats)
+			}
+			// The per-worker trace must cover every worker, with the
+			// validate phases accounting for all validated pairs.
+			workerSpans := 0
+			for _, c := range tp.Obs.Children() {
+				if st, ok := c.Attr("stats").(Stats); ok {
+					workerSpans++
+					if st.PairsTotal != 0 {
+						t.Fatalf("worker span should carry shard-only pairs: %v", st)
+					}
+				}
+			}
+			if workerSpans != workers && workerSpans != len(p.Objects) {
+				t.Fatalf("trial %d: %d worker spans for %d workers", trial, workerSpans, workers)
 			}
 		}
 	}

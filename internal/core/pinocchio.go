@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"pinocchio/internal/object"
 	"pinocchio/internal/rtree"
 )
@@ -61,27 +63,43 @@ func Pinocchio(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	m := len(p.Candidates)
 	res := &Result{Influences: make([]int, m)}
 	st := &res.Stats
 	st.PairsTotal = int64(len(p.Objects)) * int64(m)
 
+	buildSp := p.Obs.Child("build-a2d")
 	a2d := buildA2D(p, st)
+	buildSp.End()
+	treeSp := p.Obs.Child("build-rtree")
 	tree := p.candidateTree()
+	treeSp.End()
 
+	// The prune scan calls validation inline, so the validate phase
+	// accumulates its own windows and the prune span records the scan
+	// time exclusive of them.
+	pruneSp := p.Obs.Child("prune")
+	valSp := p.Obs.Child("validate")
+	scanStart := pruneSp.StartTimer()
 	for _, e := range a2d {
 		touched, ia := pruneObject(tree, e,
 			func(cand int) { res.Influences[cand]++ },
 			func(cand int) {
 				st.Validated++
+				w := valSp.StartTimer()
 				if influencedFull(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, st) {
 					res.Influences[cand]++
 				}
+				valSp.StopTimer(w)
 			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
 	}
+	pruneSp.EndExclusive(scanStart, valSp)
+	valSp.End()
 
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	finishSolve(p.Obs, AlgPinocchio.String(), start, st)
 	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/rtree"
 )
@@ -36,6 +37,12 @@ type Problem struct {
 	// Fanout is the node capacity of the candidate R-tree; 0 selects
 	// rtree.DefaultMaxEntries (8, the paper's setting).
 	Fanout int
+
+	// Obs, when non-nil, receives one child span per algorithm phase
+	// (build-a2d, build-rtree, prune, validate, …) plus the run's work
+	// counters as attributes. Nil disables tracing; every span method
+	// is nil-safe, so the disabled path costs a pointer test.
+	Obs *obs.Span
 }
 
 // Validate checks the instance is well formed.
@@ -132,10 +139,28 @@ func (s Stats) PruneRatio() float64 {
 	return float64(s.PrunedByIA+s.PrunedByNIB) / float64(s.PairsTotal)
 }
 
+// Merge accumulates o into s: the flow counters sum, while DistinctN
+// — the size of a memo table rather than a flow — takes the maximum.
+// It is the single merge path shared by PinocchioParallel's shard
+// reduction and by harness code aggregating stats across runs.
+func (s *Stats) Merge(o Stats) {
+	s.PairsTotal += o.PairsTotal
+	s.PrunedByIA += o.PrunedByIA
+	s.PrunedByNIB += o.PrunedByNIB
+	s.Validated += o.Validated
+	s.SkippedByBounds += o.SkippedByBounds
+	s.PositionProbes += o.PositionProbes
+	s.EarlyStops += o.EarlyStops
+	s.HeapPops += o.HeapPops
+	if o.DistinctN > s.DistinctN {
+		s.DistinctN = o.DistinctN
+	}
+}
+
 // String implements fmt.Stringer.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"stats{pairs=%d ia=%d nib=%d validated=%d skipped=%d probes=%d earlyStops=%d pops=%d}",
+		"stats{pairs=%d ia=%d nib=%d validated=%d skipped=%d probes=%d earlyStops=%d pops=%d distinctN=%d}",
 		s.PairsTotal, s.PrunedByIA, s.PrunedByNIB, s.Validated,
-		s.SkippedByBounds, s.PositionProbes, s.EarlyStops, s.HeapPops)
+		s.SkippedByBounds, s.PositionProbes, s.EarlyStops, s.HeapPops, s.DistinctN)
 }

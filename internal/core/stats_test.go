@@ -1,0 +1,46 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsStringIncludesEveryCounter(t *testing.T) {
+	s := Stats{
+		PairsTotal: 1, PrunedByIA: 2, PrunedByNIB: 3, Validated: 4,
+		SkippedByBounds: 5, PositionProbes: 6, EarlyStops: 7, HeapPops: 8,
+		DistinctN: 9,
+	}
+	out := s.String()
+	for _, want := range []string{
+		"pairs=1", "ia=2", "nib=3", "validated=4", "skipped=5",
+		"probes=6", "earlyStops=7", "pops=8", "distinctN=9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Stats.String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{
+		PairsTotal: 10, PrunedByIA: 1, PrunedByNIB: 2, Validated: 3,
+		SkippedByBounds: 4, PositionProbes: 5, EarlyStops: 6, HeapPops: 7,
+		DistinctN: 12,
+	}
+	b := Stats{
+		PairsTotal: 20, PrunedByIA: 10, PrunedByNIB: 20, Validated: 30,
+		SkippedByBounds: 40, PositionProbes: 50, EarlyStops: 60, HeapPops: 70,
+		DistinctN: 9,
+	}
+	a.Merge(b)
+	want := Stats{
+		PairsTotal: 30, PrunedByIA: 11, PrunedByNIB: 22, Validated: 33,
+		SkippedByBounds: 44, PositionProbes: 55, EarlyStops: 66, HeapPops: 77,
+		// DistinctN is a table size, not a flow: max, not sum.
+		DistinctN: 12,
+	}
+	if a != want {
+		t.Fatalf("Merge = %+v, want %+v", a, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // PinocchioVOTopT generalizes PINOCCHIO-VO from top-1 to top-t, the
@@ -28,9 +29,14 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 		t = m
 	}
 
+	start := time.Now()
 	st := &Stats{PairsTotal: int64(len(p.Objects)) * int64(m)}
+	buildSp := p.Obs.Child("build-a2d")
 	a2d := buildA2D(p, st)
+	buildSp.End()
+	treeSp := p.Obs.Child("build-rtree")
 	tree := p.candidateTree()
+	treeSp.End()
 
 	s := &voState{
 		p:      p,
@@ -38,6 +44,7 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 		maxInf: make([]int, m),
 		vs:     make([][]int, m),
 	}
+	pruneSp := p.Obs.Child("prune")
 	for k, e := range a2d {
 		k := k
 		touched, ia := pruneObject(tree, e,
@@ -49,11 +56,13 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 	for c := 0; c < m; c++ {
 		s.maxInf[c] = s.minInf[c] + len(s.vs[c])
 	}
+	pruneSp.End()
 
 	ranked, err := s.runTopT(st, t)
 	if err != nil {
 		return nil, nil, err
 	}
+	finishSolve(p.Obs, "PIN-VO-TOPT", start, st)
 	return ranked, st, nil
 }
 
@@ -61,6 +70,11 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 // candidates whose exact influence is known; the threshold is the t-th
 // largest certified influence (0 until t are certified).
 func (s *voState) runTopT(st *Stats, t int) ([]Ranked, error) {
+	valSp := s.p.Obs.Child("validate")
+	defer func() {
+		valSp.SetAttr("heap_pops", st.HeapPops)
+		valSp.End()
+	}()
 	m := len(s.p.Candidates)
 	h := newCandHeap(s, m)
 

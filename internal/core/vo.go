@@ -1,6 +1,9 @@
 package core
 
-import "container/heap"
+import (
+	"container/heap"
+	"time"
+)
 
 // candHeap orders candidate indices by maxInf descending, breaking
 // ties by minInf descending — the Max Heap H of Algorithm 3 (line 13).
@@ -42,8 +45,16 @@ type voState struct {
 }
 
 // runValidation executes lines 13-29 of Algorithm 3 and returns the
-// optimal candidate index and its exact influence.
+// optimal candidate index and its exact influence. The heap-ordered
+// loop is the VO "validate" phase; it reports its heap behavior on
+// the phase span.
 func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int) {
+	valSp := s.p.Obs.Child("validate")
+	defer func() {
+		valSp.SetAttr("heap_pops", st.HeapPops)
+		valSp.SetAttr("skipped_by_bounds", st.SkippedByBounds)
+		valSp.End()
+	}()
 	m := len(s.p.Candidates)
 
 	// maxminInf = max over minInf after pruning; it only grows.
@@ -106,13 +117,18 @@ func PinocchioVO(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	m := len(p.Candidates)
 	res := &Result{}
 	st := &res.Stats
 	st.PairsTotal = int64(len(p.Objects)) * int64(m)
 
+	buildSp := p.Obs.Child("build-a2d")
 	a2d := buildA2D(p, st)
+	buildSp.End()
+	treeSp := p.Obs.Child("build-rtree")
 	tree := p.candidateTree()
+	treeSp.End()
 
 	s := &voState{
 		p:      p,
@@ -120,6 +136,9 @@ func PinocchioVO(p *Problem) (*Result, error) {
 		maxInf: make([]int, m),
 		vs:     make([][]int, m),
 	}
+	// Unlike Algorithm 2 the VO prune loop defers all validation, so
+	// the prune span is pure pruning time.
+	pruneSp := p.Obs.Child("prune")
 	for k, e := range a2d {
 		k := k
 		touched, ia := pruneObject(tree, e,
@@ -133,8 +152,10 @@ func PinocchioVO(p *Problem) (*Result, error) {
 	for c := 0; c < m; c++ {
 		s.maxInf[c] = s.minInf[c] + len(s.vs[c])
 	}
+	pruneSp.End()
 
 	res.BestIndex, res.BestInfluence = s.runValidation(st)
+	finishSolve(p.Obs, AlgPinocchioVO.String(), start, st)
 	return res, nil
 }
 
@@ -146,6 +167,7 @@ func PinocchioVOStar(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	m := len(p.Candidates)
 	r := len(p.Objects)
 	res := &Result{}
@@ -168,5 +190,6 @@ func PinocchioVOStar(p *Problem) (*Result, error) {
 	}
 
 	res.BestIndex, res.BestInfluence = s.runValidation(st)
+	finishSolve(p.Obs, AlgPinocchioVOStar.String(), start, st)
 	return res, nil
 }

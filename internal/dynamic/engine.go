@@ -25,6 +25,7 @@ package dynamic
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
@@ -117,6 +118,7 @@ func (e *Engine) validate(c geo.Point, o *object.Object) bool {
 // AddCandidate registers a new candidate location and computes its
 // influence over the current objects. It returns the candidate's id.
 func (e *Engine) AddCandidate(pt geo.Point) int {
+	defer e.finishOp("add_candidate", time.Now(), e.stats)
 	id := e.nextCandID
 	e.nextCandID++
 	e.candPoints[id] = pt
@@ -149,6 +151,7 @@ func (e *Engine) RemoveCandidate(id int) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownCandidate, id)
 	}
+	defer e.finishOp("remove_candidate", time.Now(), e.stats)
 	e.candTree.Delete(rtree.Item{Point: pt, ID: id})
 	delete(e.candPoints, id)
 	delete(e.influence, id)
@@ -196,6 +199,7 @@ func (e *Engine) AddObject(id int, positions []geo.Point) error {
 	if err != nil {
 		return err
 	}
+	defer e.finishOp("add_object", time.Now(), e.stats)
 	influenced := e.computeInfluenced(o, nil)
 	e.objects[id] = &objState{obj: o, influenced: influenced}
 	for c := range influenced {
@@ -210,6 +214,7 @@ func (e *Engine) RemoveObject(id int) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
 	}
+	defer e.finishOp("remove_object", time.Now(), e.stats)
 	for c := range os.influenced {
 		e.influence[c]--
 	}
@@ -230,6 +235,7 @@ func (e *Engine) AddPosition(id int, p geo.Point) error {
 	if err != nil {
 		return err
 	}
+	defer e.finishOp("add_position", time.Now(), e.stats)
 	newInfluenced := e.computeInfluenced(o, os.influenced)
 	for c := range newInfluenced {
 		if !os.influenced[c] {
@@ -253,6 +259,7 @@ func (e *Engine) UpdateObject(id int, positions []geo.Point) error {
 	if err != nil {
 		return err
 	}
+	defer e.finishOp("update_object", time.Now(), e.stats)
 	newInfluenced := e.computeInfluenced(o, nil)
 	for c := range os.influenced {
 		if !newInfluenced[c] {

@@ -1,0 +1,39 @@
+package dynamic
+
+import (
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/obs"
+	"pinocchio/internal/probfn"
+)
+
+func TestEngineRecordsMetricsWhenEnabled(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	e, err := New(probfn.DefaultPowerLaw(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddCandidate(geo.Point{X: 0, Y: 0})
+	if err := e.AddObject(1, []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddPosition(1, geo.Point{X: 0, Y: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := obs.Default()
+	if got := r.Counter(mDynOps, "", obs.Labels{"op": "add_object"}).Value(); got < 1 {
+		t.Fatalf("add_object ops: %d", got)
+	}
+	if got := r.Counter(mDynOps, "", obs.Labels{"op": "add_position"}).Value(); got < 1 {
+		t.Fatalf("add_position ops: %d", got)
+	}
+	if got := r.Gauge(mDynObjects, "", nil).Value(); got != 1 {
+		t.Fatalf("objects gauge: %v", got)
+	}
+	if got := r.Gauge(mDynCandidates, "", nil).Value(); got != 1 {
+		t.Fatalf("candidates gauge: %v", got)
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/obs"
+)
+
+// BenchSchema identifies the snapshot format; bump on incompatible
+// changes so downstream tooling can reject files it cannot read.
+const BenchSchema = "pinocchio-bench/v1"
+
+// BenchConfig parameterizes one snapshot run. The zero value is not
+// usable; start from DefaultBenchConfig.
+type BenchConfig struct {
+	Scale      float64 // dataset scale passed to NewEnv
+	Seed       int64   // env seed; fixes datasets and sampling
+	Candidates int     // candidate sample size
+	Objects    int     // object sample size (0 = all generated)
+	Tau        float64
+	Iterations int // timed runs per algorithm; min wall time is kept
+	Workers    int // PIN-PAR worker count; 0 = GOMAXPROCS
+}
+
+// DefaultBenchConfig returns the checked-in BENCH_*.json settings: a
+// scale small enough that the NA baseline stays tractable while the
+// pruning algorithms still have work to show.
+func DefaultBenchConfig() BenchConfig {
+	return BenchConfig{
+		Scale:      0.12,
+		Seed:       7,
+		Candidates: 240,
+		Objects:    0,
+		Tau:        DefaultTau,
+		Iterations: 3,
+		Workers:    0,
+	}
+}
+
+// BenchAlgo is one algorithm's row in the snapshot.
+type BenchAlgo struct {
+	Algorithm     string             `json:"algorithm"`
+	WallMs        float64            `json:"wall_ms"`             // min over iterations
+	PhasesMs      map[string]float64 `json:"phases_ms,omitempty"` // per-phase breakdown of the best run
+	Stats         core.Stats         `json:"stats"`               // work counters of the best run
+	PruneRatio    float64            `json:"prune_ratio"`         // (IA+NIB)/pairs
+	BestIndex     int                `json:"best_index"`
+	BestInfluence int                `json:"best_influence"`
+}
+
+// BenchSnapshot is the machine-readable benchmark artifact written to
+// BENCH_PR*.json. Wall times are minimums over Iterations runs, the
+// usual convention for shaving scheduler noise off small benchmarks.
+type BenchSnapshot struct {
+	Schema     string      `json:"schema"`
+	CreatedAt  string      `json:"created_at"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Scale      float64     `json:"scale"`
+	Seed       int64       `json:"seed"`
+	Objects    int         `json:"objects"`
+	Candidates int         `json:"candidates"`
+	Tau        float64     `json:"tau"`
+	Iterations int         `json:"iterations"`
+	Algorithms []BenchAlgo `json:"algorithms"`
+}
+
+// RunBenchSnapshot builds a seeded Foursquare-like instance and times
+// every core algorithm on it, including the parallel variant. Each
+// run is traced, so the per-phase breakdown comes from the same span
+// tree a -trace invocation would emit.
+func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	env, err := NewEnv(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ds := env.F
+	rng := env.rng(733)
+	m := cfg.Candidates
+	if m <= 0 || m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	objs := ds.Objects
+	if cfg.Objects > 0 && cfg.Objects < len(objs) {
+		objs, err = dataset.SampleObjects(ds, cfg.Objects, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := problem(objs, cs.Points, defaultPF(), cfg.Tau)
+
+	snap := &BenchSnapshot{
+		Schema:     BenchSchema,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		Objects:    len(objs),
+		Candidates: len(cs.Points),
+		Tau:        cfg.Tau,
+		Iterations: cfg.Iterations,
+	}
+
+	run := func(name string, solve func() (*core.Result, error)) error {
+		var best BenchAlgo
+		for it := 0; it < cfg.Iterations; it++ {
+			sp := obs.NewSpan("solve." + name)
+			p.Obs = sp
+			res, err := solve()
+			p.Obs = nil
+			sp.End()
+			if err != nil {
+				return fmt.Errorf("experiments: bench %s: %w", name, err)
+			}
+			wallMs := float64(sp.Duration()) / float64(time.Millisecond)
+			if it == 0 || wallMs < best.WallMs {
+				ratio := 0.0
+				if res.Stats.PairsTotal > 0 {
+					ratio = float64(res.Stats.PrunedByIA+res.Stats.PrunedByNIB) /
+						float64(res.Stats.PairsTotal)
+				}
+				best = BenchAlgo{
+					Algorithm:     name,
+					WallMs:        wallMs,
+					PhasesMs:      obs.PhaseMillis(sp),
+					Stats:         res.Stats,
+					PruneRatio:    ratio,
+					BestIndex:     res.BestIndex,
+					BestInfluence: res.BestInfluence,
+				}
+			}
+		}
+		snap.Algorithms = append(snap.Algorithms, best)
+		return nil
+	}
+
+	for _, alg := range core.Algorithms() {
+		alg := alg
+		if err := run(alg.String(), func() (*core.Result, error) {
+			return core.Solve(alg, p)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := run("PIN-PAR", func() (*core.Result, error) {
+		return core.PinocchioParallel(p, workers)
+	}); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// WriteBenchSnapshot runs the benchmark and writes the snapshot as
+// indented JSON to path.
+func WriteBenchSnapshot(path string, cfg BenchConfig) (*BenchSnapshot, error) {
+	snap, err := RunBenchSnapshot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, fmt.Errorf("experiments: writing snapshot: %w", err)
+	}
+	return snap, nil
+}

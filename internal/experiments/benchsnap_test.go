@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tinyBenchConfig keeps the snapshot smoke test fast.
+func tinyBenchConfig() BenchConfig {
+	return BenchConfig{
+		Scale:      0.02,
+		Seed:       7,
+		Candidates: 60,
+		Objects:    120,
+		Tau:        DefaultTau,
+		Iterations: 2,
+		Workers:    2,
+	}
+}
+
+func TestRunBenchSnapshot(t *testing.T) {
+	snap, err := RunBenchSnapshot(tinyBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != BenchSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if len(snap.Algorithms) != 5 { // NA, PIN, PIN-VO, PIN-VO*, PIN-PAR
+		t.Fatalf("algorithms = %d", len(snap.Algorithms))
+	}
+	want := snap.Algorithms[0]
+	for _, a := range snap.Algorithms {
+		if a.WallMs <= 0 {
+			t.Errorf("%s: wall_ms = %v", a.Algorithm, a.WallMs)
+		}
+		if a.BestInfluence != want.BestInfluence {
+			t.Errorf("%s: best influence %d, NA found %d",
+				a.Algorithm, a.BestInfluence, want.BestInfluence)
+		}
+		if len(a.PhasesMs) == 0 {
+			t.Errorf("%s: no phase breakdown", a.Algorithm)
+		}
+		if a.Algorithm == "PIN" || a.Algorithm == "PIN-VO" {
+			if a.PruneRatio <= 0 {
+				t.Errorf("%s: prune ratio %v", a.Algorithm, a.PruneRatio)
+			}
+			for _, phase := range []string{"prune", "validate"} {
+				if a.PhasesMs[phase] <= 0 {
+					t.Errorf("%s: phase %q = %v ms", a.Algorithm, phase, a.PhasesMs[phase])
+				}
+			}
+		}
+	}
+}
+
+func TestWriteBenchSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := WriteBenchSnapshot(path, tinyBenchConfig()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if snap.Schema != BenchSchema || len(snap.Algorithms) != 5 {
+		t.Fatalf("roundtrip mismatch: %+v", snap)
+	}
+}

@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"pinocchio/internal/core"
 	"pinocchio/internal/dataset"
 	"pinocchio/internal/dynamic"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
 )
 
 // DynamicConfig parameterizes the extension experiment: an update
@@ -110,13 +110,15 @@ func RunDynamic(env *Env, cfg DynamicConfig) (*DynamicResult, error) {
 				return nil, err
 			}
 		}
-		start := time.Now()
+		incSp := obs.NewSpan("dynamic.incremental")
 		for _, u := range stream {
 			if err := eng.AddPosition(u.obj, u.pt); err != nil {
 				return nil, err
 			}
 		}
-		incMs := float64(time.Since(start).Microseconds()) / 1000
+		incSp.End()
+		incSp.SetAttr("updates", updates)
+		incMs := float64(incSp.Duration().Microseconds()) / 1000
 		_, incBest, _ := eng.Best()
 
 		// Strategy B: recompute with PINOCCHIO-VO after every update.
@@ -127,7 +129,7 @@ func RunDynamic(env *Env, cfg DynamicConfig) (*DynamicResult, error) {
 			order = append(order, o.ID)
 		}
 		var lastBest int
-		start = time.Now()
+		recSp := obs.NewSpan("dynamic.recompute")
 		for _, u := range stream {
 			positions[u.obj] = append(positions[u.obj], u.pt)
 			objs, err := objectsFromMap(order, positions)
@@ -141,7 +143,9 @@ func RunDynamic(env *Env, cfg DynamicConfig) (*DynamicResult, error) {
 			}
 			lastBest = r.BestInfluence
 		}
-		recMs := float64(time.Since(start).Microseconds()) / 1000
+		recSp.End()
+		recSp.SetAttr("updates", updates)
+		recMs := float64(recSp.Duration().Microseconds()) / 1000
 
 		if incBest != lastBest {
 			return nil, fmt.Errorf("experiments: incremental best %d != recompute best %d",

@@ -14,6 +14,7 @@ import (
 	"pinocchio/internal/dataset"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 )
 
@@ -72,9 +73,17 @@ func problem(objs []*object.Object, cands []geo.Point, pf probfn.Func, tau float
 	return &core.Problem{Objects: objs, Candidates: cands, PF: pf, Tau: tau}
 }
 
-// timeSolve runs one solver and returns its result and wall time.
+// timeSolve runs one solver under an obs span and returns its result
+// and wall time. Timing the span (rather than an ad-hoc time.Now pair)
+// keeps experiment tables and exported traces in agreement: the solver
+// hangs its phase children off p.Obs, so the duration reported here is
+// exactly the root of the span tree a -trace run would emit.
 func timeSolve(alg core.Algorithm, p *core.Problem) (*core.Result, time.Duration, error) {
-	start := time.Now()
+	sp := obs.NewSpan("solve." + alg.String())
+	prev := p.Obs
+	p.Obs = sp
 	res, err := core.Solve(alg, p)
-	return res, time.Since(start), err
+	p.Obs = prev
+	sp.End()
+	return res, sp.Duration(), err
 }

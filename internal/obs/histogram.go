@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds (the
+// Prometheus client defaults), spanning sub-millisecond validations
+// to multi-second NA runs.
+var DefBuckets = []float64{
+	.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic buckets, safe for
+// concurrent Observe. Buckets are cumulative only at exposition time;
+// internally each slot counts its own interval so Observe touches a
+// single atomic besides sum and count.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds; +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1 slots
+	sumBits atomic.Uint64  // float64 sum of observations
+}
+
+// newHistogram copies and sorts bounds; nil or empty selects
+// DefBuckets.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// snapshot renders the histogram for expvar publication.
+func (h *Histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(h.counts))
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		buckets[formatFloat(b)] = cum
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	buckets["+Inf"] = cum
+	return map[string]any{"count": cum, "sum": h.Sum(), "buckets": buckets}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+func TestNewLoggerTextAndJSON(t *testing.T) {
+	var text strings.Builder
+	l, err := NewLogger(&text, "debug", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hello", "k", 1)
+	if !strings.Contains(text.String(), "hello") || !strings.Contains(text.String(), "k=1") {
+		t.Fatalf("text log: %q", text.String())
+	}
+
+	var jsonBuf strings.Builder
+	l, err = NewLogger(&jsonBuf, "warn", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped") // below warn
+	l.Warn("kept", "n", 2)
+	out := jsonBuf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("level filter failed: %q", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, out)
+	}
+	if rec["msg"] != "kept" || rec["n"].(float64) != 2 {
+		t.Fatalf("record: %v", rec)
+	}
+
+	if _, err := NewLogger(&text, "nope", false); err == nil {
+		t.Fatal("expected level error")
+	}
+}

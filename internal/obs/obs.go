@@ -1,0 +1,41 @@
+// Package obs is the observability layer of the repository: phase
+// tracing (Span trees serializable to JSON), an atomic metrics
+// registry with Prometheus text exposition and expvar publication, an
+// opt-in HTTP server mounting /metrics, /debug/vars and /debug/pprof,
+// and structured-logging setup on top of log/slog.
+//
+// The package is stdlib-only and designed so that instrumentation
+// threaded through hot paths is free when observability is off:
+//
+//   - every Span method is nil-receiver safe, so passing a nil span
+//     through an algorithm costs one pointer test per call site;
+//   - metric recording helpers gate on Enabled(), a single atomic
+//     load, before touching the registry.
+//
+// Metric names follow Prometheus conventions (snake_case, _total
+// suffix for counters); the catalogue lives in DESIGN.md §6.
+package obs
+
+import "sync/atomic"
+
+// enabled gates metric recording helpers across the repository.
+var enabled atomic.Bool
+
+// Enable turns on metric recording (tracing is controlled separately,
+// by handing algorithms a non-nil Span).
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric recording back off.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether metric recording is on. Instrumented code
+// calls this before assembling label values or touching the registry,
+// so the disabled path costs one atomic load.
+func Enabled() bool { return enabled.Load() }
+
+// defaultRegistry is the process-wide registry used by the recording
+// helpers in core, dynamic and baseline.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide metrics registry.
+func Default() *Registry { return defaultRegistry }

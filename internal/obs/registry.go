@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are the dimensions of one metric instance (e.g. the
+// algorithm a query counter is split by). Nil means no labels.
+type Labels map[string]string
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d; negative deltas are ignored to keep the counter
+// monotone.
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (a float64 behind atomic
+// bit operations).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metric family types, matching the Prometheus TYPE line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family groups every labeled instance of one metric name with its
+// shared help text and type.
+type family struct {
+	name, help, typ string
+	metrics         map[string]any // label signature -> *Counter/*Gauge/*Histogram
+	keys            []string       // sorted label signatures for stable output
+}
+
+// Registry holds named metrics. Lookup (get-or-create) takes a
+// mutex; the returned handles update lock-free, so hot paths should
+// hold on to them or keep lookups off per-item loops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the metric registered under (name, labels), creating
+// it with mk on first use. It panics when name is already registered
+// with a different type — mixing types under one name is a
+// programming error that would corrupt the exposition format.
+func (r *Registry) lookup(name, help, typ string, labels Labels, mk func() any) any {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, metrics: make(map[string]any)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	m, ok := f.metrics[sig]
+	if !ok {
+		m = mk()
+		f.metrics[sig] = m
+		f.keys = append(f.keys, sig)
+		sort.Strings(f.keys)
+	}
+	return m
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, typeCounter, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, typeGauge, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram registered under (name, labels).
+// bounds only applies on first creation; subsequent calls return the
+// existing instance.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	return r.lookup(name, help, typeHistogram, labels, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// labelSignature renders labels in Prometheus form with sorted keys:
+// `{a="1",b="2"}`, or "" without labels.
+func labelSignature(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// withLabel re-renders a label signature with one extra pair (used
+// for histogram le="" buckets).
+func withLabel(sig, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if sig == "" {
+		return "{" + pair + "}"
+	}
+	return sig[:len(sig)-1] + "," + pair + "}"
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the text exposition format,
+// families sorted by name, instances by label signature. The family
+// structure is snapshotted under the lock; sample values are read
+// atomically while rendering.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type instance struct {
+		sig string
+		m   any
+	}
+	type famSnap struct {
+		name, help, typ string
+		insts           []instance
+	}
+	r.mu.Lock()
+	fams := make([]famSnap, 0, len(r.families))
+	for _, f := range r.families {
+		fs := famSnap{name: f.name, help: f.help, typ: f.typ}
+		for _, sig := range f.keys {
+			fs.insts = append(fs.insts, instance{sig: sig, m: f.metrics[sig]})
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, in := range f.insts {
+			if err := writeMetric(w, f.name, in.sig, in.m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeMetric renders one labeled instance.
+func writeMetric(w io.Writer, name, sig string, m any) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, sig, v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, sig, formatFloat(v.Value()))
+		return err
+	case *Histogram:
+		cum := int64(0)
+		for i, b := range v.bounds {
+			cum += v.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, withLabel(sig, "le", formatFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += v.counts[len(v.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, withLabel(sig, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sig, cum)
+		return err
+	}
+	return fmt.Errorf("obs: unknown metric type %T", m)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Snapshot returns the registry as a plain nested map, the form
+// published through expvar: family name -> label signature (or
+// "value" when unlabeled) -> value. Histograms expand to
+// {count, sum, buckets}.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.families))
+	for name, f := range r.families {
+		inst := make(map[string]any, len(f.metrics))
+		for sig, m := range f.metrics {
+			key := sig
+			if key == "" {
+				key = "value"
+			}
+			switch v := m.(type) {
+			case *Counter:
+				inst[key] = v.Value()
+			case *Gauge:
+				inst[key] = v.Value()
+			case *Histogram:
+				inst[key] = v.snapshot()
+			}
+		}
+		out[name] = inst
+	}
+	return out
+}
+
+// PublishExpvar exposes the registry as one expvar under the given
+// name (idempotent; expvar forbids re-publication).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

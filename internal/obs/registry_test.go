@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter: %d", c.Value())
+	}
+	if again := r.Counter("requests_total", "Requests.", nil); again != c {
+		t.Fatal("lookup must return the same instance")
+	}
+	g := r.Gauge("temperature", "Now.", nil)
+	g.Set(1.5)
+	g.Add(-0.5)
+	if g.Value() != 1.0 {
+		t.Fatalf("gauge: %v", g.Value())
+	}
+}
+
+func TestLabeledInstancesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("q_total", "Q.", Labels{"algo": "pin"})
+	b := r.Counter("q_total", "Q.", Labels{"algo": "pin-vo"})
+	if a == b {
+		t.Fatal("different labels must get different instances")
+	}
+	a.Inc()
+	b.Add(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP q_total Q.",
+		"# TYPE q_total counter",
+		`q_total{algo="pin"} 1`,
+		`q_total{algo="pin-vo"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("x", "", nil)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	sig := labelSignature(Labels{"path": `a"b\c` + "\n"})
+	want := `{path="a\"b\\c\n"}`
+	if sig != want {
+		t.Fatalf("got %s want %s", sig, want)
+	}
+}
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count: %d", h.Count())
+	}
+	if math.Abs(h.Sum()-105.65) > 1e-9 {
+		t.Fatalf("sum: %v", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 2`, // cumulative, 0.1 inclusive
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 105.65",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := newHistogram(nil)
+	if len(h.Bounds()) != len(DefBuckets) {
+		t.Fatalf("bounds: %v", h.Bounds())
+	}
+}
+
+// TestRegistryConcurrentWriters hammers one registry from many
+// goroutines (run under -race): concurrent get-or-create on the same
+// and different names, plus concurrent updates on shared handles.
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := Labels{"worker": "w"}
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total", "S.", nil).Inc()
+				r.Counter("per_label_total", "P.", lbl).Inc()
+				r.Gauge("g", "G.", nil).Add(1)
+				r.Histogram("h_seconds", "H.", nil, nil).Observe(float64(i%7) / 100)
+				if i%50 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "S.", nil).Value(); got != goroutines*iters {
+		t.Fatalf("shared counter lost updates: %d", got)
+	}
+	if got := r.Histogram("h_seconds", "H.", nil, nil).Count(); got != goroutines*iters {
+		t.Fatalf("histogram lost observations: %d", got)
+	}
+	if got := r.Gauge("g", "G.", nil).Value(); got != goroutines*iters {
+		t.Fatalf("gauge lost adds: %v", got)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", nil).Inc()
+	r.Gauge("g", "", Labels{"a": "b"}).Set(2)
+	r.Histogram("h", "", []float64{1}, nil).Observe(0.5)
+	snap := r.Snapshot()
+	c := snap["c_total"].(map[string]any)
+	if c["value"].(int64) != 1 {
+		t.Fatalf("counter snapshot: %v", c)
+	}
+	g := snap["g"].(map[string]any)
+	if g[`{a="b"}`].(float64) != 2 {
+		t.Fatalf("gauge snapshot: %v", g)
+	}
+	h := snap["h"].(map[string]any)["value"].(map[string]any)
+	if h["count"].(int64) != 1 {
+		t.Fatalf("histogram snapshot: %v", h)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enable did not stick")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("Disable did not stick")
+	}
+}

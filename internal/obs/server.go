@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in observability HTTP endpoint: Prometheus
+// metrics, expvar and pprof on one mux, bound to the address the
+// -obs-addr flag selects.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartServer listens on addr (e.g. ":6060" or "127.0.0.1:0") and
+// serves in a background goroutine:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/vars     expvar JSON (includes the registry snapshot)
+//	/debug/pprof/*  runtime profiles (CPU, heap, goroutine, trace, …)
+//	/healthz        liveness probe
+//
+// Starting the server also flips Enable(), so the binaries' metric
+// recording turns on with the endpoint. Close releases the listener.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	Enable()
+	reg.PublishExpvar("pinocchio_metrics")
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "pinocchio obs endpoints:\n/metrics\n/debug/vars\n/debug/pprof/\n/healthz\n")
+	})
+
+	s := &Server{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			slog.Error("obs server stopped", "addr", addr, "err", err)
+		}
+	}()
+	slog.Info("obs server listening", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

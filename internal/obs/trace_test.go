@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	tm := s.StartTimer()
+	if !tm.IsZero() {
+		t.Fatal("nil span StartTimer should return zero time")
+	}
+	s.StopTimer(tm)
+	s.Accumulate(time.Second)
+	s.SetAttr("k", 1)
+	s.End()
+	s.EndExclusive(tm)
+	if s.Duration() != 0 || s.Name() != "" || s.Children() != nil || s.Attr("k") != nil {
+		t.Fatal("nil span accessors should be zero-valued")
+	}
+	if got := s.Snapshot(); got.Name != "" {
+		t.Fatalf("nil snapshot: %+v", got)
+	}
+	if PhaseMillis(nil) != nil {
+		t.Fatal("PhaseMillis(nil) should be nil")
+	}
+}
+
+func TestSpanTreeAndJSON(t *testing.T) {
+	root := NewSpan("query")
+	build := root.Child("build")
+	time.Sleep(2 * time.Millisecond)
+	build.End()
+	val := root.Child("validate")
+	w := val.StartTimer()
+	time.Sleep(time.Millisecond)
+	val.StopTimer(w)
+	val.SetAttr("probes", 42)
+	val.End()
+	root.SetAttr("algo", "PIN")
+	root.End()
+
+	if root.Duration() <= 0 || build.Duration() <= 0 || val.Duration() <= 0 {
+		t.Fatalf("durations must be positive: root=%v build=%v val=%v",
+			root.Duration(), build.Duration(), val.Duration())
+	}
+	if root.Duration() < build.Duration() {
+		t.Fatalf("root %v shorter than child %v", root.Duration(), build.Duration())
+	}
+
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SpanJSON
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "query" || len(got.Children) != 2 {
+		t.Fatalf("bad tree: %+v", got)
+	}
+	if got.Children[1].Name != "validate" || got.Children[1].DurationNS <= 0 {
+		t.Fatalf("bad validate child: %+v", got.Children[1])
+	}
+	if got.Attrs["algo"] != "PIN" {
+		t.Fatalf("attrs: %v", got.Attrs)
+	}
+	if got.Children[1].Attrs["probes"].(float64) != 42 {
+		t.Fatalf("child attrs: %v", got.Children[1].Attrs)
+	}
+	if got.DurationMS <= 0 || got.Start.IsZero() {
+		t.Fatalf("schema fields missing: %+v", got)
+	}
+}
+
+func TestSpanAccumulatedBeatsWall(t *testing.T) {
+	s := NewSpan("interleaved")
+	w := s.StartTimer()
+	time.Sleep(time.Millisecond)
+	s.StopTimer(w)
+	acc := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End() // must keep the accumulated windows, not wall time
+	if s.Duration() < acc || s.Duration() > acc+time.Millisecond {
+		t.Fatalf("End overwrote accumulated duration: %v vs %v", s.Duration(), acc)
+	}
+}
+
+func TestEndExclusive(t *testing.T) {
+	prune := NewSpan("prune")
+	val := NewSpan("validate")
+	start := prune.StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	w := val.StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	val.StopTimer(w)
+	prune.EndExclusive(start, val)
+	val.End()
+	if prune.Duration() <= 0 {
+		t.Fatalf("exclusive duration should stay positive: %v", prune.Duration())
+	}
+	if val.Duration() <= 0 {
+		t.Fatal("validate window missing")
+	}
+	// Subtracting more than elapsed clamps to zero instead of going
+	// negative.
+	p2 := NewSpan("p2")
+	huge := NewSpan("huge")
+	huge.Accumulate(time.Hour)
+	st := p2.StartTimer()
+	p2.EndExclusive(st, huge)
+	if p2.Duration() != 0 {
+		t.Fatalf("clamp failed: %v", p2.Duration())
+	}
+}
+
+func TestSpanConcurrentChildrenAndTimers(t *testing.T) {
+	root := NewSpan("parallel")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := root.Child("worker")
+			for j := 0; j < 100; j++ {
+				tm := w.StartTimer()
+				w.StopTimer(tm)
+				w.SetAttr("i", i)
+			}
+			w.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children()) != 8 {
+		t.Fatalf("children: %d", len(root.Children()))
+	}
+}
+
+func TestPhaseMillis(t *testing.T) {
+	root := NewSpan("q")
+	a := root.Child("prune")
+	a.Accumulate(10 * time.Millisecond)
+	a.End()
+	w1 := root.Child("worker")
+	v1 := w1.Child("validate")
+	v1.Accumulate(5 * time.Millisecond)
+	v1.End()
+	w1.End()
+	w2 := root.Child("worker")
+	v2 := w2.Child("validate")
+	v2.Accumulate(7 * time.Millisecond)
+	v2.End()
+	w2.End()
+	root.End()
+
+	ph := PhaseMillis(root)
+	if ph["prune"] < 9.9 || ph["prune"] > 10.1 {
+		t.Fatalf("prune: %v", ph["prune"])
+	}
+	if ph["validate"] < 11.9 || ph["validate"] > 12.1 {
+		t.Fatalf("validate phases should sum across workers: %v", ph["validate"])
+	}
+	if _, ok := ph["q"]; ok {
+		t.Fatal("root must not appear in phase map")
+	}
+}

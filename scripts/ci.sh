@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# CI gate: formatting, vet, build, race-enabled tests and a bench
+# snapshot smoke run. Usage: scripts/ci.sh (or make ci).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== bench snapshot smoke"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/experiments -bench "$tmp/bench.json" -bench-scale 0.02 -bench-iters 1
+head -c 200 "$tmp/bench.json"
+echo
+echo "== ci ok"
