@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-snapshot ci fmt vet
+.PHONY: build test race bench bench-snapshot smoke ci fmt vet
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate the checked-in benchmark snapshot (BENCH_PR1.json).
+# Regenerate the checked-in benchmark snapshot (BENCH_PR2.json).
 bench-snapshot:
-	$(GO) run ./cmd/experiments -bench BENCH_PR1.json -seed 7
+	$(GO) run ./cmd/experiments -bench BENCH_PR2.json -seed 7
+
+# Start pinocchiod on an ephemeral port, hit it, shut it down.
+smoke:
+	sh scripts/smoke.sh
 
 fmt:
 	gofmt -l .

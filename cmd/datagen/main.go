@@ -18,16 +18,15 @@ import (
 
 func main() {
 	var (
-		preset   = flag.String("preset", "foursquare", "dataset preset: foursquare or gowalla")
-		scale    = flag.Float64("scale", 1.0, "size factor in (0, 1]")
-		seed     = flag.Int64("seed", 0, "seed offset added to the preset seed")
-		out      = flag.String("out", "", "output CSV path (default stdout)")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		preset = flag.String("preset", "foursquare", "dataset preset: foursquare or gowalla")
+		scale  = flag.Float64("scale", 1.0, "size factor in (0, 1]")
+		seed   = flag.Int64("seed", 0, "seed offset added to the preset seed")
+		out    = flag.String("out", "", "output CSV path (default stdout)")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if _, err := obs.InitLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+	if _, err := obs.InitLogging(os.Stderr, obsFlags.LogLevel, obsFlags.LogJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
@@ -39,19 +38,7 @@ func main() {
 }
 
 func run(preset string, scale float64, seed int64, out string) error {
-	var cfg dataset.Config
-	switch preset {
-	case "foursquare", "f":
-		cfg = dataset.FoursquareLike()
-	case "gowalla", "g":
-		cfg = dataset.GowallaLike()
-	default:
-		return fmt.Errorf("unknown preset %q (want foursquare or gowalla)", preset)
-	}
-	cfg = dataset.Scaled(cfg, scale)
-	cfg.Seed += seed
-
-	ds, err := dataset.Generate(cfg)
+	ds, err := dataset.Source{Preset: preset, Scale: scale, SeedOffset: seed}.Load()
 	if err != nil {
 		return err
 	}

@@ -30,22 +30,16 @@ func main() {
 		bench      = flag.String("bench", "", "skip the suite; write a bench snapshot (BENCH_*.json) to this path")
 		benchIters = flag.Int("bench-iters", 3, "timed runs per algorithm for -bench")
 		benchScale = flag.Float64("bench-scale", 0, "dataset scale for -bench (0 = snapshot default)")
-		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if _, err := obs.InitLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+	srv, err := obsFlags.Setup(os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	if *obsAddr != "" {
-		srv, err := obs.StartServer(*obsAddr, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
+	if srv != nil {
 		defer srv.Close()
 	}
 

@@ -33,7 +33,7 @@ import (
 // options collects everything run needs, so tests can call it without
 // going through flag parsing.
 type options struct {
-	dataPath   string
+	source     dataset.Source
 	candidates int
 	tau        float64
 	rho        float64
@@ -49,7 +49,10 @@ type options struct {
 
 func main() {
 	var opts options
-	flag.StringVar(&opts.dataPath, "data", "", "check-in CSV (from datagen); empty generates a small foursquare-like dataset")
+	flag.StringVar(&opts.source.Path, "data", "", "check-in CSV (from datagen); empty generates the preset")
+	flag.StringVar(&opts.source.Preset, "preset", "foursquare", "synthetic preset: foursquare or gowalla")
+	flag.Float64Var(&opts.source.Scale, "scale", 0.2, "synthetic dataset size factor in (0, 1]")
+	flag.Int64Var(&opts.source.SeedOffset, "data-seed", 0, "seed offset added to the preset seed")
 	flag.IntVar(&opts.candidates, "candidates", 600, "number of candidate locations sampled from venues")
 	flag.Float64Var(&opts.tau, "tau", 0.7, "influence probability threshold in (0,1)")
 	flag.Float64Var(&opts.rho, "rho", 0.9, "power-law PF behavior factor")
@@ -60,24 +63,13 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 1, "candidate sampling seed")
 	flag.BoolVar(&opts.jsonOut, "json", false, "print the result as a single JSON object")
 	flag.StringVar(&opts.tracePath, "trace", "", "write the query's span tree as JSON to this file")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
-	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
-	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if _, err := obs.InitLogging(os.Stderr, *logLevel, *logJSON); err != nil {
+	srv, err := obsFlags.Setup(os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pinocchio:", err)
 		os.Exit(1)
-	}
-
-	var srv *obs.Server
-	if *obsAddr != "" {
-		var err error
-		srv, err = obs.StartServer(*obsAddr, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pinocchio:", err)
-			os.Exit(1)
-		}
 	}
 
 	if err := run(opts); err != nil {
@@ -133,7 +125,7 @@ func run(opts options) error {
 	if out == nil {
 		out = os.Stdout
 	}
-	ds, err := loadOrGenerate(opts.dataPath)
+	ds, err := opts.source.Load()
 	if err != nil {
 		return err
 	}
@@ -254,17 +246,4 @@ func run(opts options) error {
 		}
 	}
 	return nil
-}
-
-func loadOrGenerate(path string) (*dataset.Dataset, error) {
-	if path == "" {
-		cfg := dataset.Scaled(dataset.FoursquareLike(), 0.2)
-		return dataset.Generate(cfg)
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return dataset.ReadCSV(f, path)
 }

@@ -35,7 +35,7 @@ func writeSmallDataset(t *testing.T) string {
 // defaultOpts returns CLI defaults pointed at path, output discarded.
 func defaultOpts(path string) options {
 	return options{
-		dataPath:   path,
+		source:     dataset.Source{Path: path, Scale: 0.2},
 		candidates: 40,
 		tau:        0.7,
 		rho:        0.9,

@@ -1,0 +1,178 @@
+// Command pinocchiod serves PRIME-LS queries over HTTP: it loads (or
+// generates) a check-in dataset once, samples candidate locations,
+// seeds the incremental influence engine, and then answers queries and
+// mutations until interrupted.
+//
+// Usage:
+//
+//	pinocchiod -addr :8080 -preset foursquare -scale 0.2 -candidates 400
+//	curl -s localhost:8080/v1/query -d '{"tau":0.7,"algorithm":"pin-vo"}'
+//
+// The API is documented in DESIGN.md §7: POST /v1/query for static
+// top-1/top-k solves with per-request PF and algorithm, GET
+// /v1/influence/{id} and /v1/best for the engine's incrementally
+// maintained view, and POST/DELETE under /v1/objects and /v1/candidates
+// for mutations. GET /metrics always serves the metric registry;
+// -obs-addr additionally exposes /debug/vars and /debug/pprof/ on a
+// separate listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/obs"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/server"
+)
+
+// options collects everything run needs, so tests can call it without
+// going through flag parsing.
+type options struct {
+	addr     string
+	addrFile string // write the bound address here (for scripts using :0)
+
+	source     dataset.Source
+	candidates int
+	seed       int64
+
+	pfName string
+	rho    float64
+	lambda float64
+	tau    float64
+
+	maxInflight int
+	cacheSize   int
+	maxTimeout  time.Duration
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "HTTP listen address (use :0 for an ephemeral port)")
+	flag.StringVar(&opts.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	flag.StringVar(&opts.source.Path, "data", "", "check-in CSV (from datagen); empty generates the preset")
+	flag.StringVar(&opts.source.Preset, "preset", "foursquare", "synthetic preset: foursquare or gowalla")
+	flag.Float64Var(&opts.source.Scale, "scale", 0.2, "synthetic dataset size factor in (0, 1]")
+	flag.Int64Var(&opts.source.SeedOffset, "data-seed", 0, "seed offset added to the preset seed")
+	flag.IntVar(&opts.candidates, "candidates", 400, "number of candidate locations sampled from venues")
+	flag.Int64Var(&opts.seed, "seed", 1, "candidate sampling seed")
+	flag.StringVar(&opts.pfName, "pf", "powerlaw", "engine PF family for /v1/influence and /v1/best")
+	flag.Float64Var(&opts.rho, "rho", 0.9, "engine PF behavior factor")
+	flag.Float64Var(&opts.lambda, "lambda", 1.0, "engine PF shape factor")
+	flag.Float64Var(&opts.tau, "tau", 0.7, "engine influence threshold in (0,1)")
+	flag.IntVar(&opts.maxInflight, "max-inflight", 0, "concurrent query cap before shedding with 429 (0 = 2×GOMAXPROCS)")
+	flag.IntVar(&opts.cacheSize, "cache-size", 128, "query result cache entries (negative disables)")
+	flag.DurationVar(&opts.maxTimeout, "max-timeout", 30*time.Second, "cap on per-request query deadlines")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	obsSrv, err := obsFlags.Setup(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pinocchiod:", err)
+		os.Exit(1)
+	}
+	if obsSrv != nil {
+		defer obsSrv.Close()
+	}
+	// The daemon serves /metrics itself, so recording is always on —
+	// not only when the sidecar listener runs.
+	obs.Enable()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "pinocchiod:", err)
+		os.Exit(1)
+	}
+}
+
+// run loads the workload, builds the server, and serves until ctx is
+// cancelled, then drains in-flight requests.
+func run(ctx context.Context, opts options) error {
+	pf, err := probfn.ByName(opts.pfName, opts.rho, opts.lambda)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	ds, err := opts.source.Load()
+	if err != nil {
+		return err
+	}
+	m := opts.candidates
+	if m > len(ds.Venues) {
+		m = len(ds.Venues)
+	}
+	cs, err := dataset.SampleCandidates(ds, m, rand.New(rand.NewSource(opts.seed)))
+	if err != nil {
+		return err
+	}
+	slog.Info("dataset loaded", "name", ds.Name, "objects", len(ds.Objects),
+		"venues", len(ds.Venues), "candidates", len(cs.Points),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+
+	srv, err := server.New(server.Config{
+		PF:          pf,
+		Tau:         opts.tau,
+		DatasetName: ds.Name,
+		MaxInflight: opts.maxInflight,
+		CacheSize:   opts.cacheSize,
+		MaxTimeout:  opts.maxTimeout,
+	}, ds.Objects, cs.Points)
+	if err != nil {
+		return err
+	}
+	slog.Info("engine seeded", "pf", pf.Name(), "tau", opts.tau,
+		"elapsed", time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	if opts.addrFile != "" {
+		if err := os.WriteFile(opts.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing addr file: %w", err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	slog.Info("serving", "addr", ln.Addr().String())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight queries finish
+	// within a grace period bounded by the query deadline cap.
+	slog.Info("shutting down")
+	grace := opts.maxTimeout + 5*time.Second
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

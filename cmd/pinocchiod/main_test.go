@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pinocchio/internal/dataset"
+)
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port,
+// exercises a health check and one query over real HTTP, and then
+// checks that cancelling the context shuts it down cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			addr:       "127.0.0.1:0",
+			addrFile:   addrFile,
+			source:     dataset.Source{Scale: 0.05},
+			candidates: 50,
+			seed:       1,
+			pfName:     "powerlaw",
+			rho:        0.9,
+			lambda:     1.0,
+			tau:        0.7,
+			cacheSize:  16,
+			maxTimeout: 10 * time.Second,
+		})
+	}()
+
+	// Wait for the addr file to appear.
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not write the addr file in time")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"tau":0.7,"algorithm":"pin-vo"}`))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down in time")
+	}
+}
+
+// TestRunRejectsBadConfig checks that configuration errors surface
+// before the daemon binds a port.
+func TestRunRejectsBadConfig(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, options{pfName: "frobnicate"}); err == nil {
+		t.Fatal("bad PF name should fail")
+	}
+	if err := run(ctx, options{pfName: "powerlaw", rho: 0.9, lambda: 1,
+		source: dataset.Source{Preset: "mars"}}); err == nil {
+		t.Fatal("bad preset should fail")
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import "context"
+
+// cancelEvery is the pair granularity of cooperative cancellation:
+// scan loops consult ctx.Err() once per this many units of work, so an
+// expired server-side deadline stops a solve mid-scan without putting
+// a context call on every pair.
+const cancelEvery = 256
+
+// canceller amortizes context checks over scan iterations. A zero
+// context never cancels, which keeps library callers that do not set
+// Problem.Ctx on the previous zero-overhead path. Each goroutine must
+// use its own canceller; the shared context's Err method is the only
+// concurrently touched state.
+type canceller struct {
+	ctx context.Context
+	n   int
+}
+
+// tick counts one unit of work and returns the context's error on a
+// check boundary once the context is done.
+func (c *canceller) tick() error {
+	if c.ctx == nil {
+		return nil
+	}
+	if c.n++; c.n%cancelEvery != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// ctxErr reports the problem context's current error: the entry check
+// every solver runs right after Validate, so a request whose deadline
+// already expired returns before any phase starts.
+func (p *Problem) ctxErr() error {
+	if p.Ctx == nil {
+		return nil
+	}
+	return p.Ctx.Err()
+}

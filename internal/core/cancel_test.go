@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// cancelProblem builds an instance big enough that every solver's scan
+// loop passes at least one cancellation check boundary.
+func cancelProblem(t *testing.T) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	objs := make([]*object.Object, 120)
+	for i := range objs {
+		pts := make([]geo.Point, 40)
+		for j := range pts {
+			pts[j] = geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		o, err := object.New(i, pts)
+		if err != nil {
+			t.Fatalf("object.New: %v", err)
+		}
+		objs[i] = o
+	}
+	cands := make([]geo.Point, 80)
+	for i := range cands {
+		cands[i] = geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	return &Problem{Objects: objs, Candidates: cands, PF: probfn.DefaultPowerLaw(), Tau: 0.7}
+}
+
+func TestSolversReturnContextError(t *testing.T) {
+	solvers := map[string]func(p *Problem) (*Result, error){
+		"NA":      NA,
+		"PIN":     Pinocchio,
+		"PIN-VO":  PinocchioVO,
+		"PIN-VO*": PinocchioVOStar,
+		"PIN-PAR": func(p *Problem) (*Result, error) { return PinocchioParallel(p, 4) },
+	}
+	for name, solve := range solvers {
+		t.Run(name+"/expired", func(t *testing.T) {
+			p := cancelProblem(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			p.Ctx = ctx
+			if _, err := solve(p); !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+		})
+		t.Run(name+"/deadline", func(t *testing.T) {
+			p := cancelProblem(t)
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			defer cancel()
+			p.Ctx = ctx
+			if _, err := solve(p); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("want context.DeadlineExceeded, got %v", err)
+			}
+		})
+	}
+}
+
+func TestTopTReturnsContextError(t *testing.T) {
+	p := cancelProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	if _, _, err := PinocchioVOTopT(p, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestNilCtxStillSolves guards the library default: no context, no
+// cancellation, identical results.
+func TestNilCtxStillSolves(t *testing.T) {
+	p := cancelProblem(t)
+	res, err := PinocchioVO(p)
+	if err != nil {
+		t.Fatalf("PinocchioVO: %v", err)
+	}
+	ref, err := NA(cancelProblem(t))
+	if err != nil {
+		t.Fatalf("NA: %v", err)
+	}
+	if res.BestInfluence != ref.BestInfluence {
+		t.Fatalf("VO influence %d != NA influence %d", res.BestInfluence, ref.BestInfluence)
+	}
+}

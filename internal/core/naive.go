@@ -10,15 +10,23 @@ func NA(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	r := len(p.Objects)
 	m := len(p.Candidates)
 	res := &Result{Influences: make([]int, m)}
 	res.Stats.PairsTotal = int64(r) * int64(m)
 
+	cc := canceller{ctx: p.Ctx}
 	valSp := p.Obs.Child("validate")
 	for j, c := range p.Candidates {
 		for _, o := range p.Objects {
+			if err := cc.tick(); err != nil {
+				valSp.End()
+				return nil, err
+			}
 			res.Stats.Validated++
 			if influencedFull(p.PF, p.Tau, c, o.Positions, &res.Stats) {
 				res.Influences[j]++

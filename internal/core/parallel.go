@@ -20,6 +20,9 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -44,6 +47,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 	type shardResult struct {
 		influences []int
 		stats      Stats
+		err        error
 	}
 	results := make([]shardResult, workers)
 	var wg sync.WaitGroup
@@ -53,18 +57,26 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 			defer wg.Done()
 			// Each worker gets its own span subtree, so the per-shard
 			// prune/validate split is contention-free and visible in
-			// the trace.
+			// the trace. Each worker also gets its own canceller: the
+			// shared context's Err is the only state they all touch.
 			workerSp := p.Obs.Child(fmt.Sprintf("worker-%d", w))
 			pruneSp := workerSp.Child("prune")
 			valSp := workerSp.Child("validate")
 			scanStart := pruneSp.StartTimer()
 			local := shardResult{influences: make([]int, m)}
 			lst := &local.stats
+			cc := canceller{ctx: p.Ctx}
 			for k := w; k < len(a2d); k += workers {
 				e := a2d[k]
 				touched, ia := pruneObject(tree, e,
 					func(cand int) { local.influences[cand]++ },
 					func(cand int) {
+						if local.err != nil {
+							return
+						}
+						if local.err = cc.tick(); local.err != nil {
+							return
+						}
 						lst.Validated++
 						tw := valSp.StartTimer()
 						if influencedEarlyStop(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, lst) {
@@ -74,6 +86,12 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 					})
 				lst.PrunedByIA += ia
 				lst.PrunedByNIB += int64(m) - touched
+				if local.err == nil {
+					local.err = cc.tick()
+				}
+				if local.err != nil {
+					break
+				}
 			}
 			pruneSp.EndExclusive(scanStart, valSp)
 			valSp.End()
@@ -85,6 +103,9 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 	wg.Wait()
 
 	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
 		for j, v := range r.influences {
 			res.Influences[j] += v
 		}

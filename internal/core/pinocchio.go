@@ -63,6 +63,9 @@ func Pinocchio(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	m := len(p.Candidates)
 	res := &Result{Influences: make([]int, m)}
@@ -82,10 +85,18 @@ func Pinocchio(p *Problem) (*Result, error) {
 	pruneSp := p.Obs.Child("prune")
 	valSp := p.Obs.Child("validate")
 	scanStart := pruneSp.StartTimer()
+	cc := canceller{ctx: p.Ctx}
+	var ctxErr error
 	for _, e := range a2d {
 		touched, ia := pruneObject(tree, e,
 			func(cand int) { res.Influences[cand]++ },
 			func(cand int) {
+				if ctxErr != nil {
+					return
+				}
+				if ctxErr = cc.tick(); ctxErr != nil {
+					return
+				}
 				st.Validated++
 				w := valSp.StartTimer()
 				if influencedFull(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, st) {
@@ -95,9 +106,15 @@ func Pinocchio(p *Problem) (*Result, error) {
 			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
+		if ctxErr != nil {
+			break
+		}
 	}
 	pruneSp.EndExclusive(scanStart, valSp)
 	valSp.End()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
 	finishSolve(p.Obs, AlgPinocchio.String(), start, st)

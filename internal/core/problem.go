@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,6 +44,13 @@ type Problem struct {
 	// counters as attributes. Nil disables tracing; every span method
 	// is nil-safe, so the disabled path costs a pointer test.
 	Obs *obs.Span
+
+	// Ctx, when non-nil, bounds the solve: the scan and validation
+	// loops check it roughly every cancelEvery pairs and return its
+	// error (context.Canceled or context.DeadlineExceeded) instead of
+	// finishing the computation. Nil means no deadline, the library
+	// default.
+	Ctx context.Context
 }
 
 // Validate checks the instance is well formed.

@@ -28,6 +28,9 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 	if t > m {
 		t = m
 	}
+	if err := p.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 
 	start := time.Now()
 	st := &Stats{PairsTotal: int64(len(p.Objects)) * int64(m)}
@@ -45,8 +48,13 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 		vs:     make([][]int, m),
 	}
 	pruneSp := p.Obs.Child("prune")
+	cc := canceller{ctx: p.Ctx}
 	for k, e := range a2d {
 		k := k
+		if err := cc.tick(); err != nil {
+			pruneSp.End()
+			return nil, nil, err
+		}
 		touched, ia := pruneObject(tree, e,
 			func(cand int) { s.minInf[cand]++ },
 			func(cand int) { s.vs[cand] = append(s.vs[cand], k) })
@@ -99,6 +107,7 @@ func (s *voState) runTopT(st *Stats, t int) ([]Ranked, error) {
 		}
 	}
 
+	cc := canceller{ctx: s.p.Ctx}
 	for h.Len() > 0 {
 		top := h.order[0]
 		// Strict domination: a certified t-th best strictly above the
@@ -113,6 +122,9 @@ func (s *voState) runTopT(st *Stats, t int) ([]Ranked, error) {
 		}
 		st.HeapPops++
 		for vi, ok := range s.vs[top] {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
 			st.Validated++
 			obj := s.p.Objects[ok]
 			if influencedEarlyStop(s.p.PF, s.p.Tau, s.p.Candidates[top], obj.Positions, st) {

@@ -47,8 +47,9 @@ type voState struct {
 // runValidation executes lines 13-29 of Algorithm 3 and returns the
 // optimal candidate index and its exact influence. The heap-ordered
 // loop is the VO "validate" phase; it reports its heap behavior on
-// the phase span.
-func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int) {
+// the phase span. A done Problem.Ctx aborts the loop with the
+// context's error.
+func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int, err error) {
 	valSp := s.p.Obs.Child("validate")
 	defer func() {
 		valSp.SetAttr("heap_pops", st.HeapPops)
@@ -72,6 +73,7 @@ func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int) {
 	}
 	heap.Init(h)
 
+	cc := canceller{ctx: s.p.Ctx}
 	for h.Len() > 0 {
 		top := h.order[0]
 		if s.maxInf[top] < maxminInf {
@@ -83,6 +85,9 @@ func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int) {
 		}
 		st.HeapPops++
 		for vi, ok := range s.vs[top] {
+			if err := cc.tick(); err != nil {
+				return 0, 0, err
+			}
 			st.Validated++
 			obj := s.p.Objects[ok]
 			if influencedEarlyStop(s.p.PF, s.p.Tau, s.p.Candidates[top], obj.Positions, st) {
@@ -105,7 +110,7 @@ func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int) {
 		}
 		heap.Pop(h)
 	}
-	return bestIdx, bestVal
+	return bestIdx, bestVal, nil
 }
 
 // PinocchioVO is Algorithm 3: the PINOCCHIO pruning phase feeding the
@@ -115,6 +120,9 @@ func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int) {
 // Result.Influences is nil.
 func PinocchioVO(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.ctxErr(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -139,8 +147,13 @@ func PinocchioVO(p *Problem) (*Result, error) {
 	// Unlike Algorithm 2 the VO prune loop defers all validation, so
 	// the prune span is pure pruning time.
 	pruneSp := p.Obs.Child("prune")
+	cc := canceller{ctx: p.Ctx}
 	for k, e := range a2d {
 		k := k
+		if err := cc.tick(); err != nil {
+			pruneSp.End()
+			return nil, err
+		}
 		touched, ia := pruneObject(tree, e,
 			func(cand int) { s.minInf[cand]++ },
 			func(cand int) { s.vs[cand] = append(s.vs[cand], k) })
@@ -154,7 +167,11 @@ func PinocchioVO(p *Problem) (*Result, error) {
 	}
 	pruneSp.End()
 
-	res.BestIndex, res.BestInfluence = s.runValidation(st)
+	var err error
+	res.BestIndex, res.BestInfluence, err = s.runValidation(st)
+	if err != nil {
+		return nil, err
+	}
 	finishSolve(p.Obs, AlgPinocchioVO.String(), start, st)
 	return res, nil
 }
@@ -165,6 +182,9 @@ func PinocchioVO(p *Problem) (*Result, error) {
 // all objects.
 func PinocchioVOStar(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.ctxErr(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -189,7 +209,11 @@ func PinocchioVOStar(p *Problem) (*Result, error) {
 		s.vs[c] = all
 	}
 
-	res.BestIndex, res.BestInfluence = s.runValidation(st)
+	var err error
+	res.BestIndex, res.BestInfluence, err = s.runValidation(st)
+	if err != nil {
+		return nil, err
+	}
 	finishSolve(p.Obs, AlgPinocchioVOStar.String(), start, st)
 	return res, nil
 }

@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+)
+
+// Source describes where a check-in workload comes from: a CSV path
+// (written by cmd/datagen or any file in the same schema) or, when the
+// path is empty, a named synthetic preset generated at a scale. It is
+// the shared loading plumbing behind the -data/-preset/-scale flags of
+// cmd/pinocchio, cmd/datagen and cmd/pinocchiod.
+type Source struct {
+	// Path is a check-in CSV; empty generates synthetically.
+	Path string
+	// Preset names the generator calibration: "foursquare" (default)
+	// or "gowalla", with the single-letter abbreviations accepted by
+	// cmd/datagen.
+	Preset string
+	// Scale shrinks the preset in (0, 1]; 0 defaults to 1.0.
+	Scale float64
+	// SeedOffset is added to the preset's base seed, so harnesses can
+	// draw independent instances of the same preset.
+	SeedOffset int64
+}
+
+// PresetConfig maps a preset name to its generator configuration.
+func PresetConfig(name string) (Config, error) {
+	switch name {
+	case "", "foursquare", "f":
+		return FoursquareLike(), nil
+	case "gowalla", "g":
+		return GowallaLike(), nil
+	}
+	return Config{}, fmt.Errorf("dataset: unknown preset %q (want foursquare or gowalla)", name)
+}
+
+// Load materializes the source: ReadCSV for a path, Generate for a
+// preset.
+func (s Source) Load() (*Dataset, error) {
+	if s.Path != "" {
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadCSV(f, s.Path)
+	}
+	cfg, err := PresetConfig(s.Preset)
+	if err != nil {
+		return nil, err
+	}
+	if s.Scale > 0 {
+		cfg = Scaled(cfg, s.Scale)
+	}
+	cfg.Seed += s.SeedOffset
+	return Generate(cfg)
+}

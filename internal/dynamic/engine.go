@@ -20,11 +20,15 @@
 //
 // Memory is O(Σ_O |influenced(O)|), the size of the current influence
 // relation.
+//
+// Engine is not safe for concurrent use; see the Engine type's note
+// and SafeEngine.
 package dynamic
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"pinocchio/internal/geo"
@@ -56,6 +60,12 @@ type objState struct {
 }
 
 // Engine maintains exact candidate influences under updates.
+//
+// An Engine is NOT safe for concurrent use: every method, including
+// the read-only accessors, must be serialized by the caller. Wrap it
+// in SafeEngine for a coarse mutex, or build a single-writer/
+// many-reader layer like internal/server's, which snapshots the
+// engine's state under a read lock and runs queries outside it.
 type Engine struct {
 	pf  probfn.Func
 	tau float64
@@ -309,4 +319,50 @@ func (e *Engine) Influences() map[int]int {
 		out[c] = v
 	}
 	return out
+}
+
+// SnapshotObjects returns the tracked objects sorted by id. The
+// *object.Object values are immutable once inside the engine (updates
+// swap in freshly built objects), so the returned pointers stay valid
+// for readers even while later mutations are applied.
+func (e *Engine) SnapshotObjects() []*object.Object {
+	out := make([]*object.Object, 0, len(e.objects))
+	for _, os := range e.objects {
+		out = append(out, os.obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SnapshotCandidates returns the live candidate ids (ascending) and
+// their points, index-aligned.
+func (e *Engine) SnapshotCandidates() (ids []int, pts []geo.Point) {
+	ids = make([]int, 0, len(e.candPoints))
+	for id := range e.candPoints {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	pts = make([]geo.Point, len(ids))
+	for i, id := range ids {
+		pts[i] = e.candPoints[id]
+	}
+	return ids, pts
+}
+
+// Candidate returns the point of a live candidate.
+func (e *Engine) Candidate(id int) (geo.Point, error) {
+	pt, ok := e.candPoints[id]
+	if !ok {
+		return geo.Point{}, fmt.Errorf("%w: %d", ErrUnknownCandidate, id)
+	}
+	return pt, nil
+}
+
+// Object returns a tracked object.
+func (e *Engine) Object(id int) (*object.Object, error) {
+	os, ok := e.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	return os.obj, nil
 }

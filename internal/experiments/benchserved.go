@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/server"
+)
+
+// BenchServed is one served-query row in the snapshot: the same solve
+// measured through the HTTP layer (JSON decode, validation, snapshot,
+// solve, encode), so the serving overhead is visible next to the raw
+// algorithm wall times.
+type BenchServed struct {
+	Algorithm string  `json:"algorithm"`
+	Cached    bool    `json:"cached"`
+	WallMs    float64 `json:"wall_ms"` // min over iterations
+}
+
+// benchServed times POST /v1/query end-to-end against an in-process
+// server over the bench population. Uncached rows bypass the result
+// cache with no_cache; the cached row times a repeat hit after one
+// warm-up solve.
+func benchServed(objs []*object.Object, cands []geo.Point, tau float64, iters int) ([]BenchServed, error) {
+	srv, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute}, objs, cands)
+	if err != nil {
+		return nil, err
+	}
+
+	cases := []struct {
+		algo   string
+		cached bool
+	}{
+		{"pin-vo", false},
+		{"pin-par", false},
+		{"pin-vo", true},
+	}
+	out := make([]BenchServed, 0, len(cases))
+	for _, c := range cases {
+		body := fmt.Sprintf(`{"algorithm":%q,"tau":%g,"no_cache":%v}`, c.algo, tau, !c.cached)
+		serve := func() (int, time.Duration) {
+			req := httptest.NewRequest("POST", "/v1/query", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			start := time.Now()
+			srv.ServeHTTP(rec, req)
+			return rec.Code, time.Since(start)
+		}
+		if c.cached {
+			if code, _ := serve(); code != http.StatusOK {
+				return nil, fmt.Errorf("experiments: served bench warm-up %s: HTTP %d", c.algo, code)
+			}
+		}
+		row := BenchServed{Algorithm: c.algo, Cached: c.cached}
+		for it := 0; it < iters; it++ {
+			code, dur := serve()
+			if code != http.StatusOK {
+				return nil, fmt.Errorf("experiments: served bench %s: HTTP %d", c.algo, code)
+			}
+			if ms := float64(dur) / float64(time.Millisecond); it == 0 || ms < row.WallMs {
+				row.WallMs = ms
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -71,6 +71,9 @@ type BenchSnapshot struct {
 	Tau        float64     `json:"tau"`
 	Iterations int         `json:"iterations"`
 	Algorithms []BenchAlgo `json:"algorithms"`
+	// ServedQueries times the same solves through the HTTP serving
+	// layer (cmd/pinocchiod), including a cache-hit row.
+	ServedQueries []BenchServed `json:"served_queries,omitempty"`
 }
 
 // RunBenchSnapshot builds a seeded Foursquare-like instance and times
@@ -167,6 +170,10 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 	if err := run("PIN-PAR", func() (*core.Result, error) {
 		return core.PinocchioParallel(p, workers)
 	}); err != nil {
+		return nil, err
+	}
+	snap.ServedQueries, err = benchServed(objs, cs.Points, cfg.Tau, cfg.Iterations)
+	if err != nil {
 		return nil, err
 	}
 	return snap, nil

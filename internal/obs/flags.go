@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"flag"
+	"io"
+)
+
+// Flags bundles the observability flags shared by every cmd binary:
+// -obs-addr, -log-level and -log-json. Register binds them; Setup
+// applies them after flag.Parse.
+type Flags struct {
+	Addr     string
+	LogLevel string
+	LogJSON  bool
+}
+
+// RegisterFlags binds the shared observability flags on fs (use
+// flag.CommandLine for a binary's top-level flags).
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Addr, "obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn, error")
+	fs.BoolVar(&f.LogJSON, "log-json", false, "emit logs as JSON instead of text")
+	return f
+}
+
+// Setup configures the process-default logger and, when -obs-addr was
+// given, starts the observability server (which also enables metric
+// recording). The returned server is nil when no address was set; the
+// caller owns Close.
+func (f *Flags) Setup(logW io.Writer) (*Server, error) {
+	if _, err := InitLogging(logW, f.LogLevel, f.LogJSON); err != nil {
+		return nil, err
+	}
+	if f.Addr == "" {
+		return nil, nil
+	}
+	return StartServer(f.Addr, nil)
+}

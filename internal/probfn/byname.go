@@ -1,0 +1,91 @@
+package probfn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Families lists the PF family names ByName accepts, sorted, for error
+// messages and API discovery.
+func Families() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// builders maps a family name to its two-parameter constructor. Every
+// family is reduced to (rho, shape): rho is the probability at
+// distance zero and shape is the family's single spatial parameter —
+// the decay exponent for the power law, the e-folding distance for
+// the exponential, the zero-crossing range for the compact-support
+// families, σ for the Gaussian, the sigmoid scale for logsig/convex.
+var builders = map[string]func(rho, shape float64) (Func, error){
+	"powerlaw": func(rho, shape float64) (Func, error) {
+		return NewPowerLaw(rho, 1.0, shape)
+	},
+	"logsig": func(rho, shape float64) (Func, error) {
+		return NewLogsig(rho, shape, 0)
+	},
+	"convex": func(rho, shape float64) (Func, error) {
+		if err := checkRhoShape(rho, shape); err != nil {
+			return nil, err
+		}
+		return Convex{Rho: rho, Scale: shape}, nil
+	},
+	"concave": func(rho, shape float64) (Func, error) {
+		if err := checkRhoShape(rho, shape); err != nil {
+			return nil, err
+		}
+		return Concave{Rho: rho, Range: shape}, nil
+	},
+	"linear": func(rho, shape float64) (Func, error) {
+		if err := checkRhoShape(rho, shape); err != nil {
+			return nil, err
+		}
+		return Linear{Rho: rho, Range: shape}, nil
+	},
+	"exponential": func(rho, shape float64) (Func, error) {
+		if err := checkRhoShape(rho, shape); err != nil {
+			return nil, err
+		}
+		return Exponential{Rho: rho, Scale: shape}, nil
+	},
+	"gaussian": func(rho, shape float64) (Func, error) {
+		return NewGaussian(rho, shape)
+	},
+	"step": func(rho, shape float64) (Func, error) {
+		if err := checkRhoShape(rho, shape); err != nil {
+			return nil, err
+		}
+		return Step{Rho: rho, Range: shape}, nil
+	},
+}
+
+// checkRhoShape validates the common (rho, shape) domain for the
+// families constructed by struct literal.
+func checkRhoShape(rho, shape float64) error {
+	if rho <= 0 || rho > 1 {
+		return fmt.Errorf("%w: rho %v not in (0,1]", ErrInvalidParam, rho)
+	}
+	if shape <= 0 {
+		return fmt.Errorf("%w: shape %v must be positive", ErrInvalidParam, shape)
+	}
+	return nil
+}
+
+// ByName builds a PF from a family name and the reduced (rho, shape)
+// parameterization — the form a serving API can accept per request.
+// An empty name selects the paper's default power law.
+func ByName(name string, rho, shape float64) (Func, error) {
+	if name == "" {
+		name = "powerlaw"
+	}
+	mk, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("probfn: unknown family %q (want one of %v)", name, Families())
+	}
+	return mk(rho, shape)
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a small mutex-guarded LRU over query responses. Keys
+// embed the mutation epoch (see cacheKey), so any engine mutation
+// implicitly invalidates every cached result: the old epoch's entries
+// become unreachable and age out of the LRU.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key  string
+	resp *QueryResponse
+}
+
+// newResultCache returns a cache holding up to max entries; max < 0
+// disables caching entirely (get always misses, put drops).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached response for key, marking it most recently
+// used. The returned response is shared: callers must copy before
+// mutating.
+func (c *resultCache) get(key string) (*QueryResponse, bool) {
+	if c.max < 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put stores resp under key, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) put(key string, resp *QueryResponse) {
+	if c.max < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	c.items[key] = el
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the live entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,591 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/obs"
+	"pinocchio/internal/probfn"
+)
+
+// PointJSON is a planar position on the wire.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// QueryRequest is the POST /v1/query body. Zero values select the
+// paper's defaults (PIN-VO, power-law ρ=0.9 λ=1.0); Tau is required.
+type QueryRequest struct {
+	// Algorithm selects the solver: na, pin, pin-vo, pin-vo*, pin-par.
+	Algorithm string `json:"algorithm"`
+	// PF names the probability family (probfn.Families); Rho is the
+	// probability at distance zero, Lambda the family's shape
+	// parameter (decay exponent, range, σ, …).
+	PF     string  `json:"pf"`
+	Rho    float64 `json:"rho"`
+	Lambda float64 `json:"lambda"`
+	// Tau is the influence threshold, required in (0,1).
+	Tau float64 `json:"tau"`
+	// K requests the top-k most influential candidates; 0 or 1 solves
+	// top-1.
+	K int `json:"k"`
+	// Workers is the pin-par worker count (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// TimeoutMs bounds the solve; capped at the server's MaxTimeout,
+	// which also applies when 0.
+	TimeoutMs int `json:"timeout_ms"`
+	// NoCache skips the result cache for this request.
+	NoCache bool `json:"no_cache"`
+}
+
+// CandidateJSON is one candidate with its influence on the wire.
+type CandidateJSON struct {
+	ID        int     `json:"id"`
+	X         float64 `json:"x"`
+	Y         float64 `json:"y"`
+	Influence int     `json:"influence"`
+}
+
+// QueryResponse is the POST /v1/query result.
+type QueryResponse struct {
+	Best       CandidateJSON   `json:"best"`
+	TopK       []CandidateJSON `json:"top_k,omitempty"`
+	Algorithm  string          `json:"algorithm"`
+	PF         string          `json:"pf"`
+	Tau        float64         `json:"tau"`
+	Objects    int             `json:"objects"`
+	Candidates int             `json:"candidates"`
+	Epoch      int64           `json:"epoch"`
+	Cached     bool            `json:"cached"`
+	ElapsedMs  float64         `json:"elapsed_ms"`
+	Stats      core.Stats      `json:"stats"`
+}
+
+// errorJSON is the error body every non-2xx response carries.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// routes mounts every endpoint, wrapped with HTTP metrics.
+func (s *Server) routes() {
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /v1/status", s.handleStatus)
+	s.route("POST /v1/query", s.handleQuery)
+	s.route("GET /v1/best", s.handleBest)
+	s.route("GET /v1/influence/{id}", s.handleInfluence)
+	s.route("POST /v1/objects", s.handleAddObject)
+	s.route("PUT /v1/objects/{id}", s.handleUpdateObject)
+	s.route("DELETE /v1/objects/{id}", s.handleRemoveObject)
+	s.route("POST /v1/objects/{id}/positions", s.handleAddPositions)
+	s.route("POST /v1/candidates", s.handleAddCandidate)
+	s.route("DELETE /v1/candidates/{id}", s.handleRemoveCandidate)
+	s.mux.Handle("GET /metrics", obs.Default().Handler())
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route registers a pattern with per-route request metrics.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		recordHTTP(pattern, sw.code, time.Since(start))
+	})
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr renders a JSON error body.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON parses the request body into v, bounding its size and
+// rejecting unknown fields (a typoed parameter should fail loudly, not
+// silently run with defaults). It writes the error response itself and
+// reports whether decoding succeeded.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "decoding body: %v", err)
+		return false
+	}
+	return true
+}
+
+// pathID parses the {id} path segment.
+func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad id %q: want an integer", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+// engineErrCode maps engine errors to HTTP statuses: unknown ids are
+// 404, duplicate inserts 409, bad payloads 400.
+func engineErrCode(err error) int {
+	switch {
+	case errors.Is(err, dynamic.ErrUnknownObject), errors.Is(err, dynamic.ErrUnknownCandidate):
+		return http.StatusNotFound
+	case errors.Is(err, dynamic.ErrDuplicateObject):
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	objects := s.engine.Objects()
+	candidates := s.engine.Candidates()
+	stats := s.engine.Stats()
+	epoch := s.epoch
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":        s.cfg.DatasetName,
+		"objects":        objects,
+		"candidates":     candidates,
+		"epoch":          epoch,
+		"engine_pf":      s.cfg.PF.Name(),
+		"engine_tau":     s.cfg.Tau,
+		"engine_stats":   stats,
+		"cache_entries":  s.cache.len(),
+		"max_inflight":   s.cfg.MaxInflight,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// parseAlgorithm maps the wire names to solvers; pin-par is handled
+// separately by solveQuery.
+var algorithms = map[string]core.Algorithm{
+	"na":      core.AlgNA,
+	"pin":     core.AlgPinocchio,
+	"pin-vo":  core.AlgPinocchioVO,
+	"pin-vo*": core.AlgPinocchioVOStar,
+}
+
+// cacheKey identifies a query result: any mutation moves the epoch and
+// thereby invalidates every previously cached entry. Workers are
+// excluded — they change wall time, never the result.
+func cacheKey(epoch int64, req *QueryRequest) string {
+	return fmt.Sprintf("%d|%s|%s|%g|%g|%g|%d",
+		epoch, req.Algorithm, req.PF, req.Rho, req.Lambda, req.Tau, req.K)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Admission control: shed immediately rather than queue — a
+	// client-visible 429 beats an invisible goroutine pile-up.
+	select {
+	case s.inflight <- struct{}{}:
+		recordInflight(+1)
+		defer func() {
+			<-s.inflight
+			recordInflight(-1)
+		}()
+	default:
+		recordShed()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			"server at capacity (%d queries in flight)", s.cfg.MaxInflight)
+		return
+	}
+
+	req := QueryRequest{Algorithm: "pin-vo", PF: "powerlaw", Rho: 0.9, Lambda: 1.0}
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if _, ok := algorithms[req.Algorithm]; !ok && req.Algorithm != "pin-par" {
+		writeErr(w, http.StatusBadRequest,
+			"unknown algorithm %q (want na, pin, pin-vo, pin-vo* or pin-par)", req.Algorithm)
+		return
+	}
+	pf, err := probfn.ByName(req.PF, req.Rho, req.Lambda)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !(req.Tau > 0 && req.Tau < 1) {
+		writeErr(w, http.StatusBadRequest, "tau %v outside (0,1)", req.Tau)
+		return
+	}
+	if req.K < 0 {
+		writeErr(w, http.StatusBadRequest, "k %d must be non-negative", req.K)
+		return
+	}
+	if req.K > 1 && req.Algorithm == "pin-vo*" {
+		writeErr(w, http.StatusBadRequest, "top-k is not supported for pin-vo*")
+		return
+	}
+
+	sn := s.snapshotNow()
+	if len(sn.objects) == 0 || len(sn.candPts) == 0 {
+		writeErr(w, http.StatusConflict,
+			"nothing to query: %d objects, %d candidates", len(sn.objects), len(sn.candPts))
+		return
+	}
+
+	key := cacheKey(sn.epoch, &req)
+	if !req.NoCache {
+		if cached, ok := s.cache.get(key); ok {
+			recordCache(true)
+			recordQuery(req.Algorithm, true, 0)
+			resp := *cached
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, &resp)
+			return
+		}
+		recordCache(false)
+	}
+
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	// Basing the deadline on the request context also aborts the solve
+	// when the client disconnects.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	resp, err := s.solveQuery(ctx, sn, &req, pf)
+	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			recordQuery(req.Algorithm, false, elapsed)
+			writeErr(w, http.StatusServiceUnavailable,
+				"query aborted after %v: %v", elapsed.Round(time.Millisecond), err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "solve failed: %v", err)
+		return
+	}
+	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
+	recordQuery(req.Algorithm, false, elapsed)
+	if !req.NoCache {
+		s.cache.put(key, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveQuery runs the selected solver over the snapshot and shapes the
+// response. Indices into the snapshot's candidate slice are translated
+// back to engine candidate ids.
+func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func) (*QueryResponse, error) {
+	p := &core.Problem{
+		Objects:    sn.objects,
+		Candidates: sn.candPts,
+		PF:         pf,
+		Tau:        req.Tau,
+		Ctx:        ctx,
+	}
+	resp := &QueryResponse{
+		Algorithm:  req.Algorithm,
+		PF:         pf.Name(),
+		Tau:        req.Tau,
+		Objects:    len(sn.objects),
+		Candidates: len(sn.candPts),
+		Epoch:      sn.epoch,
+	}
+	mk := func(idx, inf int) CandidateJSON {
+		return CandidateJSON{
+			ID:        sn.candIDs[idx],
+			X:         sn.candPts[idx].X,
+			Y:         sn.candPts[idx].Y,
+			Influence: inf,
+		}
+	}
+
+	// Top-k with the VO machinery keeps the bound-ordered early exit;
+	// the exact algorithms rank their full influence vector instead.
+	if req.K > 1 && req.Algorithm == "pin-vo" {
+		ranked, st, err := core.PinocchioVOTopT(p, req.K)
+		if err != nil {
+			return nil, err
+		}
+		resp.Stats = *st
+		for _, rk := range ranked {
+			resp.TopK = append(resp.TopK, mk(rk.Index, rk.Influence))
+		}
+		if len(resp.TopK) > 0 {
+			resp.Best = resp.TopK[0]
+		}
+		return resp, nil
+	}
+
+	var res *core.Result
+	var err error
+	if req.Algorithm == "pin-par" {
+		res, err = core.PinocchioParallel(p, req.Workers)
+	} else {
+		res, err = core.Solve(algorithms[req.Algorithm], p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.Stats = res.Stats
+	resp.Best = mk(res.BestIndex, res.BestInfluence)
+	if req.K > 1 {
+		if res.Influences == nil {
+			return nil, fmt.Errorf("server: %s computed no influence vector", req.Algorithm)
+		}
+		ranked := make([]core.Ranked, len(res.Influences))
+		for i, inf := range res.Influences {
+			ranked[i] = core.Ranked{Index: i, Influence: inf}
+		}
+		sort.SliceStable(ranked, func(a, b int) bool {
+			if ranked[a].Influence != ranked[b].Influence {
+				return ranked[a].Influence > ranked[b].Influence
+			}
+			return ranked[a].Index < ranked[b].Index
+		})
+		k := req.K
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		for _, rk := range ranked[:k] {
+			resp.TopK = append(resp.TopK, mk(rk.Index, rk.Influence))
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleBest(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	id, inf, ok := s.engine.Best()
+	var pt geo.Point
+	if ok {
+		pt, _ = s.engine.Candidate(id)
+	}
+	epoch := s.epoch
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no candidates registered")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"best":  CandidateJSON{ID: id, X: pt.X, Y: pt.Y, Influence: inf},
+		"pf":    s.cfg.PF.Name(),
+		"tau":   s.cfg.Tau,
+		"epoch": epoch,
+	})
+}
+
+func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	inf, err := s.engine.Influence(id)
+	var pt geo.Point
+	if err == nil {
+		pt, _ = s.engine.Candidate(id)
+	}
+	objects := s.engine.Objects()
+	epoch := s.epoch
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, engineErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"candidate": CandidateJSON{ID: id, X: pt.X, Y: pt.Y, Influence: inf},
+		"objects":   objects,
+		"pf":        s.cfg.PF.Name(),
+		"tau":       s.cfg.Tau,
+		"epoch":     epoch,
+	})
+}
+
+// objectRequest is the POST /v1/objects and PUT /v1/objects/{id} body.
+type objectRequest struct {
+	ID        int         `json:"id"`
+	Positions []PointJSON `json:"positions"`
+}
+
+// positionsRequest is the POST /v1/objects/{id}/positions body: either
+// a single point or a batch.
+type positionsRequest struct {
+	X         *float64    `json:"x,omitempty"`
+	Y         *float64    `json:"y,omitempty"`
+	Positions []PointJSON `json:"positions,omitempty"`
+}
+
+// toPoints converts wire positions.
+func toPoints(ps []PointJSON) []geo.Point {
+	out := make([]geo.Point, len(ps))
+	for i, p := range ps {
+		out[i] = geo.Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+// mutationResponse acknowledges an applied mutation.
+type mutationResponse struct {
+	ID    int   `json:"id"`
+	Epoch int64 `json:"epoch"`
+}
+
+func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
+	var req objectRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Positions) == 0 {
+		writeErr(w, http.StatusBadRequest, "object needs at least one position")
+		return
+	}
+	epoch, err := s.mutate("add_object", func(e *dynamic.Engine) error {
+		return e.AddObject(req.ID, toPoints(req.Positions))
+	})
+	if err != nil {
+		writeErr(w, engineErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, mutationResponse{ID: req.ID, Epoch: epoch})
+}
+
+func (s *Server) handleUpdateObject(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var req objectRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Positions) == 0 {
+		writeErr(w, http.StatusBadRequest, "object needs at least one position")
+		return
+	}
+	epoch, err := s.mutate("update_object", func(e *dynamic.Engine) error {
+		return e.UpdateObject(id, toPoints(req.Positions))
+	})
+	if err != nil {
+		writeErr(w, engineErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+}
+
+func (s *Server) handleRemoveObject(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	epoch, err := s.mutate("remove_object", func(e *dynamic.Engine) error {
+		return e.RemoveObject(id)
+	})
+	if err != nil {
+		writeErr(w, engineErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+}
+
+func (s *Server) handleAddPositions(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var req positionsRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	pts := toPoints(req.Positions)
+	if req.X != nil && req.Y != nil {
+		pts = append(pts, geo.Point{X: *req.X, Y: *req.Y})
+	}
+	if len(pts) == 0 {
+		writeErr(w, http.StatusBadRequest, `need "positions" or an "x"/"y" pair`)
+		return
+	}
+	// AddPosition only fails on an unknown object, which the write
+	// lock makes stable across the batch: either every point applies
+	// or none do, so skipping the epoch bump on error stays correct.
+	epoch, err := s.mutate("add_position", func(e *dynamic.Engine) error {
+		for _, p := range pts {
+			if err := e.AddPosition(id, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, engineErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+}
+
+func (s *Server) handleAddCandidate(w http.ResponseWriter, r *http.Request) {
+	var req PointJSON
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	var id int
+	epoch, err := s.mutate("add_candidate", func(e *dynamic.Engine) error {
+		id = e.AddCandidate(geo.Point{X: req.X, Y: req.Y})
+		return nil
+	})
+	if err != nil {
+		writeErr(w, engineErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, mutationResponse{ID: id, Epoch: epoch})
+}
+
+func (s *Server) handleRemoveCandidate(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	epoch, err := s.mutate("remove_candidate", func(e *dynamic.Engine) error {
+		return e.RemoveCandidate(id)
+	})
+	if err != nil {
+		writeErr(w, engineErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+}

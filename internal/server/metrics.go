@@ -1,0 +1,90 @@
+package server
+
+import (
+	"strconv"
+	"time"
+
+	"pinocchio/internal/obs"
+)
+
+// Metric names exported by the serving layer (catalogue in DESIGN.md
+// §6/§7). HTTP series are labeled by route pattern; query latency by
+// algorithm.
+const (
+	mHTTPRequests = "pinocchio_http_requests_total"
+	mHTTPSeconds  = "pinocchio_http_request_seconds"
+	mQueryLatency = "pinocchio_server_query_seconds"
+	mCacheHits    = "pinocchio_server_cache_hits_total"
+	mCacheMisses  = "pinocchio_server_cache_misses_total"
+	mShed         = "pinocchio_server_shed_total"
+	mInflight     = "pinocchio_server_inflight"
+	mMutations    = "pinocchio_server_mutations_total"
+	mMutationSecs = "pinocchio_server_mutation_seconds"
+	mEpoch        = "pinocchio_server_epoch"
+)
+
+// recordHTTP folds one finished request into the registry.
+func recordHTTP(route string, code int, dur time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	r.Counter(mHTTPRequests, "HTTP requests served.",
+		obs.Labels{"route": route, "code": strconv.Itoa(code)}).Inc()
+	r.Histogram(mHTTPSeconds, "HTTP request wall time in seconds.",
+		obs.DefBuckets, obs.Labels{"route": route}).Observe(dur.Seconds())
+}
+
+// recordQuery tracks served-query latency per algorithm, split by
+// cache outcome.
+func recordQuery(algo string, cached bool, dur time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	r.Histogram(mQueryLatency, "Served PRIME-LS query latency in seconds.",
+		obs.DefBuckets, obs.Labels{"algo": algo, "cached": strconv.FormatBool(cached)}).
+		Observe(dur.Seconds())
+}
+
+// recordCache counts one cache lookup outcome.
+func recordCache(hit bool) {
+	if !obs.Enabled() {
+		return
+	}
+	if hit {
+		obs.Default().Counter(mCacheHits, "Query result cache hits.", nil).Inc()
+	} else {
+		obs.Default().Counter(mCacheMisses, "Query result cache misses.", nil).Inc()
+	}
+}
+
+// recordShed counts one admission-control rejection.
+func recordShed() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Counter(mShed, "Queries shed by admission control.", nil).Inc()
+}
+
+// recordInflight moves the in-flight query gauge.
+func recordInflight(delta float64) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Gauge(mInflight, "Queries currently executing.", nil).Add(delta)
+}
+
+// recordMutation counts one applied engine mutation and publishes the
+// new epoch. The dynamic package separately records the engine-level
+// op cost; this series counts the HTTP-applied mutations.
+func recordMutation(op string, epoch int64, dur time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	r.Counter(mMutations, "Engine mutations applied via the API.", obs.Labels{"op": op}).Inc()
+	r.Histogram(mMutationSecs, "Mutation wall time in seconds (lock wait included).",
+		obs.DefBuckets, obs.Labels{"op": op}).Observe(dur.Seconds())
+	r.Gauge(mEpoch, "Current dataset mutation epoch.", nil).Set(float64(epoch))
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndMutations drives the reader/writer wrapper
+// from many goroutines at once — queries, influence reads, and engine
+// mutations all through ServeHTTP — so `go test -race` checks the
+// single-writer/many-reader claim (snapshot reads outside the lock,
+// epoch-keyed cache, lazy snapshot rebuild).
+func TestConcurrentQueriesAndMutations(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 64})
+
+	const (
+		goroutines = 8
+		iters      = 25
+	)
+	var wg sync.WaitGroup
+
+	// Query readers, alternating algorithms and cacheability.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			algos := []string{"pin", "pin-vo", "pin-par"}
+			for i := 0; i < iters; i++ {
+				body := fmt.Sprintf(`{"algorithm":%q,"tau":0.6,"no_cache":%v}`,
+					algos[(g+i)%len(algos)], i%2 == 0)
+				rec := do(t, s, "POST", "/v1/query", body, nil)
+				switch rec.Code {
+				case http.StatusOK, http.StatusTooManyRequests:
+				default:
+					t.Errorf("query: unexpected code %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Influence and status readers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters*4; i++ {
+				do(t, s, "GET", fmt.Sprintf("/v1/influence/%d", i%25), "", nil)
+				do(t, s, "GET", "/v1/status", "", nil)
+				do(t, s, "GET", "/v1/best", "", nil)
+			}
+		}(g)
+	}
+
+	// Writers: object churn and candidate churn on disjoint id ranges
+	// so each goroutine's lifecycle assertions stay deterministic.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := 5000 + g*1000
+			for i := 0; i < iters; i++ {
+				id := base + i
+				body := fmt.Sprintf(`{"id":%d,"positions":[{"x":%d,"y":1},{"x":2,"y":2}]}`, id, i%8)
+				if rec := do(t, s, "POST", "/v1/objects", body, nil); rec.Code != http.StatusCreated {
+					t.Errorf("add object %d: %d %s", id, rec.Code, rec.Body.String())
+					return
+				}
+				do(t, s, "POST", fmt.Sprintf("/v1/objects/%d/positions", id), `{"x":3,"y":3}`, nil)
+				if rec := do(t, s, "DELETE", fmt.Sprintf("/v1/objects/%d", id), "", nil); rec.Code != http.StatusOK {
+					t.Errorf("remove object %d: %d %s", id, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var mu sync.Mutex
+		var live []int
+		for i := 0; i < iters; i++ {
+			var mr mutationResponse
+			if rec := do(t, s, "POST", "/v1/candidates", `{"x":6,"y":6}`, &mr); rec.Code == http.StatusCreated {
+				mu.Lock()
+				live = append(live, mr.ID)
+				mu.Unlock()
+			}
+			if i%3 == 2 {
+				mu.Lock()
+				id := live[0]
+				live = live[1:]
+				mu.Unlock()
+				do(t, s, "DELETE", fmt.Sprintf("/v1/candidates/%d", id), "", nil)
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The wrapper must come out consistent: a final query agrees with
+	// the engine's own incremental view of the default PF/τ.
+	var resp QueryResponse
+	rec := do(t, s, "POST", "/v1/query", `{"tau":0.7,"no_cache":true}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("final query: %d %s", rec.Code, rec.Body.String())
+	}
+	var best struct {
+		Best CandidateJSON `json:"best"`
+	}
+	if rec := do(t, s, "GET", "/v1/best", "", &best); rec.Code != http.StatusOK {
+		t.Fatalf("final best: %d", rec.Code)
+	}
+	if best.Best.Influence != resp.Best.Influence {
+		t.Fatalf("engine best influence %d != solved best influence %d",
+			best.Best.Influence, resp.Best.Influence)
+	}
+}

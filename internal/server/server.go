@@ -1,0 +1,225 @@
+// Package server is the PRIME-LS query service: an HTTP JSON API over
+// a live dynamic.Engine, the serving layer the paper motivates in §1
+// (an online location-selection service over continuously moving
+// objects).
+//
+// A Server loads a workload once and keeps everything hot in memory:
+// the moving objects, the candidate set, and the incremental engine
+// tracking per-candidate influence under its configured PF/τ. On top
+// of that it answers two kinds of traffic:
+//
+//   - queries (POST /v1/query): top-1 and top-k PRIME-LS with
+//     per-request PF family, ρ/λ, τ, k and algorithm selection,
+//     solved by the static solvers over a consistent snapshot;
+//   - mutations (POST/DELETE under /v1/objects and /v1/candidates):
+//     applied to the dynamic engine, which maintains exact influences
+//     incrementally.
+//
+// Concurrency model (single writer, many readers): the engine itself
+// is not goroutine-safe, so mutations serialize on a write lock while
+// queries only hold the read lock long enough to snapshot the object
+// and candidate sets — the solve runs outside any lock on immutable
+// data. Every mutation bumps an epoch; snapshots and cached results
+// are keyed by it, so a mutation invalidates both without blocking
+// in-flight queries.
+//
+// Overload behavior: at most MaxInflight queries run concurrently;
+// excess requests are shed immediately with 429. Per-request deadlines
+// propagate into the solvers through Problem.Ctx, so an expired
+// deadline stops the scan mid-loop and surfaces as 503.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// Config parameterizes a Server. The zero value of optional fields
+// selects the documented defaults.
+type Config struct {
+	// PF and Tau configure the dynamic engine's influence tracking
+	// (the /v1/influence and /v1/best views). PF defaults to the
+	// paper's power law, Tau to 0.7.
+	PF  probfn.Func
+	Tau float64
+
+	// DatasetName labels /v1/status responses.
+	DatasetName string
+
+	// MaxInflight caps concurrently running queries; excess requests
+	// are shed with 429. Defaults to 2×GOMAXPROCS.
+	MaxInflight int
+
+	// CacheSize is the result-cache capacity in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+
+	// MaxTimeout caps (and defaults) the per-request query deadline.
+	// Defaults to 30s.
+	MaxTimeout time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.PF == nil {
+		c.PF = probfn.DefaultPowerLaw()
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.7
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// snapshot is one immutable view of the engine's population, shared by
+// every query issued at the same epoch. Objects are immutable once
+// built and points are values, so readers never see a mutation.
+type snapshot struct {
+	epoch   int64
+	objects []*object.Object
+	candIDs []int
+	candPts []geo.Point
+}
+
+// candIndex returns the snapshot position of a candidate id, -1 when
+// the id is not live in this snapshot.
+func (sn *snapshot) candIndex(id int) int {
+	lo, hi := 0, len(sn.candIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sn.candIDs[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(sn.candIDs) && sn.candIDs[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// Server is the query service. It implements http.Handler.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	// mu is the single-writer/many-reader gate over engine and epoch:
+	// mutations take the write lock, reads (snapshots, influence
+	// lookups) the read lock. The engine is never touched without it.
+	mu     sync.RWMutex
+	engine *dynamic.Engine
+	epoch  int64
+
+	// snap caches the latest snapshot; rebuilt lazily when the epoch
+	// moved. Concurrent rebuilds are harmless (last store wins, all
+	// stores are equivalent for one epoch).
+	snap atomic.Pointer[snapshot]
+
+	// inflight is the admission-control semaphore for queries.
+	inflight chan struct{}
+
+	cache *resultCache
+	mux   *http.ServeMux
+}
+
+// New builds a server over an initial population: the moving objects
+// and candidate locations are inserted into a fresh dynamic engine
+// (candidates get ids 0..len-1 in order). Either slice may be empty;
+// queries return 409 until both populations are non-empty.
+func New(cfg Config, objects []*object.Object, candidates []geo.Point) (*Server, error) {
+	cfg = cfg.withDefaults()
+	eng, err := dynamic.New(cfg.PF, cfg.Tau)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range objects {
+		if err := eng.AddObject(o.ID, o.Positions); err != nil {
+			return nil, fmt.Errorf("server: seeding object %d: %w", o.ID, err)
+		}
+	}
+	for _, c := range candidates {
+		eng.AddCandidate(c)
+	}
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		engine:   eng,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		cache:    newResultCache(cfg.CacheSize),
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// snapshotNow returns a view of the current population, reusing the
+// cached snapshot while the epoch has not moved.
+func (s *Server) snapshotNow() *snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sn := s.snap.Load(); sn != nil && sn.epoch == s.epoch {
+		return sn
+	}
+	ids, pts := s.engine.SnapshotCandidates()
+	sn := &snapshot{
+		epoch:   s.epoch,
+		objects: s.engine.SnapshotObjects(),
+		candIDs: ids,
+		candPts: pts,
+	}
+	s.snap.Store(sn)
+	return sn
+}
+
+// mutate applies one engine mutation under the write lock, bumping the
+// epoch when it succeeds. It returns the post-mutation epoch.
+func (s *Server) mutate(op string, fn func(e *dynamic.Engine) error) (int64, error) {
+	start := time.Now()
+	s.mu.Lock()
+	err := fn(s.engine)
+	if err == nil {
+		s.epoch++
+	}
+	epoch := s.epoch
+	s.mu.Unlock()
+	if err == nil {
+		recordMutation(op, epoch, time.Since(start))
+	}
+	return epoch, err
+}
+
+// Epoch returns the current mutation epoch.
+func (s *Server) Epoch() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}

@@ -28,4 +28,8 @@ trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/experiments -bench "$tmp/bench.json" -bench-scale 0.02 -bench-iters 1
 head -c 200 "$tmp/bench.json"
 echo
+
+echo "== daemon smoke"
+sh scripts/smoke.sh
+
 echo "== ci ok"

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Daemon smoke test: build pinocchiod, start it on an ephemeral port,
+# prove start -> health check -> query -> graceful shutdown end to end.
+# Usage: scripts/smoke.sh (or make smoke; also run by scripts/ci.sh).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build pinocchiod"
+go build -o "$tmp/pinocchiod" ./cmd/pinocchiod
+
+echo "== start"
+"$tmp/pinocchiod" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -scale 0.05 -candidates 50 -cache-size 16 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "daemon did not write addr file" >&2
+        exit 1
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "daemon exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "listening on $addr"
+
+echo "== healthz"
+curl -fsS "http://$addr/healthz"
+echo
+
+echo "== query"
+curl -fsS "http://$addr/v1/query" -d '{"tau":0.7,"algorithm":"pin-vo","k":3}'
+echo
+
+echo "== metrics"
+curl -fsS "http://$addr/metrics" | grep -c '^pinocchio_' >/dev/null
+
+echo "== shutdown"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "== smoke ok"
