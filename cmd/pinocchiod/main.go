@@ -52,9 +52,10 @@ type options struct {
 	lambda float64
 	tau    float64
 
-	maxInflight int
-	cacheSize   int
-	maxTimeout  time.Duration
+	maxInflight   int
+	cacheSize     int
+	planCacheSize int
+	maxTimeout    time.Duration
 }
 
 func main() {
@@ -73,6 +74,7 @@ func main() {
 	flag.Float64Var(&opts.tau, "tau", 0.7, "engine influence threshold in (0,1)")
 	flag.IntVar(&opts.maxInflight, "max-inflight", 0, "concurrent query cap before shedding with 429 (0 = 2×GOMAXPROCS)")
 	flag.IntVar(&opts.cacheSize, "cache-size", 128, "query result cache entries (negative disables)")
+	flag.IntVar(&opts.planCacheSize, "plan-cache", 32, "solve-plan cache entries, keyed by epoch and PF/τ (negative disables)")
 	flag.DurationVar(&opts.maxTimeout, "max-timeout", 30*time.Second, "cap on per-request query deadlines")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -124,12 +126,13 @@ func run(ctx context.Context, opts options) error {
 		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	srv, err := server.New(server.Config{
-		PF:          pf,
-		Tau:         opts.tau,
-		DatasetName: ds.Name,
-		MaxInflight: opts.maxInflight,
-		CacheSize:   opts.cacheSize,
-		MaxTimeout:  opts.maxTimeout,
+		PF:            pf,
+		Tau:           opts.tau,
+		DatasetName:   ds.Name,
+		MaxInflight:   opts.maxInflight,
+		CacheSize:     opts.cacheSize,
+		PlanCacheSize: opts.planCacheSize,
+		MaxTimeout:    opts.maxTimeout,
 	}, ds.Objects, cs.Points)
 	if err != nil {
 		return err

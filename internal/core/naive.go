@@ -5,7 +5,8 @@ import "time"
 // NA is the exhaustive baseline of §6.1: it computes the cumulative
 // influence probability for every object/candidate pair and returns
 // the most influential candidate. Its cost is Θ(m·r·n̄) position
-// probes, the yardstick the pruning rules are measured against.
+// probes, the yardstick the pruning rules are measured against. NA
+// uses no derived state, so an attached Problem.Plan is ignored.
 func NA(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -33,13 +33,9 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 	st.PairsTotal = int64(len(p.Objects)) * int64(m)
 
 	// buildA2D pre-computes every per-object radius, so the shared
-	// table is read-only afterwards.
-	buildSp := p.Obs.Child("build-a2d")
-	a2d := buildA2D(p, st)
-	buildSp.End()
-	treeSp := p.Obs.Child("build-rtree")
-	tree := p.candidateTree()
-	treeSp.End()
+	// table is read-only afterwards; a prebuilt plan is immutable by
+	// construction and shared the same way.
+	a2d, tree, prunes := p.solveState(st)
 
 	if workers > len(a2d) {
 		workers = len(a2d)
@@ -68,9 +64,9 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 			cc := canceller{ctx: p.Ctx}
 			for k := w; k < len(a2d); k += workers {
 				e := a2d[k]
-				touched, ia := pruneObject(tree, e,
+				touched, ia := scanObject(tree, prunes, k, e,
 					func(cand int) { local.influences[cand]++ },
-					func(cand int) {
+					func(cand int, out *valOutcome) {
 						if local.err != nil {
 							return
 						}
@@ -79,7 +75,13 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 						}
 						lst.Validated++
 						tw := valSp.StartTimer()
-						if influencedEarlyStop(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, lst) {
+						var inf bool
+						if out != nil {
+							inf = replayEarlyStop(out, e.obj.N(), lst)
+						} else {
+							inf = influencedEarlyStop(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, lst)
+						}
+						if inf {
 							local.influences[cand]++
 						}
 						valSp.StopTimer(tw)

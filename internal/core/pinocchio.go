@@ -17,15 +17,11 @@ type a2dEntry struct {
 
 // buildA2D runs Algorithm 1: for each object, memoize
 // minMaxRadius(τ, n_k) in the per-n table HM and derive the IA/NIB
-// geometry from MBR(O_k).
+// geometry from MBR(O_k). This is the sequential per-solve path;
+// BuildPlan uses computeA2D's parallel construction for cold builds.
 func buildA2D(p *Problem, st *Stats) []a2dEntry {
-	hm := object.NewRadiusTable(p.PF, p.Tau)
-	a2d := make([]a2dEntry, len(p.Objects))
-	for k, o := range p.Objects {
-		mu := hm.Get(o.N())
-		a2d[k] = a2dEntry{obj: o, regions: object.NewRegions(o, mu)}
-	}
-	st.DistinctN = hm.Len()
+	a2d, distinct := computeA2D(p.Objects, p.PF, p.Tau, 1)
+	st.DistinctN = distinct
 	return a2d
 }
 
@@ -72,12 +68,7 @@ func Pinocchio(p *Problem) (*Result, error) {
 	st := &res.Stats
 	st.PairsTotal = int64(len(p.Objects)) * int64(m)
 
-	buildSp := p.Obs.Child("build-a2d")
-	a2d := buildA2D(p, st)
-	buildSp.End()
-	treeSp := p.Obs.Child("build-rtree")
-	tree := p.candidateTree()
-	treeSp.End()
+	a2d, tree, prunes := p.solveState(st)
 
 	// The prune scan calls validation inline, so the validate phase
 	// accumulates its own windows and the prune span records the scan
@@ -87,10 +78,10 @@ func Pinocchio(p *Problem) (*Result, error) {
 	scanStart := pruneSp.StartTimer()
 	cc := canceller{ctx: p.Ctx}
 	var ctxErr error
-	for _, e := range a2d {
-		touched, ia := pruneObject(tree, e,
+	for k, e := range a2d {
+		touched, ia := scanObject(tree, prunes, k, e,
 			func(cand int) { res.Influences[cand]++ },
-			func(cand int) {
+			func(cand int, out *valOutcome) {
 				if ctxErr != nil {
 					return
 				}
@@ -99,7 +90,13 @@ func Pinocchio(p *Problem) (*Result, error) {
 				}
 				st.Validated++
 				w := valSp.StartTimer()
-				if influencedFull(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, st) {
+				var inf bool
+				if out != nil {
+					inf = replayFull(out, e.obj.N(), st)
+				} else {
+					inf = influencedFull(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, st)
+				}
+				if inf {
 					res.Influences[cand]++
 				}
 				valSp.StopTimer(w)

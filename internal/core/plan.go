@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/rtree"
+)
+
+// objPrune is the memoized prune phase for one object: the candidate
+// indices the influence-arcs rule settles (ia) and the remnant set
+// needing validation (vs), both in R-tree visit order, plus the
+// validation outcome of each remnant pair (out, aligned with vs).
+// Together with the candidate count they determine every prune- and
+// validation-phase counter, so a replay produces Stats identical to a
+// live scan.
+type objPrune struct {
+	ia  []int32
+	vs  []int32
+	out []valOutcome
+}
+
+// valOutcome memoizes one remnant pair's validation: the verdict and
+// the probe count of the early-stopping scan (Strategy 2). The pair's
+// decision depends only on (object, candidate, PF, τ) — exactly the
+// plan key — so it is as cacheable as the radius table.
+type valOutcome struct {
+	probes int32
+	inf    bool
+}
+
+// replayEarlyStop applies a memoized outcome exactly as
+// influencedEarlyStop would have: same probe count, same early-stop
+// accounting (the scan stopped before position n), same verdict.
+func replayEarlyStop(o *valOutcome, n int, st *Stats) bool {
+	st.PositionProbes += int64(o.probes)
+	if o.inf && int(o.probes) < n {
+		st.EarlyStops++
+	}
+	return o.inf
+}
+
+// replayFull applies a memoized outcome as influencedFull would have:
+// every position probed, same verdict. The verdicts of the full and
+// early-stopping scans always agree, in floating point too: both
+// multiply the same factors in the same order against the same bar,
+// and the partial products are non-increasing (every factor is in
+// [0, 1], and IEEE rounding cannot lift a product above a representable
+// upper bound), so stopping early never flips the comparison.
+func replayFull(o *valOutcome, n int, st *Stats) bool {
+	st.PositionProbes += int64(n)
+	return o.inf
+}
+
+// CandTree is the epoch-keyed half of a Plan: the candidate R-tree,
+// which depends only on the candidate set (and fan-out), not on the
+// probability function or τ. A server keeps one per mutation epoch and
+// shares it across every (PF, τ) plan built at that epoch.
+type CandTree struct {
+	cands  []geo.Point
+	fanout int
+	tree   *rtree.Tree
+}
+
+// NewCandTree bulk-loads the candidate set exactly like
+// Problem.candidateTree; fanout 0 selects rtree.DefaultMaxEntries.
+func NewCandTree(cands []geo.Point, fanout int) *CandTree {
+	if fanout <= 0 {
+		fanout = rtree.DefaultMaxEntries
+	}
+	items := make([]rtree.Item, len(cands))
+	for i, c := range cands {
+		items[i] = rtree.Item{Point: c, ID: i}
+	}
+	return &CandTree{cands: cands, fanout: fanout, tree: rtree.Bulk(items, fanout)}
+}
+
+// Plan is the prebuilt, immutable solve state for one (object set,
+// candidate set, PF, τ) combination: the candidate R-tree, the A_2D
+// array of Algorithm 1, the memoized prune classification of
+// Algorithm 2's scan phase and the validation outcome of every remnant
+// pair. A Plan is safe for concurrent use by any number of solves once
+// built — nothing in it is mutated afterwards.
+//
+// Solvers given a Plan via Problem.Plan skip the build-a2d, build-rtree
+// and R-tree scan work and replay the memoized classification and
+// verdicts instead, producing byte-identical Results (including Stats)
+// at O(pairs-touched) instead of O(build + scan + validate). With no
+// Plan attached every solver keeps its original build-per-solve path,
+// so library callers are unchanged.
+type Plan struct {
+	objects []*object.Object
+	cands   []geo.Point
+	pf      probfn.Func
+	tau     float64
+	fanout  int
+
+	tree      *rtree.Tree
+	a2d       []a2dEntry
+	prunes    []objPrune // nil when the candidate count exceeds int32
+	distinctN int
+}
+
+// planParallelMin is the object count below which plan construction
+// stays sequential: goroutine fan-out costs more than it saves.
+const planParallelMin = 2048
+
+// BuildPlan precomputes the solve state for p. ct, when non-nil, must
+// have been built over p.Candidates with p's fan-out (NewCandTree) —
+// this lets a server reuse one tree across the (PF, τ) plans of an
+// epoch; nil builds the tree here. Construction honors p.Ctx and
+// parallelizes across objects for large instances.
+func BuildPlan(p *Problem, ct *CandTree) (*Plan, error) {
+	// Validate before touching anything, but without the plan-match
+	// check (p.Plan, if any, is not the plan under construction).
+	probe := *p
+	probe.Plan = nil
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
+	pl := &Plan{
+		objects: p.Objects,
+		cands:   p.Candidates,
+		pf:      p.PF,
+		tau:     p.Tau,
+		fanout:  p.fanout(),
+	}
+	if ct != nil && sameSlice(ct.cands, p.Candidates) && ct.fanout == pl.fanout {
+		pl.tree = ct.tree
+	} else {
+		pl.tree = p.candidateTree()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if len(p.Objects) < planParallelMin {
+		workers = 1
+	}
+	pl.a2d, pl.distinctN = computeA2D(p.Objects, p.PF, p.Tau, workers)
+
+	if len(p.Candidates) <= math.MaxInt32 {
+		prunes, err := computePrunes(p, pl.tree, pl.a2d, workers)
+		if err != nil {
+			return nil, err
+		}
+		pl.prunes = prunes
+	}
+	return pl, nil
+}
+
+// computeA2D runs Algorithm 1 over an explicit object set. workers > 1
+// shards objects across goroutines, each with a private minMaxRadius
+// memo (re-deriving a radius per worker is cheaper than sharing a
+// locked table); the reported distinct-n count is the union across
+// shards, matching the sequential table size.
+func computeA2D(objects []*object.Object, pf probfn.Func, tau float64, workers int) ([]a2dEntry, int) {
+	a2d := make([]a2dEntry, len(objects))
+	if workers <= 1 || len(objects) < workers {
+		hm := object.NewRadiusTable(pf, tau)
+		for k, o := range objects {
+			a2d[k] = a2dEntry{obj: o, regions: object.NewRegions(o, hm.Get(o.N()))}
+		}
+		return a2d, hm.Len()
+	}
+	seen := make([]map[int]struct{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hm := object.NewRadiusTable(pf, tau)
+			ns := map[int]struct{}{}
+			for k := w; k < len(objects); k += workers {
+				o := objects[k]
+				ns[o.N()] = struct{}{}
+				a2d[k] = a2dEntry{obj: o, regions: object.NewRegions(o, hm.Get(o.N()))}
+			}
+			seen[w] = ns
+		}(w)
+	}
+	wg.Wait()
+	union := map[int]struct{}{}
+	for _, ns := range seen {
+		for n := range ns {
+			union[n] = struct{}{}
+		}
+	}
+	return a2d, len(union)
+}
+
+// computePrunes runs Algorithm 2's scan phase once per object, records
+// the classification, and validates every remnant pair with the
+// early-stopping scan so warm solves replay the verdicts. The R-tree
+// is read-only under search, so workers share it without locking.
+func computePrunes(p *Problem, tree *rtree.Tree, a2d []a2dEntry, workers int) ([]objPrune, error) {
+	prunes := make([]objPrune, len(a2d))
+	scan := func(k int) {
+		var pr objPrune
+		tree.SearchRect(a2d[k].regions.NIBBox(), func(it rtree.Item) bool {
+			switch a2d[k].regions.Classify(it.Point) {
+			case object.Influenced:
+				pr.ia = append(pr.ia, int32(it.ID))
+			case object.NeedsValidation:
+				pr.vs = append(pr.vs, int32(it.ID))
+			}
+			return true
+		})
+		if len(pr.vs) > 0 {
+			pr.out = make([]valOutcome, len(pr.vs))
+			positions := a2d[k].obj.Positions
+			for i, c := range pr.vs {
+				var ls Stats
+				inf := influencedEarlyStop(p.PF, p.Tau, p.Candidates[c], positions, &ls)
+				pr.out[i] = valOutcome{probes: int32(ls.PositionProbes), inf: inf}
+			}
+		}
+		prunes[k] = pr
+	}
+	if workers <= 1 || len(a2d) < workers {
+		cc := canceller{ctx: p.Ctx}
+		for k := range a2d {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
+			scan(k)
+		}
+		return prunes, nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc := canceller{ctx: p.Ctx}
+			for k := w; k < len(a2d); k += workers {
+				if errs[w] = cc.tick(); errs[w] != nil {
+					return
+				}
+				scan(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return prunes, nil
+}
+
+// matches reports whether the plan was built for exactly this
+// problem's inputs. Object and candidate slices are compared by
+// identity (length plus backing array), which is what the snapshot
+// model guarantees; values are not rescanned.
+func (pl *Plan) matches(p *Problem) bool {
+	return sameSlice(pl.objects, p.Objects) &&
+		sameSlice(pl.cands, p.Candidates) &&
+		pl.tau == p.Tau &&
+		pl.fanout == p.fanout() &&
+		pfEqual(pl.pf, p.PF)
+}
+
+// sameSlice reports slice identity: same length over the same backing
+// array.
+func sameSlice[T any](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// pfEqual compares two probability functions. The stock probfn
+// families are comparable value structs, so == decides exactly; a
+// custom non-comparable implementation can only be matched by dynamic
+// type and is trusted beyond that (documented on Problem.Plan).
+func pfEqual(a, b probfn.Func) bool {
+	ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+	if ta != tb {
+		return false
+	}
+	if ta == nil || !ta.Comparable() {
+		return ta == tb
+	}
+	return a == b
+}
+
+// solveState resolves the per-solve structures: the prebuilt plan when
+// one is attached (Validate has already checked it matches), otherwise
+// a fresh Algorithm 1 + R-tree build traced under the usual phase
+// spans. prunes is nil exactly when the prune phase must scan live.
+func (p *Problem) solveState(st *Stats) (a2d []a2dEntry, tree *rtree.Tree, prunes []objPrune) {
+	if pl := p.Plan; pl != nil {
+		st.DistinctN = pl.distinctN
+		return pl.a2d, pl.tree, pl.prunes
+	}
+	buildSp := p.Obs.Child("build-a2d")
+	a2d = buildA2D(p, st)
+	buildSp.End()
+	treeSp := p.Obs.Child("build-rtree")
+	tree = p.candidateTree()
+	treeSp.End()
+	return a2d, tree, nil
+}
+
+// scanObject dispatches one object's prune phase: a replay of the
+// memoized classification when the plan carries one (handing each
+// remnant pair its memoized validation outcome), a live R-tree scan
+// otherwise (out is nil — the pair must be validated live). The return
+// values and callback order match pruneObject, so counters derived
+// from them are identical either way.
+func scanObject(tree *rtree.Tree, prunes []objPrune, k int, e a2dEntry, influenced func(cand int), validate func(cand int, out *valOutcome)) (touched, iaHits int64) {
+	if prunes != nil {
+		pr := prunes[k]
+		for _, c := range pr.ia {
+			influenced(int(c))
+		}
+		for i, c := range pr.vs {
+			validate(int(c), &pr.out[i])
+		}
+		return int64(len(pr.ia) + len(pr.vs)), int64(len(pr.ia))
+	}
+	return pruneObject(tree, e, influenced, func(c int) { validate(c, nil) })
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// TestPlanParityAllSolvers is the core plan-cache guarantee: attaching
+// a prebuilt plan yields a Result byte-identical to the cold
+// build-per-solve path, Stats included, for every solver.
+func TestPlanParityAllSolvers(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		p := randomProblem(rand.New(rand.NewSource(seed)), 80, 60, 0.7)
+		pl, err := BuildPlan(p, nil)
+		if err != nil {
+			t.Fatalf("BuildPlan: %v", err)
+		}
+		warm := *p
+		warm.Plan = pl
+
+		for _, alg := range Algorithms() {
+			cold, err := Solve(alg, p)
+			if err != nil {
+				t.Fatalf("seed %d %v cold: %v", seed, alg, err)
+			}
+			hot, err := Solve(alg, &warm)
+			if err != nil {
+				t.Fatalf("seed %d %v warm: %v", seed, alg, err)
+			}
+			if !reflect.DeepEqual(cold, hot) {
+				t.Errorf("seed %d %v: warm result differs\ncold: %+v\nwarm: %+v", seed, alg, cold, hot)
+			}
+		}
+
+		coldPar, err := PinocchioParallel(p, 3)
+		if err != nil {
+			t.Fatalf("seed %d PIN-PAR cold: %v", seed, err)
+		}
+		hotPar, err := PinocchioParallel(&warm, 3)
+		if err != nil {
+			t.Fatalf("seed %d PIN-PAR warm: %v", seed, err)
+		}
+		if !reflect.DeepEqual(coldPar, hotPar) {
+			t.Errorf("seed %d PIN-PAR: warm result differs\ncold: %+v\nwarm: %+v", seed, coldPar, hotPar)
+		}
+
+		coldRk, coldSt, err := PinocchioVOTopT(p, 5)
+		if err != nil {
+			t.Fatalf("seed %d TopT cold: %v", seed, err)
+		}
+		hotRk, hotSt, err := PinocchioVOTopT(&warm, 5)
+		if err != nil {
+			t.Fatalf("seed %d TopT warm: %v", seed, err)
+		}
+		if !reflect.DeepEqual(coldRk, hotRk) || !reflect.DeepEqual(coldSt, hotSt) {
+			t.Errorf("seed %d TopT: warm result differs", seed)
+		}
+	}
+}
+
+// TestPlanSharedTree proves the epoch-keyed half: a plan built over a
+// shared CandTree behaves exactly like one that built its own tree.
+func TestPlanSharedTree(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(3)), 60, 40, 0.7)
+	ct := NewCandTree(p.Candidates, p.fanout())
+	shared, err := BuildPlan(p, ct)
+	if err != nil {
+		t.Fatalf("BuildPlan with tree: %v", err)
+	}
+	if shared.tree != ct.tree {
+		t.Fatalf("plan did not adopt the shared tree")
+	}
+	own, err := BuildPlan(p, nil)
+	if err != nil {
+		t.Fatalf("BuildPlan without tree: %v", err)
+	}
+	for _, pl := range []*Plan{shared, own} {
+		warm := *p
+		warm.Plan = pl
+		cold, err := Pinocchio(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, err := Pinocchio(&warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, hot) {
+			t.Errorf("shared-tree plan diverges from cold solve")
+		}
+	}
+	// A tree over different candidates must not be adopted.
+	other := NewCandTree(append([]geo.Point{}, p.Candidates...), p.fanout())
+	pl, err := BuildPlan(p, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.tree == other.tree {
+		t.Errorf("plan adopted a tree built over a different candidate slice")
+	}
+}
+
+// TestPlanMismatchRejected exercises the Validate guard: a plan used
+// with different inputs is a loud error, never a silent wrong answer.
+func TestPlanMismatchRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomProblem(rng, 20, 15, 0.7)
+	pl, err := BuildPlan(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{"different tau", func(q *Problem) { q.Tau = 0.5 }},
+		{"different pf", func(q *Problem) { q.PF = probfn.Linear{Rho: 0.9, Range: 10} }},
+		{"different fanout", func(q *Problem) { q.Fanout = 4 }},
+		{"reallocated objects", func(q *Problem) { q.Objects = append([]*object.Object{}, q.Objects...) }},
+		{"reallocated candidates", func(q *Problem) { q.Candidates = append([]geo.Point{}, q.Candidates...) }},
+		{"fewer objects", func(q *Problem) { q.Objects = q.Objects[:len(q.Objects)-1] }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			q := *p
+			q.Plan = pl
+			tt.mutate(&q)
+			if err := q.Validate(); !errors.Is(err, ErrPlanMismatch) {
+				t.Errorf("Validate = %v, want ErrPlanMismatch", err)
+			}
+			if _, err := Pinocchio(&q); !errors.Is(err, ErrPlanMismatch) {
+				t.Errorf("Pinocchio = %v, want ErrPlanMismatch", err)
+			}
+		})
+	}
+}
+
+// TestPlanBuildCancelled: a done context aborts plan construction.
+func TestPlanBuildCancelled(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(9)), 4000, 50, 0.7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	if _, err := BuildPlan(p, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("BuildPlan with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestComputeA2DParallelMatchesSequential: the sharded cold build
+// produces the same entries and distinct-n count as Algorithm 1.
+func TestComputeA2DParallelMatchesSequential(t *testing.T) {
+	p := randomProblem(rand.New(rand.NewSource(11)), 500, 10, 0.7)
+	seqA2D, seqN := computeA2D(p.Objects, p.PF, p.Tau, 1)
+	parA2D, parN := computeA2D(p.Objects, p.PF, p.Tau, 4)
+	if seqN != parN {
+		t.Errorf("distinctN: parallel %d, sequential %d", parN, seqN)
+	}
+	if !reflect.DeepEqual(seqA2D, parA2D) {
+		t.Errorf("parallel A2D differs from sequential")
+	}
+}

@@ -24,6 +24,7 @@ var (
 	ErrNoCandidates = errors.New("core: problem needs at least one candidate location")
 	ErrNilPF        = errors.New("core: problem needs a probability function")
 	ErrBadTau       = errors.New("core: threshold tau must lie in (0, 1)")
+	ErrPlanMismatch = errors.New("core: prebuilt plan does not match the problem")
 )
 
 // Problem is a PRIME-LS instance: moving objects Ω, candidate
@@ -51,6 +52,17 @@ type Problem struct {
 	// finishing the computation. Nil means no deadline, the library
 	// default.
 	Ctx context.Context
+
+	// Plan, when non-nil, supplies prebuilt solve state (BuildPlan):
+	// the candidate R-tree, the A_2D array and the memoized prune
+	// classification. It must have been built for exactly these
+	// Objects, Candidates (same slices), PF, Tau and Fanout — Validate
+	// rejects a detectable mismatch with ErrPlanMismatch. PF identity
+	// is checked by value for the comparable probfn families and by
+	// dynamic type only for custom implementations. Solvers that use
+	// no derived state (NA, PINOCCHIO-VO*) ignore it; nil keeps the
+	// build-per-solve path.
+	Plan *Plan
 }
 
 // Validate checks the instance is well formed.
@@ -64,6 +76,9 @@ func (p *Problem) Validate() error {
 		return ErrNilPF
 	case !(p.Tau > 0 && p.Tau < 1):
 		return fmt.Errorf("%w: got %v", ErrBadTau, p.Tau)
+	}
+	if p.Plan != nil && !p.Plan.matches(p) {
+		return ErrPlanMismatch
 	}
 	return nil
 }

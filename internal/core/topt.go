@@ -34,18 +34,14 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 
 	start := time.Now()
 	st := &Stats{PairsTotal: int64(len(p.Objects)) * int64(m)}
-	buildSp := p.Obs.Child("build-a2d")
-	a2d := buildA2D(p, st)
-	buildSp.End()
-	treeSp := p.Obs.Child("build-rtree")
-	tree := p.candidateTree()
-	treeSp.End()
+	a2d, tree, prunes := p.solveState(st)
 
 	s := &voState{
 		p:      p,
 		minInf: make([]int, m),
 		maxInf: make([]int, m),
 		vs:     make([][]int, m),
+		out:    make([][]*valOutcome, m),
 	}
 	pruneSp := p.Obs.Child("prune")
 	cc := canceller{ctx: p.Ctx}
@@ -55,9 +51,12 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 			pruneSp.End()
 			return nil, nil, err
 		}
-		touched, ia := pruneObject(tree, e,
+		touched, ia := scanObject(tree, prunes, k, e,
 			func(cand int) { s.minInf[cand]++ },
-			func(cand int) { s.vs[cand] = append(s.vs[cand], k) })
+			func(cand int, out *valOutcome) {
+				s.vs[cand] = append(s.vs[cand], k)
+				s.out[cand] = append(s.out[cand], out)
+			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
 	}
@@ -126,8 +125,7 @@ func (s *voState) runTopT(st *Stats, t int) ([]Ranked, error) {
 				return nil, err
 			}
 			st.Validated++
-			obj := s.p.Objects[ok]
-			if influencedEarlyStop(s.p.PF, s.p.Tau, s.p.Candidates[top], obj.Positions, st) {
+			if s.validatePair(top, vi, ok, st) {
 				s.minInf[top]++
 			} else {
 				s.maxInf[top]--

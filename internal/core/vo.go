@@ -42,6 +42,22 @@ type voState struct {
 	minInf []int   // identified influence (lower bound)
 	maxInf []int   // possible influence (upper bound)
 	vs     [][]int // verification set: object indices per candidate
+	// out mirrors vs with the plan's memoized validation outcome per
+	// pair; nil entries (and a nil out, as in VO*) validate live.
+	out [][]*valOutcome
+}
+
+// validatePair decides the remnant pair (candidate top, vs index vi),
+// replaying the plan's memoized verdict when the prune phase collected
+// one and running the early-stopping scan otherwise.
+func (s *voState) validatePair(top, vi, ok int, st *Stats) bool {
+	obj := s.p.Objects[ok]
+	if s.out != nil {
+		if o := s.out[top][vi]; o != nil {
+			return replayEarlyStop(o, obj.N(), st)
+		}
+	}
+	return influencedEarlyStop(s.p.PF, s.p.Tau, s.p.Candidates[top], obj.Positions, st)
 }
 
 // runValidation executes lines 13-29 of Algorithm 3 and returns the
@@ -89,8 +105,7 @@ func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int, err error) {
 				return 0, 0, err
 			}
 			st.Validated++
-			obj := s.p.Objects[ok]
-			if influencedEarlyStop(s.p.PF, s.p.Tau, s.p.Candidates[top], obj.Positions, st) {
+			if s.validatePair(top, vi, ok, st) {
 				s.minInf[top]++
 			} else {
 				s.maxInf[top]--
@@ -131,18 +146,14 @@ func PinocchioVO(p *Problem) (*Result, error) {
 	st := &res.Stats
 	st.PairsTotal = int64(len(p.Objects)) * int64(m)
 
-	buildSp := p.Obs.Child("build-a2d")
-	a2d := buildA2D(p, st)
-	buildSp.End()
-	treeSp := p.Obs.Child("build-rtree")
-	tree := p.candidateTree()
-	treeSp.End()
+	a2d, tree, prunes := p.solveState(st)
 
 	s := &voState{
 		p:      p,
 		minInf: make([]int, m),
 		maxInf: make([]int, m),
 		vs:     make([][]int, m),
+		out:    make([][]*valOutcome, m),
 	}
 	// Unlike Algorithm 2 the VO prune loop defers all validation, so
 	// the prune span is pure pruning time.
@@ -154,9 +165,12 @@ func PinocchioVO(p *Problem) (*Result, error) {
 			pruneSp.End()
 			return nil, err
 		}
-		touched, ia := pruneObject(tree, e,
+		touched, ia := scanObject(tree, prunes, k, e,
 			func(cand int) { s.minInf[cand]++ },
-			func(cand int) { s.vs[cand] = append(s.vs[cand], k) })
+			func(cand int, out *valOutcome) {
+				s.vs[cand] = append(s.vs[cand], k)
+				s.out[cand] = append(s.out[cand], out)
+			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
 	}
@@ -179,7 +193,8 @@ func PinocchioVO(p *Problem) (*Result, error) {
 // PinocchioVOStar is the PIN-VO* ablation of §6.1: the validation
 // optimizations (Strategies 1 and 2) without the pruning phase. Every
 // candidate starts with bounds [0, r] and a verification set holding
-// all objects.
+// all objects. Having no pruning phase it uses none of the derived
+// state a Problem.Plan carries, so an attached plan is ignored.
 func PinocchioVOStar(p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

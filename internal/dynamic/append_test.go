@@ -1,0 +1,135 @@
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// TestAddPositionSnapshotImmutability pins the contract the server's
+// lock-free solves depend on: an *object.Object handed out before a
+// stream of AddPosition calls must never change — not its length, not
+// its points, not its MBR — even though the engine now grows the
+// backing array in place when it owns it.
+func TestAddPositionSnapshotImmutability(t *testing.T) {
+	e, err := New(probfn.DefaultPowerLaw(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	if err := e.AddObject(1, randPositions(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e.AddCandidate(geo.Point{X: 2, Y: 2})
+
+	type frozen struct {
+		obj *object.Object
+		n   int
+		pts []geo.Point
+		mbr geo.Rect
+	}
+	var snaps []frozen
+	for i := 0; i < 200; i++ {
+		o, err := e.Object(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, frozen{
+			obj: o,
+			n:   o.N(),
+			pts: append([]geo.Point{}, o.Positions...),
+			mbr: o.MBR(),
+		})
+		if err := e.AddPosition(1, randPoint(rng)); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 { // interleave a wholesale replace now and then
+			cur, _ := e.Object(1)
+			if err := e.UpdateObject(1, append([]geo.Point{}, cur.Positions...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, s := range snaps {
+		if s.obj.N() != s.n {
+			t.Fatalf("snapshot %d: length mutated from %d to %d", i, s.n, s.obj.N())
+		}
+		if !reflect.DeepEqual(s.obj.Positions, s.pts) {
+			t.Fatalf("snapshot %d: positions mutated", i)
+		}
+		if s.obj.MBR() != s.mbr {
+			t.Fatalf("snapshot %d: MBR mutated", i)
+		}
+	}
+
+	// The final object must equal a from-scratch build: same points,
+	// same MBR (Extended's incremental MBR vs New's full rescan).
+	final, _ := e.Object(1)
+	rebuilt, err := object.New(1, append([]geo.Point{}, final.Positions...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.MBR() != rebuilt.MBR() {
+		t.Fatalf("incremental MBR %v != rescanned MBR %v", final.MBR(), rebuilt.MBR())
+	}
+	checkAgainstOracle(t, e, 0.7, "after append stream")
+}
+
+// TestAddPositionStreamAgainstOracle drives a long single-object
+// append stream (the amortized-growth hot path) and cross-checks the
+// influence relation against the static solver at checkpoints.
+func TestAddPositionStreamAgainstOracle(t *testing.T) {
+	e, err := New(probfn.DefaultPowerLaw(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 8; i++ {
+		e.AddCandidate(randPoint(rng))
+	}
+	for id := 0; id < 3; id++ {
+		if err := e.AddObject(id, randPositions(rng, 1+rng.Intn(4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 120; i++ {
+		if err := e.AddPosition(rng.Intn(3), randPoint(rng)); err != nil {
+			t.Fatal(err)
+		}
+		if i%30 == 29 {
+			checkAgainstOracle(t, e, 0.7, fmt.Sprintf("stream step %d", i))
+		}
+	}
+}
+
+// BenchmarkAddPositionStream proves the quadratic-copy fix: streaming
+// n appends into one object is amortized O(1) slice work per append
+// (was O(history) — the whole position history copied every call).
+// Candidate-free engine isolates the slice cost from validation cost.
+func BenchmarkAddPositionStream(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e, err := New(probfn.DefaultPowerLaw(), 0.7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.AddObject(1, []geo.Point{{X: 0, Y: 0}}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := 0; j < n; j++ {
+					if err := e.AddPosition(1, geo.Point{X: float64(j), Y: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,12 @@ type Stats struct {
 type objState struct {
 	obj        *object.Object
 	influenced map[int]bool
+	// owned marks the position slice's backing array as engine-grown:
+	// spare capacity past len is unpublished, so AddPosition may fill
+	// it in place. Caller-provided slices (AddObject, UpdateObject)
+	// are never owned — appending into them could overwrite memory the
+	// caller still uses.
+	owned bool
 }
 
 // Engine maintains exact candidate influences under updates.
@@ -232,16 +238,43 @@ func (e *Engine) RemoveObject(id int) error {
 	return nil
 }
 
+// growCap doubles the needed capacity (floor 8) so a position stream
+// costs amortized O(1) copying per append instead of a full-history
+// copy every time.
+func growCap(need int) int {
+	if need < 8 {
+		return 8
+	}
+	return 2 * need
+}
+
 // AddPosition appends a newly observed position to an object.
 // Influence is monotone under position addition, so only currently
 // non-influenced candidates are re-validated.
+//
+// The position history grows amortized: once the engine owns the
+// backing array it appends in place — the write lands one past every
+// published slice's length, so snapshots taken earlier (which hold the
+// previous *object.Object with the shorter Positions) never observe
+// it. Growth reallocates with doubled capacity, leaving the old array
+// untouched for any reader still holding it.
 func (e *Engine) AddPosition(id int, p geo.Point) error {
 	os, ok := e.objects[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
 	}
-	positions := append(append([]geo.Point{}, os.obj.Positions...), p)
-	o, err := object.New(id, positions)
+	cur := os.obj.Positions
+	var positions []geo.Point
+	if os.owned && len(cur) < cap(cur) {
+		positions = cur[:len(cur)+1]
+		positions[len(cur)] = p
+	} else {
+		positions = make([]geo.Point, len(cur)+1, growCap(len(cur)+1))
+		copy(positions, cur)
+		positions[len(cur)] = p
+		os.owned = true
+	}
+	o, err := object.Extended(os.obj, positions)
 	if err != nil {
 		return err
 	}
@@ -283,6 +316,8 @@ func (e *Engine) UpdateObject(id int, positions []geo.Point) error {
 	}
 	os.obj = o
 	os.influenced = newInfluenced
+	// The replacement history is a caller slice: never grow in place.
+	os.owned = false
 	return nil
 }
 

@@ -17,28 +17,42 @@ import (
 // solve, encode), so the serving overhead is visible next to the raw
 // algorithm wall times.
 type BenchServed struct {
-	Algorithm string  `json:"algorithm"`
-	Cached    bool    `json:"cached"`
-	WallMs    float64 `json:"wall_ms"` // min over iterations
+	Algorithm string `json:"algorithm"`
+	// Cached marks a result-cache hit (no solve at all); WarmPlan a
+	// real solve replaying a cached solve plan. Rows with neither flag
+	// build every derived structure per solve.
+	Cached   bool    `json:"cached"`
+	WarmPlan bool    `json:"warm_plan,omitempty"`
+	WallMs   float64 `json:"wall_ms"` // min over iterations
 }
 
-// benchServed times POST /v1/query end-to-end against an in-process
-// server over the bench population. Uncached rows bypass the result
-// cache with no_cache; the cached row times a repeat hit after one
-// warm-up solve.
+// benchServed times POST /v1/query end-to-end against in-process
+// servers over the bench population: one with plan caching disabled
+// (the build-per-solve baseline) and one with the solve-plan cache on.
+// Uncached rows bypass the result cache with no_cache; warm-plan rows
+// additionally run one warm-up solve so the plan is resident; the
+// result-cached row times a repeat hit.
 func benchServed(objs []*object.Object, cands []geo.Point, tau float64, iters int) ([]BenchServed, error) {
-	srv, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute}, objs, cands)
+	cold, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute, PlanCacheSize: -1}, objs, cands)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute}, objs, cands)
 	if err != nil {
 		return nil, err
 	}
 
 	cases := []struct {
-		algo   string
-		cached bool
+		algo     string
+		srv      *server.Server
+		cached   bool
+		warmPlan bool
 	}{
-		{"pin-vo", false},
-		{"pin-par", false},
-		{"pin-vo", true},
+		{"pin-vo", cold, false, false},
+		{"pin-par", cold, false, false},
+		{"pin-vo", warm, false, true},
+		{"pin-par", warm, false, true},
+		{"pin-vo", warm, true, false},
 	}
 	out := make([]BenchServed, 0, len(cases))
 	for _, c := range cases {
@@ -47,15 +61,15 @@ func benchServed(objs []*object.Object, cands []geo.Point, tau float64, iters in
 			req := httptest.NewRequest("POST", "/v1/query", strings.NewReader(body))
 			rec := httptest.NewRecorder()
 			start := time.Now()
-			srv.ServeHTTP(rec, req)
+			c.srv.ServeHTTP(rec, req)
 			return rec.Code, time.Since(start)
 		}
-		if c.cached {
+		if c.cached || c.warmPlan {
 			if code, _ := serve(); code != http.StatusOK {
 				return nil, fmt.Errorf("experiments: served bench warm-up %s: HTTP %d", c.algo, code)
 			}
 		}
-		row := BenchServed{Algorithm: c.algo, Cached: c.cached}
+		row := BenchServed{Algorithm: c.algo, Cached: c.cached, WarmPlan: c.warmPlan}
 		for it := 0; it < iters; it++ {
 			code, dur := serve()
 			if code != http.StatusOK {

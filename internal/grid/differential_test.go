@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/rtree"
+)
+
+// buildBoth indexes the same items in the grid and the R-tree.
+func buildBoth(t *testing.T, items []Item) (*Index, *rtree.Tree) {
+	t.Helper()
+	g, err := New(items, 8)
+	if err != nil {
+		t.Fatalf("grid.New: %v", err)
+	}
+	rt := make([]rtree.Item, len(items))
+	for i, it := range items {
+		rt[i] = rtree.Item{Point: it.Point, ID: it.ID}
+	}
+	return g, rtree.Bulk(rt, 0)
+}
+
+// clusteredItems mixes uniform noise, tight clusters and duplicated
+// points — the distributions where uniform-grid cells degenerate.
+func clusteredItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, 0, n)
+	for len(items) < n {
+		switch rng.Intn(4) {
+		case 0: // tight cluster
+			cx, cy := rng.Float64()*100, rng.Float64()*100
+			for j := 0; j < 5 && len(items) < n; j++ {
+				items = append(items, Item{
+					Point: geo.Point{X: cx + rng.NormFloat64()*0.01, Y: cy + rng.NormFloat64()*0.01},
+					ID:    len(items),
+				})
+			}
+		case 1: // exact duplicate of an earlier point
+			if len(items) > 0 {
+				items = append(items, Item{Point: items[rng.Intn(len(items))].Point, ID: len(items)})
+				continue
+			}
+			fallthrough
+		default:
+			items = append(items, Item{
+				Point: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+				ID:    len(items),
+			})
+		}
+	}
+	return items
+}
+
+// collectGridRect gathers sorted IDs from a grid rectangle search.
+func collectGridRect(g *Index, r geo.Rect) []int {
+	var ids []int
+	g.SearchRect(r, func(it Item) bool { ids = append(ids, it.ID); return true })
+	sort.Ints(ids)
+	return ids
+}
+
+// collectTreeRect gathers sorted IDs from an R-tree rectangle search.
+func collectTreeRect(rt *rtree.Tree, r geo.Rect) []int {
+	var ids []int
+	rt.SearchRect(r, func(it rtree.Item) bool { ids = append(ids, it.ID); return true })
+	sort.Ints(ids)
+	return ids
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialGridVsRTree cross-checks every query kind the two
+// index families share, over random clustered point sets and query
+// shapes including degenerate (empty, point-sized) and fully
+// out-of-bounds ones.
+func TestDifferentialGridVsRTree(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		items := clusteredItems(rng, 50+rng.Intn(400))
+		g, rt := buildBoth(t, items)
+
+		for q := 0; q < 50; q++ {
+			// Rectangle: random extent, sometimes degenerate or far away.
+			x, y := rng.Float64()*140-20, rng.Float64()*140-20
+			w, h := rng.Float64()*40, rng.Float64()*40
+			if q%7 == 0 {
+				w, h = 0, 0 // point rectangle
+			}
+			r := geo.Rect{Min: geo.Point{X: x, Y: y}, Max: geo.Point{X: x + w, Y: y + h}}
+			if gi, ti := collectGridRect(g, r), collectTreeRect(rt, r); !equalIDs(gi, ti) {
+				t.Fatalf("seed %d rect %+v: grid %v, rtree %v", seed, r, gi, ti)
+			}
+
+			// Circle: center possibly outside the data extent.
+			c := geo.Point{X: rng.Float64()*200 - 50, Y: rng.Float64()*200 - 50}
+			rad := rng.Float64() * 30
+			var gc, tc []int
+			g.SearchCircle(c, rad, func(it Item) bool { gc = append(gc, it.ID); return true })
+			rt.SearchCircle(c, rad, func(it rtree.Item) bool { tc = append(tc, it.ID); return true })
+			sort.Ints(gc)
+			sort.Ints(tc)
+			if !equalIDs(gc, tc) {
+				t.Fatalf("seed %d circle %+v r=%g: grid %v, rtree %v", seed, c, rad, gc, tc)
+			}
+
+			// Nearest: compare distances, not IDs — duplicates tie.
+			gn, gok := g.Nearest(c)
+			tn, tok := rt.Nearest(c)
+			if gok != tok {
+				t.Fatalf("seed %d nearest %+v: grid ok=%v, rtree ok=%v", seed, c, gok, tok)
+			}
+			if gok {
+				gd, td := c.Dist(gn.Point), tn.Dist
+				if math.Abs(gd-td) > 1e-12 {
+					t.Fatalf("seed %d nearest %+v: grid dist %g (id %d), rtree dist %g (id %d)",
+						seed, c, gd, gn.ID, td, tn.Item.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestNearestOutOfBounds is the regression test for the ring-search
+// termination bound: query points far outside the grid previously
+// drove the border distance negative, degrading every lookup to a
+// full-grid scan (correct answer, pathological cost). The fix computes
+// the true distance to the unexplored slabs; this locks in correctness
+// for the out-of-bounds cases against the R-tree.
+func TestNearestOutOfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	items := randomItems(rng, 500) // spans [0,80)x[0,60)
+	g, rt := buildBoth(t, items)
+
+	queries := []geo.Point{
+		{X: -1e6, Y: 30}, {X: 1e6, Y: 30}, {X: 40, Y: -1e6}, {X: 40, Y: 1e6},
+		{X: -500, Y: -500}, {X: 2000, Y: 3000},
+		{X: -0.001, Y: 30}, // barely outside
+		{X: 80.001, Y: 60.001},
+	}
+	for i := 0; i < 40; i++ { // random far-outside points
+		queries = append(queries, geo.Point{
+			X: rng.Float64()*4000 - 2000,
+			Y: rng.Float64()*4000 - 2000,
+		})
+	}
+	for _, q := range queries {
+		gn, gok := g.Nearest(q)
+		tn, tok := rt.Nearest(q)
+		if !gok || !tok {
+			t.Fatalf("nearest %+v: grid ok=%v rtree ok=%v", q, gok, tok)
+		}
+		if gd, td := q.Dist(gn.Point), tn.Dist; math.Abs(gd-td) > 1e-9 {
+			t.Fatalf("nearest %+v: grid %g (id %d) vs rtree %g (id %d)", q, gd, gn.ID, td, tn.Item.ID)
+		}
+	}
+}
+
+// BenchmarkNearestFarOutside measures the case the termination-bound
+// fix targets: with the old negative border distance every lookup
+// walked all O(cols+rows) rings.
+func BenchmarkNearestFarOutside(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomItems(rng, 20000)
+	g, err := New(items, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := geo.Point{X: -5000, Y: -5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Nearest(q); !ok {
+			b.Fatal("no result")
+		}
+	}
+}

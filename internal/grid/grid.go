@@ -207,22 +207,29 @@ func (g *Index) Nearest(q geo.Point) (Item, bool) {
 			}
 		}
 		if !math.IsInf(bestDistSq, 1) {
-			// Every unexplored cell lies outside the box of rings ≤
-			// ring; if q's distance to that box's boundary already
-			// exceeds the best, no farther ring can win.
-			boxMin := geo.Point{
-				X: g.bounds.Min.X + float64(ccx-ring)*g.cellSize,
-				Y: g.bounds.Min.Y + float64(ccy-ring)*g.cellSize,
+			// Lower-bound q's distance to any unexplored cell: those
+			// cells lie inside the grid but outside the box of rings
+			// ≤ ring, so a slab of them exists beyond a side only
+			// when the grid extends past the box there, and the slab's
+			// distance is the point-to-half-plane gap (clamped at 0).
+			// Measuring to the box border itself instead goes negative
+			// for an out-of-bounds q — the break never fires and the
+			// search degrades to a full-grid scan.
+			lb := math.Inf(1)
+			if ccx-ring > 0 {
+				lb = math.Min(lb, math.Max(0, q.X-(g.bounds.Min.X+float64(ccx-ring)*g.cellSize)))
 			}
-			boxMax := geo.Point{
-				X: g.bounds.Min.X + float64(ccx+ring+1)*g.cellSize,
-				Y: g.bounds.Min.Y + float64(ccy+ring+1)*g.cellSize,
+			if ccx+ring < g.cols-1 {
+				lb = math.Min(lb, math.Max(0, g.bounds.Min.X+float64(ccx+ring+1)*g.cellSize-q.X))
 			}
-			borderDist := math.Min(
-				math.Min(q.X-boxMin.X, boxMax.X-q.X),
-				math.Min(q.Y-boxMin.Y, boxMax.Y-q.Y),
-			)
-			if borderDist > 0 && borderDist*borderDist >= bestDistSq {
+			if ccy-ring > 0 {
+				lb = math.Min(lb, math.Max(0, q.Y-(g.bounds.Min.Y+float64(ccy-ring)*g.cellSize)))
+			}
+			if ccy+ring < g.rows-1 {
+				lb = math.Min(lb, math.Max(0, g.bounds.Min.Y+float64(ccy+ring+1)*g.cellSize-q.Y))
+			}
+			// lb stays +Inf when the box already covers the grid.
+			if lb*lb >= bestDistSq {
 				break
 			}
 		}

@@ -48,6 +48,29 @@ func MustNew(id int, positions []geo.Point) *Object {
 	return o
 }
 
+// Extended builds the Object that results from appending new positions
+// to o: next must be o's position history followed by the freshly
+// observed tail (typically o.Positions re-sliced over spare capacity,
+// or a grown copy). The cached MBR is extended by the tail only, so a
+// streaming append costs O(tail) instead of the O(n) full rescan of
+// New. Only the length relation is checked — a next whose prefix
+// differs from o's history is a caller bug; a shorter next falls back
+// to a full rescan so the MBR at least stays correct.
+func Extended(o *Object, next []geo.Point) (*Object, error) {
+	if len(next) == 0 {
+		return nil, fmt.Errorf("%w (object %d)", ErrNoPositions, o.ID)
+	}
+	mbr := o.mbr
+	if len(next) >= len(o.Positions) {
+		for _, p := range next[len(o.Positions):] {
+			mbr = mbr.ExtendPoint(p)
+		}
+	} else {
+		mbr = geo.RectFromPoints(next)
+	}
+	return &Object{ID: o.ID, Positions: next, mbr: mbr}, nil
+}
+
 // N returns the number of positions of the object.
 func (o *Object) N() int { return len(o.Positions) }
 

@@ -259,3 +259,17 @@ func TestNames(t *testing.T) {
 		t.Errorf("powerlaw name should embed rho: %q", DefaultPowerLaw().Name())
 	}
 }
+
+// TestPowerLawLambdaOneFastPath pins the λ=1 short-circuit to the
+// math.Pow form bit for bit (Pow(x, 1) = x by spec, so the division
+// fast path must agree exactly, not just approximately).
+func TestPowerLawLambdaOneFastPath(t *testing.T) {
+	f := PowerLaw{Rho: 0.9, D0: 1.0, Lambda: 1.0}
+	for _, d := range []float64{0, 1e-9, 0.3, 1, 2.5, 17, 1e3, 1e9} {
+		got := f.Prob(d)
+		want := f.Rho * math.Pow(f.D0/(f.D0+d), f.Lambda)
+		if got != want {
+			t.Errorf("Prob(%v) = %v, want bit-identical %v", d, got, want)
+		}
+	}
+}

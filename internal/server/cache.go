@@ -22,8 +22,11 @@ type cacheEntry struct {
 	resp *QueryResponse
 }
 
-// newResultCache returns a cache holding up to max entries; max < 0
-// disables caching entirely (get always misses, put drops).
+// newResultCache returns a cache holding up to max entries; max <= 0
+// disables caching entirely (get always misses, put drops). Zero must
+// disable, not "cache then immediately evict": a put into a
+// zero-capacity LRU would allocate the node and churn the list for an
+// entry no get can ever return.
 func newResultCache(max int) *resultCache {
 	return &resultCache{
 		max:   max,
@@ -36,7 +39,7 @@ func newResultCache(max int) *resultCache {
 // used. The returned response is shared: callers must copy before
 // mutating.
 func (c *resultCache) get(key string) (*QueryResponse, bool) {
-	if c.max < 0 {
+	if c.max <= 0 {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -52,7 +55,7 @@ func (c *resultCache) get(key string) (*QueryResponse, bool) {
 // put stores resp under key, evicting the least recently used entry
 // beyond capacity.
 func (c *resultCache) put(key string, resp *QueryResponse) {
-	if c.max < 0 {
+	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()

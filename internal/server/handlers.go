@@ -188,6 +188,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"engine_tau":     s.cfg.Tau,
 		"engine_stats":   stats,
 		"cache_entries":  s.cache.len(),
+		"plan_entries":   s.plans.len(),
 		"max_inflight":   s.cfg.MaxInflight,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
@@ -307,6 +308,48 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// usesPlan reports whether algo's solver consumes a prebuilt
+// core.Plan. NA and pin-vo* run no pruning phase, so building (or even
+// looking up) a plan for them is pure waste.
+func usesPlan(algo string) bool {
+	switch algo {
+	case "pin", "pin-vo", "pin-par":
+		return true
+	}
+	return false
+}
+
+// planFor returns the solve plan for this snapshot and query
+// parameters, building and caching it on a miss. The plan key embeds
+// the epoch, so a mutation implicitly invalidates every older plan;
+// the candidate R-tree half is shared across (PF, τ) keys via the
+// snapshot. Returns nil (solve cold) when plan caching is disabled.
+func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func) (*core.Plan, error) {
+	if s.cfg.PlanCacheSize <= 0 {
+		return nil, nil
+	}
+	key := planKey{epoch: sn.epoch, pf: req.PF, rho: req.Rho, lambda: req.Lambda, tau: req.Tau}
+	if pl, ok := s.plans.get(key); ok {
+		recordPlanCache(true)
+		return pl, nil
+	}
+	recordPlanCache(false)
+	start := time.Now()
+	pl, err := core.BuildPlan(&core.Problem{
+		Objects:    sn.objects,
+		Candidates: sn.candPts,
+		PF:         pf,
+		Tau:        req.Tau,
+		Ctx:        ctx,
+	}, sn.candTree())
+	if err != nil {
+		return nil, err
+	}
+	recordPlanBuild(time.Since(start))
+	s.plans.put(key, pl)
+	return pl, nil
+}
+
 // solveQuery runs the selected solver over the snapshot and shapes the
 // response. Indices into the snapshot's candidate slice are translated
 // back to engine candidate ids.
@@ -317,6 +360,13 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 		PF:         pf,
 		Tau:        req.Tau,
 		Ctx:        ctx,
+	}
+	if usesPlan(req.Algorithm) {
+		pl, err := s.planFor(ctx, sn, req, pf)
+		if err != nil {
+			return nil, err
+		}
+		p.Plan = pl
 	}
 	resp := &QueryResponse{
 		Algorithm:  req.Algorithm,

@@ -16,6 +16,9 @@ const (
 	mQueryLatency = "pinocchio_server_query_seconds"
 	mCacheHits    = "pinocchio_server_cache_hits_total"
 	mCacheMisses  = "pinocchio_server_cache_misses_total"
+	mPlanHits     = "pinocchio_server_plan_cache_hits_total"
+	mPlanMisses   = "pinocchio_server_plan_cache_misses_total"
+	mPlanBuild    = "pinocchio_server_plan_build_seconds"
 	mShed         = "pinocchio_server_shed_total"
 	mInflight     = "pinocchio_server_inflight"
 	mMutations    = "pinocchio_server_mutations_total"
@@ -57,6 +60,27 @@ func recordCache(hit bool) {
 	} else {
 		obs.Default().Counter(mCacheMisses, "Query result cache misses.", nil).Inc()
 	}
+}
+
+// recordPlanCache counts one solve-plan cache lookup outcome.
+func recordPlanCache(hit bool) {
+	if !obs.Enabled() {
+		return
+	}
+	if hit {
+		obs.Default().Counter(mPlanHits, "Solve-plan cache hits.", nil).Inc()
+	} else {
+		obs.Default().Counter(mPlanMisses, "Solve-plan cache misses.", nil).Inc()
+	}
+}
+
+// recordPlanBuild tracks cold solve-plan construction latency.
+func recordPlanBuild(dur time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Histogram(mPlanBuild, "Cold solve-plan build wall time in seconds.",
+		obs.DefBuckets, nil).Observe(dur.Seconds())
 }
 
 // recordShed counts one admission-control rejection.

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"pinocchio/internal/core"
+)
+
+// planKey identifies one solve plan: the mutation epoch (which pins
+// the object and candidate snapshot the plan was built over) plus the
+// derived-state parameters — PF family with its (ρ, λ) and τ. The
+// candidate R-tree half of the plan depends only on the epoch and is
+// shared across keys via snapshot.candTree; algorithm, k and workers
+// never affect a plan, so they are deliberately absent.
+type planKey struct {
+	epoch            int64
+	pf               string
+	rho, lambda, tau float64
+}
+
+// planCache is a mutex-guarded LRU of immutable solve plans shared by
+// concurrent readers. Like the result cache, epoch-embedding keys make
+// invalidation implicit: a mutation moves the epoch, old-epoch keys
+// can no longer be constructed, and their plans age out. max <= 0
+// disables caching (get always misses, put drops).
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[planKey]*list.Element
+}
+
+// planEntry is one LRU node.
+type planEntry struct {
+	key  planKey
+	plan *core.Plan
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[planKey]*list.Element),
+	}
+}
+
+// get returns the cached plan for key, marking it most recently used.
+func (c *planCache) get(key planKey) (*core.Plan, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+// put stores pl under key, evicting the least recently used plan
+// beyond capacity. Two readers racing on the same cold key may both
+// build and put; the entries are equivalent, last store wins.
+func (c *planCache) put(key planKey, pl *core.Plan) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planEntry).plan = pl
+		return
+	}
+	el := c.ll.PushFront(&planEntry{key: key, plan: pl})
+	c.items[key] = el
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*planEntry).key)
+	}
+}
+
+// len reports the live entry count.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

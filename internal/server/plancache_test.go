@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestResultCacheZeroDisabled is the regression test for the max == 0
+// edge: a zero-capacity cache must behave as disabled, never as
+// "insert then immediately evict".
+func TestResultCacheZeroDisabled(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		c := newResultCache(max)
+		c.put("k", &QueryResponse{Epoch: 7})
+		if n := c.len(); n != 0 {
+			t.Errorf("max=%d: len after put = %d, want 0", max, n)
+		}
+		if _, ok := c.get("k"); ok {
+			t.Errorf("max=%d: get hit on a disabled cache", max)
+		}
+	}
+}
+
+// TestPlanCacheZeroDisabled mirrors the regression for the plan LRU.
+func TestPlanCacheZeroDisabled(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		c := newPlanCache(max)
+		c.put(planKey{epoch: 1}, nil)
+		if n := c.len(); n != 0 {
+			t.Errorf("max=%d: len after put = %d, want 0", max, n)
+		}
+		if _, ok := c.get(planKey{epoch: 1}); ok {
+			t.Errorf("max=%d: get hit on a disabled cache", max)
+		}
+	}
+}
+
+// queryBody builds a /v1/query body; no_cache keeps the result cache
+// out of the way so every request exercises a real solve.
+func queryBody(alg string, tau float64, k int) string {
+	return fmt.Sprintf(`{"algorithm":%q,"tau":%g,"k":%d,"no_cache":true}`, alg, tau, k)
+}
+
+// stripVolatile zeroes the fields legitimately allowed to differ
+// between two solves of the same query: wall time.
+func stripVolatile(r *QueryResponse) {
+	r.ElapsedMs = 0
+}
+
+// TestPlanParityServed is the served-path parity guarantee: for every
+// algorithm, a plan-cached server returns responses byte-identical
+// (influences, best, Stats) to a server with plan caching disabled,
+// and its own warm responses match its cold-plan first response.
+func TestPlanParityServed(t *testing.T) {
+	warm := newTestServer(t, Config{})                  // plan cache on (default 32)
+	cold := newTestServer(t, Config{PlanCacheSize: -1}) // always builds per solve
+
+	cases := []struct {
+		alg string
+		k   int
+	}{
+		{"na", 0}, {"pin", 0}, {"pin-vo", 0}, {"pin-vo*", 0}, {"pin-par", 0},
+		{"pin-vo", 5}, {"pin", 4},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s/k=%d", tc.alg, tc.k)
+		body := queryBody(tc.alg, 0.7, tc.k)
+
+		var first, second, base QueryResponse
+		if rec := do(t, warm, "POST", "/v1/query", body, &first); rec.Code != http.StatusOK {
+			t.Fatalf("%s: warm server first query: %d %s", name, rec.Code, rec.Body.String())
+		}
+		if rec := do(t, warm, "POST", "/v1/query", body, &second); rec.Code != http.StatusOK {
+			t.Fatalf("%s: warm server second query: %d %s", name, rec.Code, rec.Body.String())
+		}
+		if rec := do(t, cold, "POST", "/v1/query", body, &base); rec.Code != http.StatusOK {
+			t.Fatalf("%s: cold server query: %d %s", name, rec.Code, rec.Body.String())
+		}
+		for _, r := range []*QueryResponse{&first, &second, &base} {
+			stripVolatile(r)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%s: cold-plan and warm-plan responses differ\ncold: %+v\nwarm: %+v", name, first, second)
+		}
+		if !reflect.DeepEqual(first, base) {
+			t.Errorf("%s: planned and plan-free responses differ\nplan: %+v\nfree: %+v", name, first, base)
+		}
+	}
+}
+
+// TestPlanCacheKeying: distinct (PF, τ) parameters get distinct plans,
+// and each returns the same answer as an uncached solve of the same
+// parameters.
+func TestPlanCacheKeying(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cold := newTestServer(t, Config{PlanCacheSize: -1})
+
+	params := []string{
+		`{"algorithm":"pin-vo","tau":0.7,"no_cache":true}`,
+		`{"algorithm":"pin-vo","tau":0.5,"no_cache":true}`,
+		`{"algorithm":"pin-vo","pf":"linear","rho":0.9,"lambda":6,"tau":0.5,"no_cache":true}`,
+		`{"algorithm":"pin-vo","pf":"powerlaw","rho":0.5,"lambda":1.25,"tau":0.5,"no_cache":true}`,
+	}
+	for i, body := range params {
+		var got, want QueryResponse
+		// Twice on the cached server: second run replays the plan.
+		do(t, s, "POST", "/v1/query", body, &got)
+		do(t, s, "POST", "/v1/query", body, &got)
+		do(t, cold, "POST", "/v1/query", body, &want)
+		stripVolatile(&got)
+		stripVolatile(&want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("params[%d]: cached plan answer diverged\ngot:  %+v\nwant: %+v", i, got, want)
+		}
+		if n := s.plans.len(); n != i+1 {
+			t.Errorf("params[%d]: plan entries = %d, want %d (one per key)", i, n, i+1)
+		}
+	}
+}
+
+// TestPlanCacheEpochInvalidation: a mutation moves the epoch, so the
+// next query must not reuse the stale plan — its answer has to reflect
+// the mutation.
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := queryBody("pin", 0.7, 0)
+
+	var before QueryResponse
+	do(t, s, "POST", "/v1/query", body, &before)
+	do(t, s, "POST", "/v1/query", body, &before) // warm the plan
+
+	// Add a far-away cluster of new objects: influence counts stay the
+	// same but the population (and therefore the solve) must change.
+	var bestView struct {
+		Best CandidateJSON `json:"best"`
+	}
+	do(t, s, "GET", "/v1/best", "", &bestView)
+	cand := bestView.Best
+	for i := 0; i < 30; i++ {
+		b := fmt.Sprintf(`{"id":%d,"positions":[{"x":%g,"y":%g},{"x":%g,"y":%g}]}`,
+			1000+i, cand.X+20, cand.Y+20, cand.X+20.001, cand.Y+20.001)
+		if rec := do(t, s, "POST", "/v1/objects", b, nil); rec.Code != http.StatusCreated {
+			t.Fatalf("add object: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	var after QueryResponse
+	do(t, s, "POST", "/v1/query", body, &after)
+	if after.Epoch == before.Epoch {
+		t.Fatalf("epoch did not move after mutations")
+	}
+	if after.Objects != before.Objects+30 {
+		t.Errorf("object count %d, want %d — stale snapshot?", after.Objects, before.Objects+30)
+	}
+	// The far-away cluster is outside every candidate's reach, so
+	// influence counts must be unchanged — but the solve must have run
+	// against the new population (PairsTotal scales with objects).
+	if after.Stats.PairsTotal <= before.Stats.PairsTotal {
+		t.Errorf("PairsTotal %d not above pre-mutation %d — stale plan replayed?",
+			after.Stats.PairsTotal, before.Stats.PairsTotal)
+	}
+
+	// Cross-check the post-mutation answer against a plan-free server
+	// seeded the same way.
+	cold := newTestServer(t, Config{PlanCacheSize: -1})
+	for i := 0; i < 30; i++ {
+		b := fmt.Sprintf(`{"id":%d,"positions":[{"x":%g,"y":%g},{"x":%g,"y":%g}]}`,
+			1000+i, cand.X+20, cand.Y+20, cand.X+20.001, cand.Y+20.001)
+		do(t, cold, "POST", "/v1/objects", b, nil)
+	}
+	var want QueryResponse
+	do(t, cold, "POST", "/v1/query", body, &want)
+	stripVolatile(&after)
+	stripVolatile(&want)
+	if !reflect.DeepEqual(after, want) {
+		t.Errorf("post-mutation cached answer diverged\ngot:  %+v\nwant: %+v", after, want)
+	}
+}

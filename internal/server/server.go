@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pinocchio/internal/core"
 	"pinocchio/internal/dynamic"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
@@ -63,6 +64,13 @@ type Config struct {
 	// negative disables caching).
 	CacheSize int
 
+	// PlanCacheSize is the solve-plan cache capacity in entries
+	// (default 32; negative disables plan caching). A plan carries the
+	// candidate R-tree and the memoized A2D radius table for one
+	// (epoch, PF, ρ, λ, τ) combination, so repeat queries skip the
+	// per-solve derived-state rebuild entirely.
+	PlanCacheSize int
+
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
 
@@ -85,6 +93,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 32
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
@@ -102,6 +113,22 @@ type snapshot struct {
 	objects []*object.Object
 	candIDs []int
 	candPts []geo.Point
+
+	// tree is the candidate R-tree for this epoch, built on first use
+	// and shared by every plan derived from this snapshot (the tree
+	// depends only on the candidate set, not on PF/τ). treeOnce makes
+	// the lazy build safe under concurrent readers.
+	treeOnce sync.Once
+	tree     *core.CandTree
+}
+
+// candTree returns the snapshot's shared candidate R-tree, building it
+// on first call.
+func (sn *snapshot) candTree() *core.CandTree {
+	sn.treeOnce.Do(func() {
+		sn.tree = core.NewCandTree(sn.candPts, 0)
+	})
+	return sn.tree
 }
 
 // candIndex returns the snapshot position of a candidate id, -1 when
@@ -143,6 +170,7 @@ type Server struct {
 	inflight chan struct{}
 
 	cache *resultCache
+	plans *planCache
 	mux   *http.ServeMux
 }
 
@@ -170,6 +198,7 @@ func New(cfg Config, objects []*object.Object, candidates []geo.Point) (*Server,
 		engine:   eng,
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		cache:    newResultCache(cfg.CacheSize),
+		plans:    newPlanCache(cfg.PlanCacheSize),
 		mux:      http.NewServeMux(),
 	}
 	s.routes()

@@ -46,6 +46,25 @@ echo "== query"
 curl -fsS "http://$addr/v1/query" -d '{"tau":0.7,"algorithm":"pin-vo","k":3}'
 echo
 
+echo "== cached vs uncached parity"
+# The same query solved three ways must agree on the best candidate:
+# a cold solve-plan build, a warm-plan replay of the cached plan, and
+# a result-cache hit. no_cache bypasses only the result cache, so the
+# first two are real solves.
+q='{"tau":0.7,"algorithm":"pin-vo","no_cache":true}'
+best() { sed 's/^{"best":{\([^}]*\)}.*/\1/'; }
+b1=$(curl -fsS "http://$addr/v1/query" -d "$q" | best)
+b2=$(curl -fsS "http://$addr/v1/query" -d "$q" | best)
+b3=$(curl -fsS "http://$addr/v1/query" -d '{"tau":0.7,"algorithm":"pin-vo"}' | best)
+b4=$(curl -fsS "http://$addr/v1/query" -d '{"tau":0.7,"algorithm":"pin-vo"}' | best)
+echo "cold-plan:    $b1"
+echo "warm-plan:    $b2"
+echo "result-cache: $b4"
+if [ "$b1" != "$b2" ] || [ "$b1" != "$b3" ] || [ "$b1" != "$b4" ]; then
+    echo "parity violation between cached and uncached solves" >&2
+    exit 1
+fi
+
 echo "== metrics"
 curl -fsS "http://$addr/metrics" | grep -c '^pinocchio_' >/dev/null
 
