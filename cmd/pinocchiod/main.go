@@ -32,9 +32,13 @@ import (
 	"time"
 
 	"pinocchio/internal/dataset"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
 	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/server"
+	"pinocchio/internal/store"
+	"pinocchio/internal/wal"
 )
 
 // options collects everything run needs, so tests can call it without
@@ -56,6 +60,10 @@ type options struct {
 	cacheSize     int
 	planCacheSize int
 	maxTimeout    time.Duration
+
+	dataDir         string // durable state directory ("" = in-memory only)
+	fsync           string
+	checkpointEvery int
 }
 
 func main() {
@@ -76,6 +84,9 @@ func main() {
 	flag.IntVar(&opts.cacheSize, "cache-size", 128, "query result cache entries (negative disables)")
 	flag.IntVar(&opts.planCacheSize, "plan-cache", 32, "solve-plan cache entries, keyed by epoch and PF/τ (negative disables)")
 	flag.DurationVar(&opts.maxTimeout, "max-timeout", 30*time.Second, "cap on per-request query deadlines")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "durable state directory (WAL + checkpoints); empty serves in-memory only")
+	flag.StringVar(&opts.fsync, "fsync", "always", "WAL durability policy: always, group or off")
+	flag.IntVar(&opts.checkpointEvery, "checkpoint-every", 10000, "checkpoint after this many mutations (negative disables automatic checkpoints)")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -100,18 +111,13 @@ func main() {
 	}
 }
 
-// run loads the workload, builds the server, and serves until ctx is
-// cancelled, then drains in-flight requests.
-func run(ctx context.Context, opts options) error {
-	pf, err := probfn.ByName(opts.pfName, opts.rho, opts.lambda)
-	if err != nil {
-		return err
-	}
-
+// loadWorkload loads (or generates) the dataset and samples the
+// candidate set.
+func loadWorkload(opts options) ([]*object.Object, []geo.Point, string, error) {
 	start := time.Now()
 	ds, err := opts.source.Load()
 	if err != nil {
-		return err
+		return nil, nil, "", err
 	}
 	m := opts.candidates
 	if m > len(ds.Venues) {
@@ -119,25 +125,97 @@ func run(ctx context.Context, opts options) error {
 	}
 	cs, err := dataset.SampleCandidates(ds, m, rand.New(rand.NewSource(opts.seed)))
 	if err != nil {
-		return err
+		return nil, nil, "", err
 	}
 	slog.Info("dataset loaded", "name", ds.Name, "objects", len(ds.Objects),
 		"venues", len(ds.Venues), "candidates", len(cs.Points),
 		"elapsed", time.Since(start).Round(time.Millisecond))
+	return ds.Objects, cs.Points, ds.Name, nil
+}
 
-	srv, err := server.New(server.Config{
+// run loads the workload (or recovers it from -data-dir), builds the
+// server, and serves until ctx is cancelled, then drains in-flight
+// requests and writes a final checkpoint.
+func run(ctx context.Context, opts options) error {
+	pf, err := probfn.ByName(opts.pfName, opts.rho, opts.lambda)
+	if err != nil {
+		return err
+	}
+
+	cfg := server.Config{
 		PF:            pf,
 		Tau:           opts.tau,
-		DatasetName:   ds.Name,
 		MaxInflight:   opts.maxInflight,
 		CacheSize:     opts.cacheSize,
 		PlanCacheSize: opts.planCacheSize,
 		MaxTimeout:    opts.maxTimeout,
-	}, ds.Objects, cs.Points)
-	if err != nil {
-		return err
 	}
-	slog.Info("engine seeded", "pf", pf.Name(), "tau", opts.tau,
+
+	start := time.Now()
+	var srv *server.Server
+	var st *store.Store
+	if opts.dataDir != "" {
+		policy, err := wal.ParsePolicy(opts.fsync)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(opts.dataDir, store.Options{Fsync: policy})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		// The tag pins the engine configuration a data directory was
+		// built under; recovery refuses a mismatch rather than serving
+		// influences computed under different parameters.
+		tag := fmt.Sprintf("pf=%s rho=%g lambda=%g tau=%g",
+			opts.pfName, opts.rho, opts.lambda, opts.tau)
+		res, err := st.Recover(pf, opts.tau, tag)
+		if err != nil {
+			return err
+		}
+		if res.Fresh {
+			// First boot on this directory: seed from the dataset and
+			// persist the seed population as checkpoint zero, so later
+			// boots never re-read the dataset.
+			objs, cands, name, err := loadWorkload(opts)
+			if err != nil {
+				return err
+			}
+			for _, o := range objs {
+				if err := res.Engine.AddObject(o.ID, o.Positions); err != nil {
+					return fmt.Errorf("seeding object %d: %w", o.ID, err)
+				}
+			}
+			for _, c := range cands {
+				res.Engine.AddCandidate(c)
+			}
+			if err := st.Checkpoint(res.Engine.ExportState(), 0, 0); err != nil {
+				return fmt.Errorf("seed checkpoint: %w", err)
+			}
+			cfg.DatasetName = name
+		} else {
+			cfg.DatasetName = "recovered:" + opts.dataDir
+			slog.Info("state recovered", "dir", opts.dataDir,
+				"epoch", res.Epoch, "seq", res.Seq,
+				"checkpoint_seq", res.CheckpointSeq, "replayed", res.Replayed,
+				"elapsed", res.Elapsed.Round(time.Millisecond))
+		}
+		cfg.Store = st
+		cfg.CheckpointEvery = opts.checkpointEvery
+		srv = server.NewWithEngine(cfg, res.Engine, res.Epoch)
+	} else {
+		objs, cands, name, err := loadWorkload(opts)
+		if err != nil {
+			return err
+		}
+		cfg.DatasetName = name
+		srv, err = server.New(cfg, objs, cands)
+		if err != nil {
+			return err
+		}
+	}
+	slog.Info("engine ready", "pf", pf.Name(), "tau", opts.tau,
+		"durable", st != nil,
 		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	ln, err := net.Listen("tcp", opts.addr)
@@ -176,6 +254,15 @@ func run(ctx context.Context, opts options) error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if st != nil {
+		// A final checkpoint makes the next boot replay-free.
+		srv.DrainCheckpoints()
+		seq, err := srv.CheckpointNow()
+		if err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		slog.Info("final checkpoint written", "seq", seq)
 	}
 	return nil
 }

@@ -95,6 +95,93 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 }
 
+// startDaemon boots run() with a data directory and returns the bound
+// address plus a stop function that shuts it down gracefully.
+func startDaemon(t *testing.T, dataDir string) (string, func()) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			addr:            "127.0.0.1:0",
+			addrFile:        addrFile,
+			source:          dataset.Source{Scale: 0.05},
+			candidates:      50,
+			seed:            1,
+			pfName:          "powerlaw",
+			rho:             0.9,
+			lambda:          1.0,
+			tau:             0.7,
+			cacheSize:       16,
+			maxTimeout:      10 * time.Second,
+			dataDir:         dataDir,
+			fsync:           "off",
+			checkpointEvery: -1,
+		})
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not write the addr file in time")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr := strings.TrimSpace(string(b))
+			return addr, func() {
+				cancel()
+				select {
+				case err := <-done:
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+				case <-time.After(15 * time.Second):
+					t.Fatal("daemon did not shut down in time")
+				}
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestRunDurableRestart boots the daemon with a data directory,
+// mutates it, restarts on the same directory, and checks the mutated
+// state survived without re-reading the dataset.
+func TestRunDurableRestart(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "state")
+
+	addr, stop := startDaemon(t, dataDir)
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/objects", "application/json",
+		strings.NewReader(`{"id":987654,"positions":[{"x":0.5,"y":0.5}]}`))
+	if err != nil {
+		t.Fatalf("add object: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add object: %d", resp.StatusCode)
+	}
+	stop()
+
+	addr, stop = startDaemon(t, dataDir)
+	defer stop()
+	base = "http://" + addr
+	// Re-adding the same object must now conflict: the first add was
+	// recovered from disk.
+	resp, err = http.Post(base+"/v1/objects", "application/json",
+		strings.NewReader(`{"id":987654,"positions":[{"x":0.5,"y":0.5}]}`))
+	if err != nil {
+		t.Fatalf("re-add object: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-add object after restart: %d, want 409", resp.StatusCode)
+	}
+}
+
 // TestRunRejectsBadConfig checks that configuration errors surface
 // before the daemon binds a port.
 func TestRunRejectsBadConfig(t *testing.T) {

@@ -1,0 +1,117 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/rtree"
+)
+
+// State is a point-in-time image of an engine's tracked population and
+// influence relation, in a shape internal/store can serialize into a
+// checkpoint and FromState can rebuild an engine from without
+// re-validating a single object/candidate pair. Slices are ordered by
+// id, so the same engine state always exports the same State.
+type State struct {
+	// NextCandID is the id the next AddCandidate will assign. It is
+	// part of the state because candidate ids are never reused: a
+	// recovered engine must keep numbering where the original stopped,
+	// or replaying the same mutations would bind different ids.
+	NextCandID int
+	Candidates []CandidateState
+	Objects    []ObjectState
+}
+
+// CandidateState is one live candidate location.
+type CandidateState struct {
+	ID    int
+	Point geo.Point
+}
+
+// ObjectState is one tracked moving object and the candidate ids it
+// currently influences (ascending).
+type ObjectState struct {
+	ID         int
+	Positions  []geo.Point
+	Influenced []int
+}
+
+// ExportState captures the engine's current population and influence
+// relation. The position slices are shared with the engine, not
+// copied: published prefixes are immutable (AddPosition only writes
+// past every exported length), so the State stays consistent even
+// while later mutations are applied. Work counters (Stats) are not
+// part of the state.
+func (e *Engine) ExportState() *State {
+	st := &State{NextCandID: e.nextCandID}
+	ids, pts := e.SnapshotCandidates()
+	st.Candidates = make([]CandidateState, len(ids))
+	for i := range ids {
+		st.Candidates[i] = CandidateState{ID: ids[i], Point: pts[i]}
+	}
+	st.Objects = make([]ObjectState, 0, len(e.objects))
+	for _, os := range e.objects {
+		infl := make([]int, 0, len(os.influenced))
+		for c := range os.influenced {
+			infl = append(infl, c)
+		}
+		sort.Ints(infl)
+		st.Objects = append(st.Objects, ObjectState{
+			ID:         os.obj.ID,
+			Positions:  os.obj.Positions,
+			Influenced: infl,
+		})
+	}
+	sort.Slice(st.Objects, func(i, j int) bool { return st.Objects[i].ID < st.Objects[j].ID })
+	return st
+}
+
+// FromState rebuilds an engine from an exported state without
+// recomputing any influence: the stored relation is installed as-is.
+// It validates referential integrity (no duplicate ids, influenced
+// candidates exist, ids below NextCandID) but trusts that the relation
+// matches pf and tau — that contract is the caller's (internal/store
+// refuses checkpoints written under a different engine configuration).
+func FromState(pf probfn.Func, tau float64, st *State) (*Engine, error) {
+	e, err := New(pf, tau)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range st.Candidates {
+		if c.ID < 0 || c.ID >= st.NextCandID {
+			return nil, fmt.Errorf("dynamic: state candidate id %d outside [0, %d)", c.ID, st.NextCandID)
+		}
+		if _, dup := e.candPoints[c.ID]; dup {
+			return nil, fmt.Errorf("dynamic: state repeats candidate id %d", c.ID)
+		}
+		e.candPoints[c.ID] = c.Point
+		e.candTree.Insert(rtree.Item{Point: c.Point, ID: c.ID})
+		e.influence[c.ID] = 0
+	}
+	e.nextCandID = st.NextCandID
+	for _, o := range st.Objects {
+		if _, dup := e.objects[o.ID]; dup {
+			return nil, fmt.Errorf("dynamic: state repeats object id %d", o.ID)
+		}
+		obj, err := object.New(o.ID, o.Positions)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: state object %d: %w", o.ID, err)
+		}
+		influenced := make(map[int]bool, len(o.Influenced))
+		for _, c := range o.Influenced {
+			if _, ok := e.candPoints[c]; !ok {
+				return nil, fmt.Errorf("dynamic: state object %d influences unknown candidate %d", o.ID, c)
+			}
+			if influenced[c] {
+				return nil, fmt.Errorf("dynamic: state object %d repeats influenced candidate %d", o.ID, c)
+			}
+			influenced[c] = true
+			e.influence[c]++
+		}
+		e.objects[o.ID] = &objState{obj: obj, influenced: influenced}
+	}
+	return e, nil
+}

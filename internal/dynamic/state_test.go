@@ -1,0 +1,148 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+// randomEngine builds an engine and drives a random mutation sequence
+// over it, returning the engine.
+func randomEngine(t *testing.T, seed int64, steps int) *Engine {
+	t.Helper()
+	e, err := New(probfn.DefaultPowerLaw(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pt := func() geo.Point { return geo.Point{X: rng.Float64() * 4, Y: rng.Float64() * 4} }
+	var objIDs []int
+	nextObj := 0
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(6); {
+		case op == 0 || len(objIDs) == 0:
+			id := nextObj
+			nextObj++
+			if err := e.AddObject(id, []geo.Point{pt(), pt()}); err != nil {
+				t.Fatal(err)
+			}
+			objIDs = append(objIDs, id)
+		case op == 1:
+			e.AddCandidate(pt())
+		case op == 2:
+			if err := e.AddPosition(objIDs[rng.Intn(len(objIDs))], pt()); err != nil {
+				t.Fatal(err)
+			}
+		case op == 3:
+			if err := e.UpdateObject(objIDs[rng.Intn(len(objIDs))], []geo.Point{pt(), pt(), pt()}); err != nil {
+				t.Fatal(err)
+			}
+		case op == 4 && e.Candidates() > 0:
+			ids, _ := e.SnapshotCandidates()
+			if err := e.RemoveCandidate(ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatal(err)
+			}
+		case op == 5 && len(objIDs) > 1:
+			i := rng.Intn(len(objIDs))
+			if err := e.RemoveObject(objIDs[i]); err != nil {
+				t.Fatal(err)
+			}
+			objIDs = append(objIDs[:i], objIDs[i+1:]...)
+		}
+	}
+	return e
+}
+
+// sameEngineState asserts the externally observable state of two
+// engines is identical.
+func sameEngineState(t *testing.T, want, got *Engine) {
+	t.Helper()
+	if w, g := want.Influences(), got.Influences(); !reflect.DeepEqual(w, g) {
+		t.Fatalf("Influences mismatch:\nwant %v\ngot  %v", w, g)
+	}
+	wIDs, wPts := want.SnapshotCandidates()
+	gIDs, gPts := got.SnapshotCandidates()
+	if !reflect.DeepEqual(wIDs, gIDs) || !reflect.DeepEqual(wPts, gPts) {
+		t.Fatalf("candidate snapshot mismatch")
+	}
+	wObjs, gObjs := want.SnapshotObjects(), got.SnapshotObjects()
+	if len(wObjs) != len(gObjs) {
+		t.Fatalf("object count mismatch: %d vs %d", len(wObjs), len(gObjs))
+	}
+	for i := range wObjs {
+		if wObjs[i].ID != gObjs[i].ID || !reflect.DeepEqual(wObjs[i].Positions, gObjs[i].Positions) {
+			t.Fatalf("object %d mismatch", wObjs[i].ID)
+		}
+	}
+}
+
+func TestExportStateRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		e := randomEngine(t, seed, 120)
+		re, err := FromState(probfn.DefaultPowerLaw(), 0.7, e.ExportState())
+		if err != nil {
+			t.Fatalf("seed %d: FromState: %v", seed, err)
+		}
+		sameEngineState(t, e, re)
+
+		// The restored engine must also behave identically under
+		// further mutations — in particular AddCandidate must assign
+		// the same ids (NextCandID round-trips).
+		p := geo.Point{X: 1.5, Y: 1.5}
+		if a, b := e.AddCandidate(p), re.AddCandidate(p); a != b {
+			t.Fatalf("seed %d: post-restore candidate ids diverge: %d vs %d", seed, a, b)
+		}
+		objs := e.SnapshotObjects()
+		if len(objs) > 0 {
+			id := objs[0].ID
+			if err := e.AddPosition(id, p); err != nil {
+				t.Fatal(err)
+			}
+			if err := re.AddPosition(id, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sameEngineState(t, e, re)
+	}
+}
+
+func TestExportStateIsDeterministic(t *testing.T) {
+	e := randomEngine(t, 3, 80)
+	if a, b := e.ExportState(), e.ExportState(); !reflect.DeepEqual(a, b) {
+		t.Fatal("two exports of the same engine differ")
+	}
+}
+
+func TestFromStateRejectsBrokenStates(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	base := func() *State {
+		return &State{
+			NextCandID: 2,
+			Candidates: []CandidateState{{ID: 0, Point: geo.Point{X: 1}}, {ID: 1, Point: geo.Point{Y: 1}}},
+			Objects:    []ObjectState{{ID: 5, Positions: []geo.Point{{X: 1}}, Influenced: []int{0}}},
+		}
+	}
+	if _, err := FromState(pf, 0.7, base()); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+
+	cases := map[string]func(*State){
+		"candidate id above NextCandID": func(s *State) { s.Candidates[1].ID = 2 },
+		"negative candidate id":         func(s *State) { s.Candidates[0].ID = -1 },
+		"duplicate candidate id":        func(s *State) { s.Candidates[1].ID = 0 },
+		"duplicate object id":           func(s *State) { s.Objects = append(s.Objects, s.Objects[0]) },
+		"unknown influenced candidate":  func(s *State) { s.Objects[0].Influenced = []int{9} },
+		"repeated influenced candidate": func(s *State) { s.Objects[0].Influenced = []int{0, 0} },
+		"object without positions":      func(s *State) { s.Objects[0].Positions = nil },
+	}
+	for name, breakIt := range cases {
+		s := base()
+		breakIt(s)
+		if _, err := FromState(pf, 0.7, s); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

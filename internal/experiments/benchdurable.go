@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/store"
+	"pinocchio/internal/wal"
+)
+
+// BenchMutation is one durability configuration's mutation-throughput
+// row: the same add_position stream applied under a given WAL fsync
+// policy ("none" runs without a store, the in-memory baseline).
+type BenchMutation struct {
+	Fsync     string  `json:"fsync"`
+	Ops       int     `json:"ops"`
+	WallMs    float64 `json:"wall_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// benchMutations measures the cost of durability: a fixed stream of
+// position-append records is applied to a small engine with no store,
+// then logged through a store under each fsync policy. The spread
+// between "none"/"off" and "always" is the per-mutation fsync price.
+func benchMutations(objs []*object.Object, cands []geo.Point, tau float64) ([]BenchMutation, error) {
+	// A small subpopulation keeps the engine work constant and cheap so
+	// the rows isolate logging cost rather than influence maintenance.
+	if len(objs) > 200 {
+		objs = objs[:200]
+	}
+	if len(cands) > 100 {
+		cands = cands[:100]
+	}
+	const ops = 256
+	pf := defaultPF()
+
+	seed := func() (*dynamic.Engine, error) {
+		eng, err := dynamic.New(pf, tau)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range objs {
+			if err := eng.AddObject(o.ID, o.Positions); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range cands {
+			eng.AddCandidate(c)
+		}
+		return eng, nil
+	}
+	recs := make([]*store.Record, ops)
+	for i := range recs {
+		o := objs[i%len(objs)]
+		last := o.Positions[len(o.Positions)-1]
+		recs[i] = &store.Record{
+			Op: store.OpAddPosition, ID: int64(o.ID),
+			Positions: []geo.Point{{X: last.X + 0.001*float64(i), Y: last.Y}},
+		}
+	}
+
+	var out []BenchMutation
+	row := func(name string, policy wal.Policy, durable bool) error {
+		eng, err := seed()
+		if err != nil {
+			return err
+		}
+		var st *store.Store
+		if durable {
+			dir, err := os.MkdirTemp("", "pinocchio-bench-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			if st, err = store.Open(dir, store.Options{Fsync: policy}); err != nil {
+				return err
+			}
+			defer st.Close()
+		}
+		start := time.Now()
+		for _, rec := range recs {
+			if st != nil {
+				if _, err := st.Append(rec); err != nil {
+					return err
+				}
+			}
+			if _, err := rec.Apply(eng); err != nil {
+				return err
+			}
+		}
+		if st != nil {
+			if err := st.Sync(); err != nil {
+				return err
+			}
+		}
+		wall := time.Since(start)
+		out = append(out, BenchMutation{
+			Fsync:     name,
+			Ops:       ops,
+			WallMs:    float64(wall) / float64(time.Millisecond),
+			OpsPerSec: float64(ops) / wall.Seconds(),
+		})
+		return nil
+	}
+
+	if err := row("none", 0, false); err != nil {
+		return nil, fmt.Errorf("experiments: bench mutations none: %w", err)
+	}
+	for _, p := range []wal.Policy{wal.PolicyOff, wal.PolicyGroup, wal.PolicyAlways} {
+		if err := row(p.String(), p, true); err != nil {
+			return nil, fmt.Errorf("experiments: bench mutations %s: %w", p, err)
+		}
+	}
+	return out, nil
+}

@@ -74,6 +74,9 @@ type BenchSnapshot struct {
 	// ServedQueries times the same solves through the HTTP serving
 	// layer (cmd/pinocchiod), including a cache-hit row.
 	ServedQueries []BenchServed `json:"served_queries,omitempty"`
+	// Mutations times a fixed mutation stream under each WAL fsync
+	// policy, quantifying the durability/throughput trade-off.
+	Mutations []BenchMutation `json:"mutation_throughput,omitempty"`
 }
 
 // RunBenchSnapshot builds a seeded Foursquare-like instance and times
@@ -173,6 +176,10 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 		return nil, err
 	}
 	snap.ServedQueries, err = benchServed(objs, cs.Points, cfg.Tau, cfg.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	snap.Mutations, err = benchMutations(objs, cs.Points, cfg.Tau)
 	if err != nil {
 		return nil, err
 	}

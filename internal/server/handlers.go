@@ -15,6 +15,7 @@ import (
 	"pinocchio/internal/geo"
 	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
+	"pinocchio/internal/store"
 )
 
 // PointJSON is a planar position on the wire.
@@ -157,9 +158,12 @@ func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
 }
 
 // engineErrCode maps engine errors to HTTP statuses: unknown ids are
-// 404, duplicate inserts 409, bad payloads 400.
+// 404, duplicate inserts 409, bad payloads 400. A WAL append failure
+// is a server-side durability fault, not a client error: 500.
 func engineErrCode(err error) int {
 	switch {
+	case errors.Is(err, store.ErrAppend):
+		return http.StatusInternalServerError
 	case errors.Is(err, dynamic.ErrUnknownObject), errors.Is(err, dynamic.ErrUnknownCandidate):
 		return http.StatusNotFound
 	case errors.Is(err, dynamic.ErrDuplicateObject):
@@ -179,7 +183,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	stats := s.engine.Stats()
 	epoch := s.epoch
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"dataset":        s.cfg.DatasetName,
 		"objects":        objects,
 		"candidates":     candidates,
@@ -191,7 +195,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"plan_entries":   s.plans.len(),
 		"max_inflight":   s.cfg.MaxInflight,
 		"uptime_seconds": time.Since(s.start).Seconds(),
-	})
+		"durable":        s.cfg.Store != nil,
+	}
+	if st := s.cfg.Store; st != nil {
+		body["wal_seq"] = st.LastSeq()
+		body["last_checkpoint_seq"] = st.LastCheckpointSeq()
+		body["data_dir_bytes"] = st.SizeBytes()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // parseAlgorithm maps the wire names to solvers; pin-par is handled
@@ -510,10 +521,13 @@ func toPoints(ps []PointJSON) []geo.Point {
 	return out
 }
 
-// mutationResponse acknowledges an applied mutation.
+// mutationResponse acknowledges an applied mutation. Seq is the WAL
+// sequence number the mutation was logged at; 0 when the server runs
+// without a durable store.
 type mutationResponse struct {
-	ID    int   `json:"id"`
-	Epoch int64 `json:"epoch"`
+	ID    int    `json:"id"`
+	Epoch int64  `json:"epoch"`
+	Seq   uint64 `json:"seq,omitempty"`
 }
 
 func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
@@ -525,14 +539,14 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "object needs at least one position")
 		return
 	}
-	epoch, err := s.mutate("add_object", func(e *dynamic.Engine) error {
-		return e.AddObject(req.ID, toPoints(req.Positions))
+	_, epoch, seq, err := s.mutate(&store.Record{
+		Op: store.OpAddObject, ID: int64(req.ID), Positions: toPoints(req.Positions),
 	})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, mutationResponse{ID: req.ID, Epoch: epoch})
+	writeJSON(w, http.StatusCreated, mutationResponse{ID: req.ID, Epoch: epoch, Seq: seq})
 }
 
 func (s *Server) handleUpdateObject(w http.ResponseWriter, r *http.Request) {
@@ -548,14 +562,14 @@ func (s *Server) handleUpdateObject(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "object needs at least one position")
 		return
 	}
-	epoch, err := s.mutate("update_object", func(e *dynamic.Engine) error {
-		return e.UpdateObject(id, toPoints(req.Positions))
+	_, epoch, seq, err := s.mutate(&store.Record{
+		Op: store.OpUpdateObject, ID: int64(id), Positions: toPoints(req.Positions),
 	})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch, Seq: seq})
 }
 
 func (s *Server) handleRemoveObject(w http.ResponseWriter, r *http.Request) {
@@ -563,14 +577,12 @@ func (s *Server) handleRemoveObject(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	epoch, err := s.mutate("remove_object", func(e *dynamic.Engine) error {
-		return e.RemoveObject(id)
-	})
+	_, epoch, seq, err := s.mutate(&store.Record{Op: store.OpRemoveObject, ID: int64(id)})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch, Seq: seq})
 }
 
 func (s *Server) handleAddPositions(w http.ResponseWriter, r *http.Request) {
@@ -590,22 +602,18 @@ func (s *Server) handleAddPositions(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, `need "positions" or an "x"/"y" pair`)
 		return
 	}
-	// AddPosition only fails on an unknown object, which the write
-	// lock makes stable across the batch: either every point applies
-	// or none do, so skipping the epoch bump on error stays correct.
-	epoch, err := s.mutate("add_position", func(e *dynamic.Engine) error {
-		for _, p := range pts {
-			if err := e.AddPosition(id, p); err != nil {
-				return err
-			}
-		}
-		return nil
+	// One record carries the whole batch, matching the single epoch
+	// bump: AddPosition only fails on an unknown object, which the
+	// write lock makes stable across the batch, so either every point
+	// applies or none do — live and on replay.
+	_, epoch, seq, err := s.mutate(&store.Record{
+		Op: store.OpAddPosition, ID: int64(id), Positions: pts,
 	})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch, Seq: seq})
 }
 
 func (s *Server) handleAddCandidate(w http.ResponseWriter, r *http.Request) {
@@ -613,16 +621,14 @@ func (s *Server) handleAddCandidate(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	var id int
-	epoch, err := s.mutate("add_candidate", func(e *dynamic.Engine) error {
-		id = e.AddCandidate(geo.Point{X: req.X, Y: req.Y})
-		return nil
+	id, epoch, seq, err := s.mutate(&store.Record{
+		Op: store.OpAddCandidate, Pt: geo.Point{X: req.X, Y: req.Y},
 	})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, mutationResponse{ID: id, Epoch: epoch})
+	writeJSON(w, http.StatusCreated, mutationResponse{ID: id, Epoch: epoch, Seq: seq})
 }
 
 func (s *Server) handleRemoveCandidate(w http.ResponseWriter, r *http.Request) {
@@ -630,12 +636,10 @@ func (s *Server) handleRemoveCandidate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	epoch, err := s.mutate("remove_candidate", func(e *dynamic.Engine) error {
-		return e.RemoveCandidate(id)
-	})
+	_, epoch, seq, err := s.mutate(&store.Record{Op: store.OpRemoveCandidate, ID: int64(id)})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch})
+	writeJSON(w, http.StatusOK, mutationResponse{ID: id, Epoch: epoch, Seq: seq})
 }

@@ -31,6 +31,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
 	"pinocchio/internal/probfn"
+	"pinocchio/internal/store"
 )
 
 // Config parameterizes a Server. The zero value of optional fields
@@ -77,6 +79,16 @@ type Config struct {
 	// MaxTimeout caps (and defaults) the per-request query deadline.
 	// Defaults to 30s.
 	MaxTimeout time.Duration
+
+	// Store, when non-nil, makes mutations durable: every mutation is
+	// appended to the write-ahead log before it touches the engine, so
+	// a crash after the HTTP acknowledgement never loses it.
+	Store *store.Store
+
+	// CheckpointEvery triggers a background checkpoint after that many
+	// applied mutations (default 10000; negative disables automatic
+	// checkpoints). Only meaningful with a Store.
+	CheckpointEvery int
 }
 
 // withDefaults resolves the zero values.
@@ -101,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 30 * time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10000
 	}
 	return c
 }
@@ -169,6 +184,13 @@ type Server struct {
 	// inflight is the admission-control semaphore for queries.
 	inflight chan struct{}
 
+	// sinceCkpt counts mutations applied since the last checkpoint;
+	// ckptRunning keeps at most one background checkpoint in flight,
+	// and ckptWG lets shutdown wait for it before closing the store.
+	sinceCkpt   atomic.Int64
+	ckptRunning atomic.Bool
+	ckptWG      sync.WaitGroup
+
 	cache *resultCache
 	plans *planCache
 	mux   *http.ServeMux
@@ -192,17 +214,27 @@ func New(cfg Config, objects []*object.Object, candidates []geo.Point) (*Server,
 	for _, c := range candidates {
 		eng.AddCandidate(c)
 	}
+	return NewWithEngine(cfg, eng, 0), nil
+}
+
+// NewWithEngine builds a server around an existing engine — the
+// recovery path: store.Recover yields an engine plus the epoch it had
+// reached, and the server continues from there. The engine's PF/τ must
+// match cfg (the store's config tag enforces this at recovery time).
+func NewWithEngine(cfg Config, eng *dynamic.Engine, epoch int64) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		start:    time.Now(),
 		engine:   eng,
+		epoch:    epoch,
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		cache:    newResultCache(cfg.CacheSize),
 		plans:    newPlanCache(cfg.PlanCacheSize),
 		mux:      http.NewServeMux(),
 	}
 	s.routes()
-	return s, nil
+	return s
 }
 
 // ServeHTTP implements http.Handler.
@@ -229,21 +261,87 @@ func (s *Server) snapshotNow() *snapshot {
 	return sn
 }
 
-// mutate applies one engine mutation under the write lock, bumping the
-// epoch when it succeeds. It returns the post-mutation epoch.
-func (s *Server) mutate(op string, fn func(e *dynamic.Engine) error) (int64, error) {
+// mutate applies one mutation record under the write lock, bumping the
+// epoch when the engine accepts it. With a Store configured the record
+// is appended to the WAL *before* it touches the engine and inside the
+// same critical section, so log order equals application order and an
+// acknowledged mutation is always recoverable. Records the engine
+// rejects stay in the log — replay rejects them identically — so the
+// recovered epoch matches the live one. Returns the engine-assigned id
+// (meaningful for add_candidate), the post-mutation epoch, and the WAL
+// sequence number (0 without a Store).
+func (s *Server) mutate(rec *store.Record) (id int, epoch int64, seq uint64, err error) {
 	start := time.Now()
 	s.mu.Lock()
-	err := fn(s.engine)
+	if s.cfg.Store != nil {
+		if seq, err = s.cfg.Store.Append(rec); err != nil {
+			epoch = s.epoch
+			s.mu.Unlock()
+			return 0, epoch, 0, err
+		}
+	}
+	id, err = rec.Apply(s.engine)
 	if err == nil {
 		s.epoch++
 	}
-	epoch := s.epoch
+	epoch = s.epoch
 	s.mu.Unlock()
 	if err == nil {
-		recordMutation(op, epoch, time.Since(start))
+		recordMutation(rec.Op.String(), epoch, time.Since(start))
+		s.maybeCheckpoint()
 	}
-	return epoch, err
+	return id, epoch, seq, err
+}
+
+// maybeCheckpoint spawns a background checkpoint once CheckpointEvery
+// mutations have been applied since the last one. At most one
+// checkpoint runs at a time; the counter resets when it starts, so a
+// slow checkpoint simply delays the next trigger.
+func (s *Server) maybeCheckpoint() {
+	if s.cfg.Store == nil || s.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	if s.sinceCkpt.Add(1) < int64(s.cfg.CheckpointEvery) {
+		return
+	}
+	if !s.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	s.sinceCkpt.Store(0)
+	s.ckptWG.Add(1)
+	go func() {
+		defer s.ckptWG.Done()
+		defer s.ckptRunning.Store(false)
+		if _, err := s.CheckpointNow(); err != nil {
+			slog.Error("background checkpoint failed", "err", err)
+		}
+	}()
+}
+
+// DrainCheckpoints blocks until no background checkpoint is in
+// flight. Call before closing the Store.
+func (s *Server) DrainCheckpoints() { s.ckptWG.Wait() }
+
+// CheckpointNow snapshots the engine under the read lock and writes a
+// checkpoint at the WAL position it covers. Safe to call concurrently
+// with queries and mutations; returns the checkpointed sequence
+// number. No-op (0, nil) without a Store.
+func (s *Server) CheckpointNow() (uint64, error) {
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	// The read lock orders the snapshot against mutations: LastSeq read
+	// under it is the seq of the last record already applied, so the
+	// exported state covers exactly the log prefix through seq.
+	s.mu.RLock()
+	st := s.engine.ExportState()
+	epoch := s.epoch
+	seq := s.cfg.Store.LastSeq()
+	s.mu.RUnlock()
+	if err := s.cfg.Store.Checkpoint(st, epoch, seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
 }
 
 // Epoch returns the current mutation epoch.

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+)
+
+// Checkpoint file format:
+//
+//	magic   "PINOCKP1" (8 bytes)
+//	crc     uint32  CRC32-C over body
+//	length  uint64  body length in bytes
+//	body:
+//	  tag         string  engine configuration fingerprint
+//	  epoch       int64   mutation epoch at the snapshot
+//	  seq         uint64  last WAL sequence number folded in
+//	  nextCandID  int64
+//	  candidates  u32 count, then (id int64, x, y float64) each
+//	  objects     u32 count, then per object:
+//	                id int64, positions u32 + points,
+//	                influenced u32 + int64 ids (ascending)
+//
+// A checkpoint is written to a temp file, fsynced, and renamed into
+// place, so a crash mid-write leaves either the old set of
+// checkpoints or the old set plus one complete new file — never a
+// half-written file under a checkpoint name.
+const (
+	ckptMagic  = "PINOCKP1"
+	ckptSuffix = ".ckpt"
+	ckptPrefix = "checkpoint-"
+	// maxTagLen bounds the config tag on decode.
+	maxTagLen = 4096
+)
+
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// checkpoint is one decoded snapshot file.
+type checkpoint struct {
+	Tag   string
+	Epoch int64
+	Seq   uint64
+	State *dynamic.State
+}
+
+// ckptName returns the file name of a checkpoint taken at seq.
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, seq, ckptSuffix)
+}
+
+// parseCkptName inverts ckptName.
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(hex, "%016x", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// encodeCheckpoint serializes a checkpoint file image.
+func encodeCheckpoint(c *checkpoint) []byte {
+	body := appendStr(nil, c.Tag)
+	body = appendI64(body, c.Epoch)
+	body = appendU64(body, c.Seq)
+	body = appendI64(body, int64(c.State.NextCandID))
+	body = appendU32(body, uint32(len(c.State.Candidates)))
+	for _, cand := range c.State.Candidates {
+		body = appendI64(body, int64(cand.ID))
+		body = appendPoint(body, cand.Point)
+	}
+	body = appendU32(body, uint32(len(c.State.Objects)))
+	for _, o := range c.State.Objects {
+		body = appendI64(body, int64(o.ID))
+		body = appendU32(body, uint32(len(o.Positions)))
+		for _, p := range o.Positions {
+			body = appendPoint(body, p)
+		}
+		body = appendU32(body, uint32(len(o.Influenced)))
+		for _, id := range o.Influenced {
+			body = appendI64(body, int64(id))
+		}
+	}
+	out := make([]byte, 0, len(ckptMagic)+12+len(body))
+	out = append(out, ckptMagic...)
+	out = appendU32(out, crc32.Checksum(body, ckptCRC))
+	out = appendU64(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+// decodeCheckpoint inverts encodeCheckpoint, verifying magic, length
+// and checksum before touching the body.
+func decodeCheckpoint(b []byte) (*checkpoint, error) {
+	hdr := &reader{b: b}
+	if magic := hdr.take(len(ckptMagic)); hdr.err == nil && string(magic) != ckptMagic {
+		hdr.fail("bad magic")
+	}
+	crc := hdr.u32()
+	length := hdr.u64()
+	if hdr.err == nil && length != uint64(len(hdr.b)) {
+		hdr.fail("body length %d, have %d bytes", length, len(hdr.b))
+	}
+	if hdr.err != nil {
+		return nil, hdr.err
+	}
+	body := hdr.b
+	if crc32.Checksum(body, ckptCRC) != crc {
+		return nil, fmt.Errorf("%w: checkpoint checksum mismatch", ErrDecode)
+	}
+
+	r := &reader{b: body}
+	c := &checkpoint{
+		Tag:   r.str(maxTagLen),
+		Epoch: r.i64(),
+		Seq:   r.u64(),
+		State: &dynamic.State{},
+	}
+	c.State.NextCandID = int(r.i64())
+	nc := r.count(24)
+	if r.err == nil {
+		c.State.Candidates = make([]dynamic.CandidateState, nc)
+		for i := range c.State.Candidates {
+			c.State.Candidates[i] = dynamic.CandidateState{ID: int(r.i64()), Point: r.point()}
+		}
+	}
+	no := r.count(16)
+	if r.err == nil {
+		c.State.Objects = make([]dynamic.ObjectState, no)
+		for i := range c.State.Objects {
+			o := &c.State.Objects[i]
+			o.ID = int(r.i64())
+			np := r.count(16)
+			if r.err != nil {
+				break
+			}
+			o.Positions = make([]geo.Point, np)
+			for j := range o.Positions {
+				o.Positions[j] = r.point()
+			}
+			ni := r.count(8)
+			if r.err != nil {
+				break
+			}
+			o.Influenced = make([]int, ni)
+			for j := range o.Influenced {
+				o.Influenced[j] = int(r.i64())
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// writeCheckpointFile atomically writes a checkpoint into dir:
+// write-temp, fsync, rename, fsync the directory.
+func writeCheckpointFile(dir string, c *checkpoint) (string, error) {
+	path := filepath.Join(dir, ckptName(c.Seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(encodeCheckpoint(c)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return path, syncDir(dir)
+}
+
+// readCheckpointFile loads and verifies one checkpoint file.
+func readCheckpointFile(path string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// ckptFile is one checkpoint on disk.
+type ckptFile struct {
+	seq  uint64
+	path string
+}
+
+// listCheckpoints returns the directory's checkpoints ordered by
+// sequence number (ascending). Temp files and foreign names are
+// ignored.
+func listCheckpoints(dir string) ([]ckptFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ckptFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseCkptName(e.Name()); ok {
+			out = append(out, ckptFile{seq: seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// syncDir fsyncs a directory so renames and removals in it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+)
+
+func sampleCheckpoint() *checkpoint {
+	return &checkpoint{
+		Tag:   "pf=powerlaw rho=0.9 lambda=1 tau=0.7",
+		Epoch: 42,
+		Seq:   1234,
+		State: &dynamic.State{
+			NextCandID: 3,
+			Candidates: []dynamic.CandidateState{
+				{ID: 0, Point: geo.Point{X: 1, Y: 2}},
+				{ID: 2, Point: geo.Point{X: -0.5, Y: 3}},
+			},
+			Objects: []dynamic.ObjectState{
+				{ID: 10, Positions: []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}, Influenced: []int{0, 2}},
+				{ID: 11, Positions: []geo.Point{{X: 5, Y: 5}}, Influenced: nil},
+			},
+		},
+	}
+}
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	c := sampleCheckpoint()
+	got, err := decodeCheckpoint(encodeCheckpoint(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != c.Tag || got.Epoch != c.Epoch || got.Seq != c.Seq {
+		t.Fatalf("header round trip: %+v", got)
+	}
+	if !reflect.DeepEqual(got.State.Candidates, c.State.Candidates) ||
+		got.State.NextCandID != c.State.NextCandID {
+		t.Fatal("candidate state round trip mismatch")
+	}
+	if len(got.State.Objects) != 2 ||
+		!reflect.DeepEqual(got.State.Objects[0].Influenced, []int{0, 2}) ||
+		!reflect.DeepEqual(got.State.Objects[0].Positions, c.State.Objects[0].Positions) {
+		t.Fatalf("object state round trip mismatch: %+v", got.State.Objects)
+	}
+}
+
+func TestCheckpointDecodeDetectsDamage(t *testing.T) {
+	data := encodeCheckpoint(sampleCheckpoint())
+	for name, mutate := range map[string]func([]byte) []byte{
+		"empty":        func(b []byte) []byte { return nil },
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"flipped body": func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"flipped crc":  func(b []byte) []byte { b[9] ^= 0x10; return b },
+		"truncated":    func(b []byte) []byte { return b[:len(b)/2] },
+		"extended":     func(b []byte) []byte { return append(b, 0xaa) },
+	} {
+		mut := mutate(append([]byte(nil), data...))
+		if _, err := decodeCheckpoint(mut); !errors.Is(err, ErrDecode) {
+			t.Errorf("%s: err = %v, want ErrDecode", name, err)
+		}
+	}
+}
+
+func TestCheckpointFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	c := sampleCheckpoint()
+	path, err := writeCheckpointFile(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != ckptName(c.Seq) {
+		t.Fatalf("checkpoint path %s", path)
+	}
+	got, err := readCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != c.Seq || got.Epoch != c.Epoch {
+		t.Fatalf("file round trip: %+v", got)
+	}
+	// No temp residue.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+
+	// A leftover temp file from a crashed writer is ignored by listing.
+	if err := os.WriteFile(filepath.Join(dir, ckptName(99)+".tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 1 || cks[0].seq != c.Seq {
+		t.Fatalf("listCheckpoints = %+v", cks)
+	}
+}

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"pinocchio/internal/geo"
+)
+
+// Little-endian binary codec shared by the mutation-record and
+// checkpoint formats. Encoding appends to a byte slice; decoding goes
+// through a sticky-error reader so each format's decoder reads its
+// fields straight through and checks the error once.
+
+// ErrDecode marks a structurally invalid record or checkpoint body.
+var ErrDecode = errors.New("store: malformed encoding")
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return appendU64(b, uint64(v))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendPoint(b []byte, p geo.Point) []byte {
+	return appendF64(appendF64(b, p.X), p.Y)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// reader consumes a byte slice front to back. The first failure
+// sticks; every later read returns zero values.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrDecode, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail("need %d bytes, have %d", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() byte {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) point() geo.Point {
+	return geo.Point{X: r.f64(), Y: r.f64()}
+}
+
+// count reads a u32 element count for elements of at least minBytes
+// encoded bytes each, rejecting counts the remaining input cannot
+// possibly hold (so a corrupt count cannot trigger a huge allocation).
+func (r *reader) count(minBytes int) int {
+	n := r.u32()
+	if r.err == nil && int(n) > len(r.b)/minBytes {
+		r.fail("count %d exceeds remaining %d bytes", n, len(r.b))
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str(maxLen int) string {
+	n := r.count(1)
+	if r.err == nil && n > maxLen {
+		r.fail("string length %d exceeds limit %d", n, maxLen)
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// done reports the sticky error, or an error if input remains.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(r.b))
+	}
+	return nil
+}

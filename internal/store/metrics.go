@@ -1,0 +1,42 @@
+package store
+
+import (
+	"time"
+
+	"pinocchio/internal/obs"
+)
+
+// Metric names for the durability layer (catalogue in DESIGN.md §9).
+const (
+	mCkptSeq     = "pinocchio_store_last_checkpoint_seq"
+	mCkpts       = "pinocchio_store_checkpoints_total"
+	mCkptSeconds = "pinocchio_store_checkpoint_seconds"
+	mRecoverySec = "pinocchio_store_recovery_seconds"
+	mReplayed    = "pinocchio_store_replayed_records_total"
+)
+
+// recordCheckpoint folds one completed checkpoint into the registry.
+func recordCheckpoint(seq uint64, dur time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	r.Counter(mCkpts, "Checkpoints written.", nil).Inc()
+	r.Gauge(mCkptSeq, "WAL sequence number of the newest checkpoint.", nil).Set(float64(seq))
+	r.Histogram(mCkptSeconds, "Checkpoint write wall time in seconds.",
+		obs.DefBuckets, nil).Observe(dur.Seconds())
+}
+
+// recordRecovery publishes what one boot-time recovery did.
+func recordRecovery(res *RecoverResult) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	r.Gauge(mRecoverySec, "Wall time of the last recovery in seconds.", nil).
+		Set(res.Elapsed.Seconds())
+	r.Counter(mReplayed, "WAL records replayed during recovery.", nil).
+		Add(int64(res.Replayed))
+	r.Gauge(mCkptSeq, "WAL sequence number of the newest checkpoint.", nil).
+		Set(float64(res.CheckpointSeq))
+}

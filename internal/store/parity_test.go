@@ -1,0 +1,183 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+// TestReplayParity is the property test for the durability contract:
+// a random mutation sequence applied to a live engine and logged to a
+// Store recovers — via checkpoint + WAL replay — to an engine with
+// identical Influences(), epoch, and candidate snapshot. Three
+// checkpoint placements are exercised: none (pure replay),
+// mid-stream (checkpoint + replay of the suffix), and at-tail
+// (checkpoint only, nothing to replay).
+func TestReplayParity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		// ckptAt returns the 1-based record indices after which a
+		// checkpoint is taken; 0 entries = no checkpoint.
+		ckptAt func(n int) []int
+	}{
+		{"no_checkpoint", func(n int) []int { return nil }},
+		{"checkpoint_mid_stream", func(n int) []int { return []int{n / 3, 2 * n / 3} }},
+		{"checkpoint_at_tail", func(n int) []int { return []int{n} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				runParityTrial(t, seed, tc.ckptAt)
+			}
+		})
+	}
+}
+
+func runParityTrial(t *testing.T, seed int64, ckptAt func(n int) []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	res := recoverStore(t, s)
+	eng := res.Engine
+
+	const n = 120
+	ckpts := map[int]bool{}
+	for _, i := range ckptAt(n) {
+		ckpts[i] = true
+	}
+
+	epoch := int64(0)
+	objIDs := []int{}
+	liveObjs := map[int]bool{}
+	liveCands := map[int]bool{}
+	randPt := func() geo.Point {
+		return geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	pick := func(set map[int]bool) int {
+		ids := make([]int, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return ids[rng.Intn(len(ids))]
+	}
+
+	for i := 1; i <= n; i++ {
+		var rec *Record
+		switch op := rng.Intn(10); {
+		case op < 2 || len(liveCands) == 0: // add candidate
+			rec = &Record{Op: OpAddCandidate, Pt: randPt()}
+		case op < 4 || len(liveObjs) == 0: // add object (sometimes a duplicate id)
+			id := rng.Intn(40)
+			rec = &Record{Op: OpAddObject, ID: int64(id), Positions: []geo.Point{randPt()}}
+		case op < 7: // position batch on a live (or sometimes unknown) object
+			id := pick(liveObjs)
+			if rng.Intn(8) == 0 {
+				id = 1000 + rng.Intn(5) // unknown: rejected identically on replay
+			}
+			pts := make([]geo.Point, 1+rng.Intn(3))
+			for j := range pts {
+				pts[j] = randPt()
+			}
+			rec = &Record{Op: OpAddPosition, ID: int64(id), Positions: pts}
+		case op < 8: // update (replace history)
+			rec = &Record{Op: OpUpdateObject, ID: int64(pick(liveObjs)), Positions: []geo.Point{randPt(), randPt()}}
+		case op < 9: // remove object
+			rec = &Record{Op: OpRemoveObject, ID: int64(pick(liveObjs))}
+		default: // remove candidate
+			rec = &Record{Op: OpRemoveCandidate, ID: int64(pick(liveCands))}
+		}
+
+		seq, err := s.Append(rec)
+		if err != nil {
+			t.Fatalf("seed %d rec %d: append: %v", seed, i, err)
+		}
+		id, err := rec.Apply(eng)
+		if err == nil {
+			epoch++
+			switch rec.Op {
+			case OpAddCandidate:
+				liveCands[id] = true
+			case OpRemoveCandidate:
+				delete(liveCands, int(rec.ID))
+			case OpAddObject:
+				liveObjs[int(rec.ID)] = true
+				objIDs = append(objIDs, int(rec.ID))
+			case OpRemoveObject:
+				delete(liveObjs, int(rec.ID))
+			}
+		}
+		if ckpts[i] {
+			if err := s.Checkpoint(eng.ExportState(), epoch, seq); err != nil {
+				t.Fatalf("seed %d rec %d: checkpoint: %v", seed, i, err)
+			}
+		}
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	rec2, err := s2.Recover(probfn.DefaultPowerLaw(), 0.7, testTag)
+	if err != nil {
+		t.Fatalf("seed %d: recover: %v", seed, err)
+	}
+	if rec2.Epoch != epoch {
+		t.Fatalf("seed %d: epoch %d, want %d", seed, rec2.Epoch, epoch)
+	}
+	if rec2.Seq != s2.LastSeq() {
+		t.Fatalf("seed %d: recovered seq %d, wal seq %d", seed, rec2.Seq, s2.LastSeq())
+	}
+
+	// Influence maps must be byte-identical.
+	want, got := eng.Influences(), rec2.Engine.Influences()
+	if len(want) != len(got) {
+		t.Fatalf("seed %d: influence sizes %d vs %d", seed, len(want), len(got))
+	}
+	for c, v := range want {
+		if got[c] != v {
+			t.Fatalf("seed %d: influence[%d] = %d, want %d", seed, c, got[c], v)
+		}
+	}
+
+	// Candidate snapshots must match id-for-id and point-for-point.
+	wids, wpts := eng.SnapshotCandidates()
+	gids, gpts := rec2.Engine.SnapshotCandidates()
+	if !sameCandidates(wids, wpts, gids, gpts) {
+		t.Fatalf("seed %d: candidate snapshots differ\nlive %v %v\nrec  %v %v", seed, wids, wpts, gids, gpts)
+	}
+
+	// Determinism of future ids: the next candidate added on each side
+	// must get the same id.
+	if a, b := eng.AddCandidate(geo.Point{X: 99, Y: 99}), rec2.Engine.AddCandidate(geo.Point{X: 99, Y: 99}); a != b {
+		t.Fatalf("seed %d: post-recovery candidate id %d vs %d", seed, b, a)
+	}
+	_ = objIDs
+}
+
+func sameCandidates(aIDs []int, aPts []geo.Point, bIDs []int, bPts []geo.Point) bool {
+	if len(aIDs) != len(bIDs) {
+		return false
+	}
+	type cp struct {
+		id int
+		p  geo.Point
+	}
+	key := func(ids []int, pts []geo.Point) []cp {
+		out := make([]cp, len(ids))
+		for i := range ids {
+			out[i] = cp{ids[i], pts[i]}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+		return out
+	}
+	a, b := key(aIDs, aPts), key(bIDs, bPts)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"fmt"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+)
+
+// Op enumerates the engine mutations the WAL can carry. Every op maps
+// 1:1 to one serving-layer mutation (one epoch bump), so a replayed
+// log reconstructs the exact epoch counter.
+type Op uint8
+
+const (
+	// OpAddObject starts tracking object ID with Positions.
+	OpAddObject Op = 1 + iota
+	// OpRemoveObject stops tracking object ID.
+	OpRemoveObject
+	// OpAddPosition appends Positions (one batch, applied in order) to
+	// object ID.
+	OpAddPosition
+	// OpUpdateObject replaces object ID's history with Positions.
+	OpUpdateObject
+	// OpAddCandidate registers the candidate location Pt; the engine
+	// assigns the id deterministically.
+	OpAddCandidate
+	// OpRemoveCandidate unregisters candidate ID.
+	OpRemoveCandidate
+)
+
+// String returns the op's metric/trace label, matching the dynamic
+// engine's op names.
+func (o Op) String() string {
+	switch o {
+	case OpAddObject:
+		return "add_object"
+	case OpRemoveObject:
+		return "remove_object"
+	case OpAddPosition:
+		return "add_position"
+	case OpUpdateObject:
+		return "update_object"
+	case OpAddCandidate:
+		return "add_candidate"
+	case OpRemoveCandidate:
+		return "remove_candidate"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Record is one logged mutation: the WAL payload that, applied to the
+// engine states in sequence order, reproduces the live engine.
+type Record struct {
+	Op Op
+	// ID is the object id (object ops) or candidate id
+	// (OpRemoveCandidate); unused for OpAddCandidate.
+	ID int64
+	// Pt is the OpAddCandidate location.
+	Pt geo.Point
+	// Positions carries the position payload of OpAddObject,
+	// OpUpdateObject and OpAddPosition.
+	Positions []geo.Point
+}
+
+// Encode serializes the record into a WAL payload.
+func (r *Record) Encode() ([]byte, error) {
+	b := []byte{byte(r.Op)}
+	switch r.Op {
+	case OpAddObject, OpUpdateObject, OpAddPosition:
+		b = appendI64(b, r.ID)
+		b = appendU32(b, uint32(len(r.Positions)))
+		for _, p := range r.Positions {
+			b = appendPoint(b, p)
+		}
+	case OpRemoveObject, OpRemoveCandidate:
+		b = appendI64(b, r.ID)
+	case OpAddCandidate:
+		b = appendPoint(b, r.Pt)
+	default:
+		return nil, fmt.Errorf("store: encoding unknown op %d", r.Op)
+	}
+	return b, nil
+}
+
+// DecodeRecord inverts Encode. Unknown ops, short input and trailing
+// bytes all fail with ErrDecode.
+func DecodeRecord(b []byte) (*Record, error) {
+	r := &reader{b: b}
+	rec := &Record{Op: Op(r.u8())}
+	switch rec.Op {
+	case OpAddObject, OpUpdateObject, OpAddPosition:
+		rec.ID = r.i64()
+		n := r.count(16)
+		if r.err == nil {
+			rec.Positions = make([]geo.Point, n)
+			for i := range rec.Positions {
+				rec.Positions[i] = r.point()
+			}
+		}
+	case OpRemoveObject, OpRemoveCandidate:
+		rec.ID = r.i64()
+	case OpAddCandidate:
+		rec.Pt = r.point()
+	default:
+		r.fail("unknown op %d", rec.Op)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Apply runs the mutation against an engine and returns the affected
+// id — for OpAddCandidate the id the engine assigned, otherwise the
+// record's own. The serving layer and recovery replay share this one
+// code path, so a record can never apply differently live versus
+// replayed; engine rejections (unknown id, duplicate, empty
+// positions) are equally deterministic on both paths.
+func (r *Record) Apply(e *dynamic.Engine) (int, error) {
+	switch r.Op {
+	case OpAddObject:
+		return int(r.ID), e.AddObject(int(r.ID), r.Positions)
+	case OpRemoveObject:
+		return int(r.ID), e.RemoveObject(int(r.ID))
+	case OpAddPosition:
+		if len(r.Positions) == 0 {
+			return int(r.ID), fmt.Errorf("store: add_position record without positions")
+		}
+		for _, p := range r.Positions {
+			if err := e.AddPosition(int(r.ID), p); err != nil {
+				return int(r.ID), err
+			}
+		}
+		return int(r.ID), nil
+	case OpUpdateObject:
+		return int(r.ID), e.UpdateObject(int(r.ID), r.Positions)
+	case OpAddCandidate:
+		return e.AddCandidate(r.Pt), nil
+	case OpRemoveCandidate:
+		return int(r.ID), e.RemoveCandidate(int(r.ID))
+	}
+	return 0, fmt.Errorf("store: applying unknown op %d", r.Op)
+}

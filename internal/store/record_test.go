@@ -1,0 +1,83 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pinocchio/internal/geo"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []*Record{
+		{Op: OpAddObject, ID: 7, Positions: []geo.Point{{X: 1, Y: 2}, {X: -3, Y: 4.5}}},
+		{Op: OpRemoveObject, ID: -12},
+		{Op: OpAddPosition, ID: 7, Positions: []geo.Point{{X: 0.25, Y: 0.75}}},
+		{Op: OpUpdateObject, ID: 7, Positions: []geo.Point{{X: 9, Y: 9}}},
+		{Op: OpAddCandidate, Pt: geo.Point{X: 2.5, Y: -1}},
+		{Op: OpRemoveCandidate, ID: 3},
+	}
+	for _, rec := range recs {
+		b, err := rec.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", rec.Op, err)
+		}
+		got, err := DecodeRecord(b)
+		if err != nil {
+			t.Fatalf("%s: DecodeRecord: %v", rec.Op, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("%s round trip:\nwant %+v\ngot  %+v", rec.Op, rec, got)
+		}
+	}
+}
+
+func TestRecordDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":              {},
+		"unknown op":         {0x7f, 0, 0, 0},
+		"short add_object":   {byte(OpAddObject), 1, 2, 3},
+		"oversized count":    append([]byte{byte(OpAddObject)}, append(make([]byte, 8), 0xff, 0xff, 0xff, 0xff)...),
+		"trailing bytes":     append(mustEncode(t, &Record{Op: OpRemoveObject, ID: 1}), 0x00),
+		"short add_cand":     {byte(OpAddCandidate), 1, 2, 3, 4},
+		"zero op":            {0},
+		"short remove":       {byte(OpRemoveCandidate), 1},
+		"truncated position": append(mustEncode(t, &Record{Op: OpAddPosition, ID: 1, Positions: []geo.Point{{X: 1}}})[:20], 0x01),
+	}
+	for name, b := range cases {
+		if _, err := DecodeRecord(b); !errors.Is(err, ErrDecode) {
+			t.Errorf("%s: err = %v, want ErrDecode", name, err)
+		}
+	}
+}
+
+func mustEncode(t *testing.T, rec *Record) []byte {
+	t.Helper()
+	b, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEncodeUnknownOpFails(t *testing.T) {
+	if _, err := (&Record{Op: 0}).Encode(); err == nil {
+		t.Fatal("encoding op 0 succeeded")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{
+		OpAddObject:       "add_object",
+		OpRemoveObject:    "remove_object",
+		OpAddPosition:     "add_position",
+		OpUpdateObject:    "update_object",
+		OpAddCandidate:    "add_candidate",
+		OpRemoveCandidate: "remove_candidate",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package store is the durability layer of the serving stack: a
+// write-ahead log of engine mutations (internal/wal) plus atomic
+// engine checkpoints, and the recovery path that folds both back into
+// a live dynamic.Engine.
+//
+// The contract with the serving layer is log-before-apply: a mutation
+// is appended to the WAL (and, under PolicyAlways, fsynced) before it
+// touches the engine, inside the same critical section, so the log's
+// sequence order is exactly the engine's application order. Records
+// whose apply is rejected by the engine (unknown id, duplicate) stay
+// in the log; replay re-applies them and is rejected identically, so
+// they are harmless — determinism, not filtering, is what keeps
+// recovery exact.
+//
+// Recover(dir) = latest valid checkpoint + replay of every WAL record
+// after its sequence number. Checkpoints embed a caller-provided
+// configuration tag (PF family, parameters, τ); recovery refuses a
+// checkpoint written under a different engine configuration rather
+// than serving an influence relation that no longer matches the
+// engine's rules.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/wal"
+)
+
+// ErrAppend wraps WAL append failures so the serving layer can map
+// them to a 500 (the mutation was not made durable and was not
+// applied) instead of a client error.
+var ErrAppend = errors.New("store: wal append failed")
+
+// Options parameterize a Store. The zero value selects the defaults.
+type Options struct {
+	// Fsync is the WAL fsync policy (default wal.PolicyAlways).
+	Fsync wal.Policy
+	// GroupWindow is the wal.PolicyGroup flush interval (default 5ms).
+	GroupWindow time.Duration
+	// SegmentBytes is the WAL segment rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// KeepCheckpoints is how many recent checkpoint files survive
+	// pruning (default 2). Keeping more than one lets recovery fall
+	// back to the previous checkpoint if the newest is unreadable; WAL
+	// segments are compacted only below the oldest kept checkpoint so
+	// the fallback can always replay forward.
+	KeepCheckpoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+	return o
+}
+
+// Store is an open durable-state directory: <dir>/wal/ holds the log
+// segments, <dir>/checkpoint-*.ckpt the snapshots. Append, Checkpoint
+// and the accessors are safe for concurrent use; Recover must run
+// before mutations are appended.
+type Store struct {
+	dir    string
+	walDir string
+	opt    Options
+	w      *wal.WAL
+
+	// tag is the engine-configuration fingerprint stamped into
+	// checkpoints; set by Recover.
+	tag string
+
+	ckptMu   sync.Mutex // serializes Checkpoint
+	lastCkpt atomic.Uint64
+}
+
+// Open opens (or initializes) the durable-state directory and
+// positions the WAL for appending after its last intact record — the
+// torn tail, if the previous process died mid-append, is truncated
+// here. It does not read checkpoints or replay the log; call Recover
+// for that.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	walDir := filepath.Join(dir, "wal")
+	w, err := wal.Open(walDir, wal.Options{
+		SegmentBytes: opt.SegmentBytes,
+		Policy:       opt.Fsync,
+		GroupWindow:  opt.GroupWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, walDir: walDir, opt: opt, w: w}
+	if cks, err := listCheckpoints(dir); err == nil && len(cks) > 0 {
+		s.lastCkpt.Store(cks[len(cks)-1].seq)
+	}
+	return s, nil
+}
+
+// RecoverResult reports what Recover reconstructed.
+type RecoverResult struct {
+	// Engine is the recovered engine (empty for a fresh directory).
+	Engine *dynamic.Engine
+	// Epoch is the recovered mutation epoch: the checkpoint's epoch
+	// plus one per successfully replayed record.
+	Epoch int64
+	// Seq is the last sequence number present in the WAL; the next
+	// Append returns Seq+1.
+	Seq uint64
+	// CheckpointSeq is the sequence number of the checkpoint recovery
+	// started from, 0 when none existed.
+	CheckpointSeq uint64
+	// Replayed counts WAL records applied on top of the checkpoint;
+	// Rejected counts replayed records the engine refused (they were
+	// refused identically when first logged).
+	Replayed int
+	Rejected int
+	// Fresh reports a directory with no checkpoint and no log — a
+	// brand-new store the caller should seed and checkpoint.
+	Fresh bool
+	// Elapsed is the wall time recovery took.
+	Elapsed time.Duration
+}
+
+// Recover rebuilds the engine state from the newest valid checkpoint
+// plus the WAL records after it. tag fingerprints the engine
+// configuration (PF family and parameters, τ); a checkpoint written
+// under a different tag aborts recovery, because its influence
+// relation was computed under different rules.
+func (s *Store) Recover(pf probfn.Func, tau float64, tag string) (*RecoverResult, error) {
+	start := time.Now()
+	s.tag = tag
+	res := &RecoverResult{}
+
+	cks, err := listCheckpoints(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var eng *dynamic.Engine
+	// Newest first; fall back past unreadable files (a crash can leave
+	// at most a complete-but-old set, but a disk can always rot).
+	var loadErrs []error
+	for i := len(cks) - 1; i >= 0 && eng == nil; i-- {
+		c, err := readCheckpointFile(cks[i].path)
+		if err != nil {
+			loadErrs = append(loadErrs, err)
+			continue
+		}
+		if c.Tag != tag {
+			return nil, fmt.Errorf("store: checkpoint %s was written for engine config %q, not %q; restart with matching flags or a fresh -data-dir",
+				cks[i].path, c.Tag, tag)
+		}
+		eng, err = dynamic.FromState(pf, tau, c.State)
+		if err != nil {
+			return nil, fmt.Errorf("store: restoring %s: %w", cks[i].path, err)
+		}
+		res.Epoch = c.Epoch
+		res.CheckpointSeq = c.Seq
+		s.lastCkpt.Store(c.Seq)
+	}
+	if eng == nil {
+		if len(loadErrs) > 0 {
+			return nil, fmt.Errorf("store: no readable checkpoint: %w", errors.Join(loadErrs...))
+		}
+		if eng, err = dynamic.New(pf, tau); err != nil {
+			return nil, err
+		}
+	}
+
+	_, err = wal.Replay(s.walDir, res.CheckpointSeq, func(seq uint64, payload []byte) error {
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("store: wal seq %d: %w", seq, err)
+		}
+		if _, aerr := rec.Apply(eng); aerr != nil {
+			res.Rejected++
+		} else {
+			res.Epoch++
+			res.Replayed++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Engine = eng
+	res.Seq = s.w.LastSeq()
+	res.Fresh = len(cks) == 0 && res.Seq == 0
+	res.Elapsed = time.Since(start)
+	recordRecovery(res)
+	return res, nil
+}
+
+// Append logs one mutation and returns its sequence number. Under
+// wal.PolicyAlways the record is on disk when Append returns.
+func (s *Store) Append(rec *Record) (uint64, error) {
+	payload, err := rec.Encode()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrAppend, err)
+	}
+	seq, err := s.w.Append(payload)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrAppend, err)
+	}
+	return seq, nil
+}
+
+// Checkpoint atomically persists an engine snapshot taken at (epoch,
+// seq), prunes old checkpoint files down to KeepCheckpoints, and
+// compacts WAL segments every kept checkpoint already covers. The
+// caller must guarantee st, epoch and seq are one consistent cut —
+// exported while no mutation was in flight.
+func (s *Store) Checkpoint(st *dynamic.State, epoch int64, seq uint64) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	start := time.Now()
+	if _, err := writeCheckpointFile(s.dir, &checkpoint{Tag: s.tag, Epoch: epoch, Seq: seq, State: st}); err != nil {
+		return fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	s.lastCkpt.Store(seq)
+
+	cks, err := listCheckpoints(s.dir)
+	if err != nil {
+		return err
+	}
+	for len(cks) > s.opt.KeepCheckpoints {
+		if err := os.Remove(cks[0].path); err != nil {
+			return err
+		}
+		cks = cks[1:]
+	}
+	if len(cks) > 0 {
+		if err := s.w.CompactBelow(cks[0].seq); err != nil {
+			return err
+		}
+	}
+	recordCheckpoint(seq, time.Since(start))
+	return nil
+}
+
+// LastSeq returns the last appended (or recovered) WAL sequence
+// number.
+func (s *Store) LastSeq() uint64 { return s.w.LastSeq() }
+
+// LastCheckpointSeq returns the sequence number of the newest
+// checkpoint on disk, 0 when none exists.
+func (s *Store) LastCheckpointSeq() uint64 { return s.lastCkpt.Load() }
+
+// SizeBytes returns the total on-disk size of the data directory
+// (checkpoints and WAL segments).
+func (s *Store) SizeBytes() int64 {
+	var total int64
+	_ = filepath.WalkDir(s.dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Sync flushes unsynced WAL appends regardless of policy.
+func (s *Store) Sync() error { return s.w.Sync() }
+
+// Close flushes and closes the WAL. The Store must not be used after.
+func (s *Store) Close() error { return s.w.Close() }

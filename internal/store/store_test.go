@@ -1,0 +1,321 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/wal"
+)
+
+const testTag = "pf=powerlaw rho=0.9 lambda=1 tau=0.7"
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Fsync: wal.PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func recoverStore(t *testing.T, s *Store) *RecoverResult {
+	t.Helper()
+	res, err := s.Recover(probfn.DefaultPowerLaw(), 0.7, testTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRecoverFreshDirectory(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Close()
+	res := recoverStore(t, s)
+	if !res.Fresh || res.Epoch != 0 || res.Seq != 0 || res.Engine.Objects() != 0 {
+		t.Fatalf("fresh recover = %+v", res)
+	}
+}
+
+func TestRecoverReplaysLogWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	res := recoverStore(t, s)
+	eng := res.Engine
+
+	recs := []*Record{
+		{Op: OpAddCandidate, Pt: geo.Point{X: 0, Y: 0}},
+		{Op: OpAddCandidate, Pt: geo.Point{X: 3, Y: 3}},
+		{Op: OpAddObject, ID: 1, Positions: []geo.Point{{X: 0.1, Y: 0.1}}},
+		{Op: OpAddPosition, ID: 1, Positions: []geo.Point{{X: 0.2, Y: 0.2}, {X: 2.9, Y: 2.9}}},
+		{Op: OpRemoveCandidate, ID: 0},
+	}
+	for _, rec := range recs {
+		if _, err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Apply(eng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.LastSeq() != uint64(len(recs)) {
+		t.Fatalf("LastSeq = %d", s.LastSeq())
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	res2 := recoverStore(t, s2)
+	if res2.Fresh || res2.Replayed != len(recs) || res2.Epoch != int64(len(recs)) {
+		t.Fatalf("recover = %+v", res2)
+	}
+	wantInf := eng.Influences()
+	gotInf := res2.Engine.Influences()
+	if len(wantInf) != len(gotInf) {
+		t.Fatalf("influence maps differ: %v vs %v", wantInf, gotInf)
+	}
+	for c, v := range wantInf {
+		if gotInf[c] != v {
+			t.Fatalf("influence[%d] = %d, want %d", c, gotInf[c], v)
+		}
+	}
+}
+
+func TestRecoverRefusesMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	res := recoverStore(t, s)
+	res.Engine.AddCandidate(geo.Point{X: 1, Y: 1})
+	if err := s.Checkpoint(res.Engine.ExportState(), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	_, err := s2.Recover(probfn.DefaultPowerLaw(), 0.7, "pf=linear rho=0.5 lambda=2 tau=0.3")
+	if err == nil || !strings.Contains(err.Error(), "engine config") {
+		t.Fatalf("mismatched config recover: %v", err)
+	}
+}
+
+func TestRecoverFallsBackPastCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	res := recoverStore(t, s)
+	eng := res.Engine
+
+	apply := func(rec *Record) {
+		t.Helper()
+		if _, err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Apply(eng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(&Record{Op: OpAddCandidate, Pt: geo.Point{X: 1, Y: 1}})
+	if err := s.Checkpoint(eng.ExportState(), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	apply(&Record{Op: OpAddObject, ID: 5, Positions: []geo.Point{{X: 1, Y: 1}}})
+	if err := s.Checkpoint(eng.ExportState(), 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Corrupt the newest checkpoint; recovery must fall back to the
+	// older one and replay the WAL records after it.
+	newest := filepath.Join(dir, ckptName(2))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	res2 := recoverStore(t, s2)
+	if res2.CheckpointSeq != 1 || res2.Replayed != 1 || res2.Epoch != 2 {
+		t.Fatalf("fallback recover = %+v", res2)
+	}
+	if inf, err := res2.Engine.Influence(0); err != nil || inf != 1 {
+		t.Fatalf("influence after fallback = %d, %v", inf, err)
+	}
+}
+
+func TestRejectedRecordsReplayIdentically(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	res := recoverStore(t, s)
+	eng := res.Engine
+
+	epoch := int64(0)
+	apply := func(rec *Record) {
+		t.Helper()
+		if _, err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Apply(eng); err == nil {
+			epoch++
+		}
+	}
+	apply(&Record{Op: OpAddObject, ID: 1, Positions: []geo.Point{{X: 1, Y: 1}}})
+	apply(&Record{Op: OpAddObject, ID: 1, Positions: []geo.Point{{X: 2, Y: 2}}}) // duplicate: rejected
+	apply(&Record{Op: OpRemoveObject, ID: 99})                                   // unknown: rejected
+	apply(&Record{Op: OpAddCandidate, Pt: geo.Point{X: 1, Y: 1}})
+	if epoch != 2 {
+		t.Fatalf("live epoch = %d", epoch)
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	res2 := recoverStore(t, s2)
+	if res2.Epoch != epoch || res2.Replayed != 2 || res2.Rejected != 2 {
+		t.Fatalf("recover = %+v", res2)
+	}
+}
+
+func TestCheckpointPrunesAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fsync: wal.PolicyOff, SegmentBytes: 128, KeepCheckpoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := recoverStore(t, s)
+	eng := res.Engine
+
+	epoch := int64(0)
+	var seq uint64
+	for i := 0; i < 40; i++ {
+		rec := &Record{Op: OpAddCandidate, Pt: geo.Point{X: float64(i), Y: float64(i)}}
+		if seq, err = s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Apply(eng); err != nil {
+			t.Fatal(err)
+		}
+		epoch++
+		if i%10 == 9 {
+			if err := s.Checkpoint(eng.ExportState(), epoch, seq); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != 2 {
+		t.Fatalf("%d checkpoints kept, want 2", len(cks))
+	}
+	if s.LastCheckpointSeq() != seq {
+		t.Fatalf("LastCheckpointSeq = %d, want %d", s.LastCheckpointSeq(), seq)
+	}
+	if s.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes = 0")
+	}
+	s.Close()
+
+	// The compacted log still recovers the full state.
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	res2 := recoverStore(t, s2)
+	if res2.Epoch != epoch || res2.Engine.Candidates() != 40 {
+		t.Fatalf("recover after compaction = %+v (candidates %d)", res2, res2.Engine.Candidates())
+	}
+}
+
+func TestAppendErrorIsWrapped(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	s.Close()
+	if _, err := s.Append(&Record{Op: OpRemoveObject, ID: 1}); !errors.Is(err, ErrAppend) {
+		t.Fatalf("append on closed store: %v", err)
+	}
+	if _, err := s.Append(&Record{Op: 0}); !errors.Is(err, ErrAppend) {
+		t.Fatalf("append of unencodable record: %v", err)
+	}
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	res := recoverStore(t, s)
+	eng := res.Engine
+	for i := 0; i < 3; i++ {
+		rec := &Record{Op: OpAddCandidate, Pt: geo.Point{X: float64(i)}}
+		if _, err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Apply(eng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: garbage at the end of the last
+	// segment. Recovery must deliver the three acknowledged records
+	// and drop the tail.
+	segs, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("wal dir: %v (%d entries)", err, len(segs))
+	}
+	last := filepath.Join(dir, "wal", segs[len(segs)-1].Name())
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0x99}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	res2 := recoverStore(t, s2)
+	if res2.Replayed != 3 || res2.Seq != 3 || res2.Engine.Candidates() != 3 {
+		t.Fatalf("torn-tail recover = %+v", res2)
+	}
+	// And the next append continues the sequence cleanly.
+	if seq, err := s2.Append(&Record{Op: OpAddCandidate, Pt: geo.Point{X: 9}}); err != nil || seq != 4 {
+		t.Fatalf("append after torn-tail recovery: seq %d, err %v", seq, err)
+	}
+}
+
+func TestRecoverStateMatchesExport(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	res := recoverStore(t, s)
+	eng := res.Engine
+	eng.AddCandidate(geo.Point{X: 1, Y: 1})
+	if err := eng.AddObject(1, []geo.Point{{X: 1, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(eng.ExportState(), 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	res2 := recoverStore(t, s2)
+	restored, err := dynamic.FromState(probfn.DefaultPowerLaw(), 0.7, eng.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res2.Engine.Influences(), restored.Influences(); len(got) != len(want) {
+		t.Fatalf("influences %v vs %v", got, want)
+	}
+	if res2.Epoch != 2 {
+		t.Fatalf("epoch = %d", res2.Epoch)
+	}
+}

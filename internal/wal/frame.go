@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Record framing. Every record is laid out as
+//
+//	length  uint32  payload length in bytes
+//	crc     uint32  CRC32-C over seq ++ payload
+//	seq     uint64  monotonic sequence number, starting at 1
+//	payload length bytes, opaque to the WAL
+//
+// all little-endian. The CRC covers the sequence number so a record
+// copied to the wrong position (or a stale block exposed by a crashy
+// filesystem) fails verification even when its payload is intact.
+const (
+	frameHeader = 16
+	// MaxPayload bounds one record; longer lengths in a frame header
+	// are treated as corruption rather than allocated.
+	MaxPayload = 8 << 20
+)
+
+// Errors reported while reading a log.
+var (
+	// ErrCorrupt marks a record that fails structural or CRC
+	// verification in the interior of the log (a torn tail is not an
+	// error; see Replay).
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// errShort marks a frame cut off by the end of the segment: a torn
+	// tail when it is the last data in the log.
+	errShort = errors.New("wal: short frame")
+	// ErrTooLarge reports an Append payload over MaxPayload.
+	ErrTooLarge = errors.New("wal: payload exceeds MaxPayload")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC is the checksum stored in a frame header.
+func frameCRC(seq uint64, payload []byte) uint32 {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seq)
+	return crc32.Update(crc32.Update(0, castagnoli, s[:]), castagnoli, payload)
+}
+
+// appendFrame appends the framed record to dst and returns the
+// extended slice.
+func appendFrame(dst []byte, seq uint64, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC(seq, payload))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// parseFrame decodes the first record in b, returning its sequence
+// number, payload (aliasing b) and total encoded size. errShort means
+// b ends mid-record; ErrCorrupt that the frame is structurally invalid
+// or fails its checksum.
+func parseFrame(b []byte) (seq uint64, payload []byte, n int, err error) {
+	if len(b) < frameHeader {
+		return 0, nil, 0, errShort
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	if length > MaxPayload {
+		return 0, nil, 0, ErrCorrupt
+	}
+	n = frameHeader + int(length)
+	if len(b) < n {
+		return 0, nil, 0, errShort
+	}
+	crc := binary.LittleEndian.Uint32(b[4:8])
+	seq = binary.LittleEndian.Uint64(b[8:16])
+	payload = b[frameHeader:n]
+	if frameCRC(seq, payload) != crc {
+		return 0, nil, 0, ErrCorrupt
+	}
+	return seq, payload, n, nil
+}

@@ -1,0 +1,28 @@
+package wal
+
+import "pinocchio/internal/obs"
+
+// Metric names for the write-ahead log (catalogue in DESIGN.md §9).
+const (
+	mAppends = "pinocchio_wal_appends_total"
+	mBytes   = "pinocchio_wal_bytes_total"
+	mFsyncs  = "pinocchio_wal_fsyncs_total"
+)
+
+// recordAppend folds one framed append into the default registry.
+func recordAppend(frameBytes int) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	r.Counter(mAppends, "WAL records appended.", nil).Inc()
+	r.Counter(mBytes, "WAL bytes written (framing included).", nil).Add(int64(frameBytes))
+}
+
+// recordFsync counts one fsync of a segment file.
+func recordFsync() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Counter(mFsyncs, "WAL segment fsyncs.", nil).Inc()
+}

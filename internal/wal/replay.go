@@ -1,0 +1,90 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// ReplayStats summarizes one read of the log.
+type ReplayStats struct {
+	// Last is the highest sequence number seen, 0 for an empty log.
+	Last uint64
+	// Records counts the records delivered to the callback (those with
+	// sequence numbers > after).
+	Records int
+	// TornBytes counts bytes discarded at the tail of the last segment
+	// (an interrupted final append). They were never acknowledged.
+	TornBytes int64
+}
+
+// Replay reads the log in dir and calls fn for every intact record
+// with sequence number > after, in order. A torn tail — a cut-off or
+// corrupt record at the very end of the last segment — ends the replay
+// silently (it is reported in ReplayStats.TornBytes); the same damage
+// anywhere else, a gap between segments, or a sequence-number jump
+// inside a sealed segment is mid-log corruption and returns an error
+// wrapping ErrCorrupt. An error from fn aborts the replay.
+func Replay(dir string, after uint64, fn func(seq uint64, payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, err
+	}
+	if len(segs) == 0 {
+		return st, nil
+	}
+	if segs[0].first > after+1 {
+		return st, fmt.Errorf("%w: first segment starts at seq %d but records after %d are needed",
+			ErrCorrupt, segs[0].first, after)
+	}
+	expect := segs[0].first
+	for i, sg := range segs {
+		last := i == len(segs)-1
+		if sg.first != expect {
+			return st, fmt.Errorf("%w: segment %s starts at seq %d, want %d (missing segment?)",
+				ErrCorrupt, sg.path, sg.first, expect)
+		}
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			return st, err
+		}
+		if len(data) < len(segMagic) {
+			if last {
+				st.TornBytes += int64(len(data))
+				break
+			}
+			return st, fmt.Errorf("%w: segment %s shorter than its magic", ErrCorrupt, sg.path)
+		}
+		if string(data[:len(segMagic)]) != segMagic {
+			return st, fmt.Errorf("%w: segment %s: bad magic", ErrCorrupt, sg.path)
+		}
+		off := len(segMagic)
+		for off < len(data) {
+			seq, payload, n, perr := parseFrame(data[off:])
+			if perr == nil && seq != expect {
+				perr = fmt.Errorf("%w: seq %d where %d expected", ErrCorrupt, seq, expect)
+			}
+			if perr != nil {
+				if last {
+					st.TornBytes += int64(len(data) - off)
+					off = len(data)
+					break
+				}
+				return st, fmt.Errorf("%w: segment %s offset %d: %v", ErrCorrupt, sg.path, off, perr)
+			}
+			if seq > after {
+				if err := fn(seq, payload); err != nil {
+					return st, err
+				}
+				st.Records++
+			}
+			st.Last = seq
+			expect = seq + 1
+			off += n
+		}
+	}
+	return st, nil
+}

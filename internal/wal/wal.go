@@ -1,0 +1,455 @@
+// Package wal is a segmented append-only write-ahead log: the
+// durability primitive under internal/store. Records are opaque byte
+// payloads framed with a length, a CRC32-C and a monotonically
+// increasing sequence number; segments rotate at a size threshold and
+// are named by the first sequence number they hold, so the set of
+// files alone describes the log's range.
+//
+// Durability is configurable per log: PolicyAlways fsyncs after every
+// append (an acknowledged record survives power loss), PolicyGroup
+// flushes dirty segments from a background goroutine every
+// GroupWindow (bounding loss to one window while amortizing the
+// fsync), PolicyOff leaves flushing to the OS (a process crash still
+// loses nothing — the data is in the page cache — but power loss may
+// truncate acknowledged records).
+//
+// Readers tolerate a torn tail: a record cut off or corrupted at the
+// very end of the last segment marks the end of the log (the writer
+// died mid-append) and is truncated on the next Open. The same damage
+// anywhere else is mid-log corruption and surfaces as an error — the
+// log can no longer prove it is replaying what was acknowledged.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Policy selects when appended records are fsynced.
+type Policy int
+
+const (
+	// PolicyAlways fsyncs inside every Append.
+	PolicyAlways Policy = iota
+	// PolicyGroup fsyncs dirty segments every Options.GroupWindow.
+	PolicyGroup
+	// PolicyOff never fsyncs (the OS flushes on its own schedule).
+	PolicyOff
+)
+
+// ParsePolicy maps the flag spellings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return PolicyAlways, nil
+	case "group":
+		return PolicyGroup, nil
+	case "off":
+		return PolicyOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, group or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAlways:
+		return "always"
+	case PolicyGroup:
+		return "group"
+	case PolicyOff:
+		return "off"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Options parameterize a WAL. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// Policy is the fsync policy (default PolicyAlways).
+	Policy Policy
+	// GroupWindow is the PolicyGroup flush interval (default 5ms).
+	GroupWindow time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.GroupWindow <= 0 {
+		o.GroupWindow = 5 * time.Millisecond
+	}
+	return o
+}
+
+// segMagic opens every segment file; a file without it was never a
+// segment (or lost its first write to a crash).
+const segMagic = "PWALSEG1"
+
+// segName returns the file name of the segment whose first record has
+// the given sequence number.
+func segName(first uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", first)
+}
+
+// parseSegName inverts segName.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	var first uint64
+	if _, err := fmt.Sscanf(hex, "%016x", &first); err != nil {
+		return 0, false
+	}
+	return first, true
+}
+
+// segment is one log file and the sequence number of its first record.
+type segment struct {
+	first uint64
+	path  string
+}
+
+// listSegments returns the directory's segments ordered by first
+// sequence number. Non-segment files are ignored.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segment{first: first, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so file creations/renames/removals in it
+// are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// WAL is an open log positioned for appending. All methods are safe
+// for concurrent use, though appends serialize on an internal mutex —
+// the sequence number is the commit order.
+type WAL struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File // current (last) segment
+	segFirst uint64   // first sequence number of the current segment
+	size     int64    // bytes written to the current segment
+	lastSeq  uint64   // last appended (or recovered) sequence number
+	dirty    bool     // unsynced bytes in the current segment
+	failed   error    // sticky write/sync failure; poisons the log
+	closed   bool
+	buf      []byte // frame scratch buffer
+
+	stop chan struct{} // group-commit loop shutdown
+	done chan struct{}
+}
+
+// Open opens (or creates) the log in dir, truncates a torn tail left
+// by a crashed writer, and positions for appending after the last
+// intact record.
+func Open(dir string, opt Options) (*WAL, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opt: opt}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return nil, err
+		}
+	} else if err := w.openLast(segs[len(segs)-1]); err != nil {
+		return nil, err
+	}
+	if opt.Policy == PolicyGroup {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.groupLoop()
+	}
+	return w, nil
+}
+
+// createSegment starts a fresh segment whose first record will carry
+// sequence number first, and makes its creation durable.
+func (w *WAL) createSegment(first uint64) error {
+	path := filepath.Join(w.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segFirst = first
+	w.size = int64(len(segMagic))
+	w.lastSeq = first - 1
+	return nil
+}
+
+// openLast scans the newest segment, truncates everything after the
+// last intact record (the torn tail), and positions the writer there.
+// Earlier segments are not verified here; Replay checks them when the
+// log is actually read back.
+func (w *WAL) openLast(sg segment) error {
+	data, err := os.ReadFile(sg.path)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(segMagic) {
+		// The creating writer died before the magic hit the disk: the
+		// segment is empty by definition. Rewrite it in place.
+		if err := os.Remove(sg.path); err != nil {
+			return err
+		}
+		return w.createSegment(sg.first)
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("%w: segment %s: bad magic", ErrCorrupt, sg.path)
+	}
+	off := len(segMagic)
+	seq := sg.first - 1
+	for off < len(data) {
+		s, _, n, err := parseFrame(data[off:])
+		if err != nil || s != seq+1 {
+			break // torn tail: truncate here
+		}
+		seq = s
+		off += n
+	}
+	f, err := os.OpenFile(sg.path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if int64(off) < int64(len(data)) {
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segFirst = sg.first
+	w.size = int64(off)
+	w.lastSeq = seq
+	return nil
+}
+
+// Append frames payload, writes it to the current segment and applies
+// the fsync policy. It returns the record's sequence number. After a
+// write or sync failure the log is poisoned: every later Append
+// returns the same error, because the file position can no longer be
+// trusted.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("%w (%d bytes)", ErrTooLarge, len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: appending to closed log")
+	}
+	if w.failed != nil {
+		return 0, w.failed
+	}
+	seq := w.lastSeq + 1
+	w.buf = appendFrame(w.buf[:0], seq, payload)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.failed = fmt.Errorf("wal: poisoned by failed write: %w", err)
+		return 0, w.failed
+	}
+	w.size += int64(len(w.buf))
+	w.lastSeq = seq
+	w.dirty = true
+	if w.opt.Policy == PolicyAlways {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	recordAppend(len(w.buf))
+	if w.size >= w.opt.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// syncLocked fsyncs the current segment; w.mu must be held.
+func (w *WAL) syncLocked() error {
+	if w.failed != nil {
+		return w.failed
+	}
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.failed = fmt.Errorf("wal: poisoned by failed sync: %w", err)
+		return w.failed
+	}
+	w.dirty = false
+	recordFsync()
+	return nil
+}
+
+// rotateLocked seals the current segment and starts the next one;
+// w.mu must be held.
+func (w *WAL) rotateLocked() error {
+	// Seal with a sync regardless of policy: rotation is rare, and a
+	// sealed segment should never lose data to a later power cut.
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.failed = fmt.Errorf("wal: poisoned by failed close: %w", err)
+		return w.failed
+	}
+	return w.createSegment(w.lastSeq + 1)
+}
+
+// groupLoop is the PolicyGroup background flusher.
+func (w *WAL) groupLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opt.GroupWindow)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed {
+				_ = w.syncLocked() // sticky in w.failed; next Append reports it
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Sync flushes unsynced appends to disk regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// LastSeq returns the sequence number of the last appended record, 0
+// when the log is empty.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// SizeBytes returns the on-disk size of all segments.
+func (w *WAL) SizeBytes() (int64, error) {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, sg := range segs {
+		if info, err := os.Stat(sg.path); err == nil {
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+// CompactBelow removes segments whose records are all ≤ seq — they
+// are covered by a checkpoint and will never be replayed. The current
+// segment is always kept.
+func (w *WAL) CompactBelow(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i := 0; i+1 < len(segs); i++ {
+		// segs[i] spans [first, segs[i+1].first); removable when its
+		// last record segs[i+1].first-1 is ≤ seq.
+		if segs[i+1].first > seq+1 {
+			break
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
+// Close flushes and closes the log. The WAL must not be used after.
+func (w *WAL) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+		w.stop = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,388 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collect replays the whole log into a slice of payload copies.
+func collect(t *testing.T, dir string, after uint64) ([]string, ReplayStats) {
+	t.Helper()
+	var out []string
+	st, err := Replay(dir, after, func(seq uint64, payload []byte) error {
+		out = append(out, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay(%d): %v", after, err)
+	}
+	return out, st
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		seq, err := w.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(i + 1); seq != want {
+			t.Fatalf("seq = %d, want %d", seq, want)
+		}
+	}
+	if got := w.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq = %d, want 10", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := collect(t, dir, 0)
+	if len(recs) != 10 || recs[0] != "rec-0" || recs[9] != "rec-9" {
+		t.Fatalf("replayed %d records: %v", len(recs), recs)
+	}
+	if st.Last != 10 || st.TornBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The after filter skips the prefix.
+	recs, _ = collect(t, dir, 7)
+	if len(recs) != 3 || recs[0] != "rec-7" {
+		t.Fatalf("after=7 replayed %v", recs)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Append([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("seq after reopen = %d, want 2", seq)
+	}
+	w.Close()
+
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 2 || recs[1] != "b" {
+		t.Fatalf("replayed %v", recs)
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64, Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected ≥3 segments after rotation, got %d", len(segs))
+	}
+	recs, st := collect(t, dir, 0)
+	if len(recs) != n || st.Last != n {
+		t.Fatalf("replayed %d records (last %d), want %d", len(recs), st.Last, n)
+	}
+}
+
+// tornTail appends garbage to the last segment, simulating a writer
+// that died mid-append.
+func tornTail(t *testing.T, dir string, garbage []byte) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments: %v (%d)", err, len(segs))
+	}
+	path := segs[len(segs)-1].path
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestTornTailToleratedAndTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	path := tornTail(t, dir, []byte{0x07, 0x00, 0x00, 0x00, 0xde, 0xad})
+
+	// Read-only replay tolerates the tail.
+	recs, st := collect(t, dir, 0)
+	if len(recs) != 5 || st.TornBytes != 6 {
+		t.Fatalf("replayed %d records, torn %d bytes", len(recs), st.TornBytes)
+	}
+
+	// Reopening truncates it and appends continue cleanly.
+	before, _ := os.Stat(path)
+	w, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if seq, err := w.Append([]byte("r5")); err != nil || seq != 6 {
+		t.Fatalf("append after truncation: seq %d, err %v", seq, err)
+	}
+	w.Close()
+	recs, st = collect(t, dir, 0)
+	if len(recs) != 6 || st.TornBytes != 0 {
+		t.Fatalf("after truncation: %d records, torn %d", len(recs), st.TornBytes)
+	}
+}
+
+func TestTornTailMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Cut the final record in half.
+	segs, _ := listSegments(dir)
+	path := segs[len(segs)-1].path
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := collect(t, dir, 0)
+	if len(recs) != 2 || st.TornBytes == 0 {
+		t.Fatalf("replayed %d records, torn %d bytes", len(recs), st.TornBytes)
+	}
+	w, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq after torn mid-record = %d, want 2", got)
+	}
+	w.Close()
+}
+
+func TestMidLogCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64, Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, got %d", len(segs))
+	}
+
+	// Flip a payload byte in the first (sealed) segment.
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+frameHeader] ^= 0xff
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Replay(dir, 0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over mid-log corruption: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMissingSegmentIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64, Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segs))
+	}
+	if err := os.Remove(segs[1].path); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, 0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over a gap: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCompactBelow(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64, Policy: PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore, _ := listSegments(dir)
+	if len(segsBefore) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segsBefore))
+	}
+
+	// Compact below a checkpoint in the middle of the log: every
+	// record after it must still replay.
+	const ckpt = 17
+	if err := w.CompactBelow(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := listSegments(dir)
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("compaction removed nothing: %d -> %d segments", len(segsBefore), len(segsAfter))
+	}
+	recs, st := collect(t, dir, ckpt)
+	if len(recs) != n-ckpt || st.Last != n {
+		t.Fatalf("after compaction: %d records (last %d), want %d (last %d)",
+			len(recs), st.Last, n-ckpt, n)
+	}
+	// The current segment survives even when fully covered.
+	if err := w.CompactBelow(uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) == 0 {
+		t.Fatal("compaction removed the current segment")
+	}
+	w.Close()
+}
+
+func TestGroupPolicyFlushesInBackground(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Policy: PolicyGroup, GroupWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("grouped")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w.mu.Lock()
+		dirty := w.dirty
+		w.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group flusher never synced the append")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 1 || recs[0] != "grouped" {
+		t.Fatalf("replayed %v", recs)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := w.Append([]byte("x")); err == nil {
+		t.Fatal("Append on closed log succeeded")
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	st, err := Replay(filepath.Join(t.TempDir(), "nope"), 0, nil)
+	if err != nil || st.Last != 0 {
+		t.Fatalf("missing dir: %+v, %v", st, err)
+	}
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	st, err = Replay(dir, 0, nil)
+	if err != nil || st.Last != 0 || st.Records != 0 {
+		t.Fatalf("empty log: %+v, %v", st, err)
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(make([]byte, MaxPayload+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize append: %v, want ErrTooLarge", err)
+	}
+}

@@ -22,6 +22,12 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== fuzz smoke"
+# Short fuzz runs over the WAL frame and record codecs: enough to catch
+# coarse regressions without holding CI hostage.
+go test -run '^$' -fuzz '^FuzzFrame$' -fuzztime 10s ./internal/wal
+go test -run '^$' -fuzz '^FuzzRecord$' -fuzztime 10s ./internal/store
+
 echo "== bench snapshot smoke"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

@@ -72,4 +72,87 @@ echo "== shutdown"
 kill -TERM "$pid"
 wait "$pid"
 pid=""
+
+echo "== crash recovery"
+# Start a durable daemon, stream mutations, kill -9 mid-flight, restart
+# on the same data directory, and check the recovered /v1/best and
+# /v1/influence views match a clean single-process run of the same
+# stream in a fresh directory.
+
+# start_durable <data-dir> <addr-file>: boots a durable daemon and sets $pid.
+start_durable() {
+    rm -f "$2"
+    "$tmp/pinocchiod" -addr 127.0.0.1:0 -addr-file "$2" \
+        -scale 0.05 -candidates 50 -cache-size 16 \
+        -data-dir "$1" -fsync always -checkpoint-every 4 &
+    pid=$!
+    i=0
+    while [ ! -s "$2" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 200 ]; then
+            echo "durable daemon did not write addr file" >&2
+            exit 1
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "durable daemon exited before listening" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr=$(cat "$2")
+}
+
+# mutate_stream: the fixed mutation sequence both runs replay. Crosses
+# a checkpoint boundary (-checkpoint-every 4) so recovery exercises
+# checkpoint + WAL-suffix replay, not just one of them.
+mutate_stream() {
+    curl -fsS "http://$addr/v1/candidates" -d '{"x":0.5,"y":0.5}' >/dev/null
+    curl -fsS "http://$addr/v1/objects" -d '{"id":9001,"positions":[{"x":0.5,"y":0.5}]}' >/dev/null
+    for k in 1 2 3 4 5; do
+        curl -fsS "http://$addr/v1/objects/9001/positions" \
+            -d "{\"x\":0.5$k,\"y\":0.5$k}" >/dev/null
+    done
+    curl -fsS -X DELETE "http://$addr/v1/candidates/3" >/dev/null
+    curl -fsS -X PUT "http://$addr/v1/objects/9001" \
+        -d '{"positions":[{"x":0.51,"y":0.51},{"x":0.52,"y":0.52}]}' >/dev/null
+}
+
+views() {
+    curl -fsS "http://$addr/v1/best"
+    curl -fsS "http://$addr/v1/influence/0"
+}
+
+start_durable "$tmp/state" "$tmp/addr2"
+mutate_stream
+echo "kill -9 $pid"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+start_durable "$tmp/state" "$tmp/addr3"
+recovered=$(views)
+kill -TERM "$pid"; wait "$pid"; pid=""
+
+# Clean reference: same stream, one uninterrupted process, fresh dir.
+start_durable "$tmp/state-ref" "$tmp/addr4"
+mutate_stream
+reference=$(views)
+kill -TERM "$pid"; wait "$pid"; pid=""
+
+echo "recovered: $recovered"
+if [ "$recovered" != "$reference" ]; then
+    echo "recovered state diverged from clean replay:" >&2
+    echo "reference: $reference" >&2
+    exit 1
+fi
+
+# A second restart must come up from the shutdown checkpoint alone.
+start_durable "$tmp/state" "$tmp/addr5"
+status=$(curl -fsS "http://$addr/v1/status")
+case "$status" in
+*'"durable":true'*) ;;
+*) echo "status not durable after restart: $status" >&2; exit 1 ;;
+esac
+kill -TERM "$pid"; wait "$pid"; pid=""
+
 echo "== smoke ok"
