@@ -64,6 +64,9 @@ type options struct {
 	dataDir         string // durable state directory ("" = in-memory only)
 	fsync           string
 	checkpointEvery int
+
+	slowQuery time.Duration // slow-query log threshold (<= 0 disables)
+	traceKeep int           // retained traces per ring (<= 0 disables)
 }
 
 func main() {
@@ -87,6 +90,8 @@ func main() {
 	flag.StringVar(&opts.dataDir, "data-dir", "", "durable state directory (WAL + checkpoints); empty serves in-memory only")
 	flag.StringVar(&opts.fsync, "fsync", "always", "WAL durability policy: always, group or off")
 	flag.IntVar(&opts.checkpointEvery, "checkpoint-every", 10000, "checkpoint after this many mutations (negative disables automatic checkpoints)")
+	flag.DurationVar(&opts.slowQuery, "slow-query", 250*time.Millisecond, "log requests slower than this with their phase breakdown (0 disables)")
+	flag.IntVar(&opts.traceKeep, "trace-keep", 256, "retained request traces for /v1/debug/traces (0 disables tracing)")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -149,7 +154,22 @@ func run(ctx context.Context, opts options) error {
 		CacheSize:     opts.cacheSize,
 		PlanCacheSize: opts.planCacheSize,
 		MaxTimeout:    opts.maxTimeout,
+		SlowQuery:     opts.slowQuery,
+		TraceKeep:     opts.traceKeep,
 	}
+	// The flag's "0 disables" contract maps onto the Config convention
+	// where zero selects the default and negative disables.
+	if opts.slowQuery <= 0 {
+		cfg.SlowQuery = -1
+	}
+	if opts.traceKeep <= 0 {
+		cfg.TraceKeep = -1
+	}
+
+	// Feed runtime health (heap, GC pauses, goroutines, scheduler
+	// latency) into the registry /metrics serves.
+	sampler := obs.StartRuntimeSampler(nil, 0)
+	defer sampler.Close()
 
 	start := time.Now()
 	var srv *server.Server

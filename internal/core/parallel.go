@@ -23,6 +23,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 	if err := p.ctxErr(); err != nil {
 		return nil, err
 	}
+	p.stampTrace()
 	start := time.Now()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -114,6 +115,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 		st.Merge(r.stats)
 	}
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	res.Trace = p.Obs
 	finishSolve(p.Obs, "PIN-PAR", start, st)
 	return res, nil
 }

@@ -46,6 +46,13 @@ type Problem struct {
 	// is nil-safe, so the disabled path costs a pointer test.
 	Obs *obs.Span
 
+	// TraceID identifies the request this solve serves. The solver
+	// entry points stamp it onto the root span (attribute "trace_id"),
+	// so an exported span tree can be joined back to the serving
+	// layer's trace store and log lines. Empty is fine and costs
+	// nothing; the ID never influences the computation.
+	TraceID string
+
 	// Ctx, when non-nil, bounds the solve: the scan and validation
 	// loops check it roughly every cancelEvery pairs and return its
 	// error (context.Canceled or context.DeadlineExceeded) instead of
@@ -81,6 +88,14 @@ func (p *Problem) Validate() error {
 		return ErrPlanMismatch
 	}
 	return nil
+}
+
+// stampTrace annotates the root span with the request's trace ID; the
+// solver entry points call it once per run.
+func (p *Problem) stampTrace() {
+	if p.TraceID != "" {
+		p.Obs.SetAttr("trace_id", p.TraceID)
+	}
 }
 
 // fanout resolves the effective R-tree fan-out.
@@ -121,6 +136,12 @@ type Result struct {
 
 	// Stats holds the work counters accumulated during the run.
 	Stats Stats
+
+	// Trace is the span tree of this run when the caller supplied
+	// Problem.Obs, nil otherwise. It aliases the caller's spans — the
+	// phase breakdown travels with the result instead of requiring the
+	// caller to keep the root around separately.
+	Trace *obs.Span
 }
 
 // Stats instruments the algorithms: the counters behind Fig. 10

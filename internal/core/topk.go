@@ -79,20 +79,28 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Solve dispatches to the selected algorithm.
+// Solve dispatches to the selected algorithm, stamping the problem's
+// trace ID onto the span tree and attaching that tree to the result.
 func Solve(a Algorithm, p *Problem) (*Result, error) {
+	p.stampTrace()
+	var res *Result
+	var err error
 	switch a {
 	case AlgNA:
-		return NA(p)
+		res, err = NA(p)
 	case AlgPinocchio:
-		return Pinocchio(p)
+		res, err = Pinocchio(p)
 	case AlgPinocchioVO:
-		return PinocchioVO(p)
+		res, err = PinocchioVO(p)
 	case AlgPinocchioVOStar:
-		return PinocchioVOStar(p)
+		res, err = PinocchioVOStar(p)
 	default:
 		return nil, errUnknownAlgorithm(a)
 	}
+	if res != nil {
+		res.Trace = p.Obs
+	}
+	return res, err
 }
 
 type errUnknownAlgorithm Algorithm

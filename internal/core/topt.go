@@ -31,6 +31,7 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 	if err := p.ctxErr(); err != nil {
 		return nil, nil, err
 	}
+	p.stampTrace()
 
 	start := time.Now()
 	st := &Stats{PairsTotal: int64(len(p.Objects)) * int64(m)}

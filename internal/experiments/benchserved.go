@@ -21,9 +21,13 @@ type BenchServed struct {
 	// Cached marks a result-cache hit (no solve at all); WarmPlan a
 	// real solve replaying a cached solve plan. Rows with neither flag
 	// build every derived structure per solve.
-	Cached   bool    `json:"cached"`
-	WarmPlan bool    `json:"warm_plan,omitempty"`
-	WallMs   float64 `json:"wall_ms"` // min over iterations
+	Cached   bool `json:"cached"`
+	WarmPlan bool `json:"warm_plan,omitempty"`
+	// Telemetry marks rows served with request tracing and the trace
+	// store enabled; comparing them against the matching untraced rows
+	// bounds the telemetry overhead.
+	Telemetry bool    `json:"telemetry,omitempty"`
+	WallMs    float64 `json:"wall_ms"` // min over iterations
 }
 
 // benchServed times POST /v1/query end-to-end against in-process
@@ -33,26 +37,39 @@ type BenchServed struct {
 // additionally run one warm-up solve so the plan is resident; the
 // result-cached row times a repeat hit.
 func benchServed(objs []*object.Object, cands []geo.Point, tau float64, iters int) ([]BenchServed, error) {
-	cold, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute, PlanCacheSize: -1}, objs, cands)
+	// Telemetry is off (no trace retention, no slow-query log) on the
+	// baseline servers and on for the traced one, so the snapshot holds
+	// matched warm-plan pairs quantifying the tracing overhead.
+	cold, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute,
+		PlanCacheSize: -1, TraceKeep: -1, SlowQuery: -1}, objs, cands)
 	if err != nil {
 		return nil, err
 	}
-	warm, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute}, objs, cands)
+	warm, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute,
+		TraceKeep: -1, SlowQuery: -1}, objs, cands)
+	if err != nil {
+		return nil, err
+	}
+	traced, err := server.New(server.Config{Tau: tau, MaxTimeout: 5 * time.Minute,
+		SlowQuery: -1}, objs, cands)
 	if err != nil {
 		return nil, err
 	}
 
 	cases := []struct {
-		algo     string
-		srv      *server.Server
-		cached   bool
-		warmPlan bool
+		algo      string
+		srv       *server.Server
+		cached    bool
+		warmPlan  bool
+		telemetry bool
 	}{
-		{"pin-vo", cold, false, false},
-		{"pin-par", cold, false, false},
-		{"pin-vo", warm, false, true},
-		{"pin-par", warm, false, true},
-		{"pin-vo", warm, true, false},
+		{"pin-vo", cold, false, false, false},
+		{"pin-par", cold, false, false, false},
+		{"pin-vo", warm, false, true, false},
+		{"pin-par", warm, false, true, false},
+		{"pin-vo", traced, false, true, true},
+		{"pin-par", traced, false, true, true},
+		{"pin-vo", warm, true, false, false},
 	}
 	out := make([]BenchServed, 0, len(cases))
 	for _, c := range cases {
@@ -69,7 +86,7 @@ func benchServed(objs []*object.Object, cands []geo.Point, tau float64, iters in
 				return nil, fmt.Errorf("experiments: served bench warm-up %s: HTTP %d", c.algo, code)
 			}
 		}
-		row := BenchServed{Algorithm: c.algo, Cached: c.cached, WarmPlan: c.warmPlan}
+		row := BenchServed{Algorithm: c.algo, Cached: c.cached, WarmPlan: c.warmPlan, Telemetry: c.telemetry}
 		for it := 0; it < iters; it++ {
 			code, dur := serve()
 			if code != http.StatusOK {

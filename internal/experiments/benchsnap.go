@@ -3,8 +3,10 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"pinocchio/internal/core"
@@ -43,15 +45,60 @@ func DefaultBenchConfig() BenchConfig {
 	}
 }
 
+// Percentiles summarizes one phase's duration across iterations.
+type Percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
 // BenchAlgo is one algorithm's row in the snapshot.
 type BenchAlgo struct {
-	Algorithm     string             `json:"algorithm"`
-	WallMs        float64            `json:"wall_ms"`             // min over iterations
-	PhasesMs      map[string]float64 `json:"phases_ms,omitempty"` // per-phase breakdown of the best run
-	Stats         core.Stats         `json:"stats"`               // work counters of the best run
-	PruneRatio    float64            `json:"prune_ratio"`         // (IA+NIB)/pairs
-	BestIndex     int                `json:"best_index"`
-	BestInfluence int                `json:"best_influence"`
+	Algorithm string             `json:"algorithm"`
+	WallMs    float64            `json:"wall_ms"`             // min over iterations
+	PhasesMs  map[string]float64 `json:"phases_ms,omitempty"` // per-phase breakdown of the best run
+	// PhasePctMs holds nearest-rank percentiles of each phase's
+	// duration across all iterations — the tail the min-based PhasesMs
+	// hides. With few iterations the high percentiles collapse onto
+	// the slowest observed run.
+	PhasePctMs    map[string]Percentiles `json:"phase_pct_ms,omitempty"`
+	Stats         core.Stats             `json:"stats"`       // work counters of the best run
+	PruneRatio    float64                `json:"prune_ratio"` // (IA+NIB)/pairs
+	BestIndex     int                    `json:"best_index"`
+	BestInfluence int                    `json:"best_influence"`
+}
+
+// nearestRank returns the q-percentile of sorted (ascending) samples
+// by the nearest-rank method.
+func nearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// phasePercentiles folds per-iteration phase samples into percentiles.
+func phasePercentiles(samples map[string][]float64) map[string]Percentiles {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make(map[string]Percentiles, len(samples))
+	for name, vals := range samples {
+		sort.Float64s(vals)
+		out[name] = Percentiles{
+			P50: nearestRank(vals, 0.50),
+			P95: nearestRank(vals, 0.95),
+			P99: nearestRank(vals, 0.99),
+		}
+	}
+	return out
 }
 
 // BenchSnapshot is the machine-readable benchmark artifact written to
@@ -131,6 +178,7 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 
 	run := func(name string, solve func() (*core.Result, error)) error {
 		var best BenchAlgo
+		phaseSamples := make(map[string][]float64)
 		for it := 0; it < cfg.Iterations; it++ {
 			sp := obs.NewSpan("solve." + name)
 			p.Obs = sp
@@ -139,6 +187,9 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 			sp.End()
 			if err != nil {
 				return fmt.Errorf("experiments: bench %s: %w", name, err)
+			}
+			for phase, ms := range obs.PhaseMillis(sp) {
+				phaseSamples[phase] = append(phaseSamples[phase], ms)
 			}
 			wallMs := float64(sp.Duration()) / float64(time.Millisecond)
 			if it == 0 || wallMs < best.WallMs {
@@ -158,6 +209,7 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 				}
 			}
 		}
+		best.PhasePctMs = phasePercentiles(phaseSamples)
 		snap.Algorithms = append(snap.Algorithms, best)
 		return nil
 	}

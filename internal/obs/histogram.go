@@ -17,11 +17,23 @@ var DefBuckets = []float64{
 // concurrent Observe. Buckets are cumulative only at exposition time;
 // internally each slot counts its own interval so Observe touches a
 // single atomic besides sum and count.
+//
+// Readers tolerate a bounded tear: Observe increments the bucket
+// before folding the value into the sum, and capture reads the sum
+// before the buckets, so every observation reflected in an exposed sum
+// is also reflected in the exposed count/buckets. The reverse — a
+// freshly counted observation whose value has not reached the sum yet
+// — can briefly show, which only understates the mean.
 type Histogram struct {
 	bounds  []float64      // ascending upper bounds; +Inf implicit
 	counts  []atomic.Int64 // len(bounds)+1 slots
 	sumBits atomic.Uint64  // float64 sum of observations
 }
+
+// NewHistogram builds a standalone histogram (not registered
+// anywhere). It copies and sorts bounds; nil or empty selects
+// DefBuckets.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
 
 // newHistogram copies and sorts bounds; nil or empty selects
 // DefBuckets.
@@ -35,18 +47,45 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of value v in one shot — the bulk
+// path the runtime sampler uses to replay runtime/metrics bucket
+// deltas without n individual searches. n <= 0 records nothing.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i].Add(1)
+	h.counts[i].Add(n)
 	for {
 		old := h.sumBits.Load()
-		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v*float64(n))) {
 			return
 		}
 	}
 }
 
-// Count returns the total number of observations.
+// capture reads one consistent view of the histogram: the sum first,
+// then every bucket once; the total derives from those same bucket
+// loads. Because Observe updates bucket-then-sum and capture reads
+// sum-then-buckets, the returned counts cover at least every
+// observation the returned sum includes (see the type comment for the
+// tolerated tear in the other direction).
+func (h *Histogram) capture() (counts []int64, total int64, sum float64) {
+	sum = math.Float64frombits(h.sumBits.Load())
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
+	}
+	return counts, total, sum
+}
+
+// Count returns the total number of observations. It is an
+// independent pass over the buckets; use the snapshot/exposition paths
+// when count and buckets must agree with each other.
 func (h *Histogram) Count() int64 {
 	var n int64
 	for i := range h.counts {
@@ -65,15 +104,59 @@ func (h *Histogram) Bounds() []float64 {
 	return append([]float64(nil), h.bounds...)
 }
 
-// snapshot renders the histogram for expvar publication.
+// Quantile estimates the q-quantile (q clamped to [0,1]) of the
+// observed distribution by linear interpolation inside the bucket
+// holding the target rank — the estimator Prometheus's
+// histogram_quantile applies. The first bucket interpolates up from
+// zero (or from its own bound when that bound is negative); ranks
+// landing in the overflow bucket return the highest finite bound,
+// which has no upper edge to interpolate toward. An empty histogram
+// returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, total, _ := h.capture()
+	if total == 0 {
+		return 0
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	// Nearest-rank target, at least 1 so the crossing bucket below is
+	// always non-empty.
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, upper := range h.bounds {
+		c := float64(counts[i])
+		if cum+c >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if upper < 0 {
+				lower = upper
+			}
+			return lower + (upper-lower)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot renders the histogram for expvar publication. Count, sum
+// and the cumulative buckets all come from one capture pass, so the
+// "+Inf" bucket always equals "count".
 func (h *Histogram) snapshot() map[string]any {
-	buckets := make(map[string]int64, len(h.counts))
+	counts, total, sum := h.capture()
+	buckets := make(map[string]int64, len(counts))
 	cum := int64(0)
 	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
+		cum += counts[i]
 		buckets[formatFloat(b)] = cum
 	}
-	cum += h.counts[len(h.bounds)].Load()
-	buckets["+Inf"] = cum
-	return map[string]any{"count": cum, "sum": h.Sum(), "buckets": buckets}
+	buckets["+Inf"] = total
+	return map[string]any{"count": total, "sum": sum, "buckets": buckets}
 }

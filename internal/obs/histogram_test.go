@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 10 observations in (1,2]: ranks spread across that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	// Median rank 5 of 10 falls in the only occupied bucket, halfway
+	// through: 1 + (2-1)*5/10 = 1.5.
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("Quantile(0.5) = %v, want 1.5", got)
+	}
+	// The extremes interpolate to the bucket edges.
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("Quantile(1) = %v, want 2", got)
+	}
+	if got := h.Quantile(0); got != 1.1 {
+		t.Fatalf("Quantile(0) = %v, want 1.1 (rank clamps to 1)", got)
+	}
+}
+
+func TestHistogramQuantileAcrossBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.ObserveN(0.5, 2) // bucket (0,1]
+	h.ObserveN(3, 6)   // bucket (2,4]
+	h.ObserveN(1.5, 2) // bucket (1,2]
+	// total=10; rank(0.5)=5 → third observation inside (2,4], which
+	// starts at cumulative 4: 2 + (4-2)*(5-4)/6.
+	want := 2 + 2*(5.0-4)/6
+	if got := h.Quantile(0.5); got != want {
+		t.Fatalf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	// First bucket interpolates up from zero.
+	if got := h.Quantile(0.2); got != 0+(1-0)*2.0/2 {
+		t.Fatalf("Quantile(0.2) = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+	// Observations past every bound land in the overflow bucket, which
+	// has no upper edge: report the highest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow Quantile = %v, want highest bound 2", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(-3); got != h.Quantile(0) {
+		t.Fatalf("Quantile(-3) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(7); got != h.Quantile(1) {
+		t.Fatalf("Quantile(7) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	a := NewHistogram(nil)
+	b := NewHistogram(nil)
+	a.ObserveN(0.3, 5)
+	for i := 0; i < 5; i++ {
+		b.Observe(0.3)
+	}
+	if a.Count() != b.Count() || a.Sum() != b.Sum() {
+		t.Fatalf("ObserveN(0.3,5): count=%d sum=%v, want count=%d sum=%v",
+			a.Count(), a.Sum(), b.Count(), b.Sum())
+	}
+	a.ObserveN(1, 0)
+	a.ObserveN(1, -4)
+	if a.Count() != 5 {
+		t.Fatalf("non-positive n must record nothing, count=%d", a.Count())
+	}
+}
+
+// TestHistogramSnapshotConsistency hammers Observe from several
+// goroutines while readers snapshot. The documented invariant: the
+// exposed count always covers every observation in the exposed sum
+// (count*value >= sum for a single-valued stream), and the "+Inf"
+// cumulative bucket equals the count.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	const v = 0.5
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(v)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		snap := h.snapshot()
+		count := snap["count"].(int64)
+		sum := snap["sum"].(float64)
+		inf := snap["buckets"].(map[string]int64)["+Inf"]
+		if inf != count {
+			t.Fatalf("+Inf bucket %d != count %d", inf, count)
+		}
+		if float64(count)*v < sum-1e-9 {
+			t.Fatalf("torn read: count %d cannot cover sum %v", count, sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

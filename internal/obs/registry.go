@@ -233,23 +233,25 @@ func writeMetric(w io.Writer, name, sig string, m any) error {
 		_, err := fmt.Fprintf(w, "%s%s %s\n", name, sig, formatFloat(v.Value()))
 		return err
 	case *Histogram:
+		// One capture pass keeps _count, _sum and the buckets mutually
+		// consistent under concurrent Observe.
+		counts, total, sum := v.capture()
 		cum := int64(0)
 		for i, b := range v.bounds {
-			cum += v.counts[i].Load()
+			cum += counts[i]
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
 				name, withLabel(sig, "le", formatFloat(b)), cum); err != nil {
 				return err
 			}
 		}
-		cum += v.counts[len(v.bounds)].Load()
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			name, withLabel(sig, "le", "+Inf"), cum); err != nil {
+			name, withLabel(sig, "le", "+Inf"), total); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(v.Sum())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(sum)); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sig, cum)
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sig, total)
 		return err
 	}
 	return fmt.Errorf("obs: unknown metric type %T", m)

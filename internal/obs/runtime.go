@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime metric names the sampler publishes (catalogue in DESIGN.md
+// §10): process health next to query health on the same /metrics page.
+const (
+	MetricRuntimeHeapBytes    = "pinocchio_runtime_heap_bytes"
+	MetricRuntimeGoroutines   = "pinocchio_runtime_goroutines"
+	MetricRuntimeGCCycles     = "pinocchio_runtime_gc_cycles"
+	MetricRuntimeGCPause      = "pinocchio_runtime_gc_pause_seconds"
+	MetricRuntimeSchedLatency = "pinocchio_runtime_sched_latency_seconds"
+)
+
+// RuntimeBuckets resolve GC pauses and scheduler latencies: such
+// events live between microseconds and tens of milliseconds, far below
+// the query-latency DefBuckets.
+var RuntimeBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 1,
+}
+
+// runtimeSeries maps runtime/metrics sources to registry names.
+var runtimeSeries = []struct{ src, name, help string }{
+	{"/memory/classes/heap/objects:bytes", MetricRuntimeHeapBytes,
+		"Bytes occupied by live heap objects and not-yet-swept dead ones."},
+	{"/sched/goroutines:goroutines", MetricRuntimeGoroutines,
+		"Live goroutines."},
+	{"/gc/cycles/total:gc-cycles", MetricRuntimeGCCycles,
+		"Completed GC cycles since process start."},
+	{"/gc/pauses:seconds", MetricRuntimeGCPause,
+		"Stop-the-world GC pause durations."},
+	{"/sched/latencies:seconds", MetricRuntimeSchedLatency,
+		"Time goroutines spend runnable before running."},
+}
+
+// Sampler periodically folds runtime/metrics samples into a Registry:
+// gauges for scalar health (heap bytes, goroutines, GC cycles) and
+// delta-replayed histograms for the runtime's own distributions (GC
+// pauses, scheduler latency). The runtime histograms are cumulative
+// since process start, so each tick replays only the per-bucket count
+// increase, at the bucket's representative value.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	samples  []metrics.Sample
+	prev     map[string][]uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartRuntimeSampler launches the sampling goroutine. reg == nil uses
+// the default registry; interval <= 0 selects 5s. The first sample is
+// taken synchronously so the series exist before the caller serves its
+// first scrape. Close stops the goroutine.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *Sampler {
+	if reg == nil {
+		reg = Default()
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		prev:     make(map[string][]uint64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, ser := range runtimeSeries {
+		s.samples = append(s.samples, metrics.Sample{Name: ser.src})
+	}
+	s.sampleOnce()
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sampleOnce()
+		}
+	}
+}
+
+// Close stops the sampler and waits for its goroutine (idempotent).
+func (s *Sampler) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// sampleOnce reads every source and folds it into the registry.
+func (s *Sampler) sampleOnce() {
+	metrics.Read(s.samples)
+	for i, sm := range s.samples {
+		ser := runtimeSeries[i]
+		switch sm.Value.Kind() {
+		case metrics.KindUint64:
+			s.reg.Gauge(ser.name, ser.help, nil).Set(float64(sm.Value.Uint64()))
+		case metrics.KindFloat64:
+			s.reg.Gauge(ser.name, ser.help, nil).Set(sm.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			s.fold(ser.src, ser.name, ser.help, sm.Value.Float64Histogram())
+		}
+	}
+}
+
+// fold replays the counts a cumulative runtime histogram gained since
+// the previous tick into the registry histogram.
+func (s *Sampler) fold(src, name, help string, h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	out := s.reg.Histogram(name, help, RuntimeBuckets, nil)
+	prev := s.prev[src]
+	for i, c := range h.Counts {
+		var old uint64
+		if i < len(prev) {
+			old = prev[i]
+		}
+		if c > old {
+			out.ObserveN(bucketValue(h.Buckets, i), int64(c-old))
+		}
+	}
+	s.prev[src] = append(prev[:0], h.Counts...)
+}
+
+// bucketValue picks the representative value of runtime bucket i,
+// whose range is [Buckets[i], Buckets[i+1]): the midpoint, or the
+// finite edge when the other one is infinite.
+func bucketValue(bounds []float64, i int) float64 {
+	lo, hi := bounds[i], bounds[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	}
+	return (lo + hi) / 2
+}

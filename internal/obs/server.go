@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -16,6 +17,12 @@ import (
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+
+	// wasEnabled remembers the global recording state StartServer
+	// found, so Close can restore it instead of leaking Enable() into
+	// whatever runs after the server stops.
+	wasEnabled  bool
+	restoreOnce sync.Once
 }
 
 // StartServer listens on addr (e.g. ":6060" or "127.0.0.1:0") and
@@ -26,8 +33,9 @@ type Server struct {
 //	/debug/pprof/*  runtime profiles (CPU, heap, goroutine, trace, …)
 //	/healthz        liveness probe
 //
-// Starting the server also flips Enable(), so the binaries' metric
-// recording turns on with the endpoint. Close releases the listener.
+// Starting the server also flips Enable(); Close releases the
+// listener and restores the enabled-state StartServer found, so a
+// start/stop cycle is side-effect free.
 func StartServer(addr string, reg *Registry) (*Server, error) {
 	if reg == nil {
 		reg = Default()
@@ -36,6 +44,7 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	wasEnabled := Enabled()
 	Enable()
 	reg.PublishExpvar("pinocchio_metrics")
 
@@ -59,8 +68,9 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	})
 
 	s := &Server{
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		ln:  ln,
+		srv:        &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:         ln,
+		wasEnabled: wasEnabled,
 	}
 	go func() {
 		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -74,5 +84,14 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down immediately and restores the global
+// enabled-state StartServer found (idempotent), keeping enable/disable
+// symmetric across start/stop cycles.
+func (s *Server) Close() error {
+	s.restoreOnce.Do(func() {
+		if !s.wasEnabled {
+			Disable()
+		}
+	})
+	return s.srv.Close()
+}

@@ -88,3 +88,36 @@ func TestServerBadAddr(t *testing.T) {
 		t.Fatal("expected error for bad address")
 	}
 }
+
+// TestServerCloseRestoresEnabled pins the Enable/Disable symmetry:
+// Close undoes exactly the state change StartServer made, so stacking
+// or repeating start/stop cycles never strands the global gate.
+func TestServerCloseRestoresEnabled(t *testing.T) {
+	defer Disable()
+
+	// Recording off beforehand: StartServer enables, Close disables.
+	Disable()
+	srv, err := StartServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("StartServer must enable recording")
+	}
+	srv.Close()
+	if Enabled() {
+		t.Fatal("Close must disable recording it enabled")
+	}
+	srv.Close() // idempotent
+
+	// Recording already on: Close must leave it on.
+	Enable()
+	srv, err = StartServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if !Enabled() {
+		t.Fatal("Close must not disable recording it did not enable")
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewTraceIDFormat(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("id %q: non-hex rune %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDContextRoundTrip(t *testing.T) {
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context carries %q", got)
+	}
+	if got := TraceIDFrom(nil); got != "" {
+		t.Fatalf("nil context carries %q", got)
+	}
+	ctx := WithTraceID(context.Background(), "abc123")
+	if got := TraceIDFrom(ctx); got != "abc123" {
+		t.Fatalf("round trip = %q", got)
+	}
+}

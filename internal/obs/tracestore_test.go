@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func addTrace(ts *TraceStore, id, outcome string, ms float64, slow bool) *Trace {
+	t := &Trace{ID: id, Route: "POST /v1/query", Outcome: outcome, DurationMS: ms, Slow: slow}
+	ts.Add(t)
+	return t
+}
+
+func TestTraceStoreRingEviction(t *testing.T) {
+	ts := NewTraceStore(3)
+	for i := 0; i < 5; i++ {
+		addTrace(ts, fmt.Sprintf("t%d", i), OutcomeOK, 1, false)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ts.Len())
+	}
+	if _, ok := ts.Get("t0"); ok {
+		t.Fatal("t0 should have been evicted")
+	}
+	got := ts.List(TraceFilter{})
+	if len(got) != 3 || got[0].ID != "t4" || got[2].ID != "t2" {
+		t.Fatalf("List = %v, want [t4 t3 t2]", ids(got))
+	}
+}
+
+func TestTraceStoreKeepsSlowAndErrored(t *testing.T) {
+	ts := NewTraceStore(2)
+	addTrace(ts, "bad", OutcomeError, 1, false)
+	addTrace(ts, "slow", OutcomeOK, 900, true)
+	// A flood of healthy traffic evicts them from the recent ring but
+	// not from the kept ring.
+	for i := 0; i < 10; i++ {
+		addTrace(ts, fmt.Sprintf("ok%d", i), OutcomeOK, 1, false)
+	}
+	if _, ok := ts.Get("bad"); !ok {
+		t.Fatal("errored trace evicted by healthy traffic")
+	}
+	if _, ok := ts.Get("slow"); !ok {
+		t.Fatal("slow trace evicted by healthy traffic")
+	}
+	// Another errored trace beyond the kept capacity evicts the oldest
+	// kept entry.
+	addTrace(ts, "bad2", OutcomeShed, 1, false)
+	if _, ok := ts.Get("bad"); ok {
+		t.Fatal("kept ring should evict its oldest entry at capacity")
+	}
+	if _, ok := ts.Get("slow"); !ok {
+		t.Fatal("newer kept entry must survive")
+	}
+}
+
+func TestTraceStoreFilters(t *testing.T) {
+	ts := NewTraceStore(10)
+	addTrace(ts, "a", OutcomeOK, 5, false).Algorithm = "pin-vo"
+	addTrace(ts, "b", OutcomeError, 50, false).Algorithm = "pin"
+	addTrace(ts, "c", OutcomeOK, 500, true).Algorithm = "pin-vo"
+
+	if got := ts.List(TraceFilter{MinMS: 40}); len(got) != 2 {
+		t.Fatalf("MinMS filter: %v", ids(got))
+	}
+	if got := ts.List(TraceFilter{Outcome: OutcomeError}); len(got) != 1 || got[0].ID != "b" {
+		t.Fatalf("Outcome filter: %v", ids(got))
+	}
+	if got := ts.List(TraceFilter{Algorithm: "pin-vo"}); len(got) != 2 {
+		t.Fatalf("Algorithm filter: %v", ids(got))
+	}
+	if got := ts.List(TraceFilter{Limit: 1}); len(got) != 1 || got[0].ID != "c" {
+		t.Fatalf("Limit: %v, want newest only", ids(got))
+	}
+}
+
+func TestTraceStoreDuplicateIDNewestWins(t *testing.T) {
+	ts := NewTraceStore(4)
+	first := addTrace(ts, "dup", OutcomeOK, 1, false)
+	second := addTrace(ts, "dup", OutcomeOK, 2, false)
+	got, ok := ts.Get("dup")
+	if !ok || got != second || got == first {
+		t.Fatalf("Get(dup) = %+v, want the newer trace", got)
+	}
+}
+
+func TestTraceStoreAddSnapshotsSpans(t *testing.T) {
+	ts := NewTraceStore(2)
+	tr := &Trace{ID: "x", Outcome: OutcomeOK}
+	root := tr.StartSpan("query")
+	root.Child("prune").End()
+	ts.Add(tr)
+	if tr.Root != nil {
+		t.Fatal("Add must drop the live span tree")
+	}
+	if tr.Spans == nil || len(tr.Spans.Children) != 1 || tr.Spans.Children[0].Name != "prune" {
+		t.Fatalf("Spans = %+v, want snapshotted tree with prune child", tr.Spans)
+	}
+	if s := tr.Summary(); s.Spans != nil || s.ID != "x" {
+		t.Fatalf("Summary must strip spans: %+v", s)
+	}
+}
+
+func TestTraceStoreNilSafety(t *testing.T) {
+	var ts *TraceStore // NewTraceStore(0) — tracing disabled
+	if NewTraceStore(0) != nil || NewTraceStore(-5) != nil {
+		t.Fatal("non-positive capacity must disable the store")
+	}
+	ts.Add(&Trace{ID: "x"})
+	if _, ok := ts.Get("x"); ok {
+		t.Fatal("nil store retains nothing")
+	}
+	if ts.List(TraceFilter{}) != nil || ts.Len() != 0 {
+		t.Fatal("nil store lists nothing")
+	}
+	var tr *Trace
+	tr.StartSpan("q")
+	tr.SetAlgorithm("pin")
+	tr.SetEpoch(1)
+	tr.SetPlanCache("hit")
+	tr.SetWALSeq(2)
+}
+
+func ids(traces []*Trace) []string {
+	out := make([]string, len(traces))
+	for i, t := range traces {
+		out[i] = t.ID
+	}
+	return out
+}

@@ -16,6 +16,7 @@ import (
 	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/store"
+	"pinocchio/internal/wal"
 )
 
 // PointJSON is a planar position on the wire.
@@ -70,6 +71,10 @@ type QueryResponse struct {
 	Cached     bool            `json:"cached"`
 	ElapsedMs  float64         `json:"elapsed_ms"`
 	Stats      core.Stats      `json:"stats"`
+	// TraceID is this request's trace ID (also echoed in the
+	// X-Request-ID response header); look the request up at
+	// /v1/debug/traces/{trace_id} while it is retained.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorJSON is the error body every non-2xx response carries.
@@ -77,19 +82,24 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
-// routes mounts every endpoint, wrapped with HTTP metrics.
+// routes mounts every endpoint, wrapped with HTTP metrics and request
+// telemetry. The routeKind decides how much: queries and mutations get
+// a retained trace and feed the latency percentiles, everything else
+// only gets a trace ID.
 func (s *Server) routes() {
-	s.route("GET /healthz", s.handleHealthz)
-	s.route("GET /v1/status", s.handleStatus)
-	s.route("POST /v1/query", s.handleQuery)
-	s.route("GET /v1/best", s.handleBest)
-	s.route("GET /v1/influence/{id}", s.handleInfluence)
-	s.route("POST /v1/objects", s.handleAddObject)
-	s.route("PUT /v1/objects/{id}", s.handleUpdateObject)
-	s.route("DELETE /v1/objects/{id}", s.handleRemoveObject)
-	s.route("POST /v1/objects/{id}/positions", s.handleAddPositions)
-	s.route("POST /v1/candidates", s.handleAddCandidate)
-	s.route("DELETE /v1/candidates/{id}", s.handleRemoveCandidate)
+	s.route("GET /healthz", kindOther, s.handleHealthz)
+	s.route("GET /v1/status", kindOther, s.handleStatus)
+	s.route("POST /v1/query", kindQuery, s.handleQuery)
+	s.route("GET /v1/best", kindOther, s.handleBest)
+	s.route("GET /v1/influence/{id}", kindOther, s.handleInfluence)
+	s.route("POST /v1/objects", kindMutation, s.handleAddObject)
+	s.route("PUT /v1/objects/{id}", kindMutation, s.handleUpdateObject)
+	s.route("DELETE /v1/objects/{id}", kindMutation, s.handleRemoveObject)
+	s.route("POST /v1/objects/{id}/positions", kindMutation, s.handleAddPositions)
+	s.route("POST /v1/candidates", kindMutation, s.handleAddCandidate)
+	s.route("DELETE /v1/candidates/{id}", kindMutation, s.handleRemoveCandidate)
+	s.route("GET /v1/debug/traces", kindOther, s.handleTraceList)
+	s.route("GET /v1/debug/traces/{id}", kindOther, s.handleTraceGet)
 	s.mux.Handle("GET /metrics", obs.Default().Handler())
 }
 
@@ -104,13 +114,35 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// route registers a pattern with per-route request metrics.
-func (s *Server) route(pattern string, h http.HandlerFunc) {
+// route registers a pattern with per-route request metrics and the
+// telemetry middleware: resolve the trace ID (client-supplied or
+// generated), echo it, and — for query/mutation routes — open a trace
+// record the handler annotates through the request context and
+// finishTrace retains once the response is written.
+func (s *Server) route(pattern string, kind routeKind, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		ctx := obs.WithTraceID(r.Context(), id)
+		var tr *obs.Trace
+		if kind != kindOther {
+			tr = &obs.Trace{ID: id, Route: pattern, Start: start}
+			ctx = withTrace(ctx, tr)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		recordHTTP(pattern, sw.code, time.Since(start))
+		h(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		recordHTTP(pattern, sw.code, dur)
+		switch {
+		case kind == kindQuery && sw.code == http.StatusOK:
+			s.latQuery.Observe(dur.Seconds())
+		case kind == kindMutation && sw.code < 300:
+			s.latMutation.Observe(dur.Seconds())
+		}
+		if tr != nil {
+			s.finishTrace(tr, sw.code, dur)
+		}
 	})
 }
 
@@ -196,13 +228,80 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"max_inflight":   s.cfg.MaxInflight,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"durable":        s.cfg.Store != nil,
+		"trace_entries":  s.traces.Len(),
+	}
+	latency := map[string]any{
+		"query":    quantilesMS(s.latQuery),
+		"mutation": quantilesMS(s.latMutation),
 	}
 	if st := s.cfg.Store; st != nil {
 		body["wal_seq"] = st.LastSeq()
 		body["last_checkpoint_seq"] = st.LastCheckpointSeq()
 		body["data_dir_bytes"] = st.SizeBytes()
+		// The durability layer records into the default registry by
+		// name; Histogram here is get-or-create, so a freshly booted
+		// server reports zero counts rather than omitting the keys.
+		r := obs.Default()
+		latency["wal_sync"] = quantilesMS(r.Histogram(wal.MetricFsyncSeconds,
+			"WAL fsync latency in seconds.", wal.FsyncBuckets, nil))
+		latency["checkpoint"] = quantilesMS(r.Histogram(store.MetricCheckpointSeconds,
+			"Checkpoint write wall time in seconds.", obs.DefBuckets, nil))
 	}
+	body["latency"] = latency
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleTraceList serves GET /v1/debug/traces: retained trace
+// summaries (no span trees), newest first, filterable by min_ms,
+// outcome and algorithm; limit defaults to 100.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled (trace-keep <= 0)")
+		return
+	}
+	q := r.URL.Query()
+	f := obs.TraceFilter{Outcome: q.Get("outcome"), Algorithm: q.Get("algorithm"), Limit: 100}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad min_ms %q: want a number", v)
+			return
+		}
+		f.MinMS = ms
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad limit %q: want an integer", v)
+			return
+		}
+		f.Limit = n
+	}
+	traces := s.traces.List(f)
+	out := make([]*obs.Trace, len(traces))
+	for i, t := range traces {
+		out[i] = t.Summary()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":   out,
+		"retained": s.traces.Len(),
+	})
+}
+
+// handleTraceGet serves GET /v1/debug/traces/{id}: one retained trace
+// with its full span tree.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled (trace-keep <= 0)")
+		return
+	}
+	id := r.PathValue("id")
+	t, ok := s.traces.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no retained trace %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
 }
 
 // parseAlgorithm maps the wire names to solvers; pin-par is handled
@@ -267,7 +366,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := traceFrom(r.Context())
+	tr.SetAlgorithm(req.Algorithm)
+
 	sn := s.snapshotNow()
+	tr.SetEpoch(sn.epoch)
 	if len(sn.objects) == 0 || len(sn.candPts) == 0 {
 		writeErr(w, http.StatusConflict,
 			"nothing to query: %d objects, %d candidates", len(sn.objects), len(sn.candPts))
@@ -281,6 +384,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			recordQuery(req.Algorithm, true, 0)
 			resp := *cached
 			resp.Cached = true
+			resp.TraceID = obs.TraceIDFrom(r.Context())
 			writeJSON(w, http.StatusOK, &resp)
 			return
 		}
@@ -314,6 +418,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
 	recordQuery(req.Algorithm, false, elapsed)
 	if !req.NoCache {
+		// The cached copy keeps this TraceID; cache hits overwrite it
+		// with their own request's ID before responding.
 		s.cache.put(key, resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -335,16 +441,21 @@ func usesPlan(algo string) bool {
 // the epoch, so a mutation implicitly invalidates every older plan;
 // the candidate R-tree half is shared across (PF, τ) keys via the
 // snapshot. Returns nil (solve cold) when plan caching is disabled.
-func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func) (*core.Plan, error) {
+// The hit/miss outcome lands on the request's trace, and a miss's
+// build phases attach to sp.
+func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func, sp *obs.Span) (*core.Plan, error) {
 	if s.cfg.PlanCacheSize <= 0 {
 		return nil, nil
 	}
+	tr := traceFrom(ctx)
 	key := planKey{epoch: sn.epoch, pf: req.PF, rho: req.Rho, lambda: req.Lambda, tau: req.Tau}
 	if pl, ok := s.plans.get(key); ok {
 		recordPlanCache(true)
+		tr.SetPlanCache("hit")
 		return pl, nil
 	}
 	recordPlanCache(false)
+	tr.SetPlanCache("miss")
 	start := time.Now()
 	pl, err := core.BuildPlan(&core.Problem{
 		Objects:    sn.objects,
@@ -352,6 +463,7 @@ func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, p
 		PF:         pf,
 		Tau:        req.Tau,
 		Ctx:        ctx,
+		Obs:        sp,
 	}, sn.candTree())
 	if err != nil {
 		return nil, err
@@ -365,15 +477,19 @@ func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, p
 // response. Indices into the snapshot's candidate slice are translated
 // back to engine candidate ids.
 func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func) (*QueryResponse, error) {
+	tr := traceFrom(ctx)
+	root := tr.StartSpan("query")
 	p := &core.Problem{
 		Objects:    sn.objects,
 		Candidates: sn.candPts,
 		PF:         pf,
 		Tau:        req.Tau,
 		Ctx:        ctx,
+		Obs:        root,
+		TraceID:    obs.TraceIDFrom(ctx),
 	}
 	if usesPlan(req.Algorithm) {
-		pl, err := s.planFor(ctx, sn, req, pf)
+		pl, err := s.planFor(ctx, sn, req, pf, root)
 		if err != nil {
 			return nil, err
 		}
@@ -386,6 +502,7 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 		Objects:    len(sn.objects),
 		Candidates: len(sn.candPts),
 		Epoch:      sn.epoch,
+		TraceID:    p.TraceID,
 	}
 	mk := func(idx, inf int) CandidateJSON {
 		return CandidateJSON{
@@ -539,7 +656,7 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "object needs at least one position")
 		return
 	}
-	_, epoch, seq, err := s.mutate(&store.Record{
+	_, epoch, seq, err := s.mutate(r.Context(), &store.Record{
 		Op: store.OpAddObject, ID: int64(req.ID), Positions: toPoints(req.Positions),
 	})
 	if err != nil {
@@ -562,7 +679,7 @@ func (s *Server) handleUpdateObject(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "object needs at least one position")
 		return
 	}
-	_, epoch, seq, err := s.mutate(&store.Record{
+	_, epoch, seq, err := s.mutate(r.Context(), &store.Record{
 		Op: store.OpUpdateObject, ID: int64(id), Positions: toPoints(req.Positions),
 	})
 	if err != nil {
@@ -577,7 +694,7 @@ func (s *Server) handleRemoveObject(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	_, epoch, seq, err := s.mutate(&store.Record{Op: store.OpRemoveObject, ID: int64(id)})
+	_, epoch, seq, err := s.mutate(r.Context(), &store.Record{Op: store.OpRemoveObject, ID: int64(id)})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
@@ -606,7 +723,7 @@ func (s *Server) handleAddPositions(w http.ResponseWriter, r *http.Request) {
 	// bump: AddPosition only fails on an unknown object, which the
 	// write lock makes stable across the batch, so either every point
 	// applies or none do — live and on replay.
-	_, epoch, seq, err := s.mutate(&store.Record{
+	_, epoch, seq, err := s.mutate(r.Context(), &store.Record{
 		Op: store.OpAddPosition, ID: int64(id), Positions: pts,
 	})
 	if err != nil {
@@ -621,7 +738,7 @@ func (s *Server) handleAddCandidate(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	id, epoch, seq, err := s.mutate(&store.Record{
+	id, epoch, seq, err := s.mutate(r.Context(), &store.Record{
 		Op: store.OpAddCandidate, Pt: geo.Point{X: req.X, Y: req.Y},
 	})
 	if err != nil {
@@ -636,7 +753,7 @@ func (s *Server) handleRemoveCandidate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	_, epoch, seq, err := s.mutate(&store.Record{Op: store.OpRemoveCandidate, ID: int64(id)})
+	_, epoch, seq, err := s.mutate(r.Context(), &store.Record{Op: store.OpRemoveCandidate, ID: int64(id)})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return

@@ -44,9 +44,11 @@ func queryBody(alg string, tau float64, k int) string {
 }
 
 // stripVolatile zeroes the fields legitimately allowed to differ
-// between two solves of the same query: wall time.
+// between two solves of the same query: wall time and the per-request
+// trace ID.
 func stripVolatile(r *QueryResponse) {
 	r.ElapsedMs = 0
+	r.TraceID = ""
 }
 
 // TestPlanParityServed is the served-path parity guarantee: for every

@@ -30,6 +30,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -42,6 +43,7 @@ import (
 	"pinocchio/internal/dynamic"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/store"
 )
@@ -89,6 +91,19 @@ type Config struct {
 	// applied mutations (default 10000; negative disables automatic
 	// checkpoints). Only meaningful with a Store.
 	CheckpointEvery int
+
+	// SlowQuery is the slow-request threshold: a traced request
+	// finishing at or over it emits a "slow query" slog record with
+	// its phase breakdown and enters the trace store's retained ring,
+	// so it survives eviction by fast traffic. 0 selects 250ms;
+	// negative disables slow-query detection.
+	SlowQuery time.Duration
+
+	// TraceKeep sizes request-trace retention: the store keeps the
+	// last TraceKeep traces plus up to TraceKeep slow or non-ok ones,
+	// served at /v1/debug/traces. 0 selects 256; negative disables
+	// request tracing (the debug endpoints answer 404).
+	TraceKeep int
 }
 
 // withDefaults resolves the zero values.
@@ -116,6 +131,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 10000
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 250 * time.Millisecond
+	}
+	if c.TraceKeep == 0 {
+		c.TraceKeep = 256
 	}
 	return c
 }
@@ -194,6 +215,17 @@ type Server struct {
 	cache *resultCache
 	plans *planCache
 	mux   *http.ServeMux
+
+	// traces retains finished request telemetry for /v1/debug/traces;
+	// nil when tracing is disabled (TraceKeep < 0).
+	traces *obs.TraceStore
+
+	// latQuery and latMutation feed the /v1/status latency
+	// percentiles. They record unconditionally (not gated on
+	// obs.Enabled) because the status endpoint is part of the API, not
+	// of the opt-in metrics surface.
+	latQuery    *obs.Histogram
+	latMutation *obs.Histogram
 }
 
 // New builds a server over an initial population: the moving objects
@@ -224,14 +256,17 @@ func New(cfg Config, objects []*object.Object, candidates []geo.Point) (*Server,
 func NewWithEngine(cfg Config, eng *dynamic.Engine, epoch int64) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		start:    time.Now(),
-		engine:   eng,
-		epoch:    epoch,
-		inflight: make(chan struct{}, cfg.MaxInflight),
-		cache:    newResultCache(cfg.CacheSize),
-		plans:    newPlanCache(cfg.PlanCacheSize),
-		mux:      http.NewServeMux(),
+		cfg:         cfg,
+		start:       time.Now(),
+		engine:      eng,
+		epoch:       epoch,
+		inflight:    make(chan struct{}, cfg.MaxInflight),
+		cache:       newResultCache(cfg.CacheSize),
+		plans:       newPlanCache(cfg.PlanCacheSize),
+		mux:         http.NewServeMux(),
+		traces:      obs.NewTraceStore(cfg.TraceKeep),
+		latQuery:    obs.NewHistogram(nil),
+		latMutation: obs.NewHistogram(nil),
 	}
 	s.routes()
 	return s
@@ -269,8 +304,9 @@ func (s *Server) snapshotNow() *snapshot {
 // rejects stay in the log — replay rejects them identically — so the
 // recovered epoch matches the live one. Returns the engine-assigned id
 // (meaningful for add_candidate), the post-mutation epoch, and the WAL
-// sequence number (0 without a Store).
-func (s *Server) mutate(rec *store.Record) (id int, epoch int64, seq uint64, err error) {
+// sequence number (0 without a Store). The request trace in ctx, if
+// any, is annotated with the epoch and WAL sequence.
+func (s *Server) mutate(ctx context.Context, rec *store.Record) (id int, epoch int64, seq uint64, err error) {
 	start := time.Now()
 	s.mu.Lock()
 	if s.cfg.Store != nil {
@@ -288,6 +324,9 @@ func (s *Server) mutate(rec *store.Record) (id int, epoch int64, seq uint64, err
 	s.mu.Unlock()
 	if err == nil {
 		recordMutation(rec.Op.String(), epoch, time.Since(start))
+		tr := traceFrom(ctx)
+		tr.SetEpoch(epoch)
+		tr.SetWALSeq(seq)
 		s.maybeCheckpoint()
 	}
 	return id, epoch, seq, err

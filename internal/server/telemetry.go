@@ -1,0 +1,123 @@
+// Request telemetry: every routed request gets a trace ID (the
+// client's X-Request-ID, or a generated one) carried in the request
+// context and echoed in the response header. Query and mutation
+// requests are additionally captured into the trace store with their
+// span tree, outcome and serving-layer annotations, and requests over
+// the slow-query threshold emit a slog record with the per-phase
+// breakdown. DESIGN.md §10 documents the lifecycle.
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"pinocchio/internal/obs"
+)
+
+// routeKind classifies a route for telemetry: queries and mutations
+// are traced and feed the status latency percentiles; everything else
+// only gets a trace ID.
+type routeKind int
+
+const (
+	kindOther routeKind = iota
+	kindQuery
+	kindMutation
+)
+
+// traceKey is the context key the per-request *obs.Trace travels
+// under (distinct from the trace ID, which obs owns).
+type traceKey struct{}
+
+// withTrace returns a context carrying the request's trace record.
+func withTrace(ctx context.Context, tr *obs.Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// traceFrom extracts the request's trace record (nil when the request
+// is untraced; every write path through *obs.Trace is nil-safe).
+func traceFrom(ctx context.Context) *obs.Trace {
+	tr, _ := ctx.Value(traceKey{}).(*obs.Trace)
+	return tr
+}
+
+// requestID returns the client-supplied X-Request-ID when it is
+// usable — non-empty, at most 128 bytes, printable ASCII without
+// spaces — and a generated ID otherwise, so a hostile header cannot
+// smuggle log-breaking bytes into slog lines or trace JSON.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 128 {
+		return obs.NewTraceID()
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= ' ' || c > '~' {
+			return obs.NewTraceID()
+		}
+	}
+	return id
+}
+
+// outcomeFor maps a response status to the trace outcome vocabulary.
+func outcomeFor(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return obs.OutcomeShed
+	case code == http.StatusServiceUnavailable:
+		return obs.OutcomeExpired
+	case code >= 400:
+		return obs.OutcomeError
+	}
+	return obs.OutcomeOK
+}
+
+// finishTrace finalizes one traced request: outcome, slow flag,
+// capture into the store, and the slow-query log record.
+func (s *Server) finishTrace(tr *obs.Trace, code int, dur time.Duration) {
+	tr.Status = code
+	tr.DurationMS = float64(dur) / float64(time.Millisecond)
+	tr.Outcome = outcomeFor(code)
+	tr.Slow = s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery
+	phases := obs.PhaseMillis(tr.Root) // before Add snapshots and drops Root
+	s.traces.Add(tr)
+	if !tr.Slow {
+		return
+	}
+	args := []any{
+		"trace_id", tr.ID,
+		"route", tr.Route,
+		"status", code,
+		"outcome", tr.Outcome,
+		"elapsed_ms", tr.DurationMS,
+	}
+	if tr.Algorithm != "" {
+		args = append(args, "algorithm", tr.Algorithm)
+	}
+	if tr.PlanCache != "" {
+		args = append(args, "plan_cache", tr.PlanCache)
+	}
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		args = append(args, "phase_"+name+"_ms", phases[name])
+	}
+	slog.Warn("slow query", args...)
+}
+
+// quantilesMS renders a latency histogram (recorded in seconds) as
+// the millisecond percentile block /v1/status reports.
+func quantilesMS(h *obs.Histogram) map[string]any {
+	const ms = 1e3
+	return map[string]any{
+		"count":  h.Count(),
+		"p50_ms": h.Quantile(0.50) * ms,
+		"p95_ms": h.Quantile(0.95) * ms,
+		"p99_ms": h.Quantile(0.99) * ms,
+	}
+}

@@ -7,12 +7,14 @@ import (
 )
 
 // Metric names for the durability layer (catalogue in DESIGN.md §9).
+// MetricCheckpointSeconds is exported so the serving layer can surface
+// checkpoint latency percentiles on /v1/status.
 const (
-	mCkptSeq     = "pinocchio_store_last_checkpoint_seq"
-	mCkpts       = "pinocchio_store_checkpoints_total"
-	mCkptSeconds = "pinocchio_store_checkpoint_seconds"
-	mRecoverySec = "pinocchio_store_recovery_seconds"
-	mReplayed    = "pinocchio_store_replayed_records_total"
+	mCkptSeq                = "pinocchio_store_last_checkpoint_seq"
+	mCkpts                  = "pinocchio_store_checkpoints_total"
+	MetricCheckpointSeconds = "pinocchio_store_checkpoint_seconds"
+	mRecoverySec            = "pinocchio_store_recovery_seconds"
+	mReplayed               = "pinocchio_store_replayed_records_total"
 )
 
 // recordCheckpoint folds one completed checkpoint into the registry.
@@ -23,7 +25,7 @@ func recordCheckpoint(seq uint64, dur time.Duration) {
 	r := obs.Default()
 	r.Counter(mCkpts, "Checkpoints written.", nil).Inc()
 	r.Gauge(mCkptSeq, "WAL sequence number of the newest checkpoint.", nil).Set(float64(seq))
-	r.Histogram(mCkptSeconds, "Checkpoint write wall time in seconds.",
+	r.Histogram(MetricCheckpointSeconds, "Checkpoint write wall time in seconds.",
 		obs.DefBuckets, nil).Observe(dur.Seconds())
 }
 

@@ -1,13 +1,27 @@
 package wal
 
-import "pinocchio/internal/obs"
+import (
+	"time"
+
+	"pinocchio/internal/obs"
+)
 
 // Metric names for the write-ahead log (catalogue in DESIGN.md §9).
+// MetricFsyncSeconds is exported so the serving layer can surface
+// WAL-sync latency percentiles on /v1/status.
 const (
-	mAppends = "pinocchio_wal_appends_total"
-	mBytes   = "pinocchio_wal_bytes_total"
-	mFsyncs  = "pinocchio_wal_fsyncs_total"
+	mAppends           = "pinocchio_wal_appends_total"
+	mBytes             = "pinocchio_wal_bytes_total"
+	mFsyncs            = "pinocchio_wal_fsyncs_total"
+	MetricFsyncSeconds = "pinocchio_wal_fsync_seconds"
 )
+
+// FsyncBuckets resolve fsync latencies from tens of microseconds
+// (battery-backed or lying disks) to hundreds of milliseconds
+// (contended spinning rust) — well below the query-scale DefBuckets.
+var FsyncBuckets = []float64{
+	.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5,
+}
 
 // recordAppend folds one framed append into the default registry.
 func recordAppend(frameBytes int) {
@@ -19,10 +33,13 @@ func recordAppend(frameBytes int) {
 	r.Counter(mBytes, "WAL bytes written (framing included).", nil).Add(int64(frameBytes))
 }
 
-// recordFsync counts one fsync of a segment file.
-func recordFsync() {
+// recordFsync counts one fsync of a segment file and its latency.
+func recordFsync(dur time.Duration) {
 	if !obs.Enabled() {
 		return
 	}
-	obs.Default().Counter(mFsyncs, "WAL segment fsyncs.", nil).Inc()
+	r := obs.Default()
+	r.Counter(mFsyncs, "WAL segment fsyncs.", nil).Inc()
+	r.Histogram(MetricFsyncSeconds, "WAL fsync latency in seconds.",
+		FsyncBuckets, nil).Observe(dur.Seconds())
 }

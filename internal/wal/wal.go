@@ -330,12 +330,13 @@ func (w *WAL) syncLocked() error {
 	if !w.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.failed = fmt.Errorf("wal: poisoned by failed sync: %w", err)
 		return w.failed
 	}
 	w.dirty = false
-	recordFsync()
+	recordFsync(time.Since(start))
 	return nil
 }
 

@@ -18,8 +18,11 @@ echo "== build pinocchiod"
 go build -o "$tmp/pinocchiod" ./cmd/pinocchiod
 
 echo "== start"
+# -slow-query 1us makes every query slow so the slow-query log record
+# can be asserted below; stderr is kept for that check.
 "$tmp/pinocchiod" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
-    -scale 0.05 -candidates 50 -cache-size 16 &
+    -scale 0.05 -candidates 50 -cache-size 16 \
+    -slow-query 1us 2>"$tmp/daemon.log" &
 pid=$!
 
 i=0
@@ -67,6 +70,53 @@ fi
 
 echo "== metrics"
 curl -fsS "http://$addr/metrics" | grep -c '^pinocchio_' >/dev/null
+# The runtime sampler feeds process health into the same registry.
+curl -fsS "http://$addr/metrics" | grep -q '^pinocchio_runtime_goroutines'
+
+echo "== request telemetry"
+# A client-supplied X-Request-ID is echoed (Go canonicalizes the header
+# casing) and keys the retained trace.
+rid="smoke-trace-1"
+hdrs=$(curl -fsS -D - -o "$tmp/qresp" "http://$addr/v1/query" \
+    -H "X-Request-ID: $rid" \
+    -d '{"tau":0.6,"algorithm":"pin","no_cache":true}')
+case "$hdrs" in
+*"X-Request-ID: $rid"* | *"X-Request-Id: $rid"*) ;;
+*) echo "X-Request-ID not echoed:" >&2; echo "$hdrs" >&2; exit 1 ;;
+esac
+grep -q "\"trace_id\":\"$rid\"" "$tmp/qresp" || {
+    echo "query response missing trace_id" >&2
+    exit 1
+}
+
+# The retained trace carries the solver's span tree with its phases.
+trace=$(curl -fsS "http://$addr/v1/debug/traces/$rid")
+case "$trace" in
+*'"prune"'*) ;;
+*) echo "trace missing prune phase: $trace" >&2; exit 1 ;;
+esac
+case "$trace" in
+*'"validate"'*) ;;
+*) echo "trace missing validate phase: $trace" >&2; exit 1 ;;
+esac
+
+# The listing filters and the status percentiles are wired through.
+curl -fsS "http://$addr/v1/debug/traces?outcome=ok&min_ms=0" |
+    grep -q "\"$rid\"" || {
+    echo "trace listing missing $rid" >&2
+    exit 1
+}
+curl -fsS "http://$addr/v1/status" | grep -q '"p99_ms"' || {
+    echo "status missing latency percentiles" >&2
+    exit 1
+}
+
+# -slow-query 1us flags every query: the phase breakdown must have hit
+# the log.
+grep -q "slow query" "$tmp/daemon.log" || {
+    echo "no slow-query log record in daemon log" >&2
+    exit 1
+}
 
 echo "== shutdown"
 kill -TERM "$pid"
