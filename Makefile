@@ -14,9 +14,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate the checked-in benchmark snapshot (BENCH_PR5.json).
+# Regenerate the checked-in benchmark snapshot (BENCH_PR6.json).
 bench-snapshot:
-	$(GO) run ./cmd/experiments -bench BENCH_PR5.json -seed 7
+	$(GO) run ./cmd/experiments -bench BENCH_PR6.json -seed 7
 
 # Start pinocchiod on an ephemeral port, hit it, shut it down.
 smoke:

@@ -76,6 +76,7 @@ func runBench(path string, scale float64, iters int, seed int64) error {
 		slog.Info("bench", "algo", a.Algorithm, "wall_ms", fmt.Sprintf("%.2f", a.WallMs),
 			"prune_ratio", fmt.Sprintf("%.3f", a.PruneRatio), "phases_ms", string(phases))
 	}
+	experiments.PruneAccountingTable(snap.PruneAccounting).Render(os.Stdout)
 	fmt.Printf("wrote %s (%d algorithms, %d objects × %d candidates)\n",
 		path, len(snap.Algorithms), snap.Objects, snap.Candidates)
 	return nil

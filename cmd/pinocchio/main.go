@@ -43,6 +43,7 @@ type options struct {
 	topK       int
 	seed       int64
 	jsonOut    bool
+	explain    bool
 	tracePath  string
 	out        io.Writer // defaults to os.Stdout
 }
@@ -62,6 +63,7 @@ func main() {
 	flag.IntVar(&opts.topK, "topk", 0, "also report the top-K most influential candidates (uses PIN)")
 	flag.Int64Var(&opts.seed, "seed", 1, "candidate sampling seed")
 	flag.BoolVar(&opts.jsonOut, "json", false, "print the result as a single JSON object")
+	flag.BoolVar(&opts.explain, "explain", false, "report EXPLAIN accounting: per-rule prune breakdown and per-candidate verdicts")
 	flag.StringVar(&opts.tracePath, "trace", "", "write the query's span tree as JSON to this file")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -109,6 +111,10 @@ type jsonOutput struct {
 	PruneRatio    float64            `json:"prune_ratio"`
 	Influences    []int              `json:"influences,omitempty"`
 	TopK          []jsonRanked       `json:"top_k,omitempty"`
+	// Cost, Verdicts and VerdictCounts are present only with -explain.
+	Cost          *core.Cost         `json:"cost,omitempty"`
+	Verdicts      []core.CandVerdict `json:"verdicts,omitempty"`
+	VerdictCounts map[string]int     `json:"verdict_counts,omitempty"`
 }
 
 // jsonRanked is one -topk row in the JSON output.
@@ -150,6 +156,10 @@ func run(opts options) error {
 	}
 	root := obs.NewSpan("query")
 	p := &core.Problem{Objects: ds.Objects, Candidates: cs.Points, PF: pf, Tau: opts.tau, Obs: root}
+	if opts.explain {
+		p.Cost = &core.Cost{}
+		p.Cost.EnableVerdicts(len(cs.Points))
+	}
 
 	solve := func() (*core.Result, error) { return nil, fmt.Errorf("unknown algorithm %q", opts.algo) }
 	switch opts.algo {
@@ -172,10 +182,12 @@ func run(opts options) error {
 	}
 	elapsed := time.Since(start)
 	root.End()
+	cost := p.Cost
 
 	var ranked []core.Ranked
 	if opts.topK > 0 {
-		p.Obs = nil // keep the ranking pass out of the query's span tree
+		p.Obs = nil  // keep the ranking pass out of the query's span tree
+		p.Cost = nil // ... and out of the query's cost ledger
 		ranked, err = core.RankAll(p)
 		if err != nil {
 			return err
@@ -218,6 +230,11 @@ func run(opts options) error {
 			PruneRatio:    res.Stats.PruneRatio(),
 			Influences:    res.Influences,
 		}
+		if cost != nil {
+			jo.Cost = cost
+			jo.Verdicts = cost.Verdicts()
+			jo.VerdictCounts = cost.VerdictCounts()
+		}
 		for _, r := range ranked {
 			pt := cs.Points[r.Index]
 			jo.TopK = append(jo.TopK, jsonRanked{
@@ -236,6 +253,9 @@ func run(opts options) error {
 		res.BestInfluence, len(ds.Objects), 100*float64(res.BestInfluence)/float64(len(ds.Objects)))
 	fmt.Fprintf(out, "  elapsed: %v\n", elapsed)
 	fmt.Fprintf(out, "  %v (pruned %.1f%% of pairs)\n", res.Stats, 100*res.Stats.PruneRatio())
+	if cost != nil {
+		printExplain(out, cost)
+	}
 
 	if len(ranked) > 0 {
 		fmt.Fprintf(out, "top-%d candidates by influence:\n", len(ranked))
@@ -246,4 +266,33 @@ func run(opts options) error {
 		}
 	}
 	return nil
+}
+
+// printExplain renders the -explain accounting: a per-rule prune
+// breakdown, where the surviving pairs went, the index work, and the
+// per-candidate verdict tally.
+func printExplain(out io.Writer, c *core.Cost) {
+	pct := func(n int64) float64 {
+		if c.PairsTotal == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(c.PairsTotal)
+	}
+	fmt.Fprintf(out, "explain: %d object-candidate pairs\n", c.PairsTotal)
+	fmt.Fprintf(out, "  pruned by rule:   ia=%d (%.1f%%)  nib-box=%d (%.1f%%)  nib-arc=%d (%.1f%%)\n",
+		c.PrunedIA, pct(c.PrunedIA), c.PrunedNIBBox, pct(c.PrunedNIBBox), c.PrunedNIBArc, pct(c.PrunedNIBArc))
+	fmt.Fprintf(out, "  validated:        live=%d (%.1f%%)  memo=%d (%.1f%%)  skipped-by-bounds=%d (%.1f%%)\n",
+		c.ValidatedLive, pct(c.ValidatedLive), c.ValidatedMemo, pct(c.ValidatedMemo),
+		c.SkippedByBounds, pct(c.SkippedByBounds))
+	fmt.Fprintf(out, "  index work:       rtree-nodes=%d  grid-cells=%d  position-probes=%d\n",
+		c.RTreeNodeVisits, c.GridCellsScanned, c.PositionProbes)
+	if vc := c.VerdictCounts(); len(vc) > 0 {
+		fmt.Fprintf(out, "  candidate verdicts:")
+		for _, v := range []string{core.VerdictWinner, core.VerdictValidated, core.VerdictSkipped, core.VerdictPruned} {
+			if n, ok := vc[v]; ok {
+				fmt.Fprintf(out, " %s=%d", v, n)
+			}
+		}
+		fmt.Fprintln(out)
+	}
 }

@@ -85,7 +85,7 @@ func main() {
 	flag.Float64Var(&opts.tau, "tau", 0.7, "engine influence threshold in (0,1)")
 	flag.IntVar(&opts.maxInflight, "max-inflight", 0, "concurrent query cap before shedding with 429 (0 = 2×GOMAXPROCS)")
 	flag.IntVar(&opts.cacheSize, "cache-size", 128, "query result cache entries (negative disables)")
-	flag.IntVar(&opts.planCacheSize, "plan-cache", 32, "solve-plan cache entries, keyed by epoch and PF/τ (negative disables)")
+	flag.IntVar(&opts.planCacheSize, "plan-cache", 32, "solve-plan cache entries, keyed by epoch and PF/τ (0 disables)")
 	flag.DurationVar(&opts.maxTimeout, "max-timeout", 30*time.Second, "cap on per-request query deadlines")
 	flag.StringVar(&opts.dataDir, "data-dir", "", "durable state directory (WAL + checkpoints); empty serves in-memory only")
 	flag.StringVar(&opts.fsync, "fsync", "always", "WAL durability policy: always, group or off")
@@ -138,10 +138,30 @@ func loadWorkload(opts options) ([]*object.Object, []geo.Point, string, error) {
 	return ds.Objects, cs.Points, ds.Name, nil
 }
 
+// validateOptions rejects flag values with no sensible reading before
+// the (possibly slow) dataset load: the observability knobs use "0
+// disables", so a negative value is always a typo — surfacing it at
+// startup beats silently disabling a feature the operator asked for.
+func validateOptions(opts options) error {
+	if opts.slowQuery < 0 {
+		return fmt.Errorf("-slow-query must be >= 0 (got %v); use 0 to disable the slow-query log", opts.slowQuery)
+	}
+	if opts.traceKeep < 0 {
+		return fmt.Errorf("-trace-keep must be >= 0 (got %d); use 0 to disable trace retention", opts.traceKeep)
+	}
+	if opts.planCacheSize < 0 {
+		return fmt.Errorf("-plan-cache must be >= 0 (got %d); use 0 to disable the solve-plan cache", opts.planCacheSize)
+	}
+	return nil
+}
+
 // run loads the workload (or recovers it from -data-dir), builds the
 // server, and serves until ctx is cancelled, then drains in-flight
 // requests and writes a final checkpoint.
 func run(ctx context.Context, opts options) error {
+	if err := validateOptions(opts); err != nil {
+		return err
+	}
 	pf, err := probfn.ByName(opts.pfName, opts.rho, opts.lambda)
 	if err != nil {
 		return err
@@ -157,13 +177,16 @@ func run(ctx context.Context, opts options) error {
 		SlowQuery:     opts.slowQuery,
 		TraceKeep:     opts.traceKeep,
 	}
-	// The flag's "0 disables" contract maps onto the Config convention
+	// The flags' "0 disables" contract maps onto the Config convention
 	// where zero selects the default and negative disables.
-	if opts.slowQuery <= 0 {
+	if opts.slowQuery == 0 {
 		cfg.SlowQuery = -1
 	}
-	if opts.traceKeep <= 0 {
+	if opts.traceKeep == 0 {
 		cfg.TraceKeep = -1
+	}
+	if opts.planCacheSize == 0 {
+		cfg.PlanCacheSize = -1
 	}
 
 	// Feed runtime health (heap, GC pauses, goroutines, scheduler

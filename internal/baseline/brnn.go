@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"pinocchio/internal/core"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
 	"pinocchio/internal/rtree"
@@ -28,10 +29,18 @@ var ErrEmptyInput = errors.New("baseline: objects and candidates must be non-emp
 // Position-count ties go to the smaller candidate index, making the
 // scores deterministic.
 func BRNNVotes(objects []*object.Object, candidates []geo.Point, fanout int) ([]int, error) {
+	return BRNNVotesCost(objects, candidates, fanout, nil)
+}
+
+// BRNNVotesCost is BRNNVotes with EXPLAIN accounting: cost, when
+// non-nil, accumulates pair totals, position touches and R-tree node
+// visits like the core solvers do.
+func BRNNVotesCost(objects []*object.Object, candidates []geo.Point, fanout int, cost *core.Cost) ([]int, error) {
 	if len(objects) == 0 || len(candidates) == 0 {
 		return nil, ErrEmptyInput
 	}
 	defer finishBaseline("brnn", time.Now())
+	baselineCost(cost, objects, candidates)
 	items := make([]rtree.Item, len(candidates))
 	for i, c := range candidates {
 		items[i] = rtree.Item{Point: c, ID: i}
@@ -43,7 +52,7 @@ func BRNNVotes(objects []*object.Object, candidates []geo.Point, fanout int) ([]
 	for _, o := range objects {
 		clear(counts)
 		for _, p := range o.Positions {
-			nn, ok := tree.Nearest(p)
+			nn, ok := tree.NearestCounted(p, cost.RTreeNodeCounter())
 			if !ok {
 				continue
 			}
@@ -116,6 +125,12 @@ func BRNNTopK(objects []*object.Object, candidates []geo.Point, fanout, k int) (
 // candidates, and each object votes for the candidate collecting the
 // most of its positions' kNN memberships. k = 1 reduces to BRNNVotes.
 func BRkNNVotes(objects []*object.Object, candidates []geo.Point, fanout, k int) ([]int, error) {
+	return BRkNNVotesCost(objects, candidates, fanout, k, nil)
+}
+
+// BRkNNVotesCost is BRkNNVotes with the EXPLAIN accounting of
+// BRNNVotesCost.
+func BRkNNVotesCost(objects []*object.Object, candidates []geo.Point, fanout, k int, cost *core.Cost) ([]int, error) {
 	if len(objects) == 0 || len(candidates) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -123,6 +138,7 @@ func BRkNNVotes(objects []*object.Object, candidates []geo.Point, fanout, k int)
 		return nil, fmt.Errorf("baseline: k must be at least 1, got %d", k)
 	}
 	defer finishBaseline("brknn", time.Now())
+	baselineCost(cost, objects, candidates)
 	items := make([]rtree.Item, len(candidates))
 	for i, c := range candidates {
 		items[i] = rtree.Item{Point: c, ID: i}
@@ -134,7 +150,7 @@ func BRkNNVotes(objects []*object.Object, candidates []geo.Point, fanout, k int)
 	for _, o := range objects {
 		clear(counts)
 		for _, p := range o.Positions {
-			for _, nn := range tree.NearestNeighbors(p, k) {
+			for _, nn := range tree.NearestNeighborsCounted(p, k, cost.RTreeNodeCounter()) {
 				counts[nn.Item.ID]++
 			}
 		}

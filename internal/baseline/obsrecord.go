@@ -3,6 +3,9 @@ package baseline
 import (
 	"time"
 
+	"pinocchio/internal/core"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
 	"pinocchio/internal/obs"
 )
 
@@ -12,6 +15,23 @@ const (
 	mBaselineQueries = "pinocchio_baseline_queries_total"
 	mBaselineSeconds = "pinocchio_baseline_query_seconds"
 )
+
+// baselineCost stamps the scale axes of one baseline pass onto an
+// EXPLAIN ledger: the pair total and the positions every scoring pass
+// touches exactly once (the baselines have no pruning, so there is no
+// per-rule split to record — index node visits accumulate via the
+// Counted searches).
+func baselineCost(cost *core.Cost, objects []*object.Object, candidates []geo.Point) {
+	if cost == nil {
+		return
+	}
+	cost.PairsTotal = int64(len(objects)) * int64(len(candidates))
+	positions := int64(0)
+	for _, o := range objects {
+		positions += int64(o.N())
+	}
+	cost.AddPositionProbes(positions)
+}
 
 // finishBaseline folds one baseline scoring pass into the default
 // registry when metric recording is on.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"pinocchio/internal/core"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
 	"pinocchio/internal/rtree"
@@ -47,6 +48,13 @@ func DefaultRangeGrid(scale float64) []RangeParams {
 // parameterization: the number of objects with ≥ Proportion of their
 // positions within Radius of the candidate.
 func RangeScores(objects []*object.Object, candidates []geo.Point, rp RangeParams, fanout int) ([]int, error) {
+	return RangeScoresCost(objects, candidates, rp, fanout, nil)
+}
+
+// RangeScoresCost is RangeScores with EXPLAIN accounting: cost, when
+// non-nil, accumulates pair totals, position touches and R-tree node
+// visits like the core solvers do.
+func RangeScoresCost(objects []*object.Object, candidates []geo.Point, rp RangeParams, fanout int, cost *core.Cost) ([]int, error) {
 	if len(objects) == 0 || len(candidates) == 0 {
 		return nil, ErrEmptyInput
 	}
@@ -54,6 +62,7 @@ func RangeScores(objects []*object.Object, candidates []geo.Point, rp RangeParam
 		return nil, err
 	}
 	defer finishBaseline("range", time.Now())
+	baselineCost(cost, objects, candidates)
 	items := make([]rtree.Item, len(candidates))
 	for i, c := range candidates {
 		items[i] = rtree.Item{Point: c, ID: i}
@@ -67,10 +76,10 @@ func RangeScores(objects []*object.Object, candidates []geo.Point, rp RangeParam
 			within[i] = 0
 		}
 		for _, p := range o.Positions {
-			tree.SearchCircle(p, rp.Radius, func(it rtree.Item) bool {
+			tree.SearchCircleCounted(p, rp.Radius, func(it rtree.Item) bool {
 				within[it.ID]++
 				return true
-			})
+			}, cost.RTreeNodeCounter())
 		}
 		need := rp.Proportion * float64(o.N())
 		for cand, cnt := range within {

@@ -64,9 +64,14 @@ func PinocchioAblated(p *Problem, ab Ablation) (*Result, error) {
 		}
 	}
 
+	cost := p.Cost
 	for _, e := range a2d {
+		// arcs counts classifier-driven NIB prunes this object; with a
+		// full scan there is no box prune, so every NIB prune is an arc.
+		arcs := int64(0)
 		validate := func(cand int) {
 			st.Validated++
+			cost.validated(cand, false)
 			if validateFn(p.PF, p.Tau, p.Candidates[cand], e.obj.Positions, st) {
 				res.Influences[cand]++
 			}
@@ -78,6 +83,7 @@ func PinocchioAblated(p *Problem, ab Ablation) (*Result, error) {
 					validate(cand)
 				} else {
 					st.PrunedByIA++
+					cost.pruneIA(cand)
 					res.Influences[cand]++
 				}
 			case object.NeedsValidation:
@@ -87,6 +93,7 @@ func PinocchioAblated(p *Problem, ab Ablation) (*Result, error) {
 					validate(cand)
 				} else {
 					st.PrunedByNIB++
+					arcs++
 				}
 			}
 		}
@@ -98,30 +105,34 @@ func PinocchioAblated(p *Problem, ab Ablation) (*Result, error) {
 			for cand, pt := range p.Candidates {
 				classify(cand, pt)
 			}
+			cost.addNIB(arcs, 0)
 		case gridIdx != nil:
 			touched := int64(0)
-			gridIdx.SearchRect(e.regions.NIBBox(), func(it grid.Item) bool {
+			gridIdx.SearchRectCounted(e.regions.NIBBox(), func(it grid.Item) bool {
 				touched++
 				classify(it.ID, it.Point)
 				return true
-			})
+			}, cost.GridCellCounter())
 			st.PrunedByNIB += int64(m) - touched
+			cost.addNIB(arcs, int64(m)-touched)
 		default:
 			touched := int64(0)
-			tree.SearchRect(e.regions.NIBBox(), func(it rtreeItem) bool {
+			tree.SearchRectCounted(e.regions.NIBBox(), func(it rtreeItem) bool {
 				touched++
 				classify(it.ID, it.Point)
 				return true
-			})
+			}, cost.nodeCounter())
 			// Candidates outside the NIB box were never touched; they
 			// are pruned by Lemma 3. The box corners over-approximate
 			// the rounded NIB region, so the classifier above may have
 			// added some of the touched ones to PrunedByNIB already.
 			st.PrunedByNIB += int64(m) - touched
+			cost.addNIB(arcs, int64(m)-touched)
 		}
 	}
 
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	cost.finishExact(p, st, res.Influences, res.BestIndex)
 	return res, nil
 }
 

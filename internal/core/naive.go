@@ -29,6 +29,7 @@ func NA(p *Problem) (*Result, error) {
 				return nil, err
 			}
 			res.Stats.Validated++
+			p.Cost.validated(j, false)
 			if influencedFull(p.PF, p.Tau, c, o.Positions, &res.Stats) {
 				res.Influences[j]++
 			}
@@ -36,7 +37,8 @@ func NA(p *Problem) (*Result, error) {
 	}
 	valSp.End()
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
-	finishSolve(p.Obs, AlgNA.String(), start, &res.Stats)
+	p.Cost.finishExact(p, &res.Stats, res.Influences, res.BestIndex)
+	finishSolve(p.Obs, AlgNA.String(), start, &res.Stats, p.Cost)
 	return res, nil
 }
 

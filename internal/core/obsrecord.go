@@ -21,18 +21,43 @@ const (
 	mEarlyStops = "pinocchio_early_stops_total"
 	mHeapPops   = "pinocchio_heap_pops_total"
 	mPruneRatio = "pinocchio_last_prune_ratio"
+
+	// Work-per-query distributions (all queries, from Stats).
+	mQueryValidated = "pinocchio_query_validated_pairs"
+	mQueryProbes    = "pinocchio_query_position_probes"
+
+	// EXPLAIN-only counters, recorded when a solve carries a Cost
+	// ledger: the per-rule prune split and validation provenance.
+	mPrunedRule   = "pinocchio_pairs_pruned_rule_total"
+	mValidatedSrc = "pinocchio_pairs_validated_src_total"
+	mNodeVisits   = "pinocchio_rtree_node_visits_total"
+	mGridCells    = "pinocchio_grid_cells_scanned_total"
+	mExplained    = "pinocchio_explained_queries_total"
 )
 
+// WorkBuckets grades per-query work counts (pairs, probes) on decades;
+// work, unlike latency, spans from tens to hundreds of millions.
+var WorkBuckets = []float64{
+	1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+}
+
 // finishSolve closes out one solver run: it annotates the query's
-// root span with the work counters and, when metric recording is on,
-// folds the run into the default registry. start is taken before the
-// algorithm's first phase; the two time.Now calls per query are noise
-// next to a solve, and everything else gates on obs.Enabled().
-func finishSolve(sp *obs.Span, alg string, start time.Time, st *Stats) {
+// root span with the work counters (and the EXPLAIN ledger when the
+// solve carried one) and, when metric recording is on, folds the run
+// into the default registry. start is taken before the algorithm's
+// first phase; the two time.Now calls per query are noise next to a
+// solve, and everything else gates on obs.Enabled().
+func finishSolve(sp *obs.Span, alg string, start time.Time, st *Stats, cost *Cost) {
 	if sp != nil {
 		sp.SetAttr("algo", alg)
 		sp.SetAttr("stats", *st)
 		sp.SetAttr("prune_ratio", st.PruneRatio())
+		if cost != nil {
+			// The struct copy drops nothing the trace needs: the
+			// verdict table lives only in the explain response, and
+			// unexported fields do not marshal.
+			sp.SetAttr("cost", *cost)
+		}
 	}
 	if !obs.Enabled() {
 		return
@@ -51,4 +76,32 @@ func finishSolve(sp *obs.Span, alg string, start time.Time, st *Stats) {
 	r.Counter(mEarlyStops, "Validations finished early by Lemma 4.", lbl).Add(st.EarlyStops)
 	r.Counter(mHeapPops, "Candidates fully processed by the VO heap loop.", lbl).Add(st.HeapPops)
 	r.Gauge(mPruneRatio, "Prune ratio of the most recent query.", lbl).Set(st.PruneRatio())
+	r.Histogram(mQueryValidated, "Pairs validated per query.", WorkBuckets, lbl).Observe(float64(st.Validated))
+	r.Histogram(mQueryProbes, "Position probes per query.", WorkBuckets, lbl).Observe(float64(st.PositionProbes))
+	if cost != nil {
+		recordCost(r, alg, cost)
+	}
+}
+
+// recordCost folds one EXPLAIN ledger into the registry: the per-rule
+// prune split and validation provenance that plain Stats cannot
+// distinguish. Only explain'd solves reach here, so the rule counters
+// aggregate exactly the queries whose responses carried a breakdown.
+func recordCost(r *obs.Registry, alg string, c *Cost) {
+	r.Counter(mExplained, "Queries solved with EXPLAIN accounting.",
+		obs.Labels{"algo": alg}).Inc()
+	for rule, n := range c.RuleBreakdown() {
+		r.Counter(mPrunedRule, "Pairs pruned, split by rule.",
+			obs.Labels{"algo": alg, "rule": rule}).Add(n)
+	}
+	r.Counter(mValidatedSrc, "Pairs validated, split by live scan vs plan memo.",
+		obs.Labels{"algo": alg, "src": "live"}).Add(c.ValidatedLive)
+	r.Counter(mValidatedSrc, "Pairs validated, split by live scan vs plan memo.",
+		obs.Labels{"algo": alg, "src": "memo"}).Add(c.ValidatedMemo)
+	r.Counter(mNodeVisits, "Candidate R-tree nodes visited by prune scans.",
+		obs.Labels{"algo": alg}).Add(c.RTreeNodeVisits)
+	if c.GridCellsScanned > 0 {
+		r.Counter(mGridCells, "Grid cells examined by prune scans.",
+			obs.Labels{"algo": alg}).Add(c.GridCellsScanned)
+	}
 }

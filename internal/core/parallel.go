@@ -44,6 +44,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 	type shardResult struct {
 		influences []int
 		stats      Stats
+		cost       *Cost
 		err        error
 	}
 	results := make([]shardResult, workers)
@@ -60,13 +61,18 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 			pruneSp := workerSp.Child("prune")
 			valSp := workerSp.Child("validate")
 			scanStart := pruneSp.StartTimer()
-			local := shardResult{influences: make([]int, m)}
+			// A private Cost ledger per shard keeps the per-candidate
+			// tables contention-free; the parent merges them below.
+			local := shardResult{influences: make([]int, m), cost: p.Cost.workerChild()}
 			lst := &local.stats
 			cc := canceller{ctx: p.Ctx}
 			for k := w; k < len(a2d); k += workers {
 				e := a2d[k]
-				touched, ia := scanObject(tree, prunes, k, e,
-					func(cand int) { local.influences[cand]++ },
+				touched, ia, arcs := scanObject(tree, prunes, k, e, local.cost.nodeCounter(),
+					func(cand int) {
+						local.cost.pruneIA(cand)
+						local.influences[cand]++
+					},
 					func(cand int, out *valOutcome) {
 						if local.err != nil {
 							return
@@ -75,6 +81,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 							return
 						}
 						lst.Validated++
+						local.cost.validated(cand, out != nil)
 						tw := valSp.StartTimer()
 						var inf bool
 						if out != nil {
@@ -89,6 +96,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 					})
 				lst.PrunedByIA += ia
 				lst.PrunedByNIB += int64(m) - touched
+				local.cost.addNIB(arcs, int64(m)-touched-arcs)
 				if local.err == nil {
 					local.err = cc.tick()
 				}
@@ -113,9 +121,11 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 			res.Influences[j] += v
 		}
 		st.Merge(r.stats)
+		p.Cost.merge(r.cost)
 	}
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
+	p.Cost.finishExact(p, st, res.Influences, res.BestIndex)
 	res.Trace = p.Obs
-	finishSolve(p.Obs, "PIN-PAR", start, st)
+	finishSolve(p.Obs, "PIN-PAR", start, st, p.Cost)
 	return res, nil
 }

@@ -30,9 +30,11 @@ func buildA2D(p *Problem, st *Stats) []a2dEntry {
 // and per-candidate minDist/maxDist tests. It calls influenced for
 // IA-certain candidates and validate for the remnant set C”.
 // Candidates outside the NIB box are never touched: they are pruned
-// implicitly and accounted to PrunedByNIB by the caller.
-func pruneObject(tree *rtree.Tree, e a2dEntry, influenced func(cand int), validate func(cand int)) (touched int64, iaHits int64) {
-	tree.SearchRect(e.regions.NIBBox(), func(it rtree.Item) bool {
+// implicitly and accounted to PrunedByNIB by the caller. arcs counts
+// the touched-but-rejected candidates (the nib-arc rule); nodes, when
+// non-nil, accumulates R-tree node visits.
+func pruneObject(tree *rtree.Tree, e a2dEntry, nodes *int64, influenced func(cand int), validate func(cand int)) (touched, iaHits, arcs int64) {
+	tree.SearchRectCounted(e.regions.NIBBox(), func(it rtree.Item) bool {
 		touched++
 		switch e.regions.Classify(it.Point) {
 		case object.Influenced:
@@ -44,10 +46,11 @@ func pruneObject(tree *rtree.Tree, e a2dEntry, influenced func(cand int), valida
 			// Inside the NIB box corners but outside the rounded NIB
 			// region: pruned by Lemma 3 like the untouched candidates.
 			touched--
+			arcs++
 		}
 		return true
-	})
-	return touched, iaHits
+	}, nodes)
+	return touched, iaHits, arcs
 }
 
 // Pinocchio is Algorithm 2. The pruning phase resolves most
@@ -77,10 +80,14 @@ func Pinocchio(p *Problem) (*Result, error) {
 	valSp := p.Obs.Child("validate")
 	scanStart := pruneSp.StartTimer()
 	cc := canceller{ctx: p.Ctx}
+	cost := p.Cost
 	var ctxErr error
 	for k, e := range a2d {
-		touched, ia := scanObject(tree, prunes, k, e,
-			func(cand int) { res.Influences[cand]++ },
+		touched, ia, arcs := scanObject(tree, prunes, k, e, cost.nodeCounter(),
+			func(cand int) {
+				cost.pruneIA(cand)
+				res.Influences[cand]++
+			},
 			func(cand int, out *valOutcome) {
 				if ctxErr != nil {
 					return
@@ -89,6 +96,7 @@ func Pinocchio(p *Problem) (*Result, error) {
 					return
 				}
 				st.Validated++
+				cost.validated(cand, out != nil)
 				w := valSp.StartTimer()
 				var inf bool
 				if out != nil {
@@ -103,6 +111,7 @@ func Pinocchio(p *Problem) (*Result, error) {
 			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
+		cost.addNIB(arcs, int64(m)-touched-arcs)
 		if ctxErr != nil {
 			break
 		}
@@ -114,6 +123,7 @@ func Pinocchio(p *Problem) (*Result, error) {
 	}
 
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
-	finishSolve(p.Obs, AlgPinocchio.String(), start, st)
+	cost.finishExact(p, st, res.Influences, res.BestIndex)
+	finishSolve(p.Obs, AlgPinocchio.String(), start, st, cost)
 	return res, nil
 }

@@ -23,6 +23,11 @@ type objPrune struct {
 	ia  []int32
 	vs  []int32
 	out []valOutcome
+	// arcs counts candidates the box scan touched but the exact
+	// Lemma 3 test rejected (the "nib-arc" rule); replays feed it to
+	// the Cost ledger so warm and cold solves report the same rule
+	// split.
+	arcs int32
 }
 
 // valOutcome memoizes one remnant pair's validation: the verdict and
@@ -209,6 +214,8 @@ func computePrunes(p *Problem, tree *rtree.Tree, a2d []a2dEntry, workers int) ([
 				pr.ia = append(pr.ia, int32(it.ID))
 			case object.NeedsValidation:
 				pr.vs = append(pr.vs, int32(it.ID))
+			default:
+				pr.arcs++
 			}
 			return true
 		})
@@ -316,8 +323,10 @@ func (p *Problem) solveState(st *Stats) (a2d []a2dEntry, tree *rtree.Tree, prune
 // remnant pair its memoized validation outcome), a live R-tree scan
 // otherwise (out is nil — the pair must be validated live). The return
 // values and callback order match pruneObject, so counters derived
-// from them are identical either way.
-func scanObject(tree *rtree.Tree, prunes []objPrune, k int, e a2dEntry, influenced func(cand int), validate func(cand int, out *valOutcome)) (touched, iaHits int64) {
+// from them are identical either way. nodes, when non-nil, accumulates
+// R-tree node visits on the live path (replays do no tree work and
+// leave it untouched).
+func scanObject(tree *rtree.Tree, prunes []objPrune, k int, e a2dEntry, nodes *int64, influenced func(cand int), validate func(cand int, out *valOutcome)) (touched, iaHits, arcs int64) {
 	if prunes != nil {
 		pr := prunes[k]
 		for _, c := range pr.ia {
@@ -326,7 +335,7 @@ func scanObject(tree *rtree.Tree, prunes []objPrune, k int, e a2dEntry, influenc
 		for i, c := range pr.vs {
 			validate(int(c), &pr.out[i])
 		}
-		return int64(len(pr.ia) + len(pr.vs)), int64(len(pr.ia))
+		return int64(len(pr.ia) + len(pr.vs)), int64(len(pr.ia)), int64(pr.arcs)
 	}
-	return pruneObject(tree, e, influenced, func(c int) { validate(c, nil) })
+	return pruneObject(tree, e, nodes, influenced, func(c int) { validate(c, nil) })
 }

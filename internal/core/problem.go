@@ -60,6 +60,13 @@ type Problem struct {
 	// default.
 	Ctx context.Context
 
+	// Cost, when non-nil, receives the solve's EXPLAIN accounting:
+	// per-rule prune counts, live-vs-memoized validation, index node
+	// visits and (after EnableVerdicts) a per-candidate verdict table.
+	// Nil disables accounting; every Cost method is nil-safe and the
+	// disabled path allocates nothing.
+	Cost *Cost
+
 	// Plan, when non-nil, supplies prebuilt solve state (BuildPlan):
 	// the candidate R-tree, the A_2D array and the memoized prune
 	// classification. It must have been built for exactly these

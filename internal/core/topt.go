@@ -39,6 +39,7 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 
 	s := &voState{
 		p:      p,
+		cost:   p.Cost,
 		minInf: make([]int, m),
 		maxInf: make([]int, m),
 		vs:     make([][]int, m),
@@ -52,14 +53,18 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 			pruneSp.End()
 			return nil, nil, err
 		}
-		touched, ia := scanObject(tree, prunes, k, e,
-			func(cand int) { s.minInf[cand]++ },
+		touched, ia, arcs := scanObject(tree, prunes, k, e, s.cost.nodeCounter(),
+			func(cand int) {
+				s.cost.pruneIA(cand)
+				s.minInf[cand]++
+			},
 			func(cand int, out *valOutcome) {
 				s.vs[cand] = append(s.vs[cand], k)
 				s.out[cand] = append(s.out[cand], out)
 			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
+		s.cost.addNIB(arcs, int64(m)-touched-arcs)
 	}
 	for c := 0; c < m; c++ {
 		s.maxInf[c] = s.minInf[c] + len(s.vs[c])
@@ -70,7 +75,8 @@ func PinocchioVOTopT(p *Problem, t int) ([]Ranked, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	finishSolve(p.Obs, "PIN-VO-TOPT", start, st)
+	s.cost.finishTopT(p, st, s.minInf, s.maxInf, ranked)
+	finishSolve(p.Obs, "PIN-VO-TOPT", start, st, s.cost)
 	return ranked, st, nil
 }
 
@@ -117,6 +123,7 @@ func (s *voState) runTopT(st *Stats, t int) ([]Ranked, error) {
 		if s.maxInf[top] < tthBest() {
 			for _, c := range h.order {
 				st.SkippedByBounds += int64(len(s.vs[c]))
+				s.cost.skip(c, len(s.vs[c]))
 			}
 			break
 		}
@@ -132,6 +139,7 @@ func (s *voState) runTopT(st *Stats, t int) ([]Ranked, error) {
 				s.maxInf[top]--
 				if s.maxInf[top] < tthBest() {
 					st.SkippedByBounds += int64(len(s.vs[top]) - vi - 1)
+					s.cost.skip(top, len(s.vs[top])-vi-1)
 					break
 				}
 			}

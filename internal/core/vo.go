@@ -39,6 +39,7 @@ func (h *candHeap) Pop() interface{} {
 // loop.
 type voState struct {
 	p      *Problem
+	cost   *Cost   // aliases p.Cost; nil disables EXPLAIN accounting
 	minInf []int   // identified influence (lower bound)
 	maxInf []int   // possible influence (upper bound)
 	vs     [][]int // verification set: object indices per candidate
@@ -54,9 +55,11 @@ func (s *voState) validatePair(top, vi, ok int, st *Stats) bool {
 	obj := s.p.Objects[ok]
 	if s.out != nil {
 		if o := s.out[top][vi]; o != nil {
+			s.cost.validated(top, true)
 			return replayEarlyStop(o, obj.N(), st)
 		}
 	}
+	s.cost.validated(top, false)
 	return influencedEarlyStop(s.p.PF, s.p.Tau, s.p.Candidates[top], obj.Positions, st)
 }
 
@@ -96,6 +99,7 @@ func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int, err error) {
 			// Strategy 1: every remaining candidate is dominated.
 			for _, c := range h.order {
 				st.SkippedByBounds += int64(len(s.vs[c]))
+				s.cost.skip(c, len(s.vs[c]))
 			}
 			break
 		}
@@ -113,6 +117,7 @@ func (s *voState) runValidation(st *Stats) (bestIdx, bestVal int, err error) {
 					// Strategy 1 inside validation: the candidate can
 					// no longer win; skip its remaining objects.
 					st.SkippedByBounds += int64(len(s.vs[top]) - vi - 1)
+					s.cost.skip(top, len(s.vs[top])-vi-1)
 					break
 				}
 			}
@@ -150,6 +155,7 @@ func PinocchioVO(p *Problem) (*Result, error) {
 
 	s := &voState{
 		p:      p,
+		cost:   p.Cost,
 		minInf: make([]int, m),
 		maxInf: make([]int, m),
 		vs:     make([][]int, m),
@@ -165,14 +171,18 @@ func PinocchioVO(p *Problem) (*Result, error) {
 			pruneSp.End()
 			return nil, err
 		}
-		touched, ia := scanObject(tree, prunes, k, e,
-			func(cand int) { s.minInf[cand]++ },
+		touched, ia, arcs := scanObject(tree, prunes, k, e, s.cost.nodeCounter(),
+			func(cand int) {
+				s.cost.pruneIA(cand)
+				s.minInf[cand]++
+			},
 			func(cand int, out *valOutcome) {
 				s.vs[cand] = append(s.vs[cand], k)
 				s.out[cand] = append(s.out[cand], out)
 			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
+		s.cost.addNIB(arcs, int64(m)-touched-arcs)
 	}
 	// maxInf(c) = r − #objects whose NIB excludes c
 	//           = IA hits + |VS(c)|.
@@ -186,7 +196,8 @@ func PinocchioVO(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	finishSolve(p.Obs, AlgPinocchioVO.String(), start, st)
+	s.cost.finishVO(p, st, s.minInf, s.maxInf, res.BestIndex)
+	finishSolve(p.Obs, AlgPinocchioVO.String(), start, st, s.cost)
 	return res, nil
 }
 
@@ -215,6 +226,7 @@ func PinocchioVOStar(p *Problem) (*Result, error) {
 	}
 	s := &voState{
 		p:      p,
+		cost:   p.Cost,
 		minInf: make([]int, m),
 		maxInf: make([]int, m),
 		vs:     make([][]int, m),
@@ -229,6 +241,7 @@ func PinocchioVOStar(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	finishSolve(p.Obs, AlgPinocchioVOStar.String(), start, st)
+	s.cost.finishVO(p, st, s.minInf, s.maxInf, res.BestIndex)
+	finishSolve(p.Obs, AlgPinocchioVOStar.String(), start, st, s.cost)
 	return res, nil
 }

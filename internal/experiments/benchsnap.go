@@ -105,19 +105,28 @@ func phasePercentiles(samples map[string][]float64) map[string]Percentiles {
 // BENCH_PR*.json. Wall times are minimums over Iterations runs, the
 // usual convention for shaving scheduler noise off small benchmarks.
 type BenchSnapshot struct {
-	Schema     string      `json:"schema"`
-	CreatedAt  string      `json:"created_at"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	NumCPU     int         `json:"num_cpu"`
-	Scale      float64     `json:"scale"`
-	Seed       int64       `json:"seed"`
-	Objects    int         `json:"objects"`
-	Candidates int         `json:"candidates"`
-	Tau        float64     `json:"tau"`
-	Iterations int         `json:"iterations"`
-	Algorithms []BenchAlgo `json:"algorithms"`
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs records the scheduler width the timed runs used —
+	// PIN-PAR wall times are meaningless without it.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Build pins the binary identity (module version, VCS revision)
+	// so snapshots from different checkouts stay distinguishable.
+	Build      obs.BuildInfo `json:"build"`
+	Scale      float64       `json:"scale"`
+	Seed       int64         `json:"seed"`
+	Objects    int           `json:"objects"`
+	Candidates int           `json:"candidates"`
+	Tau        float64       `json:"tau"`
+	Iterations int           `json:"iterations"`
+	Algorithms []BenchAlgo   `json:"algorithms"`
+	// PruneAccounting holds one explain'd solve per algorithm × τ: the
+	// per-rule cost ledger behind the headline prune ratios.
+	PruneAccounting []BenchPrune `json:"prune_accounting,omitempty"`
 	// ServedQueries times the same solves through the HTTP serving
 	// layer (cmd/pinocchiod), including a cache-hit row.
 	ServedQueries []BenchServed `json:"served_queries,omitempty"`
@@ -168,6 +177,8 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Build:      obs.ReadBuildInfo(),
 		Scale:      cfg.Scale,
 		Seed:       cfg.Seed,
 		Objects:    len(objs),
@@ -225,6 +236,10 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 	if err := run("PIN-PAR", func() (*core.Result, error) {
 		return core.PinocchioParallel(p, workers)
 	}); err != nil {
+		return nil, err
+	}
+	snap.PruneAccounting, err = RunPruneAccounting(objs, cs.Points, nil, workers)
+	if err != nil {
 		return nil, err
 	}
 	snap.ServedQueries, err = benchServed(objs, cs.Points, cfg.Tau, cfg.Iterations)

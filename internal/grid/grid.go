@@ -147,6 +147,32 @@ func (g *Index) SearchRect(r geo.Rect, visit func(Item) bool) bool {
 	return true
 }
 
+// SearchRectCounted is SearchRect with work accounting: cells, when
+// non-nil, is incremented once per grid cell the scan examines. A nil
+// counter delegates to the uncounted path.
+func (g *Index) SearchRectCounted(r geo.Rect, visit func(Item) bool, cells *int64) bool {
+	if cells == nil {
+		return g.SearchRect(r, visit)
+	}
+	cx0, cy0, cx1, cy1, ok := g.cellRange(r)
+	if !ok {
+		return true
+	}
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			*cells++
+			for _, it := range g.cells[cy*g.cols+cx] {
+				if r.ContainsPoint(it.Point) {
+					if !visit(it) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
 // SearchCircle visits every item within radius of center.
 func (g *Index) SearchCircle(center geo.Point, radius float64, visit func(Item) bool) bool {
 	if radius < 0 {

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary and its host parallelism:
+// stamped into /v1/status, benchmark snapshots and the
+// pinocchio_build_info metric so results from different builds and
+// core counts stay distinguishable.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Version is the main module's version ("(devel)" for local
+	// builds); empty when the binary carries no build info.
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit the binary was built from; empty
+	// outside a checkout or with -buildvcs=off.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// NumCPU and GoMaxProcs describe the host at read time.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// ReadBuildInfo resolves the binary's build identity once (the debug
+// data never changes) and the scheduler width per call (GOMAXPROCS can
+// move at runtime).
+func ReadBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				buildInfo.Revision = kv.Value
+			case "vcs.modified":
+				buildInfo.Modified = kv.Value == "true"
+			}
+		}
+	})
+	b := buildInfo
+	b.NumCPU = runtime.NumCPU()
+	b.GoMaxProcs = runtime.GOMAXPROCS(0)
+	return b
+}
+
+// RegisterBuildInfo publishes the standard build-info gauge (constant
+// 1, identity in the labels — the Prometheus idiom for build
+// metadata) into r.
+func RegisterBuildInfo(r *Registry) {
+	b := ReadBuildInfo()
+	lbl := Labels{"go_version": b.GoVersion}
+	if b.Version != "" {
+		lbl["version"] = b.Version
+	}
+	if b.Revision != "" {
+		lbl["revision"] = b.Revision
+	}
+	r.Gauge("pinocchio_build_info",
+		"Build identity of the running binary (value is always 1).", lbl).Set(1)
+}

@@ -39,6 +39,13 @@ func (h *nnHeap) Pop() interface{} {
 // distance order, using the classic best-first (Hjaltason–Samet)
 // traversal. Fewer than k are returned when the tree is smaller.
 func (t *Tree) NearestNeighbors(q geo.Point, k int) []Neighbor {
+	return t.NearestNeighborsCounted(q, k, nil)
+}
+
+// NearestNeighborsCounted is NearestNeighbors with work accounting:
+// nodes, when non-nil, is incremented once per tree node the best-first
+// search expands (pops from its frontier).
+func (t *Tree) NearestNeighborsCounted(q geo.Point, k int, nodes *int64) []Neighbor {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -51,6 +58,9 @@ func (t *Tree) NearestNeighbors(q geo.Point, k int) []Neighbor {
 			continue
 		}
 		n := e.node
+		if nodes != nil {
+			*nodes++
+		}
 		for i := range n.entries {
 			ne := &n.entries[i]
 			if n.leaf {
@@ -66,7 +76,13 @@ func (t *Tree) NearestNeighbors(q geo.Point, k int) []Neighbor {
 // Nearest returns the single nearest item to q and true, or a zero
 // Neighbor and false when the tree is empty.
 func (t *Tree) Nearest(q geo.Point) (Neighbor, bool) {
-	ns := t.NearestNeighbors(q, 1)
+	return t.NearestCounted(q, nil)
+}
+
+// NearestCounted is Nearest with the node-expansion accounting of
+// NearestNeighborsCounted.
+func (t *Tree) NearestCounted(q geo.Point, nodes *int64) (Neighbor, bool) {
+	ns := t.NearestNeighborsCounted(q, 1, nodes)
 	if len(ns) == 0 {
 		return Neighbor{}, false
 	}

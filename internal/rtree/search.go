@@ -31,6 +31,41 @@ func searchRect(n *node, r geo.Rect, visit func(Item) bool) bool {
 	return true
 }
 
+// SearchRectCounted is SearchRect with work accounting: nodes, when
+// non-nil, is incremented once per tree node whose entries the
+// traversal examines (the root included). A nil counter delegates to
+// the uncounted path, so instrumented callers pay nothing when
+// accounting is off.
+func (t *Tree) SearchRectCounted(r geo.Rect, visit func(Item) bool, nodes *int64) bool {
+	if nodes == nil {
+		return t.SearchRect(r, visit)
+	}
+	if t.size == 0 || r.IsEmpty() {
+		return true
+	}
+	return searchRectCounted(t.root, r, visit, nodes)
+}
+
+func searchRectCounted(n *node, r geo.Rect, visit func(Item) bool, nodes *int64) bool {
+	*nodes++
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !r.Intersects(e.rect) {
+			continue
+		}
+		if n.leaf {
+			if r.ContainsPoint(e.item.Point) {
+				if !visit(e.item) {
+					return false
+				}
+			}
+		} else if !searchRectCounted(e.child, r, visit, nodes) {
+			return false
+		}
+	}
+	return true
+}
+
 // SearchCircle visits every item within distance radius of center
 // (boundary inclusive). This is the range-query shape issued per moving
 // object by the pruning phase.
@@ -55,6 +90,39 @@ func searchCircle(n *node, center geo.Point, r2 float64, visit func(Item) bool) 
 				}
 			}
 		} else if !searchCircle(e.child, center, r2, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchCircleCounted is SearchCircle with the same node-visit
+// accounting contract as SearchRectCounted.
+func (t *Tree) SearchCircleCounted(center geo.Point, radius float64, visit func(Item) bool, nodes *int64) bool {
+	if nodes == nil {
+		return t.SearchCircle(center, radius, visit)
+	}
+	if t.size == 0 || radius < 0 {
+		return true
+	}
+	r2 := radius * radius
+	return searchCircleCounted(t.root, center, r2, visit, nodes)
+}
+
+func searchCircleCounted(n *node, center geo.Point, r2 float64, visit func(Item) bool, nodes *int64) bool {
+	*nodes++
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.rect.MinDistSq(center) > r2 {
+			continue
+		}
+		if n.leaf {
+			if center.DistSq(e.item.Point) <= r2 {
+				if !visit(e.item) {
+					return false
+				}
+			}
+		} else if !searchCircleCounted(e.child, center, r2, visit, nodes) {
 			return false
 		}
 	}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+)
+
+// sumAccounted mirrors core.Cost.AccountedPairs on the wire shape.
+func sumAccounted(e *ExplainJSON) int64 {
+	return e.PrunedIA + e.PrunedNIBBox + e.PrunedNIBArc +
+		e.ValidatedLive + e.ValidatedMemo + e.SkippedByBounds
+}
+
+// TestQueryExplain checks the explain block for every algorithm: the
+// per-rule counts partition the pair total, the verdict table covers
+// every candidate, and the answer matches the explain-off solve.
+func TestQueryExplain(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: -1})
+	const nCand = 25
+
+	for _, algo := range []string{"na", "pin", "pin-vo", "pin-vo*", "pin-par"} {
+		t.Run(algo, func(t *testing.T) {
+			var plain, explained QueryResponse
+			body := fmt.Sprintf(`{"tau":0.5,"algorithm":%q}`, algo)
+			do(t, s, "POST", "/v1/query", body, &plain)
+			ebody := fmt.Sprintf(`{"tau":0.5,"algorithm":%q,"explain":true}`, algo)
+			do(t, s, "POST", "/v1/query", ebody, &explained)
+
+			if plain.Explain != nil {
+				t.Fatalf("explain-off response carries an explain block")
+			}
+			e := explained.Explain
+			if e == nil {
+				t.Fatalf("no explain block in response")
+			}
+			if explained.Best != plain.Best || explained.Stats != plain.Stats {
+				t.Errorf("explain changed the answer:\noff: %+v %v\non:  %+v %v",
+					plain.Best, plain.Stats, explained.Best, explained.Stats)
+			}
+			if e.PairsTotal != explained.Stats.PairsTotal {
+				t.Errorf("explain pairs %d != stats pairs %d", e.PairsTotal, explained.Stats.PairsTotal)
+			}
+			if got := sumAccounted(e); got != e.PairsTotal {
+				t.Errorf("accounted %d of %d pairs", got, e.PairsTotal)
+			}
+			if len(e.Verdicts) != nCand {
+				t.Errorf("%d verdict rows, want %d", len(e.Verdicts), nCand)
+			}
+			rows := 0
+			for _, n := range e.VerdictCounts {
+				rows += n
+			}
+			if rows != nCand {
+				t.Errorf("verdict counts sum to %d, want %d (%v)", rows, nCand, e.VerdictCounts)
+			}
+			if e.ResultCache != "miss" {
+				t.Errorf("result cache %q, want \"miss\"", e.ResultCache)
+			}
+		})
+	}
+}
+
+// TestQueryExplainTopK covers the top-t path: k winners, full verdict
+// coverage.
+func TestQueryExplainTopK(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: -1})
+	var resp QueryResponse
+	do(t, s, "POST", "/v1/query", `{"tau":0.5,"algorithm":"pin-vo","k":4,"explain":true}`, &resp)
+	e := resp.Explain
+	if e == nil {
+		t.Fatalf("no explain block in top-k response")
+	}
+	if got := sumAccounted(e); got != e.PairsTotal {
+		t.Errorf("accounted %d of %d pairs", got, e.PairsTotal)
+	}
+	if got := e.VerdictCounts["winner"]; got != len(resp.TopK) {
+		t.Errorf("%d winner verdicts, want %d", got, len(resp.TopK))
+	}
+}
+
+// TestQueryExplainResultCache: a repeated explain'd query is served
+// from the result cache with the original counters re-stamped as a
+// hit — and the stored response is not mutated in the process.
+func TestQueryExplainResultCache(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 8})
+	const body = `{"tau":0.5,"algorithm":"pin-vo","explain":true}`
+
+	var first, second, third QueryResponse
+	do(t, s, "POST", "/v1/query", body, &first)
+	do(t, s, "POST", "/v1/query", body, &second)
+	do(t, s, "POST", "/v1/query", body, &third)
+
+	if first.Explain.ResultCache != "miss" {
+		t.Errorf("first: result cache %q, want \"miss\"", first.Explain.ResultCache)
+	}
+	for name, resp := range map[string]*QueryResponse{"second": &second, "third": &third} {
+		if !resp.Cached {
+			t.Errorf("%s: not served from cache", name)
+		}
+		if resp.Explain == nil {
+			t.Fatalf("%s: cached response lost its explain block", name)
+		}
+		if resp.Explain.ResultCache != "hit" {
+			t.Errorf("%s: result cache %q, want \"hit\"", name, resp.Explain.ResultCache)
+		}
+		if got := sumAccounted(resp.Explain); got != resp.Explain.PairsTotal {
+			t.Errorf("%s: accounted %d of %d pairs", name, got, resp.Explain.PairsTotal)
+		}
+	}
+
+	// Explain and non-explain requests must not share cache entries:
+	// the plain request may hit its own earlier entry but never one
+	// with an explain block attached.
+	var plain QueryResponse
+	do(t, s, "POST", "/v1/query", `{"tau":0.5,"algorithm":"pin-vo"}`, &plain)
+	if plain.Explain != nil {
+		t.Errorf("explain-off request served an explain'd cache entry")
+	}
+}
+
+// TestQueryExplainPlanSource: with the result cache off and the plan
+// cache on, the first solve builds its plan and the second replays it.
+func TestQueryExplainPlanSource(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: -1, PlanCacheSize: 8})
+	const body = `{"tau":0.5,"algorithm":"pin-vo","explain":true}`
+
+	var first, second QueryResponse
+	do(t, s, "POST", "/v1/query", body, &first)
+	do(t, s, "POST", "/v1/query", body, &second)
+
+	if first.Explain.PlanSource != "built" {
+		t.Errorf("first: plan source %q, want \"built\"", first.Explain.PlanSource)
+	}
+	if second.Explain.PlanSource != "cached" {
+		t.Errorf("second: plan source %q, want \"cached\"", second.Explain.PlanSource)
+	}
+	// Plan replay must not change the accounting partition.
+	if !reflect.DeepEqual(first.Explain.Verdicts, second.Explain.Verdicts) {
+		t.Errorf("verdict tables differ across plan replay")
+	}
+	if second.Explain.RTreeNodeVisits != 0 {
+		t.Errorf("warm solve reports %d node visits, want 0", second.Explain.RTreeNodeVisits)
+	}
+}
+
+// benchServer builds a Server for the explain benchmarks: result cache
+// off (so every request solves), plan cache on (so solves are warm).
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	objs := make([]*object.Object, 40)
+	for i := range objs {
+		pts := make([]geo.Point, 5+rng.Intn(10))
+		for j := range pts {
+			pts[j] = geo.Point{X: rng.Float64() * 8, Y: rng.Float64() * 8}
+		}
+		o, err := object.New(i, pts)
+		if err != nil {
+			b.Fatalf("object.New: %v", err)
+		}
+		objs[i] = o
+	}
+	cands := make([]geo.Point, 25)
+	for i := range cands {
+		cands[i] = geo.Point{X: rng.Float64() * 8, Y: rng.Float64() * 8}
+	}
+	s, err := New(Config{CacheSize: -1, PlanCacheSize: 8, TraceKeep: -1, SlowQuery: -1}, objs, cands)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// benchServed drives the full handler path with the given body.
+func benchServed(b *testing.B, s *Server, body string) {
+	b.Helper()
+	payload := []byte(body)
+	// One warm-up request populates the plan cache.
+	req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(payload))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		b.Fatalf("warm-up: %d %s", rec.Code, rec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("query: %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServedQueryNoExplain is the allocation guard for the warm
+// served-query path with accounting disabled: compare its allocs/op
+// against BenchmarkServedQueryExplain to see what the explain layer
+// adds — the disabled path itself must not pay for it.
+func BenchmarkServedQueryNoExplain(b *testing.B) {
+	benchServed(b, benchServer(b), `{"tau":0.5,"algorithm":"pin-vo"}`)
+}
+
+// BenchmarkServedQueryExplain is the same path with full accounting
+// and the verdict table, for comparison.
+func BenchmarkServedQueryExplain(b *testing.B) {
+	benchServed(b, benchServer(b), `{"tau":0.5,"algorithm":"pin-vo","explain":true}`)
+}

@@ -48,6 +48,11 @@ type QueryRequest struct {
 	TimeoutMs int `json:"timeout_ms"`
 	// NoCache skips the result cache for this request.
 	NoCache bool `json:"no_cache"`
+	// Explain attaches EXPLAIN accounting to the solve: the response
+	// gains an "explain" block with the per-rule prune breakdown, the
+	// per-candidate verdict table and plan/result-cache provenance, and
+	// the same counters land on the retained trace.
+	Explain bool `json:"explain"`
 }
 
 // CandidateJSON is one candidate with its influence on the wire.
@@ -75,6 +80,32 @@ type QueryResponse struct {
 	// X-Request-ID response header); look the request up at
 	// /v1/debug/traces/{trace_id} while it is retained.
 	TraceID string `json:"trace_id,omitempty"`
+	// Explain is present only when the request set "explain": true.
+	Explain *ExplainJSON `json:"explain,omitempty"`
+}
+
+// ExplainJSON is the EXPLAIN block of a query response: the core.Cost
+// wire counters inlined, the derived prune ratio, and the
+// per-candidate verdict table. On a result-cache hit the counters
+// describe the solve that populated the cache (ResultCache: "hit").
+type ExplainJSON struct {
+	core.Cost
+	PruneRatio    float64            `json:"prune_ratio"`
+	Verdicts      []core.CandVerdict `json:"verdicts,omitempty"`
+	VerdictCounts map[string]int     `json:"verdict_counts,omitempty"`
+}
+
+// explainJSON shapes a solve's ledger for the wire; nil in, nil out.
+func explainJSON(c *core.Cost) *ExplainJSON {
+	if c == nil {
+		return nil
+	}
+	return &ExplainJSON{
+		Cost:          *c,
+		PruneRatio:    c.PruneRatio(),
+		Verdicts:      c.Verdicts(),
+		VerdictCounts: c.VerdictCounts(),
+	}
 }
 
 // errorJSON is the error body every non-2xx response carries.
@@ -229,6 +260,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"durable":        s.cfg.Store != nil,
 		"trace_entries":  s.traces.Len(),
+		"build":          obs.ReadBuildInfo(),
+		"work":           s.workStatus(),
 	}
 	latency := map[string]any{
 		"query":    quantilesMS(s.latQuery),
@@ -315,10 +348,16 @@ var algorithms = map[string]core.Algorithm{
 
 // cacheKey identifies a query result: any mutation moves the epoch and
 // thereby invalidates every previously cached entry. Workers are
-// excluded — they change wall time, never the result.
+// excluded — they change wall time, never the result. Explain is
+// included — an explain'd response carries a block a plain solve never
+// computed, so the two must not share an entry.
 func cacheKey(epoch int64, req *QueryRequest) string {
-	return fmt.Sprintf("%d|%s|%s|%g|%g|%g|%d",
-		epoch, req.Algorithm, req.PF, req.Rho, req.Lambda, req.Tau, req.K)
+	e := 0
+	if req.Explain {
+		e = 1
+	}
+	return fmt.Sprintf("%d|%s|%s|%g|%g|%g|%d|%d",
+		epoch, req.Algorithm, req.PF, req.Rho, req.Lambda, req.Tau, req.K, e)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -385,6 +424,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp := *cached
 			resp.Cached = true
 			resp.TraceID = obs.TraceIDFrom(r.Context())
+			if cached.Explain != nil {
+				// Clone the explain block before stamping the hit so the
+				// shared cached response stays immutable.
+				ex := *cached.Explain
+				ex.ResultCache = "hit"
+				resp.Explain = &ex
+			}
 			writeJSON(w, http.StatusOK, &resp)
 			return
 		}
@@ -417,6 +463,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
 	recordQuery(req.Algorithm, false, elapsed)
+	s.addWork(&resp.Stats)
 	if !req.NoCache {
 		// The cached copy keeps this TraceID; cache hits overwrite it
 		// with their own request's ID before responding.
@@ -441,18 +488,19 @@ func usesPlan(algo string) bool {
 // the epoch, so a mutation implicitly invalidates every older plan;
 // the candidate R-tree half is shared across (PF, τ) keys via the
 // snapshot. Returns nil (solve cold) when plan caching is disabled.
-// The hit/miss outcome lands on the request's trace, and a miss's
-// build phases attach to sp.
-func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func, sp *obs.Span) (*core.Plan, error) {
+// The hit/miss outcome lands on the request's trace and is returned as
+// the EXPLAIN provenance ("cached"/"built", "" when disabled); a
+// miss's build phases attach to sp.
+func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func, sp *obs.Span) (*core.Plan, string, error) {
 	if s.cfg.PlanCacheSize <= 0 {
-		return nil, nil
+		return nil, "", nil
 	}
 	tr := traceFrom(ctx)
 	key := planKey{epoch: sn.epoch, pf: req.PF, rho: req.Rho, lambda: req.Lambda, tau: req.Tau}
 	if pl, ok := s.plans.get(key); ok {
 		recordPlanCache(true)
 		tr.SetPlanCache("hit")
-		return pl, nil
+		return pl, "cached", nil
 	}
 	recordPlanCache(false)
 	tr.SetPlanCache("miss")
@@ -466,11 +514,11 @@ func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, p
 		Obs:        sp,
 	}, sn.candTree())
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	recordPlanBuild(time.Since(start))
 	s.plans.put(key, pl)
-	return pl, nil
+	return pl, "built", nil
 }
 
 // solveQuery runs the selected solver over the snapshot and shapes the
@@ -488,12 +536,23 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 		Obs:        root,
 		TraceID:    obs.TraceIDFrom(ctx),
 	}
+	if req.Explain {
+		// Only explain'd requests carry a ledger: the served path with
+		// explain off must stay allocation-free for the accounting
+		// layer. This request is solving, so its result-cache verdict
+		// is "miss"; a later cache hit re-stamps the clone.
+		p.Cost = &core.Cost{ResultCache: "miss"}
+		p.Cost.EnableVerdicts(len(sn.candPts))
+	}
 	if usesPlan(req.Algorithm) {
-		pl, err := s.planFor(ctx, sn, req, pf, root)
+		pl, src, err := s.planFor(ctx, sn, req, pf, root)
 		if err != nil {
 			return nil, err
 		}
 		p.Plan = pl
+		if src != "" {
+			p.Cost.SetPlanSource(src)
+		}
 	}
 	resp := &QueryResponse{
 		Algorithm:  req.Algorithm,
@@ -527,6 +586,7 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 		if len(resp.TopK) > 0 {
 			resp.Best = resp.TopK[0]
 		}
+		resp.Explain = explainJSON(p.Cost)
 		return resp, nil
 	}
 
@@ -564,6 +624,7 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 			resp.TopK = append(resp.TopK, mk(rk.Index, rk.Influence))
 		}
 	}
+	resp.Explain = explainJSON(p.Cost)
 	return resp, nil
 }
 

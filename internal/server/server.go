@@ -226,6 +226,42 @@ type Server struct {
 	// of the opt-in metrics surface.
 	latQuery    *obs.Histogram
 	latMutation *obs.Histogram
+
+	// Cumulative solved-query work, fed by every real solve (cache hits
+	// excluded — they do no work) and surfaced in /v1/status so
+	// work-per-query trends are visible without the metrics endpoint.
+	workPairs     atomic.Int64
+	workPruned    atomic.Int64
+	workValidated atomic.Int64
+	workProbes    atomic.Int64
+	workQueries   atomic.Int64
+}
+
+// addWork folds one solve's counters into the status totals.
+func (s *Server) addWork(st *core.Stats) {
+	s.workQueries.Add(1)
+	s.workPairs.Add(st.PairsTotal)
+	s.workPruned.Add(st.PrunedByIA + st.PrunedByNIB)
+	s.workValidated.Add(st.Validated)
+	s.workProbes.Add(st.PositionProbes)
+}
+
+// workStatus shapes the cumulative work block of /v1/status.
+func (s *Server) workStatus() map[string]any {
+	pairs := s.workPairs.Load()
+	pruned := s.workPruned.Load()
+	ratio := 0.0
+	if pairs > 0 {
+		ratio = float64(pruned) / float64(pairs)
+	}
+	return map[string]any{
+		"queries_solved":  s.workQueries.Load(),
+		"pairs_total":     pairs,
+		"pairs_pruned":    pruned,
+		"pairs_validated": s.workValidated.Load(),
+		"position_probes": s.workProbes.Load(),
+		"prune_ratio":     ratio,
+	}
 }
 
 // New builds a server over an initial population: the moving objects
@@ -268,6 +304,9 @@ func NewWithEngine(cfg Config, eng *dynamic.Engine, epoch int64) *Server {
 		latQuery:    obs.NewHistogram(nil),
 		latMutation: obs.NewHistogram(nil),
 	}
+	// Build identity is constant for the process; registering here keeps
+	// every server (including tests) exporting it without a cmd hook.
+	obs.RegisterBuildInfo(obs.Default())
 	s.routes()
 	return s
 }

@@ -73,6 +73,57 @@ curl -fsS "http://$addr/metrics" | grep -c '^pinocchio_' >/dev/null
 # The runtime sampler feeds process health into the same registry.
 curl -fsS "http://$addr/metrics" | grep -q '^pinocchio_runtime_goroutines'
 
+echo "== explain"
+# An explain'd query returns the per-rule cost ledger; the per-pair
+# buckets must partition the pair total exactly, and the per-candidate
+# verdict counts must cover the whole candidate set.
+ex=$(curl -fsS "http://$addr/v1/query" \
+    -d '{"tau":0.7,"algorithm":"pin-vo","no_cache":true,"explain":true}')
+case "$ex" in
+*'"explain"'*) ;;
+*) echo "query response missing explain block: $ex" >&2; exit 1 ;;
+esac
+# Drop the per-candidate verdict rows so each counter name appears only
+# in the stats and explain blocks; greedy sed then reads the explain
+# (last) occurrence.
+exflat=$(printf '%s' "$ex" | sed 's/"verdicts":\[[^]]*\]//')
+exfield() {
+    v=$(printf '%s' "$exflat" | sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p")
+    echo "${v:-0}"
+}
+pairs=$(exfield pairs_total)
+ia=$(exfield pruned_ia)
+nibbox=$(exfield pruned_nib_box)
+nibarc=$(exfield pruned_nib_arc)
+vlive=$(exfield validated_live)
+vmemo=$(exfield validated_memo)
+skipped=$(exfield skipped_by_bounds)
+sum=$((ia + nibbox + nibarc + vlive + vmemo + skipped))
+echo "pairs=$pairs ia=$ia nib-box=$nibbox nib-arc=$nibarc live=$vlive memo=$vmemo skipped=$skipped"
+if [ "$pairs" -eq 0 ] || [ "$sum" -ne "$pairs" ]; then
+    echo "explain buckets sum to $sum, want $pairs: $exflat" >&2
+    exit 1
+fi
+vsum=0
+for verdict in winner validated skipped pruned; do
+    n=$(printf '%s' "$exflat" |
+        sed -n "s/.*\"verdict_counts\":{[^}]*\"$verdict\":\([0-9][0-9]*\).*/\1/p")
+    vsum=$((vsum + ${n:-0}))
+done
+if [ "$vsum" -ne 50 ]; then
+    echo "verdict counts sum to $vsum, want the 50 candidates: $exflat" >&2
+    exit 1
+fi
+# The same counts aggregate into the metric registry.
+metrics=$(curl -fsS "http://$addr/metrics")
+for metric in pinocchio_pairs_pruned_rule_total pinocchio_pairs_validated_src_total \
+    pinocchio_last_prune_ratio pinocchio_explained_queries_total; do
+    printf '%s\n' "$metrics" | grep -q "^$metric" || {
+        echo "metrics missing $metric" >&2
+        exit 1
+    }
+done
+
 echo "== request telemetry"
 # A client-supplied X-Request-ID is echoed (Go canonicalizes the header
 # casing) and keys the retained trace.
