@@ -12,7 +12,10 @@
 // top-1/top-k solves with per-request PF and algorithm, GET
 // /v1/influence/{id} and /v1/best for the engine's incrementally
 // maintained view, and POST/DELETE under /v1/objects and /v1/candidates
-// for mutations. GET /metrics always serves the metric registry;
+// for mutations. POST /v1/ingest applies a cross-object position batch
+// as one WAL record, and POST /v1/subscribe registers a standing top-k
+// query pushed over SSE (DESIGN.md §12). GET /metrics always serves
+// the metric registry;
 // -obs-addr additionally exposes /debug/vars and /debug/pprof/ on a
 // separate listener.
 package main
@@ -67,6 +70,9 @@ type options struct {
 
 	slowQuery time.Duration // slow-query log threshold (<= 0 disables)
 	traceKeep int           // retained traces per ring (<= 0 disables)
+
+	maxSubs   int // live standing-subscription cap (0 disables)
+	subBuffer int // per-subscription event backlog ring size
 }
 
 func main() {
@@ -92,6 +98,8 @@ func main() {
 	flag.IntVar(&opts.checkpointEvery, "checkpoint-every", 10000, "checkpoint after this many mutations (negative disables automatic checkpoints)")
 	flag.DurationVar(&opts.slowQuery, "slow-query", 250*time.Millisecond, "log requests slower than this with their phase breakdown (0 disables)")
 	flag.IntVar(&opts.traceKeep, "trace-keep", 256, "retained request traces for /v1/debug/traces (0 disables tracing)")
+	flag.IntVar(&opts.maxSubs, "max-subs", 256, "live standing-subscription cap for /v1/subscribe (0 disables subscriptions)")
+	flag.IntVar(&opts.subBuffer, "sub-buffer", 16, "per-subscription event backlog before coalescing")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -152,6 +160,12 @@ func validateOptions(opts options) error {
 	if opts.planCacheSize < 0 {
 		return fmt.Errorf("-plan-cache must be >= 0 (got %d); use 0 to disable the solve-plan cache", opts.planCacheSize)
 	}
+	if opts.maxSubs < 0 {
+		return fmt.Errorf("-max-subs must be >= 0 (got %d); use 0 to disable subscriptions", opts.maxSubs)
+	}
+	if opts.subBuffer < 0 {
+		return fmt.Errorf("-sub-buffer must be >= 0 (got %d); use 0 for the default", opts.subBuffer)
+	}
 	return nil
 }
 
@@ -176,6 +190,8 @@ func run(ctx context.Context, opts options) error {
 		MaxTimeout:    opts.maxTimeout,
 		SlowQuery:     opts.slowQuery,
 		TraceKeep:     opts.traceKeep,
+		MaxSubs:       opts.maxSubs,
+		SubBuffer:     opts.subBuffer,
 	}
 	// The flags' "0 disables" contract maps onto the Config convention
 	// where zero selects the default and negative disables.
@@ -187,6 +203,9 @@ func run(ctx context.Context, opts options) error {
 	}
 	if opts.planCacheSize == 0 {
 		cfg.PlanCacheSize = -1
+	}
+	if opts.maxSubs == 0 {
+		cfg.MaxSubs = -1
 	}
 
 	// Feed runtime health (heap, GC pauses, goroutines, scheduler
@@ -292,6 +311,13 @@ func run(ctx context.Context, opts options) error {
 	grace := opts.maxTimeout + 5*time.Second
 	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
+	// Terminate subscriptions FIRST: the goodbye events end every open
+	// SSE stream and long-poll, so httpSrv.Shutdown can drain the
+	// remaining (bounded-deadline) requests instead of hanging on
+	// streams that would otherwise stay open forever.
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("subscription shutdown: %w", err)
+	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
 	"pinocchio/internal/probfn"
 )
 
@@ -11,9 +12,14 @@ import (
 // (position streams, candidate management) and readers (dashboards
 // polling Best) can share one instance. Reads block writes and vice
 // versa; the underlying engine remains single-writer internally.
+//
+// A SafeEngine can additionally carry standing top-k watches
+// (WatchTopK): each holds a safe-region guard (TopKGuard) so most
+// position appends update the watch without recomputing its ranking.
 type SafeEngine struct {
-	mu sync.RWMutex
-	e  *Engine
+	mu      sync.RWMutex
+	e       *Engine
+	watches map[string]*watch
 }
 
 // NewSafe returns a goroutine-safe incremental engine.
@@ -29,42 +35,66 @@ func NewSafe(pf probfn.Func, tau float64) (*SafeEngine, error) {
 func (s *SafeEngine) AddCandidate(pt geo.Point) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.AddCandidate(pt)
+	id := s.e.AddCandidate(pt)
+	s.refreshWatches()
+	return id
 }
 
 // RemoveCandidate unregisters a candidate; see Engine.RemoveCandidate.
 func (s *SafeEngine) RemoveCandidate(id int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.RemoveCandidate(id)
+	if err := s.e.RemoveCandidate(id); err != nil {
+		return err
+	}
+	s.refreshWatches()
+	return nil
 }
 
 // AddObject starts tracking an object; see Engine.AddObject.
 func (s *SafeEngine) AddObject(id int, positions []geo.Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.AddObject(id, positions)
+	if err := s.e.AddObject(id, positions); err != nil {
+		return err
+	}
+	s.refreshWatches()
+	return nil
 }
 
 // RemoveObject stops tracking an object; see Engine.RemoveObject.
 func (s *SafeEngine) RemoveObject(id int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.RemoveObject(id)
+	if err := s.e.RemoveObject(id); err != nil {
+		return err
+	}
+	s.refreshWatches()
+	return nil
 }
 
-// AddPosition appends a position; see Engine.AddPosition.
+// AddPosition appends a position; see Engine.AddPosition. Watches go
+// through their safe-region guards (a single append is a batch of
+// one); use AddPositionBatch to learn which watches changed.
 func (s *SafeEngine) AddPosition(id int, p geo.Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.AddPosition(id, p)
+	if err := s.e.AddPosition(id, p); err != nil {
+		return err
+	}
+	s.observeWatches([]*object.Object{s.e.objects[id].obj})
+	return nil
 }
 
 // UpdateObject replaces an object's positions; see Engine.UpdateObject.
 func (s *SafeEngine) UpdateObject(id int, positions []geo.Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.UpdateObject(id, positions)
+	if err := s.e.UpdateObject(id, positions); err != nil {
+		return err
+	}
+	s.refreshWatches()
+	return nil
 }
 
 // Influence returns a candidate's current influence.

@@ -1,0 +1,394 @@
+// Safe-region filtering for standing top-k answers, the continuous-
+// query counterpart of the paper's pruning rules. The idea comes from
+// probabilistic safe regions (Probabilistic Voronoi Diagrams for
+// moving nearest-neighbor queries): a standing answer carries a
+// certificate — per-candidate influence bounds — that most position
+// appends provably cannot invalidate, so the answer is re-evaluated
+// only when an append could move some candidate's influence across
+// the current top-k boundary.
+//
+// The certificate exploits two monotonicity facts:
+//
+//   - appending a position never decreases any influence (the
+//     cumulative probability is monotone in the position set), so the
+//     influence at certificate build time is a permanent lower bound;
+//   - one appended batch raises inf(c) by at most 1 per touched
+//     object, and only for objects whose post-append non-influence
+//     boundary (Lemma 3) still contains c — everything outside the
+//     NIB can be discounted without any probability work.
+//
+// TopKGuard maintains those bounds; SafeEngine exposes them as watches
+// evaluated under the engine's own PF/τ, and internal/subscribe reuses
+// the guard for per-subscription parameters.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// GuardCandidate is one candidate with its exact influence at guard
+// build time — a row of the ranked vector a TopKGuard certifies.
+type GuardCandidate struct {
+	ID        int
+	Pt        geo.Point
+	Influence int
+}
+
+// rankGuardCandidates orders a full vector the way every solver ranks:
+// influence descending, id ascending on ties.
+func rankGuardCandidates(cands []GuardCandidate) {
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].Influence != cands[b].Influence {
+			return cands[a].Influence > cands[b].Influence
+		}
+		return cands[a].ID < cands[b].ID
+	})
+}
+
+// TopKGuard certifies that a ranked top-k answer is still exact under
+// a stream of position-append batches. It is built from the full
+// exact influence vector of one solve; Observe folds each batch into
+// per-candidate upper bounds and reports whether the ranking is still
+// certain. Once a batch could have changed the ranking the guard
+// breaks permanently — the caller re-solves and builds a fresh guard
+// from the new vector.
+//
+// A TopKGuard is not safe for concurrent use; serialize Observe with
+// the reads (SafeEngine and subscribe.Manager both run it under their
+// own synchronization).
+type TopKGuard struct {
+	radii *object.RadiusTable
+	k     int // delivered prefix length, min(k, len(cands))
+
+	// cands is the full vector in rank order. Influence values are the
+	// exact lower bounds (influences only grow under appends); upper
+	// accumulates the possible gains of every observed batch.
+	cands []GuardCandidate
+	upper []int
+
+	// credited[id][i] records that object id already contributed its
+	// possible +1 to candidate rank i. Influence counts objects, not
+	// positions: an object flips a candidate at most once ever, so each
+	// (object, candidate) pair is credited once across every observed
+	// batch — the NIB only grows under appends, so a flip that already
+	// happened is always inside the post-append NIB that credits it.
+	credited map[int][]bool
+
+	broken bool
+}
+
+// NewTopKGuard builds a guard certifying the top-k prefix of cands,
+// the exact full influence vector of one solve under (pf, tau). The
+// slice is copied; any order is accepted.
+func NewTopKGuard(pf probfn.Func, tau float64, k int, cands []GuardCandidate) (*TopKGuard, error) {
+	if pf == nil {
+		return nil, fmt.Errorf("dynamic: guard needs a probability function")
+	}
+	if !(tau > 0 && tau < 1) {
+		return nil, fmt.Errorf("dynamic: guard tau %v outside (0,1)", tau)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dynamic: guard needs k >= 1, got %d", k)
+	}
+	ranked := append([]GuardCandidate(nil), cands...)
+	rankGuardCandidates(ranked)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	upper := make([]int, len(ranked))
+	for i, c := range ranked {
+		upper[i] = c.Influence
+	}
+	return &TopKGuard{
+		radii:    object.NewRadiusTable(pf, tau),
+		k:        k,
+		cands:    ranked,
+		upper:    upper,
+		credited: map[int][]bool{},
+	}, nil
+}
+
+// TopK returns the certified ranked prefix (influences as of the solve
+// the guard was built from). The slice is shared; do not mutate.
+func (g *TopKGuard) TopK() []GuardCandidate { return g.cands[:g.k] }
+
+// Certified reports whether the guard still vouches for its ranking.
+func (g *TopKGuard) Certified() bool { return g != nil && !g.broken }
+
+// Invalidate breaks the guard unconditionally — the caller saw a
+// mutation that is not a position append (removal, replacement,
+// candidate change), for which no monotonicity argument holds.
+func (g *TopKGuard) Invalidate() {
+	if g != nil {
+		g.broken = true
+	}
+}
+
+// Observe folds one applied append batch into the bounds and reports
+// whether the guarded top-k ranking is provably unchanged. appends
+// holds the post-append objects (duplicates are harmless — credit is
+// per object, not per batch). A false return breaks the guard: the
+// answer must be re-solved and a fresh guard built from the new
+// vector.
+func (g *TopKGuard) Observe(appends []*object.Object) bool {
+	if g == nil || g.broken {
+		return false
+	}
+	// Appends raise inf(c) by at most 1 per object O ever (O flips from
+	// uninfluenced to influenced at most once), and a flip requires c
+	// inside NIB(O) at O's post-append position count (Lemma 3
+	// discounts everything outside).
+	for _, o := range appends {
+		cr := g.credited[o.ID]
+		if cr == nil {
+			cr = make([]bool, len(g.cands))
+			g.credited[o.ID] = cr
+		}
+		regions := object.NewRegions(o, g.radii.Get(o.N()))
+		for i := range g.cands {
+			if !cr[i] && regions.InNIB(g.cands[i].Pt) {
+				cr[i] = true
+				g.upper[i]++
+			}
+		}
+	}
+	if !g.certify() {
+		g.broken = true
+		return false
+	}
+	return true
+}
+
+// certify checks that no candidate can cross any ordering boundary of
+// the delivered prefix: for a ranked above b, b overtakes a only if b
+// can reach an influence strictly above a's lower bound (or tie it
+// while winning the id tie-break). Pairs entirely below the prefix
+// cannot change the answer and are ignored; a candidate outside the
+// prefix enters it only by overtaking the k-th member.
+func (g *TopKGuard) certify() bool {
+	// Order within the delivered prefix.
+	for i := 0; i < g.k; i++ {
+		for j := i + 1; j < g.k; j++ {
+			if g.canOvertake(j, i) {
+				return false
+			}
+		}
+	}
+	// Membership: anyone below the boundary overtaking the k-th.
+	last := g.k - 1
+	for j := g.k; j < len(g.cands); j++ {
+		if g.canOvertake(j, last) {
+			return false
+		}
+	}
+	return true
+}
+
+// canOvertake reports whether candidate at rank j could now be ranked
+// above the one at rank i (i ranked higher at build time): possible
+// when j's upper bound exceeds i's lower bound, or ties it while j
+// holds the smaller id. i's influence can only have grown, which
+// never helps j.
+func (g *TopKGuard) canOvertake(j, i int) bool {
+	if g.upper[j] > g.cands[i].Influence {
+		return true
+	}
+	return g.upper[j] == g.cands[i].Influence && g.cands[j].ID < g.cands[i].ID
+}
+
+// PositionAppend is one object's share of a cross-object append batch.
+type PositionAppend struct {
+	ID        int
+	Positions []geo.Point
+}
+
+// watch is one standing top-k view registered on a SafeEngine.
+type watch struct {
+	k     int
+	guard *TopKGuard
+	// evaluations counts guard rebuilds, suppressed the batches the
+	// guard absorbed without one.
+	evaluations int64
+	suppressed  int64
+}
+
+// WatchStats reports one watch's filter effectiveness.
+type WatchStats struct {
+	Evaluations int64 // ranking recomputations (registration included)
+	Suppressed  int64 // batches certified unchanged without one
+}
+
+// rankedVector snapshots the engine's exact influence vector in rank
+// order. Caller must hold the engine's lock.
+func (e *Engine) rankedVector() []GuardCandidate {
+	out := make([]GuardCandidate, 0, len(e.candPoints))
+	for id, pt := range e.candPoints {
+		out = append(out, GuardCandidate{ID: id, Pt: pt, Influence: e.influence[id]})
+	}
+	rankGuardCandidates(out)
+	return out
+}
+
+// rebuildWatch recomputes a watch's ranking from the engine's exact
+// influences and arms a fresh guard. Returns the new delivered prefix.
+func (s *SafeEngine) rebuildWatch(w *watch) []GuardCandidate {
+	vec := s.e.rankedVector()
+	w.evaluations++
+	guard, err := NewTopKGuard(s.e.pf, s.e.tau, w.k, vec)
+	if err != nil {
+		// Only possible with an empty candidate set (k>=1 was checked at
+		// registration); leave the watch unguarded so every batch
+		// re-evaluates until candidates exist.
+		w.guard = nil
+		return nil
+	}
+	w.guard = guard
+	return guard.TopK()
+}
+
+// WatchTopK registers a standing top-k watch named name, evaluated
+// under the engine's PF/τ, and returns its initial ranking (influence
+// descending, id ascending; shorter than k when fewer candidates are
+// live). Re-registering a name replaces the previous watch.
+func (s *SafeEngine) WatchTopK(name string, k int) ([]GuardCandidate, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dynamic: watch %q needs k >= 1, got %d", name, k)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watches == nil {
+		s.watches = map[string]*watch{}
+	}
+	w := &watch{k: k}
+	top := s.rebuildWatch(w)
+	s.watches[name] = w
+	return append([]GuardCandidate(nil), top...), nil
+}
+
+// Unwatch removes a watch; unknown names are a no-op.
+func (s *SafeEngine) Unwatch(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.watches, name)
+}
+
+// WatchState returns a watch's current certified ranking.
+func (s *SafeEngine) WatchState(name string) ([]GuardCandidate, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.watches[name]
+	if !ok {
+		return nil, false
+	}
+	if w.guard == nil {
+		return nil, true
+	}
+	return append([]GuardCandidate(nil), w.guard.TopK()...), true
+}
+
+// WatchStatsFor returns a watch's filter counters.
+func (s *SafeEngine) WatchStatsFor(name string) (WatchStats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.watches[name]
+	if !ok {
+		return WatchStats{}, false
+	}
+	return WatchStats{Evaluations: w.evaluations, Suppressed: w.suppressed}, true
+}
+
+// AddPositionBatch applies a cross-object batch of position appends
+// atomically: every object is checked before any append, so a batch
+// naming an unknown object (or carrying an empty position list) is
+// rejected whole and the engine state is untouched. It returns the
+// names of watches whose top-k ranking actually changed.
+//
+// Watches are updated through their safe-region guards: a batch a
+// guard certifies as unable to move any influence across the watch's
+// top-k boundary is absorbed with no ranking recomputation at all.
+func (s *SafeEngine) AddPositionBatch(batch []PositionAppend) ([]string, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("dynamic: empty position batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range batch {
+		if len(a.Positions) == 0 {
+			return nil, fmt.Errorf("dynamic: batch append for object %d has no positions", a.ID)
+		}
+		if _, ok := s.e.objects[a.ID]; !ok {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, a.ID)
+		}
+	}
+	touched := make([]*object.Object, 0, len(batch))
+	seen := make(map[int]bool, len(batch))
+	for _, a := range batch {
+		for _, p := range a.Positions {
+			if err := s.e.AddPosition(a.ID, p); err != nil {
+				// Unreachable after the pre-check; surface it loudly if the
+				// engine ever grows another failure mode.
+				return nil, err
+			}
+		}
+		if !seen[a.ID] {
+			seen[a.ID] = true
+			touched = append(touched, s.e.objects[a.ID].obj)
+		}
+	}
+	return s.observeWatches(touched), nil
+}
+
+// observeWatches folds an applied append batch into every watch: a
+// guard that certifies the batch absorbs it; otherwise the watch's
+// ranking is recomputed from the engine's exact influences. Caller
+// must hold the write lock. Returns the names whose ranking changed,
+// sorted.
+func (s *SafeEngine) observeWatches(touched []*object.Object) []string {
+	var changed []string
+	for name, w := range s.watches {
+		if w.guard.Certified() && w.guard.Observe(touched) {
+			w.suppressed++
+			continue
+		}
+		var prev []int
+		if w.guard != nil {
+			for _, c := range w.guard.TopK() {
+				prev = append(prev, c.ID)
+			}
+		}
+		top := s.rebuildWatch(w)
+		if !sameRanking(prev, top) {
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	return changed
+}
+
+// refreshWatches rebuilds every guard after a non-append mutation, for
+// which no monotonicity argument holds. Caller must hold the write
+// lock.
+func (s *SafeEngine) refreshWatches() {
+	for _, w := range s.watches {
+		w.guard.Invalidate()
+		s.rebuildWatch(w)
+	}
+}
+
+// sameRanking compares a previous ranked id prefix with a new one.
+func sameRanking(prev []int, next []GuardCandidate) bool {
+	if len(prev) != len(next) {
+		return false
+	}
+	for i, id := range prev {
+		if next[i].ID != id {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,327 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+func TestNewTopKGuardValidation(t *testing.T) {
+	pf := probfn.DefaultPowerLaw()
+	cands := []GuardCandidate{{ID: 0}}
+	if _, err := NewTopKGuard(nil, 0.7, 1, cands); err == nil {
+		t.Error("nil PF should fail")
+	}
+	if _, err := NewTopKGuard(pf, 1.2, 1, cands); err == nil {
+		t.Error("tau outside (0,1) should fail")
+	}
+	if _, err := NewTopKGuard(pf, 0.7, 0, cands); err == nil {
+		t.Error("k < 1 should fail")
+	}
+	g, err := NewTopKGuard(pf, 0.7, 5, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.TopK()); got != 1 {
+		t.Errorf("k clamps to candidate count: got prefix %d, want 1", got)
+	}
+	if !g.Certified() {
+		t.Error("fresh guard should be certified")
+	}
+	g.Invalidate()
+	if g.Certified() {
+		t.Error("invalidated guard should not be certified")
+	}
+}
+
+func TestWatchTopKValidation(t *testing.T) {
+	s, err := NewSafe(probfn.DefaultPowerLaw(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WatchTopK("w", 0); err == nil {
+		t.Error("k < 1 should fail")
+	}
+	if _, ok := s.WatchState("missing"); ok {
+		t.Error("unknown watch should not report state")
+	}
+	if _, ok := s.WatchStatsFor("missing"); ok {
+		t.Error("unknown watch should not report stats")
+	}
+}
+
+// rankReference builds the exact ranked id vector from the engine's
+// live influences, the oracle every watch claim is checked against.
+func rankReference(inf map[int]int) []int {
+	ids := make([]int, 0, len(inf))
+	for id := range inf {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if inf[ids[a]] != inf[ids[b]] {
+			return inf[ids[a]] > inf[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+func watchIDs(top []GuardCandidate) []int {
+	ids := make([]int, len(top))
+	for i, c := range top {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWatchFilterSoundness is the safe-region filter property test:
+// stream 1200+ random position appends in random cross-object batches
+// and, after every batch, compare each watch's certified ranking
+// against a fresh ranking of the engine's exact influences. A
+// suppressed re-solve that hides a real top-k change — the filter's
+// only possible unsoundness — would surface as a mismatch here. Run
+// under -race: readers hammer the watch API throughout the stream.
+func TestWatchFilterSoundness(t *testing.T) {
+	const (
+		nObjects    = 30
+		nCandidates = 40
+		nBatches    = 400 // x avg ~3.5 appends/batch > 1k appends
+		coordSpan   = 120.0
+		stepSpan    = 3.0 // random-walk step per append
+	)
+	s, err := NewSafe(probfn.DefaultPowerLaw(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	pt := func() geo.Point {
+		return geo.Point{X: rng.Float64() * coordSpan, Y: rng.Float64() * coordSpan}
+	}
+	for i := 0; i < nCandidates; i++ {
+		s.AddCandidate(pt())
+	}
+	// Objects random-walk from their seed position — moving objects take
+	// small steps, which is what gives a safe-region filter its value.
+	at := make([]geo.Point, nObjects)
+	for id := 0; id < nObjects; id++ {
+		at[id] = pt()
+		if err := s.AddObject(id, []geo.Point{at[id]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step := func(id int) geo.Point {
+		at[id] = geo.Point{
+			X: at[id].X + (rng.Float64()-0.5)*2*stepSpan,
+			Y: at[id].Y + (rng.Float64()-0.5)*2*stepSpan,
+		}
+		return at[id]
+	}
+
+	watches := map[string]int{"w1": 1, "w3": 3, "w5": 5}
+	prev := map[string][]int{}
+	for name, k := range watches {
+		top, err := s.WatchTopK(name, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := rankReference(s.Influences())
+		want := ref[:min(k, len(ref))]
+		if !equalIDs(watchIDs(top), want) {
+			t.Fatalf("watch %s initial ranking %v, want %v", name, watchIDs(top), want)
+		}
+		prev[name] = want
+	}
+
+	// Concurrent readers so -race exercises the watch locking.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.WatchState("w3")
+					s.WatchStatsFor("w5")
+					s.Best()
+				}
+			}
+		}()
+	}
+
+	appends := 0
+	for b := 0; b < nBatches; b++ {
+		n := 1 + rng.Intn(6)
+		batch := make([]PositionAppend, 0, n)
+		for i := 0; i < n; i++ {
+			id := rng.Intn(nObjects)
+			np := 1 + rng.Intn(2)
+			pts := make([]geo.Point, np)
+			for j := range pts {
+				pts[j] = step(id)
+			}
+			appends += np
+			batch = append(batch, PositionAppend{ID: id, Positions: pts})
+		}
+		changed, err := s.AddPositionBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changedSet := map[string]bool{}
+		for _, name := range changed {
+			changedSet[name] = true
+		}
+		ref := rankReference(s.Influences())
+		for name, k := range watches {
+			top, ok := s.WatchState(name)
+			if !ok {
+				t.Fatalf("watch %s vanished", name)
+			}
+			got := watchIDs(top)
+			want := ref[:min(k, len(ref))]
+			if !equalIDs(got, want) {
+				t.Fatalf("batch %d: watch %s ranking %v, want %v", b, name, got, want)
+			}
+			if wantChanged := !equalIDs(prev[name], want); wantChanged != changedSet[name] {
+				t.Fatalf("batch %d: watch %s change flag %v, want %v (prev %v now %v)",
+					b, name, changedSet[name], wantChanged, prev[name], want)
+			}
+			prev[name] = want
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	if appends < 1000 {
+		t.Fatalf("stream too short: %d appends, want >= 1000", appends)
+	}
+	// The filter must have absorbed a measurable share of batches
+	// without a ranking recomputation; otherwise it is dead weight.
+	anySuppressed := false
+	for name := range watches {
+		st, ok := s.WatchStatsFor(name)
+		if !ok {
+			t.Fatalf("watch %s has no stats", name)
+		}
+		t.Logf("watch %s: evaluations=%d suppressed=%d (of %d batches)",
+			name, st.Evaluations, st.Suppressed, nBatches)
+		if st.Suppressed > 0 {
+			anySuppressed = true
+		}
+		if st.Evaluations+st.Suppressed < nBatches {
+			t.Errorf("watch %s: evaluations %d + suppressed %d < %d batches",
+				name, st.Evaluations, st.Suppressed, nBatches)
+		}
+	}
+	if !anySuppressed {
+		t.Error("safe-region filter suppressed nothing across the whole stream")
+	}
+}
+
+// TestWatchRefreshOnStructuralMutations checks that mutations with no
+// monotonicity argument (candidate/object add, remove, replace) drop
+// the guard and re-rank immediately.
+func TestWatchRefreshOnStructuralMutations(t *testing.T) {
+	s, err := NewSafe(probfn.DefaultPowerLaw(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := s.AddCandidate(geo.Point{X: 0, Y: 0})
+	c1 := s.AddCandidate(geo.Point{X: 10, Y: 10})
+	if err := s.AddObject(1, []geo.Point{{X: 0, Y: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	top, err := s.WatchTopK("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].ID != c0 {
+		t.Fatalf("initial top-1 %v, want candidate %d", top, c0)
+	}
+
+	// Removing the winner must flip the watch to the runner-up.
+	if err := s.RemoveCandidate(c0); err != nil {
+		t.Fatal(err)
+	}
+	state, ok := s.WatchState("w")
+	if !ok || len(state) != 1 || state[0].ID != c1 {
+		t.Fatalf("after removal state %v, want candidate %d", state, c1)
+	}
+
+	// Replacing the object's trail near c1 keeps c1 on top; the watch
+	// must still track the exact vector.
+	if err := s.UpdateObject(1, []geo.Point{{X: 10, Y: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	state, ok = s.WatchState("w")
+	if !ok || len(state) != 1 || state[0].ID != c1 {
+		t.Fatalf("after update state %v, want candidate %d", state, c1)
+	}
+	if inf, err := s.Influence(c1); err != nil || state[0].Influence != inf {
+		t.Fatalf("watch influence %d, engine influence %d (err %v)", state[0].Influence, inf, err)
+	}
+
+	s.Unwatch("w")
+	if _, ok := s.WatchState("w"); ok {
+		t.Error("unwatched name should not report state")
+	}
+}
+
+// TestAddPositionBatchAtomicity checks all-or-nothing semantics: a
+// batch naming an unknown object or an empty position list must leave
+// the engine untouched.
+func TestAddPositionBatchAtomicity(t *testing.T) {
+	s, err := NewSafe(probfn.DefaultPowerLaw(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddCandidate(geo.Point{X: 0, Y: 0})
+	if err := s.AddObject(1, []geo.Point{{X: 5, Y: 5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.AddPositionBatch(nil); err == nil {
+		t.Error("empty batch should fail")
+	}
+	bad := []PositionAppend{
+		{ID: 1, Positions: []geo.Point{{X: 0, Y: 0}}},
+		{ID: 99, Positions: []geo.Point{{X: 0, Y: 0}}},
+	}
+	if _, err := s.AddPositionBatch(bad); err == nil {
+		t.Error("batch with unknown object should fail")
+	}
+	empty := []PositionAppend{{ID: 1, Positions: nil}}
+	if _, err := s.AddPositionBatch(empty); err == nil {
+		t.Error("batch with empty position list should fail")
+	}
+	if obj, err := s.e.Object(1); err != nil || obj.N() != 1 {
+		t.Fatalf("rejected batches must not mutate: object has %d positions (err %v)", obj.N(), err)
+	}
+
+	good := []PositionAppend{{ID: 1, Positions: []geo.Point{{X: 0, Y: 0}, {X: 0.1, Y: 0.1}}}}
+	if _, err := s.AddPositionBatch(good); err != nil {
+		t.Fatal(err)
+	}
+	if obj, err := s.e.Object(1); err != nil || obj.N() != 3 {
+		t.Fatalf("applied batch: object has %d positions, want 3 (err %v)", obj.N(), err)
+	}
+}

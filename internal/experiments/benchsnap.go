@@ -133,6 +133,12 @@ type BenchSnapshot struct {
 	// Mutations times a fixed mutation stream under each WAL fsync
 	// policy, quantifying the durability/throughput trade-off.
 	Mutations []BenchMutation `json:"mutation_throughput,omitempty"`
+	// Ingest times the same position stream at several /v1/ingest batch
+	// sizes (one WAL group-commit per batch).
+	Ingest []BenchIngest `json:"ingest_throughput,omitempty"`
+	// Subscriptions reports ingest-to-event notify latency and the
+	// safe-region filter's suppression ratio for standing queries.
+	Subscriptions *BenchSubscription `json:"subscriptions,omitempty"`
 }
 
 // RunBenchSnapshot builds a seeded Foursquare-like instance and times
@@ -247,6 +253,14 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 		return nil, err
 	}
 	snap.Mutations, err = benchMutations(objs, cs.Points, cfg.Tau)
+	if err != nil {
+		return nil, err
+	}
+	snap.Ingest, err = benchIngest(objs, cs.Points, cfg.Tau)
+	if err != nil {
+		return nil, err
+	}
+	snap.Subscriptions, err = benchSubscriptions(env, objs, cs.Points, cfg.Tau)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/server"
+	"pinocchio/internal/store"
+	"pinocchio/internal/wal"
+)
+
+// BenchIngest is one batch-size row of the ingest-throughput table:
+// the same position stream applied as OpIngestBatch records of a given
+// size, each batch one WAL append (and one fsync under "always") and
+// one epoch bump. The spread across batch sizes is the group-commit
+// win of POST /v1/ingest over per-position mutations.
+type BenchIngest struct {
+	BatchSize       int     `json:"batch_size"`
+	Batches         int     `json:"batches"`
+	Positions       int     `json:"positions"`
+	Fsync           string  `json:"fsync"`
+	WallMs          float64 `json:"wall_ms"`
+	PositionsPerSec float64 `json:"positions_per_sec"`
+}
+
+// benchIngest applies the same total position stream in batches of
+// each size through a durable store with per-append fsync, isolating
+// the group-commit benefit of batching.
+func benchIngest(objs []*object.Object, cands []geo.Point, tau float64) ([]BenchIngest, error) {
+	if len(objs) > 200 {
+		objs = objs[:200]
+	}
+	if len(cands) > 100 {
+		cands = cands[:100]
+	}
+	const positions = 512
+	pf := defaultPF()
+
+	seed := func() (*dynamic.Engine, error) {
+		eng, err := dynamic.New(pf, tau)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range objs {
+			if err := eng.AddObject(o.ID, o.Positions); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range cands {
+			eng.AddCandidate(c)
+		}
+		return eng, nil
+	}
+
+	var out []BenchIngest
+	for _, size := range []int{1, 16, 256} {
+		eng, err := seed()
+		if err != nil {
+			return nil, err
+		}
+		// Pre-build the records so the timed loop is append+apply only.
+		var recs []*store.Record
+		for done := 0; done < positions; {
+			n := size
+			if n > positions-done {
+				n = positions - done
+			}
+			rec := &store.Record{Op: store.OpIngestBatch, Appends: make([]store.Append, n)}
+			for j := 0; j < n; j++ {
+				o := objs[(done+j)%len(objs)]
+				last := o.Positions[len(o.Positions)-1]
+				rec.Appends[j] = store.Append{ID: int64(o.ID), Positions: []geo.Point{
+					{X: last.X + 0.0001*float64(done+j), Y: last.Y},
+				}}
+			}
+			recs = append(recs, rec)
+			done += n
+		}
+		dir, err := os.MkdirTemp("", "pinocchio-bench-ingest-")
+		if err != nil {
+			return nil, err
+		}
+		st, err := store.Open(dir, store.Options{Fsync: wal.PolicyAlways})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		start := time.Now()
+		for _, rec := range recs {
+			if _, err := st.Append(rec); err != nil {
+				st.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if _, err := rec.Apply(eng); err != nil {
+				st.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+		}
+		wall := time.Since(start)
+		st.Close()
+		os.RemoveAll(dir)
+		out = append(out, BenchIngest{
+			BatchSize:       size,
+			Batches:         len(recs),
+			Positions:       positions,
+			Fsync:           wal.PolicyAlways.String(),
+			WallMs:          float64(wall) / float64(time.Millisecond),
+			PositionsPerSec: float64(positions) / wall.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// BenchSubscription summarizes a streamed-position run against
+// standing subscriptions: end-to-end ingest-to-event latency
+// percentiles and the safe-region filter's check accounting.
+type BenchSubscription struct {
+	Subscriptions int     `json:"subscriptions"`
+	Batches       int     `json:"batches"`
+	Events        int64   `json:"events_total"`
+	NotifyP50Ms   float64 `json:"notify_p50_ms"`
+	NotifyP95Ms   float64 `json:"notify_p95_ms"`
+	// Check outcomes across every (batch, subscription) pair; Suppressed
+	// over the sum of all three is the filter effectiveness.
+	ChecksSuppressed int64   `json:"checks_suppressed"`
+	ChecksResolved   int64   `json:"checks_resolved"`
+	ChecksStale      int64   `json:"checks_stale"`
+	FilterRatio      float64 `json:"filter_ratio"`
+}
+
+// benchResponse is a minimal in-memory http.ResponseWriter for driving
+// the serving layer without a listener.
+type benchResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (r *benchResponse) Header() http.Header {
+	if r.header == nil {
+		r.header = http.Header{}
+	}
+	return r.header
+}
+func (r *benchResponse) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+func (r *benchResponse) WriteHeader(code int) { r.code = code }
+
+// call drives one request through the server handler in-process.
+func call(s *server.Server, method, path, body string) (*benchResponse, error) {
+	req, err := http.NewRequest(method, path, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	w := &benchResponse{}
+	s.ServeHTTP(w, req)
+	if w.code >= 300 {
+		return w, fmt.Errorf("%s %s: %d %s", method, path, w.code, w.body.String())
+	}
+	return w, nil
+}
+
+// benchSubscriptions registers standing queries over the env
+// population and streams random-walk position batches through
+// /v1/ingest, measuring ingest-to-event latency (wall time from the
+// ingest call to the drained delivery) and the filter's suppression
+// ratio. Numbers are reported, not asserted: effectiveness depends on
+// how far objects roam relative to the NIB radius.
+func benchSubscriptions(env *Env, objs []*object.Object, cands []geo.Point, tau float64) (*BenchSubscription, error) {
+	if len(objs) > 300 {
+		objs = objs[:300]
+	}
+	if len(cands) > 120 {
+		cands = cands[:120]
+	}
+	s, err := server.New(server.Config{PF: defaultPF(), Tau: tau}, objs, cands)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	const nSubs, nBatches = 6, 200
+	for i := 0; i < nSubs; i++ {
+		body := fmt.Sprintf(`{"tau":%g,"k":%d}`, tau, 1+i%3)
+		if _, err := call(s, "POST", "/v1/subscribe", body); err != nil {
+			return nil, err
+		}
+	}
+
+	rng := env.rng(9091)
+	at := make(map[int]geo.Point, len(objs))
+	for _, o := range objs {
+		at[o.ID] = o.Positions[len(o.Positions)-1]
+	}
+	var latencies []float64
+	var prevEvents int64
+	readStats := func() (map[string]any, error) {
+		w, err := call(s, "GET", "/v1/status", "")
+		if err != nil {
+			return nil, err
+		}
+		var status struct {
+			Subscriptions map[string]any `json:"subscriptions"`
+		}
+		if err := json.Unmarshal(w.body.Bytes(), &status); err != nil {
+			return nil, err
+		}
+		return status.Subscriptions, nil
+	}
+	if st, err := readStats(); err != nil {
+		return nil, err
+	} else if st != nil {
+		prevEvents = int64(st["events_total"].(float64))
+	}
+
+	for b := 0; b < nBatches; b++ {
+		var appends []string
+		for _, idx := range rng.Perm(len(objs))[:1+rng.Intn(4)] {
+			o := objs[idx]
+			p := at[o.ID]
+			p.X += (rng.Float64() - 0.5) * 0.01
+			p.Y += (rng.Float64() - 0.5) * 0.01
+			at[o.ID] = p
+			appends = append(appends,
+				fmt.Sprintf(`{"id":%d,"positions":[{"x":%g,"y":%g}]}`, o.ID, p.X, p.Y))
+		}
+		start := time.Now()
+		if _, err := call(s, "POST", "/v1/ingest", `{"appends":[`+strings.Join(appends, ",")+`]}`); err != nil {
+			return nil, err
+		}
+		s.DrainSubscriptions()
+		st, err := readStats()
+		if err != nil {
+			return nil, err
+		}
+		events := int64(st["events_total"].(float64))
+		if events > prevEvents {
+			// At least one subscription published for this batch; the
+			// drained wall time bounds its ingest-to-event latency.
+			latencies = append(latencies,
+				float64(time.Since(start))/float64(time.Millisecond))
+			prevEvents = events
+		}
+	}
+
+	st, err := readStats()
+	if err != nil {
+		return nil, err
+	}
+	row := &BenchSubscription{
+		Subscriptions:    nSubs,
+		Batches:          nBatches,
+		Events:           int64(st["events_total"].(float64)),
+		ChecksSuppressed: int64(st["checks_suppressed"].(float64)),
+		ChecksResolved:   int64(st["checks_resolved"].(float64)),
+		ChecksStale:      int64(st["checks_stale"].(float64)),
+	}
+	if total := row.ChecksSuppressed + row.ChecksResolved + row.ChecksStale; total > 0 {
+		row.FilterRatio = float64(row.ChecksSuppressed) / float64(total)
+	}
+	sort.Float64s(latencies)
+	row.NotifyP50Ms = nearestRank(latencies, 0.50)
+	row.NotifyP95Ms = nearestRank(latencies, 0.95)
+	return row, nil
+}

@@ -129,6 +129,12 @@ func (s *Server) routes() {
 	s.route("POST /v1/objects/{id}/positions", kindMutation, s.handleAddPositions)
 	s.route("POST /v1/candidates", kindMutation, s.handleAddCandidate)
 	s.route("DELETE /v1/candidates/{id}", kindMutation, s.handleRemoveCandidate)
+	s.route("POST /v1/ingest", kindMutation, s.handleIngest)
+	s.route("POST /v1/subscribe", kindOther, s.handleSubscribe)
+	s.route("GET /v1/subscriptions/{id}", kindOther, s.handleSubGet)
+	s.route("GET /v1/subscriptions/{id}/events", kindOther, s.handleSubEvents)
+	s.route("GET /v1/subscriptions/{id}/poll", kindOther, s.handleSubPoll)
+	s.route("DELETE /v1/subscriptions/{id}", kindOther, s.handleSubCancel)
 	s.route("GET /v1/debug/traces", kindOther, s.handleTraceList)
 	s.route("GET /v1/debug/traces/{id}", kindOther, s.handleTraceGet)
 	s.mux.Handle("GET /metrics", obs.Default().Handler())
@@ -143,6 +149,12 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers (SSE) can flush through the metrics wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
 }
 
 // route registers a pattern with per-route request metrics and the
@@ -262,6 +274,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"trace_entries":  s.traces.Len(),
 		"build":          obs.ReadBuildInfo(),
 		"work":           s.workStatus(),
+	}
+	if s.subs != nil {
+		body["subscriptions"] = s.subs.Stats()
 	}
 	latency := map[string]any{
 		"query":    quantilesMS(s.latQuery),

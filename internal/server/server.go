@@ -46,6 +46,7 @@ import (
 	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/store"
+	"pinocchio/internal/subscribe"
 )
 
 // Config parameterizes a Server. The zero value of optional fields
@@ -104,6 +105,15 @@ type Config struct {
 	// served at /v1/debug/traces. 0 selects 256; negative disables
 	// request tracing (the debug endpoints answer 404).
 	TraceKeep int
+
+	// MaxSubs caps live standing-query subscriptions (default 256;
+	// negative disables the subscription endpoints entirely).
+	MaxSubs int
+
+	// SubBuffer is the per-subscription event backlog ring size
+	// (default 16): how far an SSE or long-poll consumer may fall
+	// behind before intermediate versions coalesce.
+	SubBuffer int
 }
 
 // withDefaults resolves the zero values.
@@ -137,6 +147,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceKeep == 0 {
 		c.TraceKeep = 256
+	}
+	if c.MaxSubs == 0 {
+		c.MaxSubs = 256
+	}
+	if c.SubBuffer == 0 {
+		c.SubBuffer = 16
 	}
 	return c
 }
@@ -215,6 +231,10 @@ type Server struct {
 	cache *resultCache
 	plans *planCache
 	mux   *http.ServeMux
+
+	// subs manages standing-query subscriptions; nil when MaxSubs < 0.
+	// The server itself is the manager's solve backend.
+	subs *subscribe.Manager
 
 	// traces retains finished request telemetry for /v1/debug/traces;
 	// nil when tracing is disabled (TraceKeep < 0).
@@ -307,8 +327,35 @@ func NewWithEngine(cfg Config, eng *dynamic.Engine, epoch int64) *Server {
 	// Build identity is constant for the process; registering here keeps
 	// every server (including tests) exporting it without a cmd hook.
 	obs.RegisterBuildInfo(obs.Default())
+	if cfg.MaxSubs > 0 {
+		// Cannot fail: the backend (the server itself) is always set.
+		s.subs, _ = subscribe.NewManager(subscribe.Config{
+			MaxSubs: cfg.MaxSubs,
+			Buffer:  cfg.SubBuffer,
+			Backend: s,
+		})
+	}
 	s.routes()
 	return s
+}
+
+// Shutdown terminates the subscription manager: every subscription
+// receives its terminal event, which ends attached SSE streams and
+// long-polls so http.Server.Shutdown can drain them. Call before
+// shutting down the HTTP listener; safe to call twice.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.subs != nil {
+		s.subs.Close()
+	}
+	return ctx.Err()
+}
+
+// DrainSubscriptions blocks until the subscription manager has
+// processed every batch note enqueued so far. Test and smoke hook.
+func (s *Server) DrainSubscriptions() {
+	if s.subs != nil {
+		s.subs.Drain()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -360,15 +407,62 @@ func (s *Server) mutate(ctx context.Context, rec *store.Record) (id int, epoch i
 		s.epoch++
 	}
 	epoch = s.epoch
+	var note *subscribe.BatchNote
+	if err == nil && s.subs != nil {
+		note = s.noteForLocked(rec, epoch, start)
+	}
 	s.mu.Unlock()
 	if err == nil {
 		recordMutation(rec.Op.String(), epoch, time.Since(start))
 		tr := traceFrom(ctx)
 		tr.SetEpoch(epoch)
 		tr.SetWALSeq(seq)
+		if note != nil {
+			if tr != nil {
+				note.TraceID = tr.ID
+			}
+			s.subs.Notify(*note)
+		}
 		s.maybeCheckpoint()
 	}
 	return id, epoch, seq, err
+}
+
+// noteForLocked shapes the subscription BatchNote for an applied
+// mutation. Position appends carry the post-append object states so
+// guards can run the cheap safe-region check; every other op dirties
+// all subscriptions (candidate churn changes the ranking domain,
+// object removal/replacement can lower influence). Caller holds the
+// write lock — the object pointers fetched here are the immutable
+// post-apply snapshots.
+func (s *Server) noteForLocked(rec *store.Record, epoch int64, at time.Time) *subscribe.BatchNote {
+	note := &subscribe.BatchNote{Epoch: epoch, At: at}
+	switch rec.Op {
+	case store.OpAddPosition:
+		o, err := s.engine.Object(int(rec.ID))
+		if err != nil {
+			note.DirtyAll = true
+			return note
+		}
+		note.Appends = []*object.Object{o}
+	case store.OpIngestBatch:
+		seen := make(map[int64]bool, len(rec.Appends))
+		for _, a := range rec.Appends {
+			if seen[a.ID] {
+				continue
+			}
+			seen[a.ID] = true
+			o, err := s.engine.Object(int(a.ID))
+			if err != nil {
+				note.DirtyAll = true
+				return note
+			}
+			note.Appends = append(note.Appends, o)
+		}
+	default:
+		note.DirtyAll = true
+	}
+	return note
 }
 
 // maybeCheckpoint spawns a background checkpoint once CheckpointEvery

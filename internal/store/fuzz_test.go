@@ -18,6 +18,10 @@ func FuzzRecord(f *testing.F) {
 		{Op: OpUpdateObject, ID: 7, Positions: []geo.Point{{X: 9, Y: 9}}},
 		{Op: OpAddCandidate, Pt: geo.Point{X: 2.5, Y: -1}},
 		{Op: OpRemoveCandidate, ID: 3},
+		{Op: OpIngestBatch, Appends: []Append{
+			{ID: 7, Positions: []geo.Point{{X: 1, Y: 2}}},
+			{ID: 9, Positions: []geo.Point{{X: 0.5, Y: 0.5}, {X: 3, Y: -4}}},
+		}},
 	}
 	for _, rec := range seeds {
 		b, err := rec.Encode()

@@ -73,6 +73,21 @@ func runParityTrial(t *testing.T, seed int64, ckptAt func(n int) []int) {
 		case op < 4 || len(liveObjs) == 0: // add object (sometimes a duplicate id)
 			id := rng.Intn(40)
 			rec = &Record{Op: OpAddObject, ID: int64(id), Positions: []geo.Point{randPt()}}
+		case op < 6 && rng.Intn(2) == 0: // cross-object ingest batch
+			na := 1 + rng.Intn(3)
+			appends := make([]Append, 0, na)
+			for j := 0; j < na; j++ {
+				id := pick(liveObjs)
+				if rng.Intn(10) == 0 {
+					id = 1000 + rng.Intn(5) // unknown: whole batch rejected identically
+				}
+				pts := make([]geo.Point, 1+rng.Intn(2))
+				for k := range pts {
+					pts[k] = randPt()
+				}
+				appends = append(appends, Append{ID: int64(id), Positions: pts})
+			}
+			rec = &Record{Op: OpIngestBatch, Appends: appends}
 		case op < 7: // position batch on a live (or sometimes unknown) object
 			id := pick(liveObjs)
 			if rng.Intn(8) == 0 {

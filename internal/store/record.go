@@ -27,6 +27,9 @@ const (
 	OpAddCandidate
 	// OpRemoveCandidate unregisters candidate ID.
 	OpRemoveCandidate
+	// OpIngestBatch appends positions to many objects in one record:
+	// one WAL entry, one epoch bump, applied all-or-nothing.
+	OpIngestBatch
 )
 
 // String returns the op's metric/trace label, matching the dynamic
@@ -45,8 +48,16 @@ func (o Op) String() string {
 		return "add_candidate"
 	case OpRemoveCandidate:
 		return "remove_candidate"
+	case OpIngestBatch:
+		return "ingest_batch"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Append is one object's share of an OpIngestBatch record.
+type Append struct {
+	ID        int64
+	Positions []geo.Point
 }
 
 // Record is one logged mutation: the WAL payload that, applied to the
@@ -61,6 +72,8 @@ type Record struct {
 	// Positions carries the position payload of OpAddObject,
 	// OpUpdateObject and OpAddPosition.
 	Positions []geo.Point
+	// Appends carries the OpIngestBatch payload.
+	Appends []Append
 }
 
 // Encode serializes the record into a WAL payload.
@@ -77,6 +90,15 @@ func (r *Record) Encode() ([]byte, error) {
 		b = appendI64(b, r.ID)
 	case OpAddCandidate:
 		b = appendPoint(b, r.Pt)
+	case OpIngestBatch:
+		b = appendU32(b, uint32(len(r.Appends)))
+		for _, a := range r.Appends {
+			b = appendI64(b, a.ID)
+			b = appendU32(b, uint32(len(a.Positions)))
+			for _, p := range a.Positions {
+				b = appendPoint(b, p)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("store: encoding unknown op %d", r.Op)
 	}
@@ -102,6 +124,23 @@ func DecodeRecord(b []byte) (*Record, error) {
 		rec.ID = r.i64()
 	case OpAddCandidate:
 		rec.Pt = r.point()
+	case OpIngestBatch:
+		// Each append is at least an id and a position count (8+4).
+		n := r.count(12)
+		if r.err == nil {
+			rec.Appends = make([]Append, n)
+			for i := range rec.Appends {
+				rec.Appends[i].ID = r.i64()
+				np := r.count(16)
+				if r.err != nil {
+					break
+				}
+				rec.Appends[i].Positions = make([]geo.Point, np)
+				for j := range rec.Appends[i].Positions {
+					rec.Appends[i].Positions[j] = r.point()
+				}
+			}
+		}
 	default:
 		r.fail("unknown op %d", rec.Op)
 	}
@@ -139,6 +178,30 @@ func (r *Record) Apply(e *dynamic.Engine) (int, error) {
 		return e.AddCandidate(r.Pt), nil
 	case OpRemoveCandidate:
 		return int(r.ID), e.RemoveCandidate(int(r.ID))
+	case OpIngestBatch:
+		// All-or-nothing: validate the whole batch before touching the
+		// engine, so a rejected record leaves no partial state behind
+		// (the caller only bumps the epoch on success, and a partial
+		// apply without an epoch bump would desync epoch-keyed caches).
+		if len(r.Appends) == 0 {
+			return 0, fmt.Errorf("store: ingest_batch record without appends")
+		}
+		for _, a := range r.Appends {
+			if len(a.Positions) == 0 {
+				return 0, fmt.Errorf("store: ingest_batch append for object %d without positions", a.ID)
+			}
+			if _, err := e.Object(int(a.ID)); err != nil {
+				return 0, err
+			}
+		}
+		for _, a := range r.Appends {
+			for _, p := range a.Positions {
+				if err := e.AddPosition(int(a.ID), p); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return len(r.Appends), nil
 	}
 	return 0, fmt.Errorf("store: applying unknown op %d", r.Op)
 }

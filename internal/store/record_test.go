@@ -16,6 +16,11 @@ func TestRecordRoundTrip(t *testing.T) {
 		{Op: OpUpdateObject, ID: 7, Positions: []geo.Point{{X: 9, Y: 9}}},
 		{Op: OpAddCandidate, Pt: geo.Point{X: 2.5, Y: -1}},
 		{Op: OpRemoveCandidate, ID: 3},
+		{Op: OpIngestBatch, Appends: []Append{
+			{ID: 7, Positions: []geo.Point{{X: 1, Y: 2}}},
+			{ID: -12, Positions: []geo.Point{{X: 0.5, Y: 0.5}, {X: 3, Y: -4}}},
+		}},
+		{Op: OpIngestBatch, Appends: []Append{{ID: 1, Positions: []geo.Point{{X: 0, Y: 0}}}}},
 	}
 	for _, rec := range recs {
 		b, err := rec.Encode()
@@ -43,6 +48,15 @@ func TestRecordDecodeRejectsGarbage(t *testing.T) {
 		"zero op":            {0},
 		"short remove":       {byte(OpRemoveCandidate), 1},
 		"truncated position": append(mustEncode(t, &Record{Op: OpAddPosition, ID: 1, Positions: []geo.Point{{X: 1}}})[:20], 0x01),
+		"short ingest":       {byte(OpIngestBatch), 1, 0},
+		"ingest bad outer count": append([]byte{byte(OpIngestBatch)},
+			0xff, 0xff, 0xff, 0xff),
+		"ingest bad inner count": append(mustEncode(t, &Record{
+			Op: OpIngestBatch, Appends: []Append{{ID: 1, Positions: []geo.Point{{X: 1, Y: 2}}}},
+		})[:13], 0xff, 0xff, 0xff, 0xff),
+		"ingest truncated point": mustEncode(t, &Record{
+			Op: OpIngestBatch, Appends: []Append{{ID: 1, Positions: []geo.Point{{X: 1, Y: 2}}}},
+		})[:20],
 	}
 	for name, b := range cases {
 		if _, err := DecodeRecord(b); !errors.Is(err, ErrDecode) {
@@ -74,6 +88,7 @@ func TestOpString(t *testing.T) {
 		OpUpdateObject:    "update_object",
 		OpAddCandidate:    "add_candidate",
 		OpRemoveCandidate: "remove_candidate",
+		OpIngestBatch:     "ingest_batch",
 	}
 	for op, s := range want {
 		if op.String() != s {

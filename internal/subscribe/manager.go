@@ -1,0 +1,534 @@
+package subscribe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/probfn"
+)
+
+// ErrLimit is returned when MaxSubs subscriptions are already live.
+var ErrLimit = errors.New("subscribe: subscription limit reached")
+
+// ErrClosed is returned by Register after Close.
+var ErrClosed = errors.New("subscribe: manager closed")
+
+// Backend solves a standing query against the serving layer's current
+// snapshot. It must return the full ranked influence vector over all
+// live candidates (influence descending, id ascending) — the guard
+// needs exact lower bounds for every candidate, which is why pin-vo's
+// early exit is not allowed for subscriptions.
+type Backend interface {
+	SolveTopK(q *Query) (*Solution, error)
+}
+
+// Solution is one backend solve: the epoch it is exact at, the trace
+// of the solving request, and the full ranked vector.
+type Solution struct {
+	Epoch   int64
+	TraceID string
+	Ranked  []Candidate
+}
+
+// BatchNote describes one applied mutation to the manager. Position
+// appends carry the post-append objects so guards can fold them into
+// their bounds; every other mutation sets DirtyAll — no monotonicity
+// argument holds and every guard must re-solve.
+type BatchNote struct {
+	Epoch   int64
+	TraceID string
+	// Appends holds the post-append object states of an ingest batch,
+	// each touched object once.
+	Appends []*object.Object
+	// DirtyAll bypasses every guard (non-append mutations).
+	DirtyAll bool
+	// At is the enqueue time, the start of the notify-latency clock.
+	At time.Time
+
+	// only targets a single subscription: the registration-race
+	// recheck. Internal to the manager.
+	only string
+}
+
+// subState is the manager-worker-owned solver state of a subscription.
+type subState struct {
+	pf     probfn.Func
+	filter map[int]bool // nil = all candidates
+	guard  *dynamic.TopKGuard
+	// solvedEpoch is the epoch of the last backend solve; notes at or
+	// below it are already reflected in the guard's lower bounds.
+	solvedEpoch int64
+	lastIDs     []int
+	lastTopK    []Candidate
+	evaluations int64
+	suppressed  int64
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// MaxSubs caps live subscriptions (default 256).
+	MaxSubs int
+	// Buffer is the per-subscription backlog ring size (default 16).
+	Buffer int
+	// Backend performs the solves; required.
+	Backend Backend
+}
+
+// Stats is the manager's cumulative filter and delivery accounting.
+type Stats struct {
+	Active     int    `json:"active"`
+	Registered uint64 `json:"registered_total"`
+	Events     int64  `json:"events_total"`
+	// Checks: every (batch, subscription) pair lands in exactly one
+	// bucket. Suppressed/(sum) is the safe-region filter effectiveness.
+	Suppressed int64 `json:"checks_suppressed"`
+	Resolved   int64 `json:"checks_resolved"`
+	Stale      int64 `json:"checks_stale"`
+	Errors     int64 `json:"solve_errors"`
+}
+
+// Manager owns every subscription and the single worker that folds
+// mutation batches into them. All solves run on the worker goroutine,
+// so per-subscription state needs no locking of its own.
+type Manager struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals outstanding drops
+	subs map[string]*Subscription
+	// pending is the unprocessed note queue; outstanding counts notes
+	// enqueued but not yet fully processed (Drain waits on it).
+	pending     []BatchNote
+	outstanding int
+	// lastNoteEpoch is the highest epoch ever enqueued, used to close
+	// the register/notify race.
+	lastNoteEpoch int64
+	nextID        uint64
+	closed        bool
+
+	signal chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	events     atomic.Int64
+	suppressed atomic.Int64
+	resolved   atomic.Int64
+	stale      atomic.Int64
+	errors     atomic.Int64
+}
+
+// NewManager starts a manager and its worker.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("subscribe: manager needs a backend")
+	}
+	if cfg.MaxSubs <= 0 {
+		cfg.MaxSubs = 256
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 16
+	}
+	m := &Manager{
+		cfg:    cfg,
+		subs:   map[string]*Subscription{},
+		signal: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(1)
+	go m.worker()
+	return m, nil
+}
+
+// validate resolves the query's defaults and rejects what the solver
+// or the guard cannot support.
+func (q *Query) validate() (probfn.Func, error) {
+	if q.PF == "" {
+		q.PF = "powerlaw"
+	}
+	if q.Rho == 0 {
+		q.Rho = 0.9
+	}
+	if q.Lambda == 0 {
+		q.Lambda = 1.0
+	}
+	pf, err := probfn.ByName(q.PF, q.Rho, q.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	if !(q.Tau > 0 && q.Tau < 1) {
+		return nil, fmt.Errorf("subscribe: tau %v outside (0,1)", q.Tau)
+	}
+	if q.K == 0 {
+		q.K = 1
+	}
+	if q.K < 1 {
+		return nil, fmt.Errorf("subscribe: k %d must be positive", q.K)
+	}
+	switch q.Algorithm {
+	case "":
+		q.Algorithm = "pin"
+	case "pin", "na", "pin-par":
+	default:
+		return nil, fmt.Errorf(
+			"subscribe: algorithm %q cannot back a subscription (want pin, na or pin-par: the guard needs a full influence vector)",
+			q.Algorithm)
+	}
+	return pf, nil
+}
+
+// Register validates q, solves it once, and returns the live
+// subscription with its version-1 event already in the backlog.
+func (m *Manager) Register(q Query) (*Subscription, error) {
+	pf, err := q.validate()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(m.subs) >= m.cfg.MaxSubs {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d live)", ErrLimit, m.cfg.MaxSubs)
+	}
+	m.nextID++
+	id := fmt.Sprintf("sub-%d", m.nextID)
+	m.mu.Unlock()
+
+	sol, err := m.cfg.Backend.SolveTopK(&q)
+	if err != nil {
+		return nil, fmt.Errorf("subscribe: initial solve: %w", err)
+	}
+	sub := newSubscription(id, q, m.cfg.Buffer)
+	sub.state.pf = pf
+	if len(q.Candidates) > 0 {
+		sub.state.filter = make(map[int]bool, len(q.Candidates))
+		for _, c := range q.Candidates {
+			sub.state.filter[c] = true
+		}
+	}
+	m.arm(sub, sol)
+	sub.publish(sol.Epoch, sol.TraceID, sub.state.lastTopK)
+	m.events.Add(1)
+	recordEvent()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		sub.terminate()
+		return nil, ErrClosed
+	}
+	m.subs[id] = sub
+	recordActive(len(m.subs))
+	// A batch may have been applied — and its note drained — between
+	// the solve and this insertion; a targeted recheck closes the gap.
+	if m.lastNoteEpoch > sol.Epoch {
+		m.enqueueLocked(BatchNote{
+			Epoch: m.lastNoteEpoch, DirtyAll: true, At: time.Now(), only: id,
+		})
+	}
+	m.mu.Unlock()
+	return sub, nil
+}
+
+// Get returns a live subscription.
+func (m *Manager) Get(id string) (*Subscription, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[id]
+	return s, ok
+}
+
+// Cancel terminates and removes a subscription; reports whether it was
+// live.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	s, ok := m.subs[id]
+	if ok {
+		delete(m.subs, id)
+		recordActive(len(m.subs))
+	}
+	m.mu.Unlock()
+	if ok {
+		s.terminate()
+	}
+	return ok
+}
+
+// Notify enqueues one applied mutation batch for the worker. Never
+// blocks on solving; safe from any goroutine.
+func (m *Manager) Notify(note BatchNote) {
+	if note.At.IsZero() {
+		note.At = time.Now()
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.enqueueLocked(note)
+	m.mu.Unlock()
+}
+
+// enqueueLocked appends a note and wakes the worker. Caller holds mu.
+func (m *Manager) enqueueLocked(note BatchNote) {
+	m.pending = append(m.pending, note)
+	m.outstanding++
+	if note.Epoch > m.lastNoteEpoch {
+		m.lastNoteEpoch = note.Epoch
+	}
+	select {
+	case m.signal <- struct{}{}:
+	default:
+	}
+}
+
+// Drain blocks until every note enqueued so far has been processed.
+// Intended for tests and orderly shutdown sequencing.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.outstanding > 0 && !m.closed {
+		m.cond.Wait()
+	}
+}
+
+// Close terminates every subscription with a goodbye event and stops
+// the worker. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	subs := make([]*Subscription, 0, len(m.subs))
+	for _, s := range m.subs {
+		subs = append(subs, s)
+	}
+	m.subs = map[string]*Subscription{}
+	m.pending = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	close(m.done)
+	m.wg.Wait()
+	for _, s := range subs {
+		s.terminate()
+	}
+	recordActive(0)
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	active := len(m.subs)
+	registered := m.nextID
+	m.mu.Unlock()
+	return Stats{
+		Active:     active,
+		Registered: registered,
+		Events:     m.events.Load(),
+		Suppressed: m.suppressed.Load(),
+		Resolved:   m.resolved.Load(),
+		Stale:      m.stale.Load(),
+		Errors:     m.errors.Load(),
+	}
+}
+
+// worker is the single solve loop: it drains the note queue, coalesces
+// what piled up, and runs every subscription's guard check.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-m.signal:
+		}
+		for {
+			m.mu.Lock()
+			notes := m.pending
+			m.pending = nil
+			subs := make([]*Subscription, 0, len(m.subs))
+			for _, s := range m.subs {
+				subs = append(subs, s)
+			}
+			m.mu.Unlock()
+			if len(notes) == 0 {
+				break
+			}
+			m.process(notes, subs)
+			m.mu.Lock()
+			m.outstanding -= len(notes)
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		}
+	}
+}
+
+// process folds a drained run of notes into every subscription.
+// Untargeted notes coalesce into one merged batch PER SUBSCRIPTION —
+// one guard check and at most one solve no matter how many batches
+// piled up. The merge skips notes at or below the subscription's last
+// solved epoch: a stale DirtyAll note must not force a re-solve on a
+// subscription whose answer already reflects it. Targeted rechecks run
+// individually.
+func (m *Manager) process(notes []BatchNote, subs []*Subscription) {
+	untargeted := notes[:0]
+	for _, n := range notes {
+		if n.only != "" {
+			m.mu.Lock()
+			target, ok := m.subs[n.only]
+			m.mu.Unlock()
+			if ok {
+				m.check(target, &n, n.Appends)
+			}
+			continue
+		}
+		untargeted = append(untargeted, n)
+	}
+	if len(untargeted) == 0 {
+		return
+	}
+	for _, sub := range subs {
+		merged, appends := mergeNotes(untargeted, sub.state.solvedEpoch)
+		if merged == nil {
+			m.stale.Add(1)
+			recordCheck("stale")
+			continue
+		}
+		m.check(sub, merged, appends)
+	}
+}
+
+// mergeNotes coalesces the notes strictly newer than after into one
+// batch: max epoch (with its trace), earliest enqueue time, OR of
+// DirtyAll, appends deduped by object id with the later post-append
+// state winning (sound for the guard: influence credits an object at
+// most once, so observing only its latest state covers every earlier
+// flip). Returns nil when every note is stale.
+func mergeNotes(notes []BatchNote, after int64) (*BatchNote, []*object.Object) {
+	merged := BatchNote{Epoch: after}
+	var appends []*object.Object
+	seen := map[int]int{} // object id -> index in appends
+	fresh := false
+	for _, n := range notes {
+		if n.Epoch <= after {
+			continue
+		}
+		fresh = true
+		if n.Epoch > merged.Epoch {
+			merged.Epoch = n.Epoch
+			merged.TraceID = n.TraceID
+		}
+		if merged.At.IsZero() || n.At.Before(merged.At) {
+			merged.At = n.At
+		}
+		merged.DirtyAll = merged.DirtyAll || n.DirtyAll
+		for _, o := range n.Appends {
+			if i, ok := seen[o.ID]; ok {
+				appends[i] = o
+			} else {
+				seen[o.ID] = len(appends)
+				appends = append(appends, o)
+			}
+		}
+	}
+	if !fresh {
+		return nil, nil
+	}
+	return &merged, appends
+}
+
+// check runs one subscription against one (possibly merged) batch:
+// stale skip, guard certification, or re-solve + diff + publish.
+func (m *Manager) check(sub *Subscription, note *BatchNote, appends []*object.Object) {
+	st := &sub.state
+	if note.Epoch <= st.solvedEpoch {
+		m.stale.Add(1)
+		recordCheck("stale")
+		return
+	}
+	if !note.DirtyAll && st.guard.Certified() && st.guard.Observe(appends) {
+		st.suppressed++
+		m.suppressed.Add(1)
+		recordCheck("suppressed")
+		return
+	}
+	sol, err := m.cfg.Backend.SolveTopK(&sub.Query)
+	if err != nil {
+		// Leave the guard broken: the next batch retries the solve.
+		st.guard.Invalidate()
+		m.errors.Add(1)
+		recordCheck("error")
+		return
+	}
+	st.evaluations++
+	m.resolved.Add(1)
+	recordCheck("resolved")
+	prev := st.lastIDs
+	m.arm(sub, sol)
+	if !equalIDs(prev, st.lastIDs) {
+		if _, ok := sub.publish(sol.Epoch, sol.TraceID, st.lastTopK); ok {
+			m.events.Add(1)
+			recordEvent()
+			recordNotifyLatency(time.Since(note.At))
+		}
+	}
+}
+
+// arm installs a fresh solution: apply the candidate filter, cut the
+// delivered prefix, rebuild the guard from the filtered exact vector.
+func (m *Manager) arm(sub *Subscription, sol *Solution) {
+	st := &sub.state
+	ranked := sol.Ranked
+	if st.filter != nil {
+		ranked = make([]Candidate, 0, len(st.filter))
+		for _, c := range sol.Ranked {
+			if st.filter[c.ID] {
+				ranked = append(ranked, c)
+			}
+		}
+	}
+	k := min(sub.Query.K, len(ranked))
+	st.lastTopK = append([]Candidate(nil), ranked[:k]...)
+	st.lastIDs = make([]int, k)
+	for i, c := range ranked[:k] {
+		st.lastIDs[i] = c.ID
+	}
+	st.solvedEpoch = sol.Epoch
+
+	guardCands := make([]dynamic.GuardCandidate, len(ranked))
+	for i, c := range ranked {
+		guardCands[i] = dynamic.GuardCandidate{
+			ID: c.ID, Pt: geo.Point{X: c.X, Y: c.Y}, Influence: c.Influence,
+		}
+	}
+	guard, err := dynamic.NewTopKGuard(st.pf, sub.Query.Tau, sub.Query.K, guardCands)
+	if err != nil {
+		st.guard = nil // unguarded: every batch re-solves
+		return
+	}
+	st.guard = guard
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

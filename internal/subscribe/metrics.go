@@ -1,0 +1,55 @@
+package subscribe
+
+import (
+	"time"
+
+	"pinocchio/internal/obs"
+)
+
+// Metric names exported by the subscription layer (DESIGN.md §12).
+const (
+	// MetricActive is the live-subscription gauge.
+	MetricActive = "pinocchio_subs_active"
+	// MetricEvents counts delivered (published) events, registration
+	// and terminal events included.
+	MetricEvents = "pinocchio_sub_events_total"
+	// MetricChecks counts (batch, subscription) checks by outcome:
+	// suppressed (guard certified, no solve), resolved (re-solved),
+	// stale (batch predates the last solve), error (solve failed).
+	MetricChecks = "pinocchio_sub_checks_total"
+	// MetricNotifySeconds is the batch-enqueue-to-event-publish
+	// latency of delivered changes.
+	MetricNotifySeconds = "pinocchio_sub_notify_seconds"
+)
+
+func recordActive(n int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Gauge(MetricActive, "Live subscriptions.", nil).Set(float64(n))
+}
+
+func recordEvent() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Counter(MetricEvents, "Subscription events published.", nil).Inc()
+}
+
+func recordCheck(result string) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Counter(MetricChecks,
+		"Per-batch subscription checks by outcome (suppressed = safe-region filter hit).",
+		obs.Labels{"result": result}).Inc()
+}
+
+func recordNotifyLatency(d time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Histogram(MetricNotifySeconds,
+		"Batch-apply-to-event-publish latency in seconds.",
+		obs.DefBuckets, nil).Observe(d.Seconds())
+}

@@ -8,7 +8,9 @@ cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
 pid=""
+ssepid=""
 cleanup() {
+    [ -n "$ssepid" ] && kill "$ssepid" 2>/dev/null || true
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
     rm -rf "$tmp"
 }
@@ -169,10 +171,88 @@ grep -q "slow query" "$tmp/daemon.log" || {
     exit 1
 }
 
+echo "== subscriptions"
+# A standing query over two fresh far-away candidates: the seed dataset
+# (coordinates within a few tens of units of the origin) cannot
+# influence them, so the winner is fully determined by the object we
+# stream. Register, flip the top-1 with one
+# ingest batch, and assert the SSE push carries the new winner.
+ca=$(curl -fsS "http://$addr/v1/candidates" -d '{"x":500,"y":500}' |
+    sed -n 's/.*"id":\([0-9][0-9]*\).*/\1/p')
+cb=$(curl -fsS "http://$addr/v1/candidates" -d '{"x":510,"y":510}' |
+    sed -n 's/.*"id":\([0-9][0-9]*\).*/\1/p')
+curl -fsS "http://$addr/v1/objects" \
+    -d '{"id":8001,"positions":[{"x":560,"y":560}]}' >/dev/null
+sub=$(curl -fsS "http://$addr/v1/subscribe" \
+    -d "{\"tau\":0.7,\"k\":1,\"candidates\":[$ca,$cb]}")
+sid=$(printf '%s' "$sub" | sed -n 's/.*"subscription":"\([^"]*\)".*/\1/p')
+# Far from everything: both candidates tie at influence 0, id order
+# makes the lower-id candidate the initial winner.
+case "$sub" in
+*"\"id\":$ca"*) ;;
+*) echo "initial subscription answer should pick candidate $ca: $sub" >&2; exit 1 ;;
+esac
+
+curl -sN --max-time 60 "http://$addr/v1/subscriptions/$sid/events" >"$tmp/sse" &
+ssepid=$!
+i=0
+until grep -q "event: result" "$tmp/sse" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "no initial SSE frame" >&2; exit 1; }
+    sleep 0.1
+done
+
+# One ingest batch moves object 8001 onto candidate $cb: its cumulative
+# influence probability jumps past tau and the top-1 flips.
+curl -fsS "http://$addr/v1/ingest" \
+    -d '{"appends":[{"id":8001,"positions":[{"x":510,"y":510}]}]}'
+echo
+i=0
+until grep -q "^id: 2" "$tmp/sse" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "no SSE push after flip batch" >&2; exit 1; }
+    sleep 0.1
+done
+flip=$(grep -A 2 "^id: 2" "$tmp/sse" | grep "^data: ")
+case "$flip" in
+*"\"id\":$cb"*) ;;
+*) echo "flip event should carry winner $cb: $flip" >&2; exit 1 ;;
+esac
+case "$flip" in
+*'"trace_id":"'*) ;;
+*) echo "flip event missing trace_id: $flip" >&2; exit 1 ;;
+esac
+
+# A batch for an object far outside both safe regions must be filtered:
+# no re-solve, no event, version stays 2.
+curl -fsS "http://$addr/v1/objects" \
+    -d '{"id":8002,"positions":[{"x":800,"y":800}]}' >/dev/null
+curl -fsS "http://$addr/v1/ingest" \
+    -d '{"appends":[{"id":8002,"positions":[{"x":801,"y":801}]}]}' >/dev/null
+sleep 0.5
+if grep -q "^id: 3" "$tmp/sse"; then
+    echo "no-op batch must not push an event:" >&2
+    cat "$tmp/sse" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/v1/status" | grep -q '"checks_suppressed":[1-9]' || {
+    echo "status should report suppressed subscription checks" >&2
+    exit 1
+}
+
 echo "== shutdown"
 kill -TERM "$pid"
 wait "$pid"
 pid=""
+# Graceful shutdown must have closed the SSE stream with a terminal
+# goodbye event rather than cutting the connection.
+wait "$ssepid" 2>/dev/null || true
+ssepid=""
+grep -q "event: goodbye" "$tmp/sse" || {
+    echo "SSE stream missing goodbye event on shutdown:" >&2
+    cat "$tmp/sse" >&2
+    exit 1
+}
 
 echo "== crash recovery"
 # Start a durable daemon, stream mutations, kill -9 mid-flight, restart
