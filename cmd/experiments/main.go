@@ -30,6 +30,7 @@ func main() {
 		bench      = flag.String("bench", "", "skip the suite; write a bench snapshot (BENCH_*.json) to this path")
 		benchIters = flag.Int("bench-iters", 3, "timed runs per algorithm for -bench")
 		benchScale = flag.Float64("bench-scale", 0, "dataset scale for -bench (0 = snapshot default)")
+		benchShard = flag.String("bench-shard", "", "skip the suite; write the shard-per-core bench snapshot to this path")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -45,6 +46,13 @@ func main() {
 
 	if *bench != "" {
 		if err := runBench(*bench, *benchScale, *benchIters, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchShard != "" {
+		if err := runBenchShard(*benchShard); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -79,6 +87,32 @@ func runBench(path string, scale float64, iters int, seed int64) error {
 	experiments.PruneAccountingTable(snap.PruneAccounting).Render(os.Stdout)
 	fmt.Printf("wrote %s (%d algorithms, %d objects × %d candidates)\n",
 		path, len(snap.Algorithms), snap.Objects, snap.Candidates)
+	return nil
+}
+
+// runBenchShard emits the shard-per-core snapshot (DESIGN.md §13):
+// scatter-gather solves vs the unsharded baseline at Gowalla scale and
+// a ×10 synthetic scale-up, plus loadgen serving throughput at each
+// shard count.
+func runBenchShard(path string) error {
+	snap, err := experiments.WriteBenchShard(path, experiments.DefaultBenchShardConfig())
+	if err != nil {
+		return err
+	}
+	for _, r := range snap.Solve {
+		slog.Info("bench-shard solve", "dataset", r.Dataset, "algo", r.Algorithm,
+			"shards", r.Shards, "wall_ms", fmt.Sprintf("%.1f", r.WallMs),
+			"speedup", fmt.Sprintf("%.2f", r.Speedup), "parity", r.ParityOK)
+	}
+	for _, r := range snap.Serve {
+		slog.Info("bench-shard serve", "dataset", r.Dataset, "shards", r.Shards,
+			"mutratio", r.MutationRatio, "ops_per_sec", fmt.Sprintf("%.0f", r.OpsPerSec),
+			"speedup", fmt.Sprintf("%.2f", r.Speedup), "scatter_merges", r.ScatterMerges)
+	}
+	if snap.HostNote != "" {
+		slog.Warn("bench-shard host caveat", "note", snap.HostNote)
+	}
+	fmt.Printf("wrote %s (%d solve rows, %d serve rows)\n", path, len(snap.Solve), len(snap.Serve))
 	return nil
 }
 

@@ -31,10 +31,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"pinocchio/internal/dataset"
+	"pinocchio/internal/dynamic"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
 	"pinocchio/internal/obs"
@@ -59,6 +61,7 @@ type options struct {
 	lambda float64
 	tau    float64
 
+	shards        int
 	maxInflight   int
 	cacheSize     int
 	planCacheSize int
@@ -81,7 +84,7 @@ func main() {
 	flag.StringVar(&opts.addrFile, "addr-file", "", "write the bound address to this file once listening")
 	flag.StringVar(&opts.source.Path, "data", "", "check-in CSV (from datagen); empty generates the preset")
 	flag.StringVar(&opts.source.Preset, "preset", "foursquare", "synthetic preset: foursquare or gowalla")
-	flag.Float64Var(&opts.source.Scale, "scale", 0.2, "synthetic dataset size factor in (0, 1]")
+	flag.Float64Var(&opts.source.Scale, "scale", 0.2, "synthetic dataset size factor (>1 grows the preset)")
 	flag.Int64Var(&opts.source.SeedOffset, "data-seed", 0, "seed offset added to the preset seed")
 	flag.IntVar(&opts.candidates, "candidates", 400, "number of candidate locations sampled from venues")
 	flag.Int64Var(&opts.seed, "seed", 1, "candidate sampling seed")
@@ -89,7 +92,8 @@ func main() {
 	flag.Float64Var(&opts.rho, "rho", 0.9, "engine PF behavior factor")
 	flag.Float64Var(&opts.lambda, "lambda", 1.0, "engine PF shape factor")
 	flag.Float64Var(&opts.tau, "tau", 0.7, "engine influence threshold in (0,1)")
-	flag.IntVar(&opts.maxInflight, "max-inflight", 0, "concurrent query cap before shedding with 429 (0 = 2×GOMAXPROCS)")
+	flag.IntVar(&opts.shards, "shards", 0, "engine shards: object mutations lock one shard, full-vector queries scatter-gather (0 = NumCPU)")
+	flag.IntVar(&opts.maxInflight, "max-inflight", 0, "concurrent query cap before shedding with 429 (0 = 2×max(GOMAXPROCS, shards))")
 	flag.IntVar(&opts.cacheSize, "cache-size", 128, "query result cache entries (negative disables)")
 	flag.IntVar(&opts.planCacheSize, "plan-cache", 32, "solve-plan cache entries, keyed by epoch and PF/τ (0 disables)")
 	flag.DurationVar(&opts.maxTimeout, "max-timeout", 30*time.Second, "cap on per-request query deadlines")
@@ -151,6 +155,9 @@ func loadWorkload(opts options) ([]*object.Object, []geo.Point, string, error) {
 // disables", so a negative value is always a typo — surfacing it at
 // startup beats silently disabling a feature the operator asked for.
 func validateOptions(opts options) error {
+	if opts.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d); use 0 for one shard per CPU", opts.shards)
+	}
 	if opts.slowQuery < 0 {
 		return fmt.Errorf("-slow-query must be >= 0 (got %v); use 0 to disable the slow-query log", opts.slowQuery)
 	}
@@ -176,6 +183,9 @@ func run(ctx context.Context, opts options) error {
 	if err := validateOptions(opts); err != nil {
 		return err
 	}
+	if opts.shards == 0 {
+		opts.shards = runtime.NumCPU()
+	}
 	pf, err := probfn.ByName(opts.pfName, opts.rho, opts.lambda)
 	if err != nil {
 		return err
@@ -188,6 +198,7 @@ func run(ctx context.Context, opts options) error {
 		CacheSize:     opts.cacheSize,
 		PlanCacheSize: opts.planCacheSize,
 		MaxTimeout:    opts.maxTimeout,
+		Shards:        opts.shards,
 		SlowQuery:     opts.slowQuery,
 		TraceKeep:     opts.traceKeep,
 		MaxSubs:       opts.maxSubs,
@@ -215,56 +226,75 @@ func run(ctx context.Context, opts options) error {
 
 	start := time.Now()
 	var srv *server.Server
-	var st *store.Store
+	var stores []*store.Store
 	if opts.dataDir != "" {
 		policy, err := wal.ParsePolicy(opts.fsync)
 		if err != nil {
 			return err
 		}
-		st, err = store.Open(opts.dataDir, store.Options{Fsync: policy})
+		stores, err = store.OpenSharded(opts.dataDir, opts.shards, store.Options{Fsync: policy})
 		if err != nil {
 			return err
 		}
-		defer st.Close()
+		defer func() {
+			for _, st := range stores {
+				st.Close()
+			}
+		}()
 		// The tag pins the engine configuration a data directory was
 		// built under; recovery refuses a mismatch rather than serving
-		// influences computed under different parameters.
+		// influences computed under different parameters. Per-shard
+		// streams additionally carry the shard layout in their tags.
 		tag := fmt.Sprintf("pf=%s rho=%g lambda=%g tau=%g",
 			opts.pfName, opts.rho, opts.lambda, opts.tau)
-		res, err := st.Recover(pf, opts.tau, tag)
+		results, err := store.RecoverSharded(stores, pf, opts.tau, tag)
 		if err != nil {
 			return err
 		}
-		if res.Fresh {
-			// First boot on this directory: seed from the dataset and
-			// persist the seed population as checkpoint zero, so later
-			// boots never re-read the dataset.
+		if results[0].Fresh {
+			// First boot on this directory: seed from the dataset —
+			// objects routed to their owning shards, candidates into
+			// every shard — and persist the seed population as
+			// checkpoint zero per shard, so later boots never re-read
+			// the dataset.
 			objs, cands, name, err := loadWorkload(opts)
 			if err != nil {
 				return err
 			}
 			for _, o := range objs {
-				if err := res.Engine.AddObject(o.ID, o.Positions); err != nil {
+				eng := results[dynamic.ShardOf(o.ID, len(results))].Engine
+				if err := eng.AddObject(o.ID, o.Positions); err != nil {
 					return fmt.Errorf("seeding object %d: %w", o.ID, err)
 				}
 			}
 			for _, c := range cands {
-				res.Engine.AddCandidate(c)
+				for _, res := range results {
+					res.Engine.AddCandidate(c)
+				}
 			}
-			if err := st.Checkpoint(res.Engine.ExportState(), 0, 0); err != nil {
-				return fmt.Errorf("seed checkpoint: %w", err)
+			for i, st := range stores {
+				if err := st.Checkpoint(results[i].Engine.ExportState(), 0, 0); err != nil {
+					return fmt.Errorf("seed checkpoint for shard %d: %w", i, err)
+				}
 			}
 			cfg.DatasetName = name
 		} else {
+			var epoch, replayed int64
+			for _, res := range results {
+				epoch += res.Epoch
+				replayed += int64(res.Replayed)
+			}
 			cfg.DatasetName = "recovered:" + opts.dataDir
 			slog.Info("state recovered", "dir", opts.dataDir,
-				"epoch", res.Epoch, "seq", res.Seq,
-				"checkpoint_seq", res.CheckpointSeq, "replayed", res.Replayed,
-				"elapsed", res.Elapsed.Round(time.Millisecond))
+				"shards", len(results), "epoch", epoch, "replayed", replayed,
+				"elapsed", results[0].Elapsed.Round(time.Millisecond))
 		}
-		cfg.Store = st
+		cfg.Stores = stores
 		cfg.CheckpointEvery = opts.checkpointEvery
-		srv = server.NewWithEngine(cfg, res.Engine, res.Epoch)
+		srv, err = server.NewFromRecovery(cfg, results)
+		if err != nil {
+			return err
+		}
 	} else {
 		objs, cands, name, err := loadWorkload(opts)
 		if err != nil {
@@ -277,7 +307,7 @@ func run(ctx context.Context, opts options) error {
 		}
 	}
 	slog.Info("engine ready", "pf", pf.Name(), "tau", opts.tau,
-		"durable", st != nil,
+		"shards", opts.shards, "durable", len(stores) > 0,
 		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	ln, err := net.Listen("tcp", opts.addr)
@@ -324,7 +354,7 @@ func run(ctx context.Context, opts options) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	if st != nil {
+	if len(stores) > 0 {
 		// A final checkpoint makes the next boot replay-free.
 		srv.DrainCheckpoints()
 		seq, err := srv.CheckpointNow()

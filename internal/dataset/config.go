@@ -149,10 +149,13 @@ func GowallaLike() Config {
 }
 
 // Scaled returns the configuration with user and venue counts (and the
-// check-in cap) scaled by factor, for fast tests and benchmarks that
-// keep the distributional shape. factor must be in (0, 1].
+// check-in cap) scaled by factor, keeping the distributional shape.
+// Factors below 1 shrink presets for fast tests; factors above 1 grow
+// them for scale benchmarks (the spatial extent stays fixed, so
+// density rises with the factor, as in the paper's synthetic scale-up).
+// factor must be positive.
 func Scaled(c Config, factor float64) Config {
-	if factor <= 0 || factor > 1 {
+	if factor <= 0 || factor == 1 {
 		return c
 	}
 	scale := func(n int) int {

@@ -188,12 +188,21 @@ func TestScaled(t *testing.T) {
 	if !strings.Contains(s.Name, cfg.Name) {
 		t.Errorf("scaled name %q", s.Name)
 	}
-	// Out-of-range factors are identity.
+	// Out-of-range factors are identity; factors above 1 grow the
+	// preset for scale benchmarks.
 	if got := Scaled(cfg, 0); got.Users != cfg.Users {
 		t.Error("factor 0 should be identity")
 	}
-	if got := Scaled(cfg, 2); got.Users != cfg.Users {
-		t.Error("factor 2 should be identity")
+	if got := Scaled(cfg, -3); got.Users != cfg.Users {
+		t.Error("negative factor should be identity")
+	}
+	up := Scaled(cfg, 2)
+	if up.Users != 2*cfg.Users || up.Venues != 2*cfg.Venues {
+		t.Errorf("factor 2: %d users, %d venues (want %d, %d)",
+			up.Users, up.Venues, 2*cfg.Users, 2*cfg.Venues)
+	}
+	if err := up.Validate(); err != nil {
+		t.Errorf("grown config invalid: %v", err)
 	}
 }
 

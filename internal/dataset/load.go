@@ -17,7 +17,9 @@ type Source struct {
 	// or "gowalla", with the single-letter abbreviations accepted by
 	// cmd/datagen.
 	Preset string
-	// Scale shrinks the preset in (0, 1]; 0 defaults to 1.0.
+	// Scale resizes the preset: factors in (0, 1) shrink it for fast
+	// runs, factors above 1 grow it for scale benchmarks; 0 defaults
+	// to 1.0.
 	Scale float64
 	// SeedOffset is added to the preset's base seed, so harnesses can
 	// draw independent instances of the same preset.

@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dataset"
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/loadgen"
+	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
+	"pinocchio/internal/server"
+)
+
+// BenchShardSchema identifies the shard-bench snapshot format.
+const BenchShardSchema = "pinocchio-bench-shard/v1"
+
+// BenchShardConfig parameterizes the shard-per-core benchmark
+// (DESIGN.md §13): solve rows compare core.SolveSharded against the
+// unsharded solver at Gowalla scale and above, serve rows drive
+// loadgen traffic through sharded HTTP servers.
+type BenchShardConfig struct {
+	// Scales multiplies the Gowalla-like preset for the solve rows
+	// (1.0 reproduces Table 2's 10,162 objects / ≈381k check-ins).
+	Scales []float64
+	// Candidates caps the sampled candidate count per scale
+	// (index-aligned with Scales; 0 entries default to 240).
+	Candidates []int
+	// Shards lists the shard counts to time; 1 is the baseline.
+	Shards []int
+	// GoMaxProcs pins the scheduler width for the timed sections so
+	// shard parallelism has threads to run on (0 leaves it alone).
+	GoMaxProcs int
+	Tau        float64
+	Iterations int
+	Seed       int64
+	// ServeDuration bounds each loadgen run (default 3s).
+	ServeDuration time.Duration
+	// ServeWorkers is the loadgen client count (default 8).
+	ServeWorkers int
+	// ServeMutationScale and ServeMixedScale set the Gowalla-preset
+	// scales for the two serve traffic mixes: a pure mutation stream
+	// at full scale (default 1.0) and a mixed query/mutation stream
+	// over a smaller population (default 0.12) so individual solves
+	// stay fast enough to measure a rate.
+	ServeMutationScale float64
+	ServeMixedScale    float64
+}
+
+// DefaultBenchShardConfig returns the checked-in BENCH_PR8.json
+// settings: the full Gowalla-like preset plus a ×10 synthetic
+// scale-up, shards {1, 4}, scheduler width 4.
+func DefaultBenchShardConfig() BenchShardConfig {
+	return BenchShardConfig{
+		Scales:             []float64{1.0, 10.0},
+		Candidates:         []int{240, 120},
+		Shards:             []int{1, 4},
+		GoMaxProcs:         4,
+		Tau:                DefaultTau,
+		Iterations:         2,
+		Seed:               7,
+		ServeDuration:      3 * time.Second,
+		ServeWorkers:       8,
+		ServeMutationScale: 1.0,
+		ServeMixedScale:    0.12,
+	}
+}
+
+// BenchShardSolveRow is one (dataset, algorithm, shard count) timing.
+type BenchShardSolveRow struct {
+	Dataset    string  `json:"dataset"`
+	Objects    int     `json:"objects"`
+	Positions  int     `json:"positions"`
+	Candidates int     `json:"candidates"`
+	Algorithm  string  `json:"algorithm"`
+	Shards     int     `json:"shards"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	WallMs     float64 `json:"wall_ms"` // min over iterations
+	// Speedup is the shards=1 row's wall time divided by this row's
+	// (1.0 for the baseline itself).
+	Speedup float64 `json:"speedup_vs_unsharded"`
+	// ParityOK records that the merged influence vector was
+	// byte-identical to the unsharded solve's.
+	ParityOK      bool `json:"parity_ok"`
+	BestIndex     int  `json:"best_index"`
+	BestInfluence int  `json:"best_influence"`
+}
+
+// BenchShardServeRow is one loadgen run against an n-shard server.
+type BenchShardServeRow struct {
+	Dataset        string  `json:"dataset"`
+	Shards         int     `json:"shards"`
+	Workers        int     `json:"workers"`
+	MutationRatio  float64 `json:"mutation_ratio"`
+	Ops            int64   `json:"ops"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	MutationPerSec float64 `json:"mutations_per_sec"`
+	QueryP50Ms     float64 `json:"query_p50_ms"`
+	QueryP99Ms     float64 `json:"query_p99_ms"`
+	MutationP50Ms  float64 `json:"mutation_p50_ms"`
+	MutationP99Ms  float64 `json:"mutation_p99_ms"`
+	ScatterMerges  int64   `json:"scatter_merges"`
+	Shed           int64   `json:"shed"`
+	Errors         int64   `json:"errors"`
+	// Speedup is ops/sec relative to the shards=1 row of the same
+	// traffic mix.
+	Speedup float64 `json:"speedup_vs_unsharded"`
+}
+
+// BenchShard is the machine-readable shard-bench artifact.
+type BenchShard struct {
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// HostNote flags measurement caveats — on a single-CPU host a
+	// raised GOMAXPROCS buys scheduler width but no true parallelism,
+	// so wall-clock speedups there measure overhead, not scaling.
+	HostNote string               `json:"host_note,omitempty"`
+	Build    obs.BuildInfo        `json:"build"`
+	Tau      float64              `json:"tau"`
+	Seed     int64                `json:"seed"`
+	Solve    []BenchShardSolveRow `json:"sharded_solve"`
+	Serve    []BenchShardServeRow `json:"sharded_serve"`
+}
+
+// shardParts partitions a problem's objects by dynamic.ShardOf into n
+// per-shard sub-problems (nil entries for empty shards).
+func shardParts(p *core.Problem, n int) []*core.Problem {
+	buckets := make([][]*object.Object, n)
+	for _, o := range p.Objects {
+		i := dynamic.ShardOf(o.ID, n)
+		buckets[i] = append(buckets[i], o)
+	}
+	parts := make([]*core.Problem, n)
+	for i, objs := range buckets {
+		if len(objs) == 0 {
+			continue
+		}
+		parts[i] = &core.Problem{Objects: objs, Candidates: p.Candidates, PF: p.PF, Tau: p.Tau}
+	}
+	return parts
+}
+
+// RunBenchShard times sharded scatter-gather solves against their
+// unsharded baselines and measures served throughput at several shard
+// counts.
+func RunBenchShard(cfg BenchShardConfig) (*BenchShard, error) {
+	if len(cfg.Scales) == 0 || len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("experiments: bench-shard needs scales and shard counts")
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.ServeDuration <= 0 {
+		cfg.ServeDuration = 3 * time.Second
+	}
+	if cfg.ServeWorkers <= 0 {
+		cfg.ServeWorkers = 8
+	}
+	if cfg.ServeMutationScale <= 0 {
+		cfg.ServeMutationScale = 1.0
+	}
+	if cfg.ServeMixedScale <= 0 {
+		cfg.ServeMixedScale = 0.12
+	}
+	snap := &BenchShard{
+		Schema:    BenchShardSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Build:     obs.ReadBuildInfo(),
+		Tau:       cfg.Tau,
+		Seed:      cfg.Seed,
+	}
+	if cfg.GoMaxProcs > 0 {
+		prev := runtime.GOMAXPROCS(cfg.GoMaxProcs)
+		defer runtime.GOMAXPROCS(prev)
+		if runtime.NumCPU() < cfg.GoMaxProcs {
+			snap.HostNote = fmt.Sprintf(
+				"host has %d CPU(s); GOMAXPROCS raised to %d gives scheduler width but no extra cores, so sharded wall-clock speedups here bound overhead rather than demonstrate scaling",
+				runtime.NumCPU(), cfg.GoMaxProcs)
+		}
+	}
+
+	for si, scale := range cfg.Scales {
+		gcfg := dataset.Scaled(dataset.GowallaLike(), scale)
+		gcfg.Seed += cfg.Seed
+		ds, err := dataset.Generate(gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating %s: %w", gcfg.Name, err)
+		}
+		m := 240
+		if si < len(cfg.Candidates) && cfg.Candidates[si] > 0 {
+			m = cfg.Candidates[si]
+		}
+		if m > len(ds.Venues) {
+			m = len(ds.Venues)
+		}
+		cs, err := dataset.SampleCandidates(ds, m, (&Env{Seed: cfg.Seed}).rng(881))
+		if err != nil {
+			return nil, err
+		}
+		positions := 0
+		for _, o := range ds.Objects {
+			positions += len(o.Positions)
+		}
+		p := problem(ds.Objects, cs.Points, defaultPF(), cfg.Tau)
+
+		type algo struct {
+			name  string
+			solve func(part *core.Problem) (*core.Result, error)
+		}
+		algos := []algo{
+			{"pin", func(part *core.Problem) (*core.Result, error) {
+				return core.Solve(core.AlgPinocchio, part)
+			}},
+			{"pin-par", func(part *core.Problem) (*core.Result, error) {
+				return core.PinocchioParallel(part, 0)
+			}},
+		}
+		for _, a := range algos {
+			var baseWall float64
+			var baseRes *core.Result
+			for _, n := range cfg.Shards {
+				var wallMs float64
+				var res *core.Result
+				for it := 0; it < cfg.Iterations; it++ {
+					pp := *p // fresh Cost per timed run
+					pp.Cost = &core.Cost{}
+					start := time.Now()
+					var err error
+					if n <= 1 {
+						res, err = a.solve(&pp)
+					} else {
+						res, err = core.SolveSharded(&pp, shardParts(&pp, n),
+							func(_ int, part *core.Problem) (*core.Result, error) {
+								return a.solve(part)
+							})
+					}
+					if err != nil {
+						return nil, fmt.Errorf("experiments: bench-shard %s n=%d: %w", a.name, n, err)
+					}
+					if ms := float64(time.Since(start)) / float64(time.Millisecond); it == 0 || ms < wallMs {
+						wallMs = ms
+					}
+				}
+				row := BenchShardSolveRow{
+					Dataset:       ds.Name,
+					Objects:       len(ds.Objects),
+					Positions:     positions,
+					Candidates:    len(cs.Points),
+					Algorithm:     a.name,
+					Shards:        n,
+					GoMaxProcs:    runtime.GOMAXPROCS(0),
+					WallMs:        wallMs,
+					Speedup:       1,
+					ParityOK:      true,
+					BestIndex:     res.BestIndex,
+					BestInfluence: res.BestInfluence,
+				}
+				if n <= 1 {
+					baseWall, baseRes = wallMs, res
+				} else {
+					if baseWall > 0 && wallMs > 0 {
+						row.Speedup = baseWall / wallMs
+					}
+					row.ParityOK = baseRes != nil &&
+						reflect.DeepEqual(baseRes.Influences, res.Influences) &&
+						baseRes.BestIndex == res.BestIndex
+					if !row.ParityOK {
+						return nil, fmt.Errorf("experiments: bench-shard %s n=%d diverged from unsharded", a.name, n)
+					}
+				}
+				snap.Solve = append(snap.Solve, row)
+			}
+		}
+	}
+
+	serve, err := benchShardServe(cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap.Serve = serve
+	return snap, nil
+}
+
+// benchShardServe measures end-to-end served throughput: a pure
+// mutation stream at full Gowalla scale (the single-writer-lock
+// bottleneck the sharding removes) and a mixed query/mutation stream
+// over a smaller population (so individual solves stay fast enough to
+// measure a rate).
+func benchShardServe(cfg BenchShardConfig) ([]BenchShardServeRow, error) {
+	type mix struct {
+		name     string
+		scale    float64
+		cands    int
+		ratio    float64
+		poolSize int
+	}
+	mixes := []mix{
+		{fmt.Sprintf("gowalla-like x%g mutations", cfg.ServeMutationScale), cfg.ServeMutationScale, 100, 1.0, 256},
+		{fmt.Sprintf("gowalla-like x%g mixed", cfg.ServeMixedScale), cfg.ServeMixedScale, 120, 0.5, 64},
+	}
+	var rows []BenchShardServeRow
+	for _, mx := range mixes {
+		gcfg := dataset.Scaled(dataset.GowallaLike(), mx.scale)
+		gcfg.Seed += cfg.Seed
+		ds, err := dataset.Generate(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		m := mx.cands
+		if m > len(ds.Venues) {
+			m = len(ds.Venues)
+		}
+		cs, err := dataset.SampleCandidates(ds, m, (&Env{Seed: cfg.Seed}).rng(883))
+		if err != nil {
+			return nil, err
+		}
+		var baseOps float64
+		for _, n := range cfg.Shards {
+			row, err := serveOnce(ds.Objects, cs.Points, cfg, mx.name, n, mx.ratio, mx.poolSize)
+			if err != nil {
+				return nil, err
+			}
+			if n <= 1 {
+				baseOps = row.OpsPerSec
+				row.Speedup = 1
+			} else if baseOps > 0 {
+				row.Speedup = row.OpsPerSec / baseOps
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+// serveOnce runs one loadgen measurement against a fresh n-shard
+// server over real HTTP.
+func serveOnce(objs []*object.Object, cands []geo.Point, cfg BenchShardConfig, name string, shards int, ratio float64, pool int) (*BenchShardServeRow, error) {
+	srv, err := server.New(server.Config{Shards: shards, Tau: cfg.Tau}, objs, cands)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:       ts.URL,
+		Workers:       cfg.ServeWorkers,
+		Duration:      cfg.ServeDuration,
+		MutationRatio: ratio,
+		Algorithms:    []string{"pin"},
+		Tau:           cfg.Tau,
+		Objects:       pool,
+		Seed:          cfg.Seed,
+		Extent:        320,
+	})
+	if err != nil {
+		return nil, err
+	}
+	row := &BenchShardServeRow{
+		Dataset:        name,
+		Shards:         shards,
+		Workers:        rep.Workers,
+		MutationRatio:  ratio,
+		Ops:            rep.Ops,
+		OpsPerSec:      rep.OpsPerSec,
+		QueriesPerSec:  rep.QueryPerSec,
+		MutationPerSec: rep.MutationPerSec,
+		QueryP50Ms:     rep.QueryLatency.P50,
+		QueryP99Ms:     rep.QueryLatency.P99,
+		MutationP50Ms:  rep.MutationLat.P50,
+		MutationP99Ms:  rep.MutationLat.P99,
+		Shed:           rep.Shed,
+		Errors:         rep.Errors,
+	}
+	if rep.Status != nil {
+		row.ScatterMerges = rep.Status.ScatterMerges
+	}
+	return row, nil
+}
+
+// WriteBenchShard runs the shard benchmark and writes the snapshot.
+func WriteBenchShard(path string, cfg BenchShardConfig) (*BenchShard, error) {
+	snap, err := RunBenchShard(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, fmt.Errorf("experiments: writing shard snapshot: %w", err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestBenchShardTiny runs the shard benchmark at a toy scale to keep
+// the harness itself tested: rows for every (scale, algorithm, shard
+// count), parity enforced, serve rows measured over real HTTP.
+func TestBenchShardTiny(t *testing.T) {
+	cfg := BenchShardConfig{
+		Scales:             []float64{0.02},
+		Candidates:         []int{40},
+		Shards:             []int{1, 3},
+		GoMaxProcs:         0, // leave the test runner's width alone
+		Tau:                DefaultTau,
+		Iterations:         1,
+		Seed:               5,
+		ServeDuration:      200 * time.Millisecond,
+		ServeWorkers:       2,
+		ServeMutationScale: 0.02,
+		ServeMixedScale:    0.02,
+	}
+	path := filepath.Join(t.TempDir(), "bench_shard.json")
+	snap, err := WriteBenchShard(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Scales) * 2 * len(cfg.Shards); len(snap.Solve) != want {
+		t.Fatalf("solve rows = %d, want %d", len(snap.Solve), want)
+	}
+	for _, r := range snap.Solve {
+		if !r.ParityOK {
+			t.Errorf("row %+v failed parity", r)
+		}
+		if r.WallMs <= 0 || r.Objects == 0 || r.Positions == 0 {
+			t.Errorf("row %+v missing measurements", r)
+		}
+		if r.Shards == 1 && r.Speedup != 1 {
+			t.Errorf("baseline row speedup = %g", r.Speedup)
+		}
+	}
+	if len(snap.Serve) != 2*len(cfg.Shards) {
+		t.Fatalf("serve rows = %d, want %d", len(snap.Serve), 2*len(cfg.Shards))
+	}
+	for _, r := range snap.Serve {
+		if r.Errors > 0 {
+			t.Errorf("serve row %+v has request errors", r)
+		}
+		if r.Shards > 1 && r.MutationRatio < 1 && r.ScatterMerges == 0 {
+			t.Errorf("mixed traffic on %d shards never scattered: %+v", r.Shards, r)
+		}
+	}
+
+	// The artifact on disk must round-trip.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchShard
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != BenchShardSchema || len(back.Solve) != len(snap.Solve) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,353 @@
+// Package loadgen drives mixed query/mutation traffic against a
+// running PRIME-LS server over its HTTP API, measuring end-to-end
+// serving throughput and latency. It is the measurement half of the
+// shard-per-core claim (DESIGN.md §13): queries exercise the
+// scatter-gather read path while mutations exercise per-shard
+// routing, so a run against -shards N directly shows whether the
+// partitioned engine sustains more mixed traffic than the
+// single-writer baseline.
+//
+// The generator owns a private pool of objects in a reserved high ID
+// range (IDBase, default 10_000_000) that it creates during setup and
+// churns with position appends, so it composes with any seeded
+// dataset without colliding with its IDs. Queries run with no_cache
+// so every request is a real solve — the point is engine throughput,
+// not result-cache hit rate.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests; nil uses a dedicated client with
+	// sensible connection reuse for Workers concurrent streams.
+	Client *http.Client
+
+	// Workers is the number of concurrent clients (default 4).
+	Workers int
+	// Duration bounds the measured phase (default 5s). The run also
+	// stops early once MaxOps operations completed, when set.
+	Duration time.Duration
+	MaxOps   int64
+
+	// MutationRatio is the fraction of operations that mutate
+	// (position appends against the generator's object pool); the rest
+	// are queries. Default 0.5.
+	MutationRatio float64
+	// BatchSize bounds the positions per mutation append (default 3).
+	BatchSize int
+
+	// Algorithms cycles the query algorithms (default pin, pin-vo).
+	Algorithms []string
+	// Tau is the query threshold (default 0.7).
+	Tau float64
+
+	// Objects is the generator-owned object pool size (default 64);
+	// IDBase is the first pool ID (default 10_000_000 — far above any
+	// dataset's range).
+	Objects int
+	IDBase  int
+	// Extent bounds generated coordinates in [0, Extent) on both axes
+	// (default 40, matching the foursquare-like city frame).
+	Extent float64
+
+	// Seed makes the op mix reproducible (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.MutationRatio < 0 || c.MutationRatio > 1 {
+		c.MutationRatio = 0.5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 3
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []string{"pin", "pin-vo"}
+	}
+	if c.Tau <= 0 || c.Tau >= 1 {
+		c.Tau = 0.7
+	}
+	if c.Objects <= 0 {
+		c.Objects = 64
+	}
+	if c.IDBase <= 0 {
+		c.IDBase = 10_000_000
+	}
+	if c.Extent <= 0 {
+		c.Extent = 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		tr := &http.Transport{MaxIdleConnsPerHost: c.Workers + 2}
+		c.Client = &http.Client{Transport: tr, Timeout: 60 * time.Second}
+	}
+	return c
+}
+
+// LatencyMs summarizes one op class's latency distribution
+// (nearest-rank percentiles over every completed op).
+type LatencyMs struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Report is one run's measured outcome.
+type Report struct {
+	Workers       int     `json:"workers"`
+	DurationSec   float64 `json:"duration_sec"`
+	MutationRatio float64 `json:"mutation_ratio"`
+
+	Ops       int64   `json:"ops"`
+	Queries   int64   `json:"queries"`
+	Mutations int64   `json:"mutations"`
+	Errors    int64   `json:"errors"`
+	Shed      int64   `json:"shed"` // 429s: admission control, not failures
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	QueryPerSec    float64   `json:"queries_per_sec"`
+	MutationPerSec float64   `json:"mutations_per_sec"`
+	QueryLatency   LatencyMs `json:"query_latency_ms"`
+	MutationLat    LatencyMs `json:"mutation_latency_ms"`
+
+	// Status is the server's post-run /v1/status shards block, so a
+	// run records how much of its traffic actually scattered.
+	Status *StatusShards `json:"server_shards,omitempty"`
+}
+
+// StatusShards is the /v1/status "shards" block the generator scrapes
+// after a run.
+type StatusShards struct {
+	Count         int     `json:"count"`
+	Epochs        []int64 `json:"epochs"`
+	ScatterSolves int64   `json:"scatter_solves"`
+	ScatterMerges int64   `json:"scatter_merges"`
+}
+
+// worker accumulates one goroutine's measurements; merged at the end
+// so the hot loop is contention-free.
+type worker struct {
+	rng        *rand.Rand
+	queries    int64
+	mutations  int64
+	errors     int64
+	shed       int64
+	queryLatMs []float64
+	mutLatMs   []float64
+}
+
+// Run executes the load: creates the object pool, drives mixed
+// traffic for cfg.Duration, and returns the merged report. The first
+// request error during setup aborts; errors during the measured phase
+// are counted, not fatal (a saturated server shedding 429s is a
+// result, not a failure).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+
+	if err := setupPool(ctx, cfg); err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	var opsDone int64
+	var opsMu sync.Mutex
+	workers := make([]*worker, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		w := &worker{rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if cfg.MaxOps > 0 {
+					opsMu.Lock()
+					if opsDone >= cfg.MaxOps {
+						opsMu.Unlock()
+						return
+					}
+					opsDone++
+					opsMu.Unlock()
+				}
+				w.step(ctx, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Workers:       cfg.Workers,
+		DurationSec:   elapsed.Seconds(),
+		MutationRatio: cfg.MutationRatio,
+	}
+	var qLat, mLat []float64
+	for _, w := range workers {
+		rep.Queries += w.queries
+		rep.Mutations += w.mutations
+		rep.Errors += w.errors
+		rep.Shed += w.shed
+		qLat = append(qLat, w.queryLatMs...)
+		mLat = append(mLat, w.mutLatMs...)
+	}
+	rep.Ops = rep.Queries + rep.Mutations
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / secs
+		rep.QueryPerSec = float64(rep.Queries) / secs
+		rep.MutationPerSec = float64(rep.Mutations) / secs
+	}
+	rep.QueryLatency = latencySummary(qLat)
+	rep.MutationLat = latencySummary(mLat)
+	rep.Status = scrapeShards(cfg)
+	return rep, nil
+}
+
+// setupPool creates the generator-owned objects; an existing object
+// (409 from a previous run against the same server) is fine.
+func setupPool(ctx context.Context, cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Objects; i++ {
+		id := cfg.IDBase + i
+		body := fmt.Sprintf(`{"id":%d,"positions":[{"x":%g,"y":%g},{"x":%g,"y":%g}]}`,
+			id, rng.Float64()*cfg.Extent, rng.Float64()*cfg.Extent,
+			rng.Float64()*cfg.Extent, rng.Float64()*cfg.Extent)
+		code, err := post(ctx, cfg, "/v1/objects", body)
+		if err != nil {
+			return fmt.Errorf("loadgen: creating pool object %d: %w", id, err)
+		}
+		if code != http.StatusCreated && code != http.StatusConflict {
+			return fmt.Errorf("loadgen: creating pool object %d: HTTP %d", id, code)
+		}
+	}
+	return nil
+}
+
+// step issues one operation, classifying the outcome into the
+// worker's tallies.
+func (w *worker) step(ctx context.Context, cfg Config) {
+	mutate := w.rng.Float64() < cfg.MutationRatio
+	var path, body string
+	if mutate {
+		id := cfg.IDBase + w.rng.Intn(cfg.Objects)
+		n := 1 + w.rng.Intn(cfg.BatchSize)
+		var b bytes.Buffer
+		fmt.Fprintf(&b, `{"positions":[`)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `{"x":%g,"y":%g}`, w.rng.Float64()*cfg.Extent, w.rng.Float64()*cfg.Extent)
+		}
+		b.WriteString(`]}`)
+		path, body = fmt.Sprintf("/v1/objects/%d/positions", id), b.String()
+	} else {
+		alg := cfg.Algorithms[w.rng.Intn(len(cfg.Algorithms))]
+		path = "/v1/query"
+		body = fmt.Sprintf(`{"algorithm":%q,"tau":%g,"no_cache":true}`, alg, cfg.Tau)
+	}
+	start := time.Now()
+	code, err := post(ctx, cfg, path, body)
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	switch {
+	case err != nil:
+		if ctx.Err() == nil { // deadline cancellations are not errors
+			w.errors++
+		}
+	case code == http.StatusTooManyRequests:
+		w.shed++
+	case code >= 300:
+		w.errors++
+	case mutate:
+		w.mutations++
+		w.mutLatMs = append(w.mutLatMs, ms)
+	default:
+		w.queries++
+		w.queryLatMs = append(w.queryLatMs, ms)
+	}
+}
+
+// post issues one JSON POST, returning the status code.
+func post(ctx context.Context, cfg Config, path, body string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// scrapeShards reads the post-run shards block; nil on any failure
+// (the report is still valid without it).
+func scrapeShards(cfg Config) *StatusShards {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/v1/status", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Shards *StatusShards `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil
+	}
+	return status.Shards
+}
+
+// latencySummary computes nearest-rank percentiles.
+func latencySummary(ms []float64) LatencyMs {
+	if len(ms) == 0 {
+		return LatencyMs{}
+	}
+	sort.Float64s(ms)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(ms))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	return LatencyMs{P50: rank(0.50), P95: rank(0.95), P99: rank(0.99), Max: ms[len(ms)-1]}
+}

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/server"
+)
+
+// testServer serves a small sharded population over real HTTP.
+func testServer(t *testing.T, shards int) *httptest.Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	objs := make([]*object.Object, 50)
+	for i := range objs {
+		pts := make([]geo.Point, 3+rng.Intn(5))
+		for j := range pts {
+			pts[j] = geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		}
+		o, err := object.New(i, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = o
+	}
+	cands := make([]geo.Point, 20)
+	for i := range cands {
+		cands[i] = geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+	}
+	s, err := server.New(server.Config{Shards: shards}, objs, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunMixedTraffic drives a short bounded run against a 2-shard
+// server and checks the report accounts for every op class, with the
+// scatter counters proving queries crossed the merge path.
+func TestRunMixedTraffic(t *testing.T) {
+	ts := testServer(t, 2)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       ts.URL,
+		Workers:       3,
+		Duration:      10 * time.Second, // MaxOps stops it long before
+		MaxOps:        60,
+		MutationRatio: 0.5,
+		Objects:       8,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("report has %d errors: %+v", rep.Errors, rep)
+	}
+	if rep.Ops != 60 || rep.Queries+rep.Mutations != rep.Ops {
+		t.Fatalf("op accounting: ops=%d queries=%d mutations=%d", rep.Ops, rep.Queries, rep.Mutations)
+	}
+	if rep.Queries == 0 || rep.Mutations == 0 {
+		t.Fatalf("mixed traffic degenerated: queries=%d mutations=%d", rep.Queries, rep.Mutations)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Fatalf("throughput not measured: %+v", rep)
+	}
+	if rep.QueryLatency.P50 <= 0 || rep.QueryLatency.P99 < rep.QueryLatency.P50 {
+		t.Fatalf("query latency summary %+v", rep.QueryLatency)
+	}
+	if rep.Status == nil || rep.Status.Count != 2 {
+		t.Fatalf("shards status not scraped: %+v", rep.Status)
+	}
+	if rep.Status.ScatterSolves == 0 || rep.Status.ScatterMerges == 0 {
+		t.Fatalf("no queries scattered on a 2-shard server: %+v", rep.Status)
+	}
+}
+
+// TestRunPoolIsolation: the generator's pool must stay out of any
+// seeded dataset's ID range, and a second run against the same server
+// must tolerate the already-created pool.
+func TestRunPoolIsolation(t *testing.T) {
+	ts := testServer(t, 1)
+	cfg := Config{
+		BaseURL: ts.URL, Workers: 2, Duration: 5 * time.Second,
+		MaxOps: 10, Objects: 4, Seed: 3,
+	}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), cfg) // pool already exists: 409s tolerated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("second run errors: %d", rep.Errors)
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	if got := latencySummary(nil); got != (LatencyMs{}) {
+		t.Fatalf("empty summary %+v", got)
+	}
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1)
+	}
+	got := latencySummary(ms)
+	if got.P50 != 50 || got.P95 != 95 || got.P99 != 99 || got.Max != 100 {
+		t.Fatalf("percentiles %+v", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/store"
+	"pinocchio/internal/subscribe"
 	"pinocchio/internal/wal"
 )
 
@@ -41,7 +43,8 @@ type QueryRequest struct {
 	// K requests the top-k most influential candidates; 0 or 1 solves
 	// top-1.
 	K int `json:"k"`
-	// Workers is the pin-par worker count (0 = GOMAXPROCS).
+	// Workers is the pin-par worker count per shard; 0 selects
+	// GOMAXPROCS, negative values are rejected with 400.
 	Workers int `json:"workers"`
 	// TimeoutMs bounds the solve; capped at the server's MaxTimeout,
 	// which also applies when 0.
@@ -252,28 +255,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	objects := s.engine.Objects()
-	candidates := s.engine.Candidates()
-	stats := s.engine.Stats()
-	epoch := s.epoch
-	s.mu.RUnlock()
+	var objects, candidates int
+	var stats dynamic.Stats
+	planEntries := s.plans.len()
+	shardEpochs := make([]int64, len(s.shards))
+	shardObjects := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		shardObjects[i] = sh.engine.Objects()
+		shardEpochs[i] = sh.epoch
+		objects += sh.engine.Objects()
+		if i == 0 {
+			candidates = sh.engine.Candidates()
+		}
+		stats.Add(sh.engine.Stats())
+		sh.mu.RUnlock()
+		planEntries += sh.plans.len()
+	}
 	body := map[string]any{
 		"dataset":        s.cfg.DatasetName,
 		"objects":        objects,
 		"candidates":     candidates,
-		"epoch":          epoch,
+		"epoch":          s.gepoch.Load(),
 		"engine_pf":      s.cfg.PF.Name(),
 		"engine_tau":     s.cfg.Tau,
 		"engine_stats":   stats,
 		"cache_entries":  s.cache.len(),
-		"plan_entries":   s.plans.len(),
+		"plan_entries":   planEntries,
 		"max_inflight":   s.cfg.MaxInflight,
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"durable":        s.cfg.Store != nil,
+		"durable":        len(s.cfg.Stores) > 0,
 		"trace_entries":  s.traces.Len(),
 		"build":          obs.ReadBuildInfo(),
 		"work":           s.workStatus(),
+		"shards": map[string]any{
+			"count":          len(s.shards),
+			"epochs":         shardEpochs,
+			"objects":        shardObjects,
+			"scatter_solves": s.scatterSolves.Load(),
+			"scatter_merges": s.scatterMerges.Load(),
+		},
+		// The admission block makes shed decisions explainable: the cap,
+		// what it derives from, and the live pressure against it.
+		"admission": map[string]any{
+			"max_inflight": s.cfg.MaxInflight,
+			"derived_from": "2 x max(gomaxprocs, shards)",
+			"gomaxprocs":   runtime.GOMAXPROCS(0),
+			"shards":       len(s.shards),
+			"inflight":     s.inflightNow.Load(),
+			"shed_total":   s.shedTotal.Load(),
+		},
 	}
 	if s.subs != nil {
 		body["subscriptions"] = s.subs.Stats()
@@ -282,10 +313,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"query":    quantilesMS(s.latQuery),
 		"mutation": quantilesMS(s.latMutation),
 	}
-	if st := s.cfg.Store; st != nil {
-		body["wal_seq"] = st.LastSeq()
-		body["last_checkpoint_seq"] = st.LastCheckpointSeq()
-		body["data_dir_bytes"] = st.SizeBytes()
+	if len(s.cfg.Stores) > 0 {
+		// Aggregates over the per-shard streams; with one shard these
+		// are exactly the legacy single-stream values.
+		var walSeq, ckptSeq uint64
+		var bytes int64
+		for _, st := range s.cfg.Stores {
+			walSeq += st.LastSeq()
+			ckptSeq += st.LastCheckpointSeq()
+			bytes += st.SizeBytes()
+		}
+		body["wal_seq"] = walSeq
+		body["last_checkpoint_seq"] = ckptSeq
+		body["data_dir_bytes"] = bytes
 		// The durability layer records into the default registry by
 		// name; Histogram here is get-or-create, so a freshly booted
 		// server reports zero counts rather than omitting the keys.
@@ -361,18 +401,20 @@ var algorithms = map[string]core.Algorithm{
 	"pin-vo*": core.AlgPinocchioVOStar,
 }
 
-// cacheKey identifies a query result: any mutation moves the epoch and
-// thereby invalidates every previously cached entry. Workers are
-// excluded — they change wall time, never the result. Explain is
-// included — an explain'd response carries a block a plain solve never
-// computed, so the two must not share an entry.
-func cacheKey(epoch int64, req *QueryRequest) string {
+// cacheKey identifies a query result: any mutation moves its shard's
+// epoch — and thereby the epoch VECTOR ekey — invalidating every
+// previously cached entry. The vector, not the scalar sum, keys the
+// entry: two different populations can share a sum but never a
+// vector. Workers are excluded — they change wall time, never the
+// result. Explain is included — an explain'd response carries a block
+// a plain solve never computed, so the two must not share an entry.
+func cacheKey(ekey string, req *QueryRequest) string {
 	e := 0
 	if req.Explain {
 		e = 1
 	}
-	return fmt.Sprintf("%d|%s|%s|%g|%g|%g|%d|%d",
-		epoch, req.Algorithm, req.PF, req.Rho, req.Lambda, req.Tau, req.K, e)
+	return fmt.Sprintf("%s|%s|%s|%g|%g|%g|%d|%d",
+		ekey, req.Algorithm, req.PF, req.Rho, req.Lambda, req.Tau, req.K, e)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -381,25 +423,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.inflight <- struct{}{}:
 		recordInflight(+1)
+		s.inflightNow.Add(1)
 		defer func() {
 			<-s.inflight
 			recordInflight(-1)
+			s.inflightNow.Add(-1)
 		}()
 	default:
 		recordShed()
+		s.shedTotal.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests,
 			"server at capacity (%d queries in flight)", s.cfg.MaxInflight)
 		return
 	}
 
-	req := QueryRequest{Algorithm: "pin-vo", PF: "powerlaw", Rho: 0.9, Lambda: 1.0}
+	req := QueryRequest{
+		Algorithm: "pin-vo",
+		PF:        subscribe.DefaultPF,
+		Rho:       subscribe.DefaultRho,
+		Lambda:    subscribe.DefaultLambda,
+	}
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if _, ok := algorithms[req.Algorithm]; !ok && req.Algorithm != "pin-par" {
 		writeErr(w, http.StatusBadRequest,
 			"unknown algorithm %q (want na, pin, pin-vo, pin-vo* or pin-par)", req.Algorithm)
+		return
+	}
+	if req.Workers < 0 {
+		writeErr(w, http.StatusBadRequest,
+			"workers %d must be non-negative (0 selects GOMAXPROCS)", req.Workers)
 		return
 	}
 	pf, err := probfn.ByName(req.PF, req.Rho, req.Lambda)
@@ -431,7 +486,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey(sn.epoch, &req)
+	key := cacheKey(sn.ekey, &req)
 	if !req.NoCache {
 		if cached, ok := s.cache.get(key); ok {
 			recordCache(true)
@@ -511,7 +566,7 @@ func (s *Server) planFor(ctx context.Context, sn *snapshot, req *QueryRequest, p
 		return nil, "", nil
 	}
 	tr := traceFrom(ctx)
-	key := planKey{epoch: sn.epoch, pf: req.PF, rho: req.Rho, lambda: req.Lambda, tau: req.Tau}
+	key := planKey{ekey: sn.ekey, pf: req.PF, rho: req.Rho, lambda: req.Lambda, tau: req.Tau}
 	if pl, ok := s.plans.get(key); ok {
 		recordPlanCache(true)
 		tr.SetPlanCache("hit")
@@ -559,7 +614,11 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 		p.Cost = &core.Cost{ResultCache: "miss"}
 		p.Cost.EnableVerdicts(len(sn.candPts))
 	}
-	if usesPlan(req.Algorithm) {
+	// Full-vector solvers scatter across the shards and merge; the
+	// parent problem stays plan-free (per-shard plans attach to the
+	// parts). Everything else solves the combined snapshot directly.
+	scatter := s.scatters(req.Algorithm)
+	if usesPlan(req.Algorithm) && !scatter {
 		pl, src, err := s.planFor(ctx, sn, req, pf, root)
 		if err != nil {
 			return nil, err
@@ -607,9 +666,12 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 
 	var res *core.Result
 	var err error
-	if req.Algorithm == "pin-par" {
+	switch {
+	case scatter:
+		res, err = s.solveScattered(ctx, sn, req, pf, p)
+	case req.Algorithm == "pin-par":
 		res, err = core.PinocchioParallel(p, req.Workers)
-	} else {
+	default:
 		res, err = core.Solve(algorithms[req.Algorithm], p)
 	}
 	if err != nil {
@@ -644,23 +706,29 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 }
 
 func (s *Server) handleBest(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	id, inf, ok := s.engine.Best()
-	var pt geo.Point
-	if ok {
-		pt, _ = s.engine.Candidate(id)
+	// The global winner is the argmax of the summed per-shard
+	// influences — same merge as the scatter path, same tie-break as
+	// the engine (higher influence, then smaller id).
+	merged := s.mergedInfluences()
+	best, bestInf, ok := -1, -1, false
+	for id, inf := range merged {
+		if inf > bestInf || (inf == bestInf && id < best) {
+			best, bestInf, ok = id, inf, true
+		}
 	}
-	epoch := s.epoch
-	s.mu.RUnlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no candidates registered")
 		return
 	}
+	sh := s.shards[0]
+	sh.mu.RLock()
+	pt, _ := sh.engine.Candidate(best)
+	sh.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"best":  CandidateJSON{ID: id, X: pt.X, Y: pt.Y, Influence: inf},
+		"best":  CandidateJSON{ID: best, X: pt.X, Y: pt.Y, Influence: bestInf},
 		"pf":    s.cfg.PF.Name(),
 		"tau":   s.cfg.Tau,
-		"epoch": epoch,
+		"epoch": s.gepoch.Load(),
 	})
 }
 
@@ -669,15 +737,28 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.RLock()
-	inf, err := s.engine.Influence(id)
+	// Influence is additive over the object partition: sum the
+	// per-shard views. Every shard holds every candidate, so the
+	// not-found case is decided by shard 0.
+	inf, objects := 0, 0
 	var pt geo.Point
-	if err == nil {
-		pt, _ = s.engine.Candidate(id)
+	var err error
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		v, ierr := sh.engine.Influence(id)
+		if i == 0 {
+			err = ierr
+			if ierr == nil {
+				pt, _ = sh.engine.Candidate(id)
+			}
+		}
+		objects += sh.engine.Objects()
+		sh.mu.RUnlock()
+		if err != nil {
+			break
+		}
+		inf += v
 	}
-	objects := s.engine.Objects()
-	epoch := s.epoch
-	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
 		return
@@ -687,7 +768,7 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		"objects":   objects,
 		"pf":        s.cfg.PF.Name(),
 		"tau":       s.cfg.Tau,
-		"epoch":     epoch,
+		"epoch":     s.gepoch.Load(),
 	})
 }
 

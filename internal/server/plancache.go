@@ -7,14 +7,16 @@ import (
 	"pinocchio/internal/core"
 )
 
-// planKey identifies one solve plan: the mutation epoch (which pins
-// the object and candidate snapshot the plan was built over) plus the
-// derived-state parameters — PF family with its (ρ, λ) and τ. The
-// candidate R-tree half of the plan depends only on the epoch and is
-// shared across keys via snapshot.candTree; algorithm, k and workers
-// never affect a plan, so they are deliberately absent.
+// planKey identifies one solve plan: the epoch key (which pins the
+// object and candidate snapshot the plan was built over — the
+// per-shard epoch vector for combined-snapshot plans, the shard's own
+// scalar epoch for per-shard scatter plans) plus the derived-state
+// parameters — PF family with its (ρ, λ) and τ. The candidate R-tree
+// half of the plan depends only on the candidate set and is shared
+// across keys via the candSet; algorithm, k and workers never affect
+// a plan, so they are deliberately absent.
 type planKey struct {
-	epoch            int64
+	ekey             string
 	pf               string
 	rho, lambda, tau float64
 }

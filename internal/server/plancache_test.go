@@ -27,11 +27,11 @@ func TestResultCacheZeroDisabled(t *testing.T) {
 func TestPlanCacheZeroDisabled(t *testing.T) {
 	for _, max := range []int{0, -1} {
 		c := newPlanCache(max)
-		c.put(planKey{epoch: 1}, nil)
+		c.put(planKey{ekey: "1"}, nil)
 		if n := c.len(); n != 0 {
 			t.Errorf("max=%d: len after put = %d, want 0", max, n)
 		}
-		if _, ok := c.get(planKey{epoch: 1}); ok {
+		if _, ok := c.get(planKey{ekey: "1"}); ok {
 			t.Errorf("max=%d: get hit on a disabled cache", max)
 		}
 	}

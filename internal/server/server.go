@@ -15,13 +15,19 @@
 //     applied to the dynamic engine, which maintains exact influences
 //     incrementally.
 //
-// Concurrency model (single writer, many readers): the engine itself
-// is not goroutine-safe, so mutations serialize on a write lock while
-// queries only hold the read lock long enough to snapshot the object
-// and candidate sets — the solve runs outside any lock on immutable
-// data. Every mutation bumps an epoch; snapshots and cached results
-// are keyed by it, so a mutation invalidates both without blocking
-// in-flight queries.
+// Concurrency model (shard-per-core, DESIGN.md §13): the object
+// population is partitioned across Config.Shards shards, each owning
+// its own engine, epoch, plan cache and (when durable) WAL stream.
+// Object mutations lock exactly one shard — writers on different
+// shards run concurrently — while candidate mutations lock all shards
+// under the topology lock. Queries snapshot the per-shard populations
+// and solve outside any lock on immutable data; full-vector solvers
+// scatter one sub-problem per shard and merge the influence vectors
+// exactly (influence is additive over objects). Every mutation bumps
+// its shard's epoch; snapshots, cached results and plans are keyed by
+// the epoch vector, so a mutation invalidates them without blocking
+// in-flight queries. Shards = 1 (the Config default) degenerates to
+// the classic single-writer/many-reader engine.
 //
 // Overload behavior: at most MaxInflight queries run concurrently;
 // excess requests are shed immediately with 429. Per-request deadlines
@@ -61,8 +67,19 @@ type Config struct {
 	// DatasetName labels /v1/status responses.
 	DatasetName string
 
+	// Shards is the number of engine shards the object population is
+	// partitioned across (dynamic.ShardOf routes object ids). Each
+	// shard owns its own engine, epoch, plan cache and WAL stream, so
+	// mutations on different shards apply concurrently and full-vector
+	// queries scatter-gather across them. Defaults to 1 — the classic
+	// single-engine server; cmd/pinocchiod defaults its -shards flag to
+	// NumCPU instead.
+	Shards int
+
 	// MaxInflight caps concurrently running queries; excess requests
-	// are shed with 429. Defaults to 2×GOMAXPROCS.
+	// are shed with 429. Defaults to 2×max(GOMAXPROCS, Shards) — with
+	// more shards than cores the scatter path still keeps every shard
+	// busy, so admission scales with the wider of the two.
 	MaxInflight int
 
 	// CacheSize is the result-cache capacity in entries (default 128;
@@ -85,8 +102,14 @@ type Config struct {
 
 	// Store, when non-nil, makes mutations durable: every mutation is
 	// appended to the write-ahead log before it touches the engine, so
-	// a crash after the HTTP acknowledgement never loses it.
+	// a crash after the HTTP acknowledgement never loses it. Single-
+	// shard convenience form of Stores.
 	Store *store.Store
+
+	// Stores are the per-shard durable streams (store.OpenSharded),
+	// index-aligned with the shards; len(Stores) must equal Shards.
+	// Takes precedence over Store.
+	Stores []*store.Store
 
 	// CheckpointEvery triggers a background checkpoint after that many
 	// applied mutations (default 10000; negative disables automatic
@@ -124,8 +147,17 @@ func (c Config) withDefaults() Config {
 	if c.Tau == 0 {
 		c.Tau = 0.7
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Stores == nil && c.Store != nil {
+		c.Stores = []*store.Store{c.Store}
+	}
+	if len(c.Stores) > 0 {
+		c.Store = c.Stores[0]
+	}
 	if c.MaxInflight <= 0 {
-		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+		c.MaxInflight = 2 * max(runtime.GOMAXPROCS(0), c.Shards)
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
@@ -157,30 +189,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// snapshot is one immutable view of the engine's population, shared by
-// every query issued at the same epoch. Objects are immutable once
+// snapshot is one immutable combined view of the population, shared by
+// every query issued while no shard moved. Objects are immutable once
 // built and points are values, so readers never see a mutation.
 type snapshot struct {
+	// epoch is the global epoch (Σ per-shard epochs): the wire-visible
+	// version number. ekey is the per-shard epoch VECTOR ("e0.e1…"),
+	// the cache key — two different populations can share a sum but
+	// never a vector.
 	epoch   int64
+	ekey    string
 	objects []*object.Object
 	candIDs []int
 	candPts []geo.Point
 
-	// tree is the candidate R-tree for this epoch, built on first use
-	// and shared by every plan derived from this snapshot (the tree
-	// depends only on the candidate set, not on PF/τ). treeOnce makes
-	// the lazy build safe under concurrent readers.
-	treeOnce sync.Once
-	tree     *core.CandTree
+	// cs is the shared candidate view (points + lazily built R-tree),
+	// stable across object mutations; parts are the per-shard object
+	// snapshots this view was assembled from — the scatter path solves
+	// them directly.
+	cs    *candSet
+	parts []*shardSnap
 }
 
 // candTree returns the snapshot's shared candidate R-tree, building it
 // on first call.
 func (sn *snapshot) candTree() *core.CandTree {
-	sn.treeOnce.Do(func() {
-		sn.tree = core.NewCandTree(sn.candPts, 0)
-	})
-	return sn.tree
+	return sn.cs.candTree()
 }
 
 // candIndex returns the snapshot position of a candidate id, -1 when
@@ -206,17 +240,42 @@ type Server struct {
 	cfg   Config
 	start time.Time
 
-	// mu is the single-writer/many-reader gate over engine and epoch:
-	// mutations take the write lock, reads (snapshots, influence
-	// lookups) the read lock. The engine is never touched without it.
-	mu     sync.RWMutex
-	engine *dynamic.Engine
-	epoch  int64
+	// shards partition the object population (dynamic.ShardOf routes
+	// ids); every shard holds the full candidate set. Each shard has
+	// its own RWMutex — see shard.go for the lock order.
+	shards []*shard
 
-	// snap caches the latest snapshot; rebuilt lazily when the epoch
-	// moved. Concurrent rebuilds are harmless (last store wins, all
-	// stores are equivalent for one epoch).
+	// topoMu orders cross-shard operations: candidate mutations (which
+	// touch every shard) take the write side, snapshot assembly the
+	// read side, so no query ever sees a candidate set torn across
+	// shards. Object mutations bypass it entirely.
+	topoMu sync.RWMutex
+
+	// gepoch is the global epoch: Σ per-shard epochs, bumped once per
+	// applied (sub-)record. Monotonic; equals the per-shard sum
+	// whenever no mutation is in flight.
+	gepoch atomic.Int64
+
+	// candGen counts candidate mutations (written under topoMu.Lock);
+	// cands caches the shared candidate view keyed by it, so object
+	// mutations never invalidate candidate slices or the R-tree.
+	candGen int64
+	cands   atomic.Pointer[candSet]
+
+	// snap caches the latest combined snapshot; rebuilt lazily when any
+	// shard moved. Concurrent rebuilds are harmless (last store wins,
+	// all stores are equivalent for one epoch vector).
 	snap atomic.Pointer[snapshot]
+
+	// scatterSolves counts queries dispatched through the scatter-
+	// gather path; scatterMerges counts the ones whose per-shard
+	// vectors merged successfully. Surfaced in /v1/status.
+	scatterSolves atomic.Int64
+	scatterMerges atomic.Int64
+
+	// inflightNow and shedTotal feed the /v1/status admission block.
+	inflightNow atomic.Int64
+	shedTotal   atomic.Int64
 
 	// inflight is the admission-control semaphore for queries.
 	inflight chan struct{}
@@ -285,37 +344,90 @@ func (s *Server) workStatus() map[string]any {
 }
 
 // New builds a server over an initial population: the moving objects
-// and candidate locations are inserted into a fresh dynamic engine
-// (candidates get ids 0..len-1 in order). Either slice may be empty;
-// queries return 409 until both populations are non-empty.
+// are routed to their owning shards (dynamic.ShardOf) and the
+// candidate locations are inserted into every shard engine (all
+// engines run the same id sequence, so candidates get ids 0..len-1 on
+// each). Either slice may be empty; queries return 409 until both
+// populations are non-empty.
 func New(cfg Config, objects []*object.Object, candidates []geo.Point) (*Server, error) {
 	cfg = cfg.withDefaults()
-	eng, err := dynamic.New(cfg.PF, cfg.Tau)
-	if err != nil {
-		return nil, err
+	engines := make([]*dynamic.Engine, cfg.Shards)
+	for i := range engines {
+		eng, err := dynamic.New(cfg.PF, cfg.Tau)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
 	}
 	for _, o := range objects {
+		eng := engines[dynamic.ShardOf(o.ID, cfg.Shards)]
 		if err := eng.AddObject(o.ID, o.Positions); err != nil {
 			return nil, fmt.Errorf("server: seeding object %d: %w", o.ID, err)
 		}
 	}
 	for _, c := range candidates {
-		eng.AddCandidate(c)
+		for _, eng := range engines {
+			eng.AddCandidate(c)
+		}
 	}
-	return NewWithEngine(cfg, eng, 0), nil
+	return NewWithShards(cfg, engines, make([]int64, cfg.Shards))
 }
 
-// NewWithEngine builds a server around an existing engine — the
-// recovery path: store.Recover yields an engine plus the epoch it had
-// reached, and the server continues from there. The engine's PF/τ must
-// match cfg (the store's config tag enforces this at recovery time).
+// NewWithEngine builds a single-shard server around an existing
+// engine — the classic recovery path: store.Recover yields an engine
+// plus the epoch it had reached, and the server continues from there.
+// Forces Shards to 1 regardless of cfg. The engine's PF/τ must match
+// cfg (the store's config tag enforces this at recovery time).
 func NewWithEngine(cfg Config, eng *dynamic.Engine, epoch int64) *Server {
+	cfg.Shards = 1
+	cfg.Stores = nil
+	s, err := NewWithShards(cfg, []*dynamic.Engine{eng}, []int64{epoch})
+	if err != nil {
+		// Unreachable: lengths match Shards=1 by construction.
+		panic(err)
+	}
+	return s
+}
+
+// NewFromRecovery builds a server from store.RecoverSharded's
+// results: one engine and epoch per shard, stores attached for
+// continued logging. cfg.Stores should already hold the recovered
+// stores (index-aligned with results); cfg.Shards is taken from the
+// result count.
+func NewFromRecovery(cfg Config, results []*store.RecoverResult) (*Server, error) {
+	engines := make([]*dynamic.Engine, len(results))
+	epochs := make([]int64, len(results))
+	for i, r := range results {
+		engines[i] = r.Engine
+		epochs[i] = r.Epoch
+	}
+	cfg.Shards = len(results)
+	return NewWithShards(cfg, engines, epochs)
+}
+
+// NewWithShards builds a server around per-shard engines — the
+// sharded recovery path: store.RecoverSharded yields one engine and
+// epoch per shard, and the server continues from there. Each engine
+// must hold exactly the objects ShardOf routes to its index (recovery
+// from per-shard streams guarantees this) and all engines must hold
+// identical candidate sets.
+func NewWithShards(cfg Config, engines []*dynamic.Engine, epochs []int64) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Shards != len(engines) && cfg.Shards != 1 {
+		// cfg.Shards defaulting to 1 while engines carry the real count
+		// is the common construction; align rather than reject.
+		return nil, fmt.Errorf("server: %d engines for %d shards", len(engines), cfg.Shards)
+	}
+	cfg.Shards = len(engines)
+	if len(epochs) != len(engines) {
+		return nil, fmt.Errorf("server: %d epochs for %d engines", len(epochs), len(engines))
+	}
+	if len(cfg.Stores) > 0 && len(cfg.Stores) != len(engines) {
+		return nil, fmt.Errorf("server: %d stores for %d shards", len(cfg.Stores), len(engines))
+	}
 	s := &Server{
 		cfg:         cfg,
 		start:       time.Now(),
-		engine:      eng,
-		epoch:       epoch,
 		inflight:    make(chan struct{}, cfg.MaxInflight),
 		cache:       newResultCache(cfg.CacheSize),
 		plans:       newPlanCache(cfg.PlanCacheSize),
@@ -324,6 +436,17 @@ func NewWithEngine(cfg Config, eng *dynamic.Engine, epoch int64) *Server {
 		latQuery:    obs.NewHistogram(nil),
 		latMutation: obs.NewHistogram(nil),
 	}
+	s.shards = make([]*shard, len(engines))
+	var total int64
+	for i, eng := range engines {
+		sh := &shard{idx: i, engine: eng, epoch: epochs[i], plans: newPlanCache(cfg.PlanCacheSize)}
+		if len(cfg.Stores) > 0 {
+			sh.store = cfg.Stores[i]
+		}
+		s.shards[i] = sh
+		total += epochs[i]
+	}
+	s.gepoch.Store(total)
 	// Build identity is constant for the process; registering here keeps
 	// every server (including tests) exporting it without a cmd hook.
 	obs.RegisterBuildInfo(obs.Default())
@@ -336,7 +459,7 @@ func NewWithEngine(cfg Config, eng *dynamic.Engine, epoch int64) *Server {
 		})
 	}
 	s.routes()
-	return s
+	return s, nil
 }
 
 // Shutdown terminates the subscription manager: every subscription
@@ -361,108 +484,6 @@ func (s *Server) DrainSubscriptions() {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
-}
-
-// snapshotNow returns a view of the current population, reusing the
-// cached snapshot while the epoch has not moved.
-func (s *Server) snapshotNow() *snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if sn := s.snap.Load(); sn != nil && sn.epoch == s.epoch {
-		return sn
-	}
-	ids, pts := s.engine.SnapshotCandidates()
-	sn := &snapshot{
-		epoch:   s.epoch,
-		objects: s.engine.SnapshotObjects(),
-		candIDs: ids,
-		candPts: pts,
-	}
-	s.snap.Store(sn)
-	return sn
-}
-
-// mutate applies one mutation record under the write lock, bumping the
-// epoch when the engine accepts it. With a Store configured the record
-// is appended to the WAL *before* it touches the engine and inside the
-// same critical section, so log order equals application order and an
-// acknowledged mutation is always recoverable. Records the engine
-// rejects stay in the log — replay rejects them identically — so the
-// recovered epoch matches the live one. Returns the engine-assigned id
-// (meaningful for add_candidate), the post-mutation epoch, and the WAL
-// sequence number (0 without a Store). The request trace in ctx, if
-// any, is annotated with the epoch and WAL sequence.
-func (s *Server) mutate(ctx context.Context, rec *store.Record) (id int, epoch int64, seq uint64, err error) {
-	start := time.Now()
-	s.mu.Lock()
-	if s.cfg.Store != nil {
-		if seq, err = s.cfg.Store.Append(rec); err != nil {
-			epoch = s.epoch
-			s.mu.Unlock()
-			return 0, epoch, 0, err
-		}
-	}
-	id, err = rec.Apply(s.engine)
-	if err == nil {
-		s.epoch++
-	}
-	epoch = s.epoch
-	var note *subscribe.BatchNote
-	if err == nil && s.subs != nil {
-		note = s.noteForLocked(rec, epoch, start)
-	}
-	s.mu.Unlock()
-	if err == nil {
-		recordMutation(rec.Op.String(), epoch, time.Since(start))
-		tr := traceFrom(ctx)
-		tr.SetEpoch(epoch)
-		tr.SetWALSeq(seq)
-		if note != nil {
-			if tr != nil {
-				note.TraceID = tr.ID
-			}
-			s.subs.Notify(*note)
-		}
-		s.maybeCheckpoint()
-	}
-	return id, epoch, seq, err
-}
-
-// noteForLocked shapes the subscription BatchNote for an applied
-// mutation. Position appends carry the post-append object states so
-// guards can run the cheap safe-region check; every other op dirties
-// all subscriptions (candidate churn changes the ranking domain,
-// object removal/replacement can lower influence). Caller holds the
-// write lock — the object pointers fetched here are the immutable
-// post-apply snapshots.
-func (s *Server) noteForLocked(rec *store.Record, epoch int64, at time.Time) *subscribe.BatchNote {
-	note := &subscribe.BatchNote{Epoch: epoch, At: at}
-	switch rec.Op {
-	case store.OpAddPosition:
-		o, err := s.engine.Object(int(rec.ID))
-		if err != nil {
-			note.DirtyAll = true
-			return note
-		}
-		note.Appends = []*object.Object{o}
-	case store.OpIngestBatch:
-		seen := make(map[int64]bool, len(rec.Appends))
-		for _, a := range rec.Appends {
-			if seen[a.ID] {
-				continue
-			}
-			seen[a.ID] = true
-			o, err := s.engine.Object(int(a.ID))
-			if err != nil {
-				note.DirtyAll = true
-				return note
-			}
-			note.Appends = append(note.Appends, o)
-		}
-	default:
-		note.DirtyAll = true
-	}
-	return note
 }
 
 // maybeCheckpoint spawns a background checkpoint once CheckpointEvery
@@ -494,31 +515,40 @@ func (s *Server) maybeCheckpoint() {
 // flight. Call before closing the Store.
 func (s *Server) DrainCheckpoints() { s.ckptWG.Wait() }
 
-// CheckpointNow snapshots the engine under the read lock and writes a
-// checkpoint at the WAL position it covers. Safe to call concurrently
-// with queries and mutations; returns the checkpointed sequence
-// number. No-op (0, nil) without a Store.
+// CheckpointNow checkpoints every shard: each shard's engine state is
+// exported under that shard's read lock at the WAL position it covers,
+// so each checkpoint is a consistent per-shard cut (cross-shard skew
+// is fine — recovery replays each stream independently). Safe to call
+// concurrently with queries and mutations; returns shard 0's
+// checkpointed sequence number. No-op (0, nil) without stores.
 func (s *Server) CheckpointNow() (uint64, error) {
-	if s.cfg.Store == nil {
+	if len(s.cfg.Stores) == 0 {
 		return 0, nil
 	}
-	// The read lock orders the snapshot against mutations: LastSeq read
-	// under it is the seq of the last record already applied, so the
-	// exported state covers exactly the log prefix through seq.
-	s.mu.RLock()
-	st := s.engine.ExportState()
-	epoch := s.epoch
-	seq := s.cfg.Store.LastSeq()
-	s.mu.RUnlock()
-	if err := s.cfg.Store.Checkpoint(st, epoch, seq); err != nil {
-		return 0, err
+	var seq0 uint64
+	for i, sh := range s.shards {
+		if sh.store == nil {
+			continue
+		}
+		// The read lock orders the snapshot against mutations: LastSeq
+		// read under it is the seq of the last record already applied, so
+		// the exported state covers exactly the log prefix through seq.
+		sh.mu.RLock()
+		st := sh.engine.ExportState()
+		epoch := sh.epoch
+		seq := sh.store.LastSeq()
+		sh.mu.RUnlock()
+		if err := sh.store.Checkpoint(st, epoch, seq); err != nil {
+			return 0, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if i == 0 {
+			seq0 = seq
+		}
 	}
-	return seq, nil
+	return seq0, nil
 }
 
-// Epoch returns the current mutation epoch.
+// Epoch returns the current global mutation epoch (Σ shard epochs).
 func (s *Server) Epoch() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.epoch
+	return s.gepoch.Load()
 }

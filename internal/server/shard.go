@@ -1,0 +1,550 @@
+// Shard-per-core serving (DESIGN.md §13): the object population Ω is
+// partitioned across N shards by dynamic.ShardOf, each shard owning
+// its own engine, epoch, plan cache, WAL stream and snapshot. Object
+// mutations lock exactly one shard, so writers on different shards
+// run concurrently instead of serializing behind one global lock;
+// candidate mutations (which every shard must see — each engine holds
+// the full candidate set) lock all shards in ascending order under the
+// topology write lock. Queries assemble a combined snapshot from the
+// per-shard snapshots and — for full-vector solvers — scatter one
+// sub-problem per shard, merging the per-shard influence vectors
+// through core.SolveSharded (influence is additive over any partition
+// of Ω).
+//
+// Consistency: a combined snapshot is NOT one instant of wall time —
+// shard A's half may be older than shard B's — but every mutation
+// touches exactly one shard's objects, so any combination of
+// per-shard states is a state some serialization of the mutations
+// passes through; candidate mutations, which cross shards, exclude
+// snapshot assembly via topoMu, so the candidate set is never torn.
+// The global epoch is the sum of the per-shard epochs and cache keys
+// use the per-shard epoch VECTOR (ekey), never the sum — (5,3) and
+// (4,4) are different populations with the same sum.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinocchio/internal/core"
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
+	"pinocchio/internal/probfn"
+	"pinocchio/internal/store"
+	"pinocchio/internal/subscribe"
+)
+
+// shard is one slice of the object population: an engine holding that
+// slice (plus the full candidate set), its mutation epoch, its durable
+// stream, its plan cache and its cached object snapshot.
+type shard struct {
+	idx int
+
+	// mu is this shard's single-writer/many-reader gate. Lock order:
+	// topoMu before any shard lock, shard locks in ascending index
+	// order; object ops take only their own shard's lock.
+	mu     sync.RWMutex
+	engine *dynamic.Engine
+	epoch  int64
+
+	// store is this shard's WAL stream + checkpoint chain; nil when
+	// the server is not durable.
+	store *store.Store
+
+	// snap caches the shard's object snapshot; rebuilt when the epoch
+	// moved.
+	snap atomic.Pointer[shardSnap]
+
+	// plans caches solve plans built over this shard's objects for the
+	// scatter path, keyed by the shard's own epoch (scalar — within one
+	// shard there is no vector to alias).
+	plans *planCache
+}
+
+// shardSnap is one immutable view of a shard's objects.
+type shardSnap struct {
+	epoch   int64
+	objects []*object.Object
+}
+
+// snapNow returns the shard's current object snapshot, reusing the
+// cached one while the epoch has not moved.
+func (sh *shard) snapNow() *shardSnap {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sp := sh.snap.Load(); sp != nil && sp.epoch == sh.epoch {
+		return sp
+	}
+	sp := &shardSnap{epoch: sh.epoch, objects: sh.engine.SnapshotObjects()}
+	sh.snap.Store(sp)
+	return sp
+}
+
+// candSet is the shared candidate view: ids, points and the lazily
+// built R-tree. It is rebuilt only when a candidate mutation moves
+// candGen — object mutations leave it untouched, so the slices keep
+// their identity and per-shard plans (which core.Plan matches by slice
+// identity) survive other shards' object churn.
+type candSet struct {
+	gen      int64
+	ids      []int
+	pts      []geo.Point
+	treeOnce sync.Once
+	tree     *core.CandTree
+}
+
+// candTree returns the shared candidate R-tree, building it on first
+// use.
+func (cs *candSet) candTree() *core.CandTree {
+	cs.treeOnce.Do(func() {
+		cs.tree = core.NewCandTree(cs.pts, 0)
+	})
+	return cs.tree
+}
+
+// shardFor routes an object id to its owning shard.
+func (s *Server) shardFor(id int) *shard {
+	return s.shards[dynamic.ShardOf(id, len(s.shards))]
+}
+
+// candSetLocked returns the current candidate view, rebuilding it from
+// shard 0 when a candidate mutation moved candGen. Caller holds
+// topoMu (read or write), which orders the read of candGen against
+// candidate mutations; every shard holds an identical candidate set,
+// so shard 0 speaks for all.
+func (s *Server) candSetLocked() *candSet {
+	gen := atomic.LoadInt64(&s.candGen)
+	if cs := s.cands.Load(); cs != nil && cs.gen == gen {
+		return cs
+	}
+	sh := s.shards[0]
+	sh.mu.RLock()
+	ids, pts := sh.engine.SnapshotCandidates()
+	sh.mu.RUnlock()
+	cs := &candSet{gen: gen, ids: ids, pts: pts}
+	s.cands.Store(cs)
+	return cs
+}
+
+// snapshotNow assembles the combined population view: the shared
+// candidate set plus every shard's object snapshot, merged by id so
+// the object order matches what a single unsharded engine would
+// report. The combined snapshot is cached and reused until any part
+// (or the candidate set) changes.
+func (s *Server) snapshotNow() *snapshot {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	cs := s.candSetLocked()
+	parts := make([]*shardSnap, len(s.shards))
+	for i, sh := range s.shards {
+		parts[i] = sh.snapNow()
+	}
+	if sn := s.snap.Load(); sn != nil && sn.cs == cs && len(sn.parts) == len(parts) {
+		same := true
+		for i := range parts {
+			if sn.parts[i] != parts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return sn
+		}
+	}
+	var epoch int64
+	ekey := make([]string, len(parts))
+	for i, ps := range parts {
+		epoch += ps.epoch
+		ekey[i] = strconv.FormatInt(ps.epoch, 10)
+	}
+	sn := &snapshot{
+		epoch:   epoch,
+		ekey:    strings.Join(ekey, "."),
+		cs:      cs,
+		candIDs: cs.ids,
+		candPts: cs.pts,
+		parts:   parts,
+	}
+	if len(parts) == 1 {
+		sn.objects = parts[0].objects
+	} else {
+		total := 0
+		for _, ps := range parts {
+			total += len(ps.objects)
+		}
+		sn.objects = make([]*object.Object, 0, total)
+		for _, ps := range parts {
+			sn.objects = append(sn.objects, ps.objects...)
+		}
+		// Each part is already sorted by id (SnapshotObjects), so this
+		// is a k-way merge done lazily; ids are unique across shards.
+		sort.Slice(sn.objects, func(i, j int) bool { return sn.objects[i].ID < sn.objects[j].ID })
+	}
+	s.snap.Store(sn)
+	return sn
+}
+
+// mutate applies one mutation record, routing it to the shard(s) that
+// own it: object records lock exactly one shard, candidate records
+// lock every shard under the topology write lock (each engine holds
+// the full candidate set, and all assign the same id — same op stream,
+// deterministic engines), and ingest batches split into one sub-record
+// per involved shard. With durable stores each (sub-)record is
+// appended to its shard's WAL before it touches that shard's engine,
+// inside the shard's critical section, so per-shard log order equals
+// per-shard application order — the invariant recovery relies on.
+//
+// Returns the engine-assigned id (meaningful for add_candidate), the
+// global epoch after the mutation (Σ shard epochs; candidate records
+// advance it by the shard count), and the WAL sequence the record was
+// logged at on its — for candidate records: first — shard.
+func (s *Server) mutate(ctx context.Context, rec *store.Record) (id int, epoch int64, seq uint64, err error) {
+	start := time.Now()
+	var note *subscribe.BatchNote
+	switch rec.Op {
+	case store.OpAddCandidate, store.OpRemoveCandidate:
+		id, epoch, seq, err = s.mutateAllShards(rec)
+		if err == nil && s.subs != nil {
+			note = &subscribe.BatchNote{Epoch: epoch, At: start, DirtyAll: true}
+		}
+	case store.OpIngestBatch:
+		id, epoch, seq, note, err = s.mutateIngest(rec, start)
+	default:
+		id, epoch, seq, note, err = s.mutateOneShard(s.shardFor(int(rec.ID)), rec, start)
+	}
+	if err != nil {
+		return 0, epoch, 0, err
+	}
+	recordMutation(rec.Op.String(), epoch, time.Since(start))
+	tr := traceFrom(ctx)
+	tr.SetEpoch(epoch)
+	tr.SetWALSeq(seq)
+	if note != nil {
+		if tr != nil {
+			note.TraceID = tr.ID
+		}
+		s.subs.Notify(*note)
+	}
+	s.maybeCheckpoint()
+	return id, epoch, seq, err
+}
+
+// mutateOneShard is the single-shard path (all object records): log to
+// the shard's stream, apply to its engine, bump its epoch. Rejected
+// records stay in the log — replay rejects them identically.
+func (s *Server) mutateOneShard(sh *shard, rec *store.Record, start time.Time) (id int, epoch int64, seq uint64, note *subscribe.BatchNote, err error) {
+	sh.mu.Lock()
+	if sh.store != nil {
+		if seq, err = sh.store.Append(rec); err != nil {
+			sh.mu.Unlock()
+			return 0, s.gepoch.Load(), 0, nil, err
+		}
+	}
+	id, err = rec.Apply(sh.engine)
+	if err == nil {
+		sh.epoch++
+		epoch = s.gepoch.Add(1)
+		if s.subs != nil {
+			note = noteFor(sh.engine, rec, epoch, start)
+		}
+	} else {
+		epoch = s.gepoch.Load()
+	}
+	sh.mu.Unlock()
+	return id, epoch, seq, note, err
+}
+
+// mutateAllShards is the candidate-record path: every shard applies
+// the record so every engine keeps the full candidate set. All shard
+// locks are taken (ascending, under the topology write lock, which
+// also excludes snapshot assembly so no query sees a torn candidate
+// set) and the record is logged and applied per shard. The engines
+// run the same deterministic candidate-id sequence, so all shards
+// return the same id; a WAL append failure on shard k poisons that
+// shard's stream (wal semantics) and surfaces as a 500 after shards
+// 0..k-1 already applied — the store layer's poisoning keeps the
+// divergence from ever being silently logged past.
+func (s *Server) mutateAllShards(rec *store.Record) (id int, epoch int64, seq uint64, err error) {
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	applied := false
+	for i, sh := range s.shards {
+		if sh.store != nil {
+			sq, aerr := sh.store.Append(rec)
+			if aerr != nil {
+				return 0, s.gepoch.Load(), 0, aerr
+			}
+			if i == 0 {
+				seq = sq
+			}
+		}
+		sid, aerr := rec.Apply(sh.engine)
+		if i == 0 {
+			id, err = sid, aerr
+		} else if (aerr == nil) != (err == nil) {
+			// Engines disagreeing on a candidate op would mean their
+			// candidate sets diverged — an invariant violation, not a
+			// client error.
+			return 0, s.gepoch.Load(), 0, fmt.Errorf("server: shard %d disagrees on %s (shard 0: %v, shard %d: %v)", i, rec.Op, err, i, aerr)
+		}
+		if aerr == nil {
+			sh.epoch++
+			epoch = s.gepoch.Add(1)
+			applied = true
+		}
+	}
+	if !applied {
+		epoch = s.gepoch.Load()
+	}
+	if err == nil {
+		atomic.AddInt64(&s.candGen, 1)
+	}
+	return id, epoch, seq, err
+}
+
+// mutateIngest splits an ingest batch by owning shard. A batch that
+// lands on one shard keeps the exact single-shard semantics (logged
+// even if rejected). A batch that spans shards is pre-validated
+// against every involved engine BEFORE anything is logged — otherwise
+// shard A's stream could record its half while shard B rejects the
+// other, and replay would apply a half the live path refused. After
+// validation each shard logs and applies only its own appends, one
+// epoch bump per involved shard.
+func (s *Server) mutateIngest(rec *store.Record, start time.Time) (id int, epoch int64, seq uint64, note *subscribe.BatchNote, err error) {
+	n := len(s.shards)
+	groups := make(map[int][]store.Append)
+	for _, a := range rec.Appends {
+		si := dynamic.ShardOf(int(a.ID), n)
+		groups[si] = append(groups[si], a)
+	}
+	if len(groups) == 1 {
+		for si := range groups {
+			return s.mutateOneShard(s.shards[si], rec, start)
+		}
+	}
+	idxs := make([]int, 0, len(groups))
+	for si := range groups {
+		idxs = append(idxs, si)
+	}
+	sort.Ints(idxs)
+	for _, si := range idxs {
+		s.shards[si].mu.Lock()
+	}
+	defer func() {
+		for _, si := range idxs {
+			s.shards[si].mu.Unlock()
+		}
+	}()
+	// Pre-validate: every append's object must exist on its shard (the
+	// HTTP layer already rejected empty appends/positions). The shard
+	// locks are held, so validity is stable through the applies below.
+	for _, si := range idxs {
+		for _, a := range groups[si] {
+			if _, oerr := s.shards[si].engine.Object(int(a.ID)); oerr != nil {
+				return 0, s.gepoch.Load(), 0, nil, oerr
+			}
+		}
+	}
+	if s.subs != nil {
+		note = &subscribe.BatchNote{At: start}
+	}
+	for _, si := range idxs {
+		sh := s.shards[si]
+		sub := &store.Record{Op: store.OpIngestBatch, Appends: groups[si]}
+		if sh.store != nil {
+			sq, aerr := sh.store.Append(sub)
+			if aerr != nil {
+				return 0, s.gepoch.Load(), 0, nil, aerr
+			}
+			if seq == 0 {
+				seq = sq
+			}
+		}
+		if _, aerr := sub.Apply(sh.engine); aerr != nil {
+			// Unreachable after pre-validation short of an engine edge
+			// (object.Extended); the sub-record is logged and replay
+			// rejects it identically, so per-shard consistency holds.
+			return 0, s.gepoch.Load(), 0, nil, aerr
+		}
+		sh.epoch++
+		epoch = s.gepoch.Add(1)
+		if note != nil {
+			seen := make(map[int64]bool, len(groups[si]))
+			for _, a := range groups[si] {
+				if seen[a.ID] {
+					continue
+				}
+				seen[a.ID] = true
+				if o, oerr := sh.engine.Object(int(a.ID)); oerr == nil {
+					note.Appends = append(note.Appends, o)
+				} else {
+					note.DirtyAll = true
+				}
+			}
+		}
+	}
+	if note != nil {
+		note.Epoch = epoch
+	}
+	return 0, epoch, seq, note, nil
+}
+
+// noteFor shapes the subscription BatchNote for an applied mutation.
+// Position appends carry the post-append object states so guards can
+// run the cheap safe-region check; every other op dirties all
+// subscriptions. Caller holds the owning shard's write lock — the
+// object pointers fetched here are the immutable post-apply snapshots.
+func noteFor(eng *dynamic.Engine, rec *store.Record, epoch int64, at time.Time) *subscribe.BatchNote {
+	note := &subscribe.BatchNote{Epoch: epoch, At: at}
+	switch rec.Op {
+	case store.OpAddPosition:
+		o, err := eng.Object(int(rec.ID))
+		if err != nil {
+			note.DirtyAll = true
+			return note
+		}
+		note.Appends = []*object.Object{o}
+	case store.OpIngestBatch:
+		seen := make(map[int64]bool, len(rec.Appends))
+		for _, a := range rec.Appends {
+			if seen[a.ID] {
+				continue
+			}
+			seen[a.ID] = true
+			o, err := eng.Object(int(a.ID))
+			if err != nil {
+				note.DirtyAll = true
+				return note
+			}
+			note.Appends = append(note.Appends, o)
+		}
+	default:
+		note.DirtyAll = true
+	}
+	return note
+}
+
+// scatters reports whether algo's query against the current topology
+// runs as a scatter-gather across shards: more than one shard, and a
+// solver that computes a full influence vector (the VO family's
+// early exit depends on the global vector, so it runs over the
+// combined snapshot instead).
+func (s *Server) scatters(algo string) bool {
+	if len(s.shards) <= 1 {
+		return false
+	}
+	switch algo {
+	case "na", "pin", "pin-par":
+		return true
+	}
+	return false
+}
+
+// shardPlanFor returns shard i's solve plan for the scatter path,
+// building and caching it in the shard's own plan cache on a miss.
+// The key is the shard's scalar epoch (candidate mutations bump every
+// shard's epoch, so candidate churn invalidates these too); the plan's
+// object and candidate slices come from the shard snapshot and the
+// shared candSet, whose identities are stable while the key matches.
+func (s *Server) shardPlanFor(sh *shard, ps *shardSnap, sn *snapshot, req *QueryRequest, pf probfn.Func, ctx context.Context, sp *obs.Span) (*core.Plan, string, error) {
+	if s.cfg.PlanCacheSize <= 0 {
+		return nil, "", nil
+	}
+	key := planKey{ekey: strconv.FormatInt(ps.epoch, 10), pf: req.PF, rho: req.Rho, lambda: req.Lambda, tau: req.Tau}
+	if pl, ok := sh.plans.get(key); ok {
+		recordPlanCache(true)
+		return pl, "cached", nil
+	}
+	recordPlanCache(false)
+	start := time.Now()
+	pl, err := core.BuildPlan(&core.Problem{
+		Objects:    ps.objects,
+		Candidates: sn.candPts,
+		PF:         pf,
+		Tau:        req.Tau,
+		Ctx:        ctx,
+		Obs:        sp,
+	}, sn.cs.candTree())
+	if err != nil {
+		return nil, "", err
+	}
+	recordPlanBuild(time.Since(start))
+	sh.plans.put(key, pl)
+	return pl, "built", nil
+}
+
+// solveScattered runs a full-vector solver as one sub-problem per
+// shard and merges the results through core.SolveSharded. p is the
+// parent problem over the combined snapshot (its Cost, Ctx and Obs are
+// threaded into the parts); req.Workers applies per shard for pin-par.
+func (s *Server) solveScattered(ctx context.Context, sn *snapshot, req *QueryRequest, pf probfn.Func, p *core.Problem) (*core.Result, error) {
+	parts := make([]*core.Problem, len(sn.parts))
+	planSrc := "cached"
+	for i, ps := range sn.parts {
+		if len(ps.objects) == 0 {
+			continue
+		}
+		pp := &core.Problem{
+			Objects:    ps.objects,
+			Candidates: sn.candPts,
+			PF:         pf,
+			Tau:        req.Tau,
+		}
+		if usesPlan(req.Algorithm) {
+			pl, src, err := s.shardPlanFor(s.shards[i], ps, sn, req, pf, ctx, p.Obs)
+			if err != nil {
+				return nil, err
+			}
+			pp.Plan = pl
+			if src != "cached" {
+				planSrc = src
+			}
+		}
+		parts[i] = pp
+	}
+	if usesPlan(req.Algorithm) && planSrc != "" {
+		p.Cost.SetPlanSource(planSrc)
+	}
+	s.scatterSolves.Add(1)
+	res, err := core.SolveSharded(p, parts, func(_ int, part *core.Problem) (*core.Result, error) {
+		if req.Algorithm == "pin-par" {
+			return core.PinocchioParallel(part, req.Workers)
+		}
+		return core.Solve(algorithms[req.Algorithm], part)
+	})
+	if err == nil {
+		s.scatterMerges.Add(1)
+	}
+	return res, err
+}
+
+// mergedInfluences sums the per-shard influence relations into one
+// map — the incremental-engine counterpart of the scatter-gather
+// merge, used by /v1/best and /v1/influence.
+func (s *Server) mergedInfluences() map[int]int {
+	merged := map[int]int{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for c, v := range sh.engine.Influences() {
+			merged[c] += v
+		}
+		sh.mu.RUnlock()
+	}
+	return merged
+}

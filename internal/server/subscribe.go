@@ -39,7 +39,7 @@ var sseHeartbeat = 15 * time.Second
 // delivered prefix. Reuses the plan cache, so a burst of subscription
 // re-solves at one epoch builds the (PF, τ) plan once.
 func (s *Server) SolveTopK(q *subscribe.Query) (*subscribe.Solution, error) {
-	pf, err := probfn.ByName(q.PF, q.Rho, q.Lambda)
+	pf, err := probfn.ByName(q.PF, q.RhoVal(), q.LambdaVal())
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +68,7 @@ func (s *Server) SolveTopK(q *subscribe.Query) (*subscribe.Solution, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
 	defer cancel()
 	req := &QueryRequest{
-		Algorithm: q.Algorithm, PF: q.PF, Rho: q.Rho, Lambda: q.Lambda, Tau: q.Tau,
+		Algorithm: q.Algorithm, PF: q.PF, Rho: q.RhoVal(), Lambda: q.LambdaVal(), Tau: q.Tau,
 	}
 	p := &core.Problem{
 		Objects:    sn.objects,
@@ -78,18 +78,25 @@ func (s *Server) SolveTopK(q *subscribe.Query) (*subscribe.Solution, error) {
 		Ctx:        ctx,
 		TraceID:    sol.TraceID,
 	}
-	if usesPlan(q.Algorithm) {
-		pl, _, err := s.planFor(ctx, sn, req, pf, nil)
-		if err != nil {
-			return nil, err
-		}
-		p.Plan = pl
-	}
 	var res *core.Result
-	if q.Algorithm == "pin-par" {
-		res, err = core.PinocchioParallel(p, 0)
+	if s.scatters(q.Algorithm) {
+		// Subscription algorithms all compute full vectors, so with
+		// multiple shards the re-solve takes the scatter-gather path
+		// (per-shard plans attach inside solveScattered).
+		res, err = s.solveScattered(ctx, sn, req, pf, p)
 	} else {
-		res, err = core.Solve(algorithms[q.Algorithm], p)
+		if usesPlan(q.Algorithm) {
+			pl, _, err := s.planFor(ctx, sn, req, pf, nil)
+			if err != nil {
+				return nil, err
+			}
+			p.Plan = pl
+		}
+		if q.Algorithm == "pin-par" {
+			res, err = core.PinocchioParallel(p, 0)
+		} else {
+			res, err = core.Solve(algorithms[q.Algorithm], p)
+		}
 	}
 	if err != nil {
 		return nil, err

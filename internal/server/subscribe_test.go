@@ -75,7 +75,7 @@ func TestSubscribeRegistrationAnswer(t *testing.T) {
 	if resp.Result.TraceID == "" {
 		t.Fatal("registration event missing trace id")
 	}
-	if resp.Query.K != 1 || resp.Query.Algorithm != "pin" || resp.Query.PF != "powerlaw" {
+	if resp.Query.KVal() != 1 || resp.Query.Algorithm != "pin" || resp.Query.PF != "powerlaw" {
 		t.Fatalf("defaults not resolved: %+v", resp.Query)
 	}
 }
@@ -87,6 +87,8 @@ func TestSubscribeValidation(t *testing.T) {
 		"bad algorithm": `{"tau":0.7,"algorithm":"pin-vo"}`,
 		"bad pf":        `{"tau":0.7,"pf":"frobnicate"}`,
 		"unknown field": `{"tau":0.7,"taus":1}`,
+		"zero rho":      `{"tau":0.7,"rho":0}`,
+		"zero k":        `{"tau":0.7,"k":0}`,
 	} {
 		t.Run(name, func(t *testing.T) {
 			if rec := do(t, s, "POST", "/v1/subscribe", body, nil); rec.Code != http.StatusBadRequest {

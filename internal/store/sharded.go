@@ -1,0 +1,141 @@
+package store
+
+// sharded.go extends the durability layer to the shard-per-core
+// engine: each shard owns an independent Store (its own WAL segment
+// stream and checkpoint chain) under <dir>/shard-NNN/, so mutations on
+// different shards never contend on one log file and recovery replays
+// all streams in parallel. Shard membership is part of the layout: the
+// set is opened and recovered all-or-nothing, each shard's checkpoint
+// tag embeds " shards=N shard=i" on top of the engine-configuration
+// tag, and a directory initialized with a different shard count (or
+// the legacy single-stream flat layout) is refused rather than
+// silently re-partitioned — objects would otherwise land in the wrong
+// stream and replay would diverge from the live engines.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pinocchio/internal/probfn"
+)
+
+// shardDirName returns the per-shard subdirectory name. Three digits
+// keep lexical order aligned with shard order for every plausible N.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// ShardTag derives shard i's checkpoint tag from the engine
+// configuration tag. Recovery under a different shard count then fails
+// the same way as a PF/τ mismatch: loudly, at startup.
+func ShardTag(base string, n, i int) string {
+	if n <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s shards=%d shard=%d", base, n, i)
+}
+
+// OpenSharded opens (or initializes) n per-shard stores under dir.
+// n == 1 opens the legacy flat layout — a single-shard deployment is
+// byte-compatible with every pre-shard data directory. For n > 1 a
+// directory that holds flat-layout state (a wal/ dir or checkpoint
+// files at the top level) is rejected; re-sharding an existing
+// directory is a migration, not an open.
+func OpenSharded(dir string, n int, opt Options) ([]*Store, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("store: shard count %d < 1", n)
+	}
+	if n == 1 {
+		st, err := Open(dir, opt)
+		if err != nil {
+			return nil, err
+		}
+		return []*Store{st}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if flat, err := hasFlatLayout(dir); err != nil {
+		return nil, err
+	} else if flat {
+		return nil, fmt.Errorf("store: %s holds a single-stream data directory; it cannot be opened with -shards %d (start with -shards 1 or a fresh -data-dir)", dir, n)
+	}
+	// Refuse a directory initialized under a different shard count —
+	// ShardOf(id, n) changes with n, so reopening with a different N
+	// would route objects into the wrong streams. The SHARDS marker
+	// catches this even before the first checkpoint stamps its tag.
+	marker := filepath.Join(dir, "SHARDS")
+	if b, err := os.ReadFile(marker); err == nil {
+		var have int
+		if _, err := fmt.Sscanf(string(b), "%d", &have); err != nil || have != n {
+			return nil, fmt.Errorf("store: %s was initialized with shards=%s but -shards is %d; shard count cannot change on an existing data directory", dir, strings.TrimSpace(string(b)), n)
+		}
+	} else if os.IsNotExist(err) {
+		if err := os.WriteFile(marker, []byte(fmt.Sprintf("%d\n", n)), 0o644); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+	stores := make([]*Store, n)
+	for i := range stores {
+		st, err := Open(filepath.Join(dir, shardDirName(i)), opt)
+		if err != nil {
+			for _, open := range stores[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("store: opening shard %d: %w", i, err)
+		}
+		stores[i] = st
+	}
+	return stores, nil
+}
+
+// hasFlatLayout reports whether dir contains legacy single-stream
+// state (top-level wal/ directory or checkpoint files).
+func hasFlatLayout(dir string) (bool, error) {
+	if fi, err := os.Stat(filepath.Join(dir, "wal")); err == nil && fi.IsDir() {
+		return true, nil
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return false, err
+	}
+	return len(cks) > 0, nil
+}
+
+// RecoverSharded runs Recover on every shard store concurrently — the
+// per-shard WAL streams are independent, so replay parallelizes
+// perfectly — and returns the per-shard results in shard order. tag is
+// the engine-configuration tag; the per-shard checkpoint tags derive
+// from it via ShardTag. Fresh is all-or-nothing: a directory where
+// some shards carry state and others are empty is a torn initialization
+// (the seed checkpoints are written per shard, any missing one means
+// the seed never completed) and is refused.
+func RecoverSharded(stores []*Store, pf probfn.Func, tau float64, tag string) ([]*RecoverResult, error) {
+	n := len(stores)
+	results := make([]*RecoverResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, st := range stores {
+		wg.Add(1)
+		go func(i int, st *Store) {
+			defer wg.Done()
+			results[i], errs[i] = st.Recover(pf, tau, ShardTag(tag, n, i))
+		}(i, st)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("store: recovering shard %d: %w", i, err)
+		}
+	}
+	fresh := results[0].Fresh
+	for i, r := range results[1:] {
+		if r.Fresh != fresh {
+			return nil, fmt.Errorf("store: shard 0 fresh=%v but shard %d fresh=%v; the data directory was torn mid-initialization, start from a fresh -data-dir", fresh, i+1, r.Fresh)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,343 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pinocchio/internal/dynamic"
+	"pinocchio/internal/geo"
+	"pinocchio/internal/probfn"
+)
+
+// TestShardedRecoveryParity is the parallel-recovery oracle: the same
+// random mutation stream, run once through the legacy single stream
+// and once routed across N per-shard stores (objects by ShardOf,
+// candidate ops mirrored to every shard, ingest batches split by
+// shard), must recover to the same merged state — per-candidate
+// influence sums, candidate snapshots on every shard, Σ shard epochs —
+// across checkpoint placements.
+func TestShardedRecoveryParity(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		for seed := int64(0); seed < 4; seed++ {
+			runShardedParityTrial(t, seed, n, seed%2 == 1)
+		}
+	}
+}
+
+func runShardedParityTrial(t *testing.T, seed int64, n int, midCheckpoint bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pf := probfn.DefaultPowerLaw()
+	const tau = 0.7
+
+	refDir, shDir := t.TempDir(), t.TempDir()
+	refStores, err := OpenSharded(refDir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refStores[0]
+	refRes, err := RecoverSharded(refStores, pf, tau, testTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng := refRes[0].Engine
+
+	stores, err := OpenSharded(shDir, n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shRes, err := RecoverSharded(stores, pf, tau, testTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*dynamic.Engine, n)
+	epochs := make([]int64, n)
+	for i := range engines {
+		engines[i] = shRes[i].Engine
+	}
+
+	refEpoch := int64(0)
+	liveObjs := map[int]bool{}
+	liveCands := map[int]bool{}
+	randPt := func() geo.Point { return geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10} }
+	pick := func(set map[int]bool) int {
+		ids := make([]int, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return ids[rng.Intn(len(ids))]
+	}
+
+	// applyRef logs rec to the single stream and applies it to the
+	// reference engine; returns whether the engine accepted it.
+	applyRef := func(rec *Record) bool {
+		if _, err := ref.Append(rec); err != nil {
+			t.Fatalf("seed %d: ref append: %v", seed, err)
+		}
+		if _, err := rec.Apply(refEng); err != nil {
+			return false
+		}
+		refEpoch++
+		return true
+	}
+	// applyShard logs rec to shard i's stream and applies it to shard
+	// i's engine.
+	applyShard := func(i int, rec *Record) bool {
+		if _, err := stores[i].Append(rec); err != nil {
+			t.Fatalf("seed %d: shard %d append: %v", seed, i, err)
+		}
+		if _, err := rec.Apply(engines[i]); err != nil {
+			return false
+		}
+		epochs[i]++
+		return true
+	}
+
+	const nRecs = 140
+	for i := 1; i <= nRecs; i++ {
+		switch op := rng.Intn(10); {
+		case op < 2 || len(liveCands) == 0: // candidate op: mirrored to every shard
+			rec := &Record{Op: OpAddCandidate, Pt: randPt()}
+			applyRef(rec)
+			for s := 0; s < n; s++ {
+				applyShard(s, rec)
+			}
+			// All sides assign the same id (same candidate-op stream);
+			// re-derive the live set from the reference engine.
+			ids, _ := refEng.SnapshotCandidates()
+			liveCands = map[int]bool{}
+			for _, id := range ids {
+				liveCands[id] = true
+			}
+		case op < 3 && len(liveCands) > 0: // remove candidate: mirrored
+			rec := &Record{Op: OpRemoveCandidate, ID: int64(pick(liveCands))}
+			if applyRef(rec) {
+				delete(liveCands, int(rec.ID))
+			}
+			for s := 0; s < n; s++ {
+				applyShard(s, rec)
+			}
+		case op < 5 || len(liveObjs) == 0: // add object (sometimes duplicate)
+			id := rng.Intn(60)
+			rec := &Record{Op: OpAddObject, ID: int64(id), Positions: []geo.Point{randPt()}}
+			if applyRef(rec) {
+				liveObjs[id] = true
+			}
+			applyShard(dynamic.ShardOf(id, n), rec)
+		case op < 6: // cross-shard ingest batch
+			na := 1 + rng.Intn(3)
+			appends := make([]Append, 0, na)
+			valid := true
+			for j := 0; j < na; j++ {
+				id := pick(liveObjs)
+				if rng.Intn(10) == 0 {
+					id = 1000 + rng.Intn(5)
+					valid = false // unknown object: whole batch rejected
+				}
+				pts := make([]geo.Point, 1+rng.Intn(2))
+				for k := range pts {
+					pts[k] = randPt()
+				}
+				appends = append(appends, Append{ID: int64(id), Positions: pts})
+			}
+			rec := &Record{Op: OpIngestBatch, Appends: appends}
+			applyRef(rec)
+			if !valid {
+				// The serving layer pre-validates a multi-shard batch
+				// and refuses to log any sub-record when one group is
+				// invalid; neither side changes state.
+				continue
+			}
+			groups := make(map[int][]Append)
+			for _, a := range appends {
+				s := dynamic.ShardOf(int(a.ID), n)
+				groups[s] = append(groups[s], a)
+			}
+			for s, g := range groups {
+				applyShard(s, &Record{Op: OpIngestBatch, Appends: g})
+			}
+		case op < 8: // position batch / update on one object
+			id := pick(liveObjs)
+			rec := &Record{Op: OpAddPosition, ID: int64(id), Positions: []geo.Point{randPt(), randPt()}}
+			if op == 7 {
+				rec = &Record{Op: OpUpdateObject, ID: int64(id), Positions: []geo.Point{randPt()}}
+			}
+			applyRef(rec)
+			applyShard(dynamic.ShardOf(id, n), rec)
+		default: // remove object
+			id := pick(liveObjs)
+			rec := &Record{Op: OpRemoveObject, ID: int64(id)}
+			if applyRef(rec) {
+				delete(liveObjs, id)
+			}
+			applyShard(dynamic.ShardOf(id, n), rec)
+		}
+
+		if midCheckpoint && i == nRecs/2 {
+			if err := ref.Checkpoint(refEng.ExportState(), refEpoch, ref.LastSeq()); err != nil {
+				t.Fatal(err)
+			}
+			for s := range stores {
+				if err := stores[s].Checkpoint(engines[s].ExportState(), epochs[s], stores[s].LastSeq()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	ref.Close()
+	for _, st := range stores {
+		st.Close()
+	}
+
+	// Reopen + recover both sides from disk.
+	refStores2, err := OpenSharded(refDir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes2, err := RecoverSharded(refStores2, pf, tau, testTag)
+	if err != nil {
+		t.Fatalf("seed %d: ref recover: %v", seed, err)
+	}
+	stores2, err := OpenSharded(shDir, n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RecoverSharded(stores2, pf, tau, testTag)
+	if err != nil {
+		t.Fatalf("seed %d shards=%d: recover: %v", seed, n, err)
+	}
+	defer func() {
+		refStores2[0].Close()
+		for _, st := range stores2 {
+			st.Close()
+		}
+	}()
+
+	// Σ shard epochs: every candidate op counted once per shard on the
+	// sharded side but once on the reference — compare against the live
+	// per-shard tallies instead, then check the merged object state.
+	for s, r := range results {
+		if r.Epoch != epochs[s] {
+			t.Fatalf("seed %d shards=%d: shard %d epoch %d, want %d", seed, n, s, r.Epoch, epochs[s])
+		}
+	}
+	if refRes2[0].Epoch != refEpoch {
+		t.Fatalf("seed %d: ref epoch %d, want %d", seed, refRes2[0].Epoch, refEpoch)
+	}
+
+	// Merged influence = Σ per-shard influence, must equal the
+	// reference relation exactly.
+	merged := map[int]int{}
+	for _, r := range results {
+		for c, v := range r.Engine.Influences() {
+			merged[c] += v
+		}
+	}
+	want := refRes2[0].Engine.Influences()
+	if len(merged) != len(want) {
+		t.Fatalf("seed %d shards=%d: %d candidates, want %d", seed, n, len(merged), len(want))
+	}
+	for c, v := range want {
+		if merged[c] != v {
+			t.Fatalf("seed %d shards=%d: influence[%d] = %d, want %d", seed, n, c, merged[c], v)
+		}
+	}
+
+	// Every shard must hold the full candidate set (ids and points).
+	wids, wpts := refRes2[0].Engine.SnapshotCandidates()
+	total := 0
+	for s, r := range results {
+		gids, gpts := r.Engine.SnapshotCandidates()
+		if !sameCandidates(wids, wpts, gids, gpts) {
+			t.Fatalf("seed %d shards=%d: shard %d candidate set diverged", seed, n, s)
+		}
+		total += r.Engine.Objects()
+	}
+	if total != refRes2[0].Engine.Objects() {
+		t.Fatalf("seed %d shards=%d: %d objects across shards, want %d", seed, n, total, refRes2[0].Engine.Objects())
+	}
+}
+
+// TestOpenShardedGuards covers the layout guards: flat directories
+// cannot be opened sharded, the shard count is pinned by the SHARDS
+// marker, and a torn initialization (some shards seeded, some fresh)
+// is refused at recovery.
+func TestOpenShardedGuards(t *testing.T) {
+	if _, err := OpenSharded(t.TempDir(), 0, Options{}); err == nil {
+		t.Fatal("shard count 0 accepted")
+	}
+
+	// Flat layout refused for n > 1.
+	flat := t.TempDir()
+	s := openStore(t, flat)
+	s.Close()
+	if _, err := OpenSharded(flat, 2, Options{}); err == nil || !strings.Contains(err.Error(), "single-stream") {
+		t.Fatalf("flat layout not refused: %v", err)
+	}
+
+	// Shard count pinned.
+	dir := t.TempDir()
+	stores, err := OpenSharded(dir, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		st.Close()
+	}
+	if _, err := OpenSharded(dir, 4, Options{}); err == nil || !strings.Contains(err.Error(), "shard count cannot change") {
+		t.Fatalf("shard count change not refused: %v", err)
+	}
+	if stores, err = OpenSharded(dir, 2, Options{}); err != nil {
+		t.Fatalf("same shard count refused: %v", err)
+	}
+
+	// Torn initialization: seed a checkpoint on shard 0 only.
+	eng, err := dynamic.New(probfn.DefaultPowerLaw(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverSharded(stores, probfn.DefaultPowerLaw(), 0.7, testTag); err != nil {
+		t.Fatal(err)
+	}
+	if err := stores[0].Checkpoint(eng.ExportState(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		st.Close()
+	}
+	if stores, err = OpenSharded(dir, 2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverSharded(stores, probfn.DefaultPowerLaw(), 0.7, testTag); err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn initialization not refused: %v", err)
+	}
+	for _, st := range stores {
+		st.Close()
+	}
+
+	// Shard tags differ per shard, so a shard's checkpoint cannot be
+	// replayed into another shard's slot (or another shard count).
+	if got := ShardTag("base", 1, 0); got != "base" {
+		t.Fatalf("ShardTag n=1: %q", got)
+	}
+	if a, b := ShardTag("base", 4, 0), ShardTag("base", 4, 1); a == b {
+		t.Fatalf("shard tags collide: %q", a)
+	}
+
+	// n == 1 stays byte-compatible with the flat layout: no marker, no
+	// shard subdirectories.
+	one := t.TempDir()
+	ones, err := OpenSharded(one, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones[0].Close()
+	if _, err := os.Stat(filepath.Join(one, "SHARDS")); !os.IsNotExist(err) {
+		t.Fatal("n=1 wrote a SHARDS marker; single-shard must stay flat-compatible")
+	}
+}

@@ -147,33 +147,42 @@ func NewManager(cfg Config) (*Manager, error) {
 }
 
 // validate resolves the query's defaults and rejects what the solver
-// or the guard cannot support.
+// or the guard cannot support. Presence is pointer-encoded: only a
+// genuinely omitted field (nil) takes its default; an explicit value
+// — including zero — is validated as sent, so the resolved query the
+// subscription echoes back is always the one the client asked for.
 func (q *Query) validate() (probfn.Func, error) {
 	if q.PF == "" {
-		q.PF = "powerlaw"
+		q.PF = DefaultPF
 	}
-	if q.Rho == 0 {
-		q.Rho = 0.9
+	if q.Rho == nil {
+		rho := DefaultRho
+		q.Rho = &rho
 	}
-	if q.Lambda == 0 {
-		q.Lambda = 1.0
+	if q.Lambda == nil {
+		lambda := DefaultLambda
+		q.Lambda = &lambda
 	}
-	pf, err := probfn.ByName(q.PF, q.Rho, q.Lambda)
+	// probfn.ByName rejects ρ outside (0,1] and non-positive shapes, so
+	// an explicit zero fails here rather than silently becoming the
+	// default.
+	pf, err := probfn.ByName(q.PF, *q.Rho, *q.Lambda)
 	if err != nil {
 		return nil, err
 	}
 	if !(q.Tau > 0 && q.Tau < 1) {
 		return nil, fmt.Errorf("subscribe: tau %v outside (0,1)", q.Tau)
 	}
-	if q.K == 0 {
-		q.K = 1
+	if q.K == nil {
+		k := DefaultK
+		q.K = &k
 	}
-	if q.K < 1 {
-		return nil, fmt.Errorf("subscribe: k %d must be positive", q.K)
+	if *q.K < 1 {
+		return nil, fmt.Errorf("subscribe: k %d must be at least 1 (omit k for the default)", *q.K)
 	}
 	switch q.Algorithm {
 	case "":
-		q.Algorithm = "pin"
+		q.Algorithm = DefaultAlgorithm
 	case "pin", "na", "pin-par":
 	default:
 		return nil, fmt.Errorf(
@@ -499,7 +508,7 @@ func (m *Manager) arm(sub *Subscription, sol *Solution) {
 			}
 		}
 	}
-	k := min(sub.Query.K, len(ranked))
+	k := min(sub.Query.KVal(), len(ranked))
 	st.lastTopK = append([]Candidate(nil), ranked[:k]...)
 	st.lastIDs = make([]int, k)
 	for i, c := range ranked[:k] {
@@ -513,7 +522,7 @@ func (m *Manager) arm(sub *Subscription, sol *Solution) {
 			ID: c.ID, Pt: geo.Point{X: c.X, Y: c.Y}, Influence: c.Influence,
 		}
 	}
-	guard, err := dynamic.NewTopKGuard(st.pf, sub.Query.Tau, sub.Query.K, guardCands)
+	guard, err := dynamic.NewTopKGuard(st.pf, sub.Query.Tau, sub.Query.KVal(), guardCands)
 	if err != nil {
 		st.guard = nil // unguarded: every batch re-solves
 		return

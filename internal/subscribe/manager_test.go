@@ -11,6 +11,11 @@ import (
 	"pinocchio/internal/object"
 )
 
+// iptr and fptr build the explicit-value pointers Query now uses to
+// distinguish "omitted" from "sent zero".
+func iptr(v int) *int         { return &v }
+func fptr(v float64) *float64 { return &v }
+
 // fakeBackend serves canned solutions (a queue: popped in order, the
 // last one sticks) and counts solves.
 type fakeBackend struct {
@@ -96,12 +101,15 @@ func TestQueryValidation(t *testing.T) {
 		"zero tau":       {},
 		"tau too big":    {Tau: 1.5},
 		"bad pf":         {Tau: 0.7, PF: "nope"},
-		"negative k":     {Tau: 0.7, K: -2},
+		"negative k":     {Tau: 0.7, K: iptr(-2)},
+		"zero k":         {Tau: 0.7, K: iptr(0)},
 		"pin-vo":         {Tau: 0.7, Algorithm: "pin-vo"},
 		"pin-vo*":        {Tau: 0.7, Algorithm: "pin-vo*"},
 		"unknown alg":    {Tau: 0.7, Algorithm: "magic"},
-		"negative rho":   {Tau: 0.7, Rho: -1},
-		"lambda nonsens": {Tau: 0.7, PF: "powerlaw", Rho: 0.9, Lambda: -3},
+		"negative rho":   {Tau: 0.7, Rho: fptr(-1)},
+		"zero rho":       {Tau: 0.7, Rho: fptr(0)},
+		"lambda nonsens": {Tau: 0.7, PF: "powerlaw", Rho: fptr(0.9), Lambda: fptr(-3)},
+		"zero lambda":    {Tau: 0.7, PF: "powerlaw", Lambda: fptr(0)},
 	} {
 		if _, err := m.Register(q); err == nil {
 			t.Errorf("%s: Register succeeded, want error", name)
@@ -112,7 +120,7 @@ func TestQueryValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sub.Query.Algorithm != "pin" || sub.Query.K != 1 || sub.Query.PF != "powerlaw" {
+	if sub.Query.Algorithm != "pin" || sub.Query.KVal() != 1 || sub.Query.PF != "powerlaw" {
 		t.Errorf("defaults not applied: %+v", sub.Query)
 	}
 }
@@ -120,7 +128,7 @@ func TestQueryValidation(t *testing.T) {
 func TestRegisterInitialEvent(t *testing.T) {
 	fb := fbWith(&Solution{Epoch: 3, TraceID: "t-init", Ranked: ranked(2, 1)})
 	m := newTestManager(t, fb, Config{})
-	sub, err := m.Register(Query{Tau: 0.7, K: 2})
+	sub, err := m.Register(Query{Tau: 0.7, K: iptr(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +151,7 @@ func TestRegisterInitialEvent(t *testing.T) {
 func TestCandidateFilter(t *testing.T) {
 	fb := fbWith(&Solution{Epoch: 1, Ranked: ranked(5, 3)})
 	m := newTestManager(t, fb, Config{})
-	sub, err := m.Register(Query{Tau: 0.7, K: 2, Candidates: []int{candB.ID}})
+	sub, err := m.Register(Query{Tau: 0.7, K: iptr(2), Candidates: []int{candB.ID}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +437,7 @@ func TestConcurrentNotifyAndConsume(t *testing.T) {
 	m := newTestManager(t, fb, Config{})
 	subs := make([]*Subscription, 5)
 	for i := range subs {
-		s, err := m.Register(Query{Tau: 0.7, K: 1 + i%2})
+		s, err := m.Register(Query{Tau: 0.7, K: iptr(1 + i%2)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -23,26 +23,69 @@ import (
 	"sync"
 )
 
+// Default query parameters, shared with /v1/query's request prefill
+// so the two validators agree on every parameter: an omitted field
+// selects the same default on both endpoints, and an explicit invalid
+// value (rho 0, lambda 0, k 0) is rejected by both instead of being
+// silently rewritten.
+const (
+	DefaultPF        = "powerlaw"
+	DefaultRho       = 0.9
+	DefaultLambda    = 1.0
+	DefaultK         = 1
+	DefaultAlgorithm = "pin"
+)
+
 // Query is a standing top-k request: the per-subscription solve
-// parameters plus an optional candidate filter.
+// parameters plus an optional candidate filter. Rho, Lambda and K are
+// pointers so "omitted" (nil → default) is distinguishable from an
+// explicit zero, which is invalid and rejected — a client never gets
+// a silently different query than it sent.
 type Query struct {
 	// Candidates restricts the ranking to these candidate ids; empty
 	// means all live candidates. Influence is independent per candidate,
 	// so the filtered answer is the restriction of the full vector.
 	Candidates []int `json:"candidates,omitempty"`
 	// PF, Rho, Lambda name the probability family exactly as in
-	// /v1/query. Empty PF selects the power law with ρ=0.9, λ=1.0.
-	PF     string  `json:"pf,omitempty"`
-	Rho    float64 `json:"rho,omitempty"`
-	Lambda float64 `json:"lambda,omitempty"`
+	// /v1/query. Empty PF selects the power law; nil Rho/Lambda select
+	// ρ=0.9, λ=1.0. Explicit values outside the family's domain
+	// (including zero) are rejected.
+	PF     string   `json:"pf,omitempty"`
+	Rho    *float64 `json:"rho,omitempty"`
+	Lambda *float64 `json:"lambda,omitempty"`
 	// Tau is the influence threshold, required in (0,1).
 	Tau float64 `json:"tau"`
-	// K is the tracked prefix length; 0 selects 1.
-	K int `json:"k,omitempty"`
+	// K is the tracked prefix length; nil selects 1, explicit values
+	// below 1 (including zero) are rejected.
+	K *int `json:"k,omitempty"`
 	// Algorithm must compute a full influence vector — the guard needs
 	// exact lower bounds for every candidate: pin (default), na or
 	// pin-par. pin-vo's early exit is rejected.
 	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// RhoVal returns the effective ρ (DefaultRho when unset).
+func (q *Query) RhoVal() float64 {
+	if q.Rho == nil {
+		return DefaultRho
+	}
+	return *q.Rho
+}
+
+// LambdaVal returns the effective λ (DefaultLambda when unset).
+func (q *Query) LambdaVal() float64 {
+	if q.Lambda == nil {
+		return DefaultLambda
+	}
+	return *q.Lambda
+}
+
+// KVal returns the effective k (DefaultK when unset).
+func (q *Query) KVal() int {
+	if q.K == nil {
+		return DefaultK
+	}
+	return *q.K
 }
 
 // Candidate is one ranked row of a delivered result.

@@ -22,6 +22,12 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== sharded parity -race"
+# The scatter-gather merge and per-shard mutation locking are the
+# concurrency-critical surface: run their parity tests explicitly under
+# the race detector even when the suite above is trimmed locally.
+go test -race -run 'TestSharded' ./internal/server
+
 echo "== fuzz smoke"
 # Short fuzz runs over the WAL frame and record codecs: enough to catch
 # coarse regressions without holding CI hostage.
@@ -34,6 +40,51 @@ trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/experiments -bench "$tmp/bench.json" -bench-scale 0.02 -bench-iters 1
 head -c 200 "$tmp/bench.json"
 echo
+
+echo "== sharded serving smoke"
+# Boot a 2-shard daemon, drive a short mixed load through cmd/loadgen,
+# and require that some queries actually took the scatter-gather path
+# (non-zero cross-shard merge count in /v1/status).
+go build -o "$tmp/pinocchiod" ./cmd/pinocchiod
+go build -o "$tmp/loadgen" ./cmd/loadgen
+"$tmp/pinocchiod" -addr 127.0.0.1:0 -addr-file "$tmp/shard-addr" \
+    -shards 2 -scale 0.05 -candidates 50 &
+shardpid=$!
+trap 'kill "$shardpid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+i=0
+while [ ! -s "$tmp/shard-addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "sharded daemon did not write addr file" >&2
+        exit 1
+    fi
+    if ! kill -0 "$shardpid" 2>/dev/null; then
+        echo "sharded daemon exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/shard-addr")
+"$tmp/loadgen" -url "http://$addr" -duration 2s -workers 2 \
+    -max-ops 40 -out "$tmp/loadgen.json"
+head -c 400 "$tmp/loadgen.json"
+echo
+grep -q '"errors": 0' "$tmp/loadgen.json" || {
+    echo "loadgen run reported request errors" >&2
+    exit 1
+}
+status=$(curl -fsS "http://$addr/v1/status")
+merges=$(printf '%s' "$status" |
+    sed -n 's/.*"scatter_merges":\([0-9][0-9]*\).*/\1/p')
+echo "scatter_merges=${merges:-0}"
+if [ "${merges:-0}" -eq 0 ]; then
+    echo "no cross-shard merges on a 2-shard daemon: $status" >&2
+    exit 1
+fi
+kill "$shardpid"
+wait "$shardpid" 2>/dev/null || true
+shardpid=""
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== daemon smoke"
 sh scripts/smoke.sh
