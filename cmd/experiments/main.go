@@ -31,6 +31,7 @@ func main() {
 		benchIters = flag.Int("bench-iters", 3, "timed runs per algorithm for -bench")
 		benchScale = flag.Float64("bench-scale", 0, "dataset scale for -bench (0 = snapshot default)")
 		benchShard = flag.String("bench-shard", "", "skip the suite; write the shard-per-core bench snapshot to this path")
+		benchOpt   = flag.String("bench-optimize", "", "skip the suite; write the optimize-vs-grid bench snapshot to this path")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -53,6 +54,13 @@ func main() {
 	}
 	if *benchShard != "" {
 		if err := runBenchShard(*benchShard); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchOpt != "" {
+		if err := runBenchOptimize(*benchOpt); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -113,6 +121,27 @@ func runBenchShard(path string) error {
 		slog.Warn("bench-shard host caveat", "note", snap.HostNote)
 	}
 	fmt.Printf("wrote %s (%d solve rows, %d serve rows)\n", path, len(snap.Solve), len(snap.Serve))
+	return nil
+}
+
+// runBenchOptimize emits the candidate-free placement snapshot
+// (DESIGN.md §14): the MaxRS-style sweep plus refinement against dense
+// uniform-grid candidate enumeration at Gowalla ×1 and ×10.
+func runBenchOptimize(path string) error {
+	snap, err := experiments.WriteBenchOptimize(path, experiments.DefaultBenchOptimizeConfig())
+	if err != nil {
+		return err
+	}
+	for _, r := range snap.Rows {
+		slog.Info("bench-optimize", "dataset", r.Dataset, "objects", r.Objects,
+			"grid_best", r.GridBest, "grid_pairs", r.GridPairs,
+			"opt_best", r.BestInfluence, "opt_pair_work", r.OptPairWork,
+			"pair_ratio", fmt.Sprintf("%.3f", r.PairRatio),
+			"resolved", r.Resolved, "gap", r.Gap,
+			"grid_wall_ms", fmt.Sprintf("%.0f", r.GridWallMs),
+			"opt_wall_ms", fmt.Sprintf("%.0f", r.OptWallMs))
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(snap.Rows))
 	return nil
 }
 

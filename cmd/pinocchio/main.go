@@ -27,6 +27,7 @@ import (
 	"pinocchio/internal/core"
 	"pinocchio/internal/dataset"
 	"pinocchio/internal/obs"
+	"pinocchio/internal/optimize"
 	"pinocchio/internal/probfn"
 )
 
@@ -46,6 +47,12 @@ type options struct {
 	explain    bool
 	tracePath  string
 	out        io.Writer // defaults to os.Stdout
+
+	// optimize switches to candidate-free placement: instead of
+	// ranking sampled candidates, sweep the influence rectangles and
+	// branch-and-bound to the best point anywhere in the plane.
+	optimize  bool
+	maxRefine int
 }
 
 func main() {
@@ -63,6 +70,8 @@ func main() {
 	flag.IntVar(&opts.topK, "topk", 0, "also report the top-K most influential candidates (uses PIN)")
 	flag.Int64Var(&opts.seed, "seed", 1, "candidate sampling seed")
 	flag.BoolVar(&opts.jsonOut, "json", false, "print the result as a single JSON object")
+	flag.BoolVar(&opts.optimize, "optimize", false, "candidate-free placement: find the best point anywhere (ignores -candidates/-algo)")
+	flag.IntVar(&opts.maxRefine, "max-refine", 0, "optimize refinement budget in cell expansions (0 = default, negative = sweep bound only)")
 	flag.BoolVar(&opts.explain, "explain", false, "report EXPLAIN accounting: per-rule prune breakdown and per-candidate verdicts")
 	flag.StringVar(&opts.tracePath, "trace", "", "write the query's span tree as JSON to this file")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -140,6 +149,10 @@ func run(opts options) error {
 	if !opts.jsonOut {
 		fmt.Fprintf(out, "dataset %s: %d objects, %d venues, %d check-ins\n",
 			ds.Name, len(ds.Objects), len(ds.Venues), ds.TotalCheckIns())
+	}
+
+	if opts.optimize {
+		return runOptimize(opts, out, ds)
 	}
 
 	m := opts.candidates
@@ -264,6 +277,104 @@ func run(opts options) error {
 			fmt.Fprintf(out, "  %2d. #%d at (%.3f, %.3f): inf=%d, ground-truth visitors=%d\n",
 				i+1, r.Index, pt.X, pt.Y, r.Influence, cs.Truth[r.Index])
 		}
+	}
+	return nil
+}
+
+// optimizeOutput is the -optimize -json shape.
+type optimizeOutput struct {
+	Dataset       string             `json:"dataset"`
+	Objects       int                `json:"objects"`
+	Tau           float64            `json:"tau"`
+	BestX         float64            `json:"best_x"`
+	BestY         float64            `json:"best_y"`
+	BestInfluence int                `json:"best_influence"`
+	UpperBound    int                `json:"upper_bound"`
+	Gap           int                `json:"gap"`
+	Resolved      bool               `json:"resolved"`
+	SweepMax      int                `json:"sweep_max"`
+	IAMax         int                `json:"ia_max"`
+	Regions       []optimize.Region  `json:"regions,omitempty"`
+	ElapsedMs     float64            `json:"elapsed_ms"`
+	PhasesMs      map[string]float64 `json:"phases_ms,omitempty"`
+	Cost          *optimize.Cost     `json:"cost,omitempty"`
+}
+
+// runOptimize is the -optimize mode: candidate-free placement over
+// the loaded dataset.
+func runOptimize(opts options, out io.Writer, ds *dataset.Dataset) error {
+	pf, err := probfn.NewPowerLaw(opts.rho, 1.0, opts.lambda)
+	if err != nil {
+		return err
+	}
+	root := obs.NewSpan("optimize")
+	cost := &optimize.Cost{}
+	start := time.Now()
+	res, err := optimize.Optimize(&optimize.Problem{
+		Objects:   ds.Objects,
+		PF:        pf,
+		Tau:       opts.tau,
+		MaxRefine: opts.maxRefine,
+		Obs:       root,
+		Cost:      cost,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	root.End()
+
+	if opts.tracePath != "" {
+		data, err := json.MarshalIndent(root, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.tracePath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		slog.Info("trace written", "path", opts.tracePath)
+	}
+
+	if opts.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(optimizeOutput{
+			Dataset:       ds.Name,
+			Objects:       len(ds.Objects),
+			Tau:           opts.tau,
+			BestX:         res.BestPoint.X,
+			BestY:         res.BestPoint.Y,
+			BestInfluence: res.BestInfluence,
+			UpperBound:    res.UpperBound,
+			Gap:           res.Gap,
+			Resolved:      res.Resolved,
+			SweepMax:      res.SweepMax,
+			IAMax:         res.IAMax,
+			Regions:       res.Regions,
+			ElapsedMs:     float64(elapsed) / float64(time.Millisecond),
+			PhasesMs:      obs.PhaseMillis(root),
+			Cost:          cost,
+		})
+	}
+
+	fmt.Fprintf(out, "optimize placed the facility at (%.3f, %.3f) km\n", res.BestPoint.X, res.BestPoint.Y)
+	fmt.Fprintf(out, "  influence: %d of %d objects (%.1f%%)\n",
+		res.BestInfluence, len(ds.Objects), 100*float64(res.BestInfluence)/float64(len(ds.Objects)))
+	if res.Resolved {
+		fmt.Fprintf(out, "  proven optimal (sweep bound %d, IA floor %d)\n", res.SweepMax, res.IAMax)
+	} else {
+		fmt.Fprintf(out, "  bound gap %d (upper bound %d) — raise -max-refine to close it\n",
+			res.Gap, res.UpperBound)
+	}
+	fmt.Fprintf(out, "  elapsed: %v\n", elapsed)
+	fmt.Fprintf(out, "  work: %d rects swept (%d events), %d cells refined, %d exact solves, pair work %d\n",
+		cost.SweptRects, cost.SweepEvents, cost.RefineCells, cost.RefineSolves, cost.PairWork())
+	for i, rg := range res.Regions {
+		if i >= 3 {
+			break
+		}
+		fmt.Fprintf(out, "  region %d: ub=%d x[%.3f, %.3f] y[%.3f, %.3f]\n", i+1, rg.Count,
+			rg.Rect.Min.X, rg.Rect.Max.X, rg.Rect.Min.Y, rg.Rect.Max.Y)
 	}
 	return nil
 }

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchOptimizeTiny runs the optimize-vs-grid benchmark at a toy
+// scale so the harness itself stays tested: both dominance verdicts
+// must hold (RunBenchOptimize errors otherwise), the exact check must
+// agree, and the snapshot must round-trip through JSON.
+func TestBenchOptimizeTiny(t *testing.T) {
+	cfg := BenchOptimizeConfig{
+		Scales:         []float64{0.02},
+		GridSpacingKm:  []float64{4},
+		MaxRefine:      []int{400},
+		MaxEscalations: 3,
+		Tau:            DefaultTau,
+		Seed:           5,
+	}
+	path := filepath.Join(t.TempDir(), "bench_optimize.json")
+	snap, err := WriteBenchOptimize(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Rows) != len(cfg.Scales) {
+		t.Fatalf("rows = %d, want %d", len(snap.Rows), len(cfg.Scales))
+	}
+	for _, r := range snap.Rows {
+		if !r.InfluenceOK || !r.PairsOK {
+			t.Errorf("dominance verdicts false in emitted row: %+v", r)
+		}
+		if r.ExactCheck != r.BestInfluence {
+			t.Errorf("exact check %d != best influence %d", r.ExactCheck, r.BestInfluence)
+		}
+		if r.BestInfluence < r.GridBest {
+			t.Errorf("optimizer best %d below grid best %d", r.BestInfluence, r.GridBest)
+		}
+		if r.OptPairWork >= r.GridPairs {
+			t.Errorf("pair work %d not below grid pairs %d", r.OptPairWork, r.GridPairs)
+		}
+		if r.GridPairs != int64(r.Objects)*int64(r.GridPoints) {
+			t.Errorf("grid pairs %d != objects %d x points %d", r.GridPairs, r.Objects, r.GridPoints)
+		}
+		if r.UpperBound < r.BestInfluence || r.Gap != r.UpperBound-r.BestInfluence {
+			t.Errorf("bound bookkeeping off: %+v", r)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchOptimize
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Schema != BenchOptimizeSchema {
+		t.Fatalf("schema %q, want %q", back.Schema, BenchOptimizeSchema)
+	}
+}

@@ -1,0 +1,132 @@
+package optimize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"pinocchio/internal/geo"
+)
+
+// Event is one vertical rectangle edge in the sweep's event stream:
+// at X the Y span [Y1, Y2] gains (Delta = +1) or loses (Delta = -1)
+// one covering rectangle. Events are the sweep's wire unit — a shard
+// can extract its objects' rects locally and ship the edges, and the
+// gather side sweeps the concatenation (coverage is additive over any
+// partition of the population, so a single global sweep over merged
+// events is exact; per-shard sweep maxima are NOT mergeable, the same
+// caveat that keeps the VO family off the scatter path).
+type Event struct {
+	X      float64
+	Y1, Y2 float64
+	Delta  int8
+}
+
+// less orders events canonically: X ascending, opening edges before
+// closing edges at the same X (rect boundaries are closed, so two
+// rects that only touch do overlap on the shared edge), then the Y
+// span for determinism.
+func less(a, b Event) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	if a.Delta != b.Delta {
+		return a.Delta > b.Delta
+	}
+	if a.Y1 != b.Y1 {
+		return a.Y1 < b.Y1
+	}
+	return a.Y2 < b.Y2
+}
+
+// SortEvents puts evs into canonical sweep order.
+func SortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
+}
+
+// EventsFromRects expands rectangles into their edge events. Empty
+// (inverted) rects are skipped; degenerate rects (zero width or
+// height) are kept — boundaries are closed, a point rect still covers
+// its point.
+func EventsFromRects(rects []geo.Rect) []Event {
+	evs := make([]Event, 0, 2*len(rects))
+	for _, r := range rects {
+		if r.Min.X > r.Max.X || r.Min.Y > r.Max.Y {
+			continue
+		}
+		evs = append(evs,
+			Event{X: r.Min.X, Y1: r.Min.Y, Y2: r.Max.Y, Delta: +1},
+			Event{X: r.Max.X, Y1: r.Min.Y, Y2: r.Max.Y, Delta: -1},
+		)
+	}
+	return evs
+}
+
+// eventSize is the fixed wire size of one encoded event: three
+// float64 coordinates plus the delta byte.
+const eventSize = 3*8 + 1
+
+// maxDecodeEvents caps a decoded stream: a count prefix beyond what
+// the payload can physically hold is rejected before any allocation.
+const maxDecodeEvents = 1 << 28
+
+// EncodeEvents serializes events: a uvarint count followed by
+// fixed-width records (little-endian float bits, delta byte).
+func EncodeEvents(evs []Event) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(evs)*eventSize)
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, e := range evs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Y1))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Y2))
+		buf = append(buf, byte(e.Delta))
+	}
+	return buf
+}
+
+// DecodeEvents parses an encoded event stream, validating every
+// record: finite coordinates, ordered Y span, delta ±1, and an exact
+// length match. It never panics on arbitrary input.
+func DecodeEvents(data []byte) ([]Event, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("optimize: bad event count prefix")
+	}
+	rest := data[used:]
+	if n > maxDecodeEvents || uint64(len(rest)) != n*eventSize {
+		return nil, fmt.Errorf("optimize: event payload %d bytes, want %d events x %d",
+			len(rest), n, eventSize)
+	}
+	evs := make([]Event, n)
+	for i := range evs {
+		rec := rest[i*eventSize:]
+		e := Event{
+			X:     math.Float64frombits(binary.LittleEndian.Uint64(rec)),
+			Y1:    math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+			Y2:    math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
+			Delta: int8(rec[24]),
+		}
+		if err := e.check(); err != nil {
+			return nil, fmt.Errorf("optimize: event %d: %w", i, err)
+		}
+		evs[i] = e
+	}
+	return evs, nil
+}
+
+// check validates one event's invariants.
+func (e Event) check() error {
+	for _, v := range [3]float64{e.X, e.Y1, e.Y2} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite coordinate %v", v)
+		}
+	}
+	if e.Y1 > e.Y2 {
+		return fmt.Errorf("inverted y span [%v, %v]", e.Y1, e.Y2)
+	}
+	if e.Delta != 1 && e.Delta != -1 {
+		return fmt.Errorf("delta %d not ±1", e.Delta)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package optimize
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pinocchio/internal/geo"
+)
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	evs := EventsFromRects([]geo.Rect{
+		{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 2, Y: 3}},
+		{Min: geo.Point{X: -1.5, Y: 0.25}, Max: geo.Point{X: -1.5, Y: 0.25}}, // point rect
+		{Min: geo.Point{X: 4, Y: -2}, Max: geo.Point{X: 9, Y: -2}},           // zero height
+	})
+	got, err := DecodeEvents(EncodeEvents(evs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, evs)
+	}
+}
+
+func TestEventCodecRejects(t *testing.T) {
+	bad := []Event{
+		{X: math.NaN(), Y1: 0, Y2: 1, Delta: 1},
+		{X: 0, Y1: math.Inf(1), Y2: 1, Delta: 1},
+		{X: 0, Y1: 2, Y2: 1, Delta: 1},
+		{X: 0, Y1: 0, Y2: 1, Delta: 0},
+		{X: 0, Y1: 0, Y2: 1, Delta: 3},
+	}
+	for i, e := range bad {
+		if _, err := DecodeEvents(EncodeEvents([]Event{e})); err == nil {
+			t.Errorf("case %d: decode accepted invalid event %+v", i, e)
+		}
+	}
+	if _, err := DecodeEvents(nil); err == nil {
+		t.Error("decode accepted empty input")
+	}
+	// A count prefix claiming more events than the payload holds must
+	// be rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0x07}
+	if _, err := DecodeEvents(huge); err == nil {
+		t.Error("decode accepted oversized count prefix")
+	}
+	// Trailing garbage after the declared events is an error too.
+	enc := append(EncodeEvents([]Event{{X: 1, Y1: 0, Y2: 1, Delta: 1}}), 0x00)
+	if _, err := DecodeEvents(enc); err == nil {
+		t.Error("decode accepted trailing bytes")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	evs := []Event{
+		{X: 2, Y1: 0, Y2: 1, Delta: -1},
+		{X: 1, Y1: 5, Y2: 6, Delta: -1},
+		{X: 1, Y1: 0, Y2: 1, Delta: 1}, // same X as above: open must sort first
+		{X: 0, Y1: 0, Y2: 1, Delta: 1},
+	}
+	SortEvents(evs)
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return less(evs[i], evs[j]) }) {
+		t.Fatalf("not sorted: %v", evs)
+	}
+	if evs[1].Delta != 1 || evs[1].X != 1 {
+		t.Fatalf("opening edge must precede closing edge at equal X: %v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if less(evs[i], evs[i-1]) {
+			t.Fatalf("order not total at %d: %v", i, evs)
+		}
+	}
+}
+
+// FuzzEventCodec holds the wire codec to its contract on arbitrary
+// bytes: decoding never panics, and anything that decodes re-encodes
+// to a byte-identical stream (the canonical fixed point the shard
+// shipping path relies on).
+func FuzzEventCodec(f *testing.F) {
+	f.Add(EncodeEvents(nil))
+	f.Add(EncodeEvents([]Event{{X: 1, Y1: -2, Y2: 3, Delta: 1}}))
+	f.Add(EncodeEvents(EventsFromRects([]geo.Rect{
+		{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1, Y: 1}},
+	})))
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeEvents(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeEvents(evs)
+		back, err := DecodeEvents(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(back, evs) {
+			t.Fatalf("codec not a fixed point:\n got %v\nwant %v", back, evs)
+		}
+		// Sorting is deterministic and idempotent over decoded streams.
+		SortEvents(evs)
+		if !sort.SliceIsSorted(evs, func(i, j int) bool { return less(evs[i], evs[j]) }) {
+			t.Fatalf("SortEvents left events unsorted")
+		}
+	})
+}

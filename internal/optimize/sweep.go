@@ -1,0 +1,307 @@
+package optimize
+
+import (
+	"context"
+	"sort"
+
+	"pinocchio/internal/geo"
+)
+
+// The sweep computes, for a set of closed axis-aligned rectangles,
+// the maximum number covering any point of the plane, the top regions
+// attaining high counts, and a per-slab upper bound the refinement
+// stage consumes. It is the interval-sweep half of Choi/Chung/Tao's
+// MaxRS: sort the vertical edges by X, maintain a segment tree with
+// range-add/max over the compressed Y universe, and read the maximum
+// between edge groups.
+//
+// Y compression uses 2k−1 slots for k distinct Y coordinates: even
+// slot 2i is the atom [y_i, y_i], odd slot 2i+1 the open gap
+// (y_i, y_{i+1}). A rect covering [y_a, y_b] covers the atoms at both
+// ends and everything between, so degenerate (zero-height) rects and
+// closed-boundary touches are counted exactly rather than lost to
+// half-open interval arithmetic.
+//
+// X handles closure the same way: at each distinct x the sweep reads
+// once after applying the opening edges (coverage ON the column x —
+// closing edges at x are still active, boundaries are closed) and
+// once after the closing edges (coverage on the open slab to the next
+// x).
+
+// slab is one closed x-interval with a sound upper bound on the cover
+// count anywhere in it (any y). The refinement stage starts from
+// these: slabs tile the swept x-extent, so together with "coverage 0
+// outside every rect" they bound the whole plane.
+type slab struct {
+	rect geo.Rect
+	ub   int
+}
+
+// sweepResult is what one layer's sweep yields.
+type sweepResult struct {
+	max     int
+	regions []Region
+	slabs   []slab
+}
+
+// sweepCheckEvery is the edge-application granularity of cooperative
+// cancellation.
+const sweepCheckEvery = 4096
+
+// edge is one internal sweep event with its Y span compressed to slot
+// indices (inclusive).
+type edge struct {
+	x      float64
+	lo, hi int32
+	delta  int32
+}
+
+// sweepRects sweeps one rectangle layer. Inverted rects are skipped;
+// an empty input yields a zero result.
+func sweepRects(ctx context.Context, rects []geo.Rect, topR int, cost *Cost) (sweepResult, error) {
+	var res sweepResult
+	ys := make([]float64, 0, 2*len(rects))
+	kept := 0
+	for _, r := range rects {
+		if r.Min.X > r.Max.X || r.Min.Y > r.Max.Y {
+			continue
+		}
+		kept++
+		ys = append(ys, r.Min.Y, r.Max.Y)
+	}
+	if kept == 0 {
+		return res, nil
+	}
+	sort.Float64s(ys)
+	ys = dedupFloats(ys)
+	slotOf := func(y float64) int32 {
+		return 2 * int32(sort.SearchFloat64s(ys, y))
+	}
+	nslots := 2*len(ys) - 1
+
+	edges := make([]edge, 0, 2*kept)
+	for _, r := range rects {
+		if r.Min.X > r.Max.X || r.Min.Y > r.Max.Y {
+			continue
+		}
+		lo, hi := slotOf(r.Min.Y), slotOf(r.Max.Y)
+		edges = append(edges,
+			edge{x: r.Min.X, lo: lo, hi: hi, delta: +1},
+			edge{x: r.Max.X, lo: lo, hi: hi, delta: -1},
+		)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].x != edges[j].x {
+			return edges[i].x < edges[j].x
+		}
+		return edges[i].delta > edges[j].delta
+	})
+	cost.addSweep(int64(len(edges)), int64(nslots))
+
+	tree := newSegTree(nslots)
+	yLo, yHi := ys[0], ys[len(ys)-1]
+	// atMax[i] is the max coverage ON column xs[i]; openMax[i] on the
+	// open slab (xs[i], xs[i+1]).
+	var xs []float64
+	var atMax, openMax []int
+	tracker := regionTracker{topR: topR, ys: ys}
+
+	applied := 0
+	for i := 0; i < len(edges); {
+		x := edges[i].x
+		for i < len(edges) && edges[i].x == x && edges[i].delta > 0 {
+			tree.update(edges[i].lo, edges[i].hi, +1)
+			i++
+			if applied++; applied%sweepCheckEvery == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+			}
+		}
+		at := int(tree.rootMax())
+		if at > res.max {
+			res.max = at
+		}
+		tracker.read(tree, at, x, x)
+		for i < len(edges) && edges[i].x == x {
+			tree.update(edges[i].lo, edges[i].hi, -1)
+			i++
+			if applied++; applied%sweepCheckEvery == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+			}
+		}
+		open := int(tree.rootMax())
+		if next := i; next < len(edges) {
+			tracker.read(tree, open, x, edges[next].x)
+		}
+		xs = append(xs, x)
+		atMax = append(atMax, at)
+		openMax = append(openMax, open)
+	}
+
+	// Closed slabs [xs[i], xs[i+1]]: the bound must hold on both
+	// boundary columns and the open interior.
+	if len(xs) == 1 {
+		res.slabs = []slab{{
+			rect: geo.Rect{Min: geo.Point{X: xs[0], Y: yLo}, Max: geo.Point{X: xs[0], Y: yHi}},
+			ub:   atMax[0],
+		}}
+	}
+	for i := 0; i+1 < len(xs); i++ {
+		ub := max(atMax[i], max(openMax[i], atMax[i+1]))
+		res.slabs = append(res.slabs, slab{
+			rect: geo.Rect{Min: geo.Point{X: xs[i], Y: yLo}, Max: geo.Point{X: xs[i+1], Y: yHi}},
+			ub:   ub,
+		})
+	}
+	res.regions = tracker.done()
+	return res, nil
+}
+
+// dedupFloats compacts a sorted slice in place.
+func dedupFloats(s []float64) []float64 {
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// regionTracker keeps the top-R regions by cover count seen across
+// sweep reads, with light overlap merging so adjacent slabs sharing
+// one maximum report as a single region.
+type regionTracker struct {
+	topR int
+	ys   []float64
+	keep []Region
+}
+
+// read considers one sweep read: count over the x extent [x1, x2].
+// Only reads that could enter the kept set pay for the argmax lookup.
+func (t *regionTracker) read(tree *segTree, count int, x1, x2 float64) {
+	if count <= 0 {
+		return
+	}
+	if len(t.keep) >= t.topR && count <= t.keep[len(t.keep)-1].Count {
+		return
+	}
+	lo := tree.argmax()
+	hi := lo
+	// Extend the slot run rightward while it stays at the maximum, so
+	// the region reflects the full band rather than one atom. Capped:
+	// this is presentation, not correctness.
+	for n := 0; hi+1 < tree.n && n < 256; n++ {
+		if int(tree.at(hi+1)) != count {
+			break
+		}
+		hi++
+	}
+	yLo, yHi := t.slotY(lo), t.slotYHi(hi)
+	rect := geo.Rect{Min: geo.Point{X: x1, Y: yLo}, Max: geo.Point{X: x2, Y: yHi}}
+	// Merge into an already-kept region when it is the same band
+	// continuing through the next slab.
+	for i := range t.keep {
+		k := &t.keep[i]
+		if k.Count == count && k.Rect.Min.Y == rect.Min.Y && k.Rect.Max.Y == rect.Max.Y &&
+			rect.Min.X <= k.Rect.Max.X && rect.Max.X >= k.Rect.Min.X {
+			k.Rect = k.Rect.Union(rect)
+			return
+		}
+	}
+	at := sort.Search(len(t.keep), func(i int) bool { return t.keep[i].Count < count })
+	t.keep = append(t.keep, Region{})
+	copy(t.keep[at+1:], t.keep[at:])
+	t.keep[at] = Region{Rect: rect, Count: count}
+	if len(t.keep) > t.topR {
+		t.keep = t.keep[:t.topR]
+	}
+}
+
+// slotY maps a slot index to its lower y coordinate.
+func (t *regionTracker) slotY(s int) float64 {
+	return t.ys[s/2]
+}
+
+// slotYHi maps a slot index to its upper y coordinate: an atom's own
+// y, or a gap's upper neighbor.
+func (t *regionTracker) slotYHi(s int) float64 {
+	return t.ys[(s+1)/2]
+}
+
+func (t *regionTracker) done() []Region {
+	return t.keep
+}
+
+// segTree is a lazy range-add / range-max segment tree over nslots
+// leaves. mx[n] is the subtree max including the node's own pending
+// add, so rootMax is O(1) and updates never push lazies down.
+type segTree struct {
+	n   int
+	add []int32
+	mx  []int32
+}
+
+func newSegTree(n int) *segTree {
+	return &segTree{n: n, add: make([]int32, 4*n), mx: make([]int32, 4*n)}
+}
+
+// update adds d on the inclusive slot range [l, r].
+func (t *segTree) update(l, r, d int32) {
+	t.upd(1, 0, int32(t.n)-1, l, r, d)
+}
+
+func (t *segTree) upd(node, lo, hi, l, r, d int32) {
+	if r < lo || hi < l {
+		return
+	}
+	if l <= lo && hi <= r {
+		t.add[node] += d
+		t.mx[node] += d
+		return
+	}
+	mid := (lo + hi) / 2
+	t.upd(2*node, lo, mid, l, r, d)
+	t.upd(2*node+1, mid+1, hi, l, r, d)
+	t.mx[node] = t.add[node] + max(t.mx[2*node], t.mx[2*node+1])
+}
+
+// rootMax is the current maximum over all slots.
+func (t *segTree) rootMax() int32 {
+	return t.mx[1]
+}
+
+// argmax returns the leftmost slot attaining rootMax.
+func (t *segTree) argmax() int {
+	node, lo, hi := int32(1), int32(0), int32(t.n)-1
+	var acc int32
+	for lo < hi {
+		acc += t.add[node]
+		mid := (lo + hi) / 2
+		if acc+t.mx[2*node] == t.mx[1] {
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid+1
+		}
+	}
+	return int(lo)
+}
+
+// at returns the current value of one slot.
+func (t *segTree) at(slot int) int32 {
+	node, lo, hi := int32(1), int32(0), int32(t.n)-1
+	var acc int32
+	for lo < hi {
+		acc += t.add[node]
+		mid := (lo + hi) / 2
+		if int32(slot) <= mid {
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid+1
+		}
+	}
+	return acc + t.mx[node]
+}

@@ -1,0 +1,163 @@
+package optimize
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pinocchio/internal/geo"
+)
+
+// coverAt counts rects covering p (closed boundaries).
+func coverAt(rects []geo.Rect, p geo.Point) int {
+	n := 0
+	for _, r := range rects {
+		if r.ContainsPoint(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// bruteMaxCover exhausts the candidate optima of a closed-rect
+// arrangement: the maximum cover is attained at some (left edge,
+// bottom edge) intersection.
+func bruteMaxCover(rects []geo.Rect) int {
+	best := 0
+	for _, a := range rects {
+		for _, b := range rects {
+			if c := coverAt(rects, geo.Point{X: a.Min.X, Y: b.Min.Y}); c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func randRects(rng *rand.Rand, n int) []geo.Rect {
+	rects := make([]geo.Rect, n)
+	for i := range rects {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		var w, h float64
+		switch rng.Intn(4) {
+		case 0: // point rect
+		case 1: // zero-height strip
+			w = rng.Float64() * 3
+		case 2: // zero-width strip
+			h = rng.Float64() * 3
+		default:
+			w, h = rng.Float64()*3, rng.Float64()*3
+		}
+		rects[i] = geo.Rect{Min: geo.Point{X: x, Y: y}, Max: geo.Point{X: x + w, Y: y + h}}
+	}
+	// Force some exact boundary touches and duplicates into the mix.
+	for i := 3; i < n; i += 4 {
+		rects[i].Min.X = rects[i-1].Max.X
+		rects[i].Max.X = rects[i].Min.X + rng.Float64()
+	}
+	return rects
+}
+
+func TestSweepMatchesBruteForce(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		rects := randRects(rng, 3+rng.Intn(30))
+		var cost Cost
+		res, err := sweepRects(context.Background(), rects, 4, &cost)
+		if err != nil {
+			t.Fatalf("trial %d: sweep: %v", trial, err)
+		}
+		want := bruteMaxCover(rects)
+		if res.max != want {
+			t.Fatalf("trial %d: sweep max %d, brute force %d (rects %v)",
+				trial, res.max, want, rects)
+		}
+		if cost.SweepEvents != int64(2*len(rects)) {
+			t.Fatalf("trial %d: %d events for %d rects", trial, cost.SweepEvents, len(rects))
+		}
+		// Every reported region's interior must attain its count.
+		for _, rg := range res.regions {
+			if got := coverAt(rects, rg.Rect.Center()); got < rg.Count {
+				t.Fatalf("trial %d: region %+v center covers %d < %d",
+					trial, rg, got, rg.Count)
+			}
+		}
+		if len(res.regions) > 0 && res.regions[0].Count != res.max {
+			t.Fatalf("trial %d: top region count %d != max %d",
+				trial, res.regions[0].Count, res.max)
+		}
+	}
+}
+
+// TestSlabsBoundPlane samples random points and checks each one's
+// cover against the slab that contains it — the soundness property
+// refinement builds on.
+func TestSlabsBoundPlane(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		rects := randRects(rng, 3+rng.Intn(25))
+		res, err := sweepRects(context.Background(), rects, 4, nil)
+		if err != nil {
+			t.Fatalf("sweep: %v", err)
+		}
+		for i := 0; i < 400; i++ {
+			p := geo.Point{X: rng.Float64()*14 - 1, Y: rng.Float64()*14 - 1}
+			c := coverAt(rects, p)
+			if c == 0 {
+				continue
+			}
+			bound := 0
+			for _, sl := range res.slabs {
+				if p.X >= sl.rect.Min.X && p.X <= sl.rect.Max.X {
+					if sl.ub > bound {
+						bound = sl.ub
+					}
+					// A covered point must fall inside the swept x extent
+					// AND y extent; check the tighter per-slab bound.
+					if sl.rect.ContainsPoint(p) && c > sl.ub {
+						t.Fatalf("trial %d: point %v covered %d > slab ub %d",
+							trial, p, c, sl.ub)
+					}
+				}
+			}
+			if c > bound {
+				t.Fatalf("trial %d: point %v covered %d beyond every slab bound %d",
+					trial, p, c, bound)
+			}
+		}
+	}
+}
+
+func TestSweepEmptyAndDegenerate(t *testing.T) {
+	res, err := sweepRects(context.Background(), nil, 4, nil)
+	if err != nil || res.max != 0 || len(res.slabs) != 0 {
+		t.Fatalf("empty sweep: %+v, %v", res, err)
+	}
+	// Inverted rects are skipped entirely.
+	res, err = sweepRects(context.Background(), []geo.Rect{
+		{Min: geo.Point{X: 1, Y: 1}, Max: geo.Point{X: 0, Y: 0}},
+	}, 4, nil)
+	if err != nil || res.max != 0 {
+		t.Fatalf("inverted-rect sweep: %+v, %v", res, err)
+	}
+	// A single point rect still covers its point.
+	res, err = sweepRects(context.Background(), []geo.Rect{
+		{Min: geo.Point{X: 2, Y: 3}, Max: geo.Point{X: 2, Y: 3}},
+	}, 4, nil)
+	if err != nil || res.max != 1 {
+		t.Fatalf("point-rect sweep: %+v, %v", res, err)
+	}
+	if len(res.slabs) != 1 || res.slabs[0].ub != 1 {
+		t.Fatalf("point-rect slabs: %+v", res.slabs)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(7))
+	rects := randRects(rng, 4000) // enough edges to hit a check boundary
+	if _, err := sweepRects(ctx, rects, 4, nil); err == nil {
+		t.Fatal("sweep ignored a canceled context")
+	}
+}

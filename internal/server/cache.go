@@ -5,11 +5,12 @@ import (
 	"sync"
 )
 
-// resultCache is a small mutex-guarded LRU over query responses. Keys
-// embed the mutation epoch (see cacheKey), so any engine mutation
-// implicitly invalidates every cached result: the old epoch's entries
-// become unreachable and age out of the LRU.
-type resultCache struct {
+// lruCache is a small mutex-guarded LRU, generic over the cached
+// value. The serving layer keys both of its instances (query results,
+// optimize results) by the mutation epoch vector (see cacheKey), so
+// any engine mutation implicitly invalidates every cached result: the
+// old epoch's entries become unreachable and age out of the LRU.
+type lruCache[V any] struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
@@ -17,44 +18,50 @@ type resultCache struct {
 }
 
 // cacheEntry is one LRU node.
-type cacheEntry struct {
-	key  string
-	resp *QueryResponse
+type cacheEntry[V any] struct {
+	key string
+	val V
 }
 
-// newResultCache returns a cache holding up to max entries; max <= 0
-// disables caching entirely (get always misses, put drops). Zero must
-// disable, not "cache then immediately evict": a put into a
-// zero-capacity LRU would allocate the node and churn the list for an
-// entry no get can ever return.
-func newResultCache(max int) *resultCache {
-	return &resultCache{
+// newLRU returns a cache holding up to max entries; max <= 0 disables
+// caching entirely (get always misses, put drops). Zero must disable,
+// not "cache then immediately evict": a put into a zero-capacity LRU
+// would allocate the node and churn the list for an entry no get can
+// ever return.
+func newLRU[V any](max int) *lruCache[V] {
+	return &lruCache[V]{
 		max:   max,
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
 	}
 }
 
-// get returns the cached response for key, marking it most recently
-// used. The returned response is shared: callers must copy before
+// newResultCache builds the query-result instance.
+func newResultCache(max int) *lruCache[*QueryResponse] {
+	return newLRU[*QueryResponse](max)
+}
+
+// get returns the cached value for key, marking it most recently
+// used. The returned value is shared: callers must copy before
 // mutating.
-func (c *resultCache) get(key string) (*QueryResponse, bool) {
+func (c *lruCache[V]) get(key string) (V, bool) {
+	var zero V
 	if c.max <= 0 {
-		return nil, false
+		return zero, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).resp, true
+	return el.Value.(*cacheEntry[V]).val, true
 }
 
-// put stores resp under key, evicting the least recently used entry
+// put stores val under key, evicting the least recently used entry
 // beyond capacity.
-func (c *resultCache) put(key string, resp *QueryResponse) {
+func (c *lruCache[V]) put(key string, val V) {
 	if c.max <= 0 {
 		return
 	}
@@ -62,20 +69,20 @@ func (c *resultCache) put(key string, resp *QueryResponse) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).resp = resp
+		el.Value.(*cacheEntry[V]).val = val
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	el := c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
 	c.items[key] = el
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+		delete(c.items, last.Value.(*cacheEntry[V]).key)
 	}
 }
 
 // len reports the live entry count.
-func (c *resultCache) len() int {
+func (c *lruCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

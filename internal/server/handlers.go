@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -124,6 +125,7 @@ func (s *Server) routes() {
 	s.route("GET /healthz", kindOther, s.handleHealthz)
 	s.route("GET /v1/status", kindOther, s.handleStatus)
 	s.route("POST /v1/query", kindQuery, s.handleQuery)
+	s.route("POST /v1/optimize", kindQuery, s.handleOptimize)
 	s.route("GET /v1/best", kindOther, s.handleBest)
 	s.route("GET /v1/influence/{id}", kindOther, s.handleInfluence)
 	s.route("POST /v1/objects", kindMutation, s.handleAddObject)
@@ -705,7 +707,7 @@ func (s *Server) solveQuery(ctx context.Context, sn *snapshot, req *QueryRequest
 	return resp, nil
 }
 
-func (s *Server) handleBest(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 	// The global winner is the argmax of the summed per-shard
 	// influences — same merge as the scatter path, same tie-break as
 	// the engine (higher influence, then smaller id).
@@ -724,12 +726,47 @@ func (s *Server) handleBest(w http.ResponseWriter, _ *http.Request) {
 	sh.mu.RLock()
 	pt, _ := sh.engine.Candidate(best)
 	sh.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"best":  CandidateJSON{ID: best, X: pt.X, Y: pt.Y, Influence: bestInf},
 		"pf":    s.cfg.PF.Name(),
 		"tau":   s.cfg.Tau,
 		"epoch": s.gepoch.Load(),
-	})
+	}
+	// ?explain=true re-derives the engine view with a static solve at
+	// the engine's PF/τ, attaching the same Cost ledger /v1/query
+	// carries — the prune breakdown and verdict table for the current
+	// population.
+	if v := r.URL.Query().Get("explain"); v != "" {
+		want, err := strconv.ParseBool(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad explain %q: want a boolean", v)
+			return
+		}
+		if want {
+			sn := s.snapshotNow()
+			if len(sn.objects) == 0 {
+				writeErr(w, http.StatusConflict, "nothing to explain: 0 objects")
+				return
+			}
+			cost := &core.Cost{}
+			cost.EnableVerdicts(len(sn.candPts))
+			_, err := core.Solve(core.AlgPinocchio, &core.Problem{
+				Objects:    sn.objects,
+				Candidates: sn.candPts,
+				PF:         s.cfg.PF,
+				Tau:        s.cfg.Tau,
+				Ctx:        r.Context(),
+				Cost:       cost,
+				TraceID:    obs.TraceIDFrom(r.Context()),
+			})
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, "explain solve failed: %v", err)
+				return
+			}
+			body["explain"] = explainJSON(cost)
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
@@ -795,6 +832,24 @@ func toPoints(ps []PointJSON) []geo.Point {
 	return out
 }
 
+// finitePoints rejects NaN/±Inf coordinates with a 400, BEFORE the
+// record reaches the WAL. A non-finite position would be logged,
+// applied and then poison every distance computation downstream (NaN
+// compares false against everything, so the object silently vanishes
+// from influence counts) — and replay would faithfully reapply it
+// after every restart. Encoding, "null"/"1e999" JSON and arithmetic
+// overflows all funnel through here.
+func finitePoints(w http.ResponseWriter, pts []geo.Point) bool {
+	for _, p := range pts {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			writeErr(w, http.StatusBadRequest,
+				"non-finite coordinate (%v, %v): positions must be finite", p.X, p.Y)
+			return false
+		}
+	}
+	return true
+}
+
 // mutationResponse acknowledges an applied mutation. Seq is the WAL
 // sequence number the mutation was logged at; 0 when the server runs
 // without a durable store.
@@ -813,8 +868,12 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "object needs at least one position")
 		return
 	}
+	pts := toPoints(req.Positions)
+	if !finitePoints(w, pts) {
+		return
+	}
 	_, epoch, seq, err := s.mutate(r.Context(), &store.Record{
-		Op: store.OpAddObject, ID: int64(req.ID), Positions: toPoints(req.Positions),
+		Op: store.OpAddObject, ID: int64(req.ID), Positions: pts,
 	})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
@@ -836,8 +895,12 @@ func (s *Server) handleUpdateObject(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "object needs at least one position")
 		return
 	}
+	pts := toPoints(req.Positions)
+	if !finitePoints(w, pts) {
+		return
+	}
 	_, epoch, seq, err := s.mutate(r.Context(), &store.Record{
-		Op: store.OpUpdateObject, ID: int64(id), Positions: toPoints(req.Positions),
+		Op: store.OpUpdateObject, ID: int64(id), Positions: pts,
 	})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)
@@ -876,6 +939,9 @@ func (s *Server) handleAddPositions(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, `need "positions" or an "x"/"y" pair`)
 		return
 	}
+	if !finitePoints(w, pts) {
+		return
+	}
 	// One record carries the whole batch, matching the single epoch
 	// bump: AddPosition only fails on an unknown object, which the
 	// write lock makes stable across the batch, so either every point
@@ -895,8 +961,12 @@ func (s *Server) handleAddCandidate(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	pt := geo.Point{X: req.X, Y: req.Y}
+	if !finitePoints(w, []geo.Point{pt}) {
+		return
+	}
 	id, epoch, seq, err := s.mutate(r.Context(), &store.Record{
-		Op: store.OpAddCandidate, Pt: geo.Point{X: req.X, Y: req.Y},
+		Op: store.OpAddCandidate, Pt: pt,
 	})
 	if err != nil {
 		writeErr(w, engineErrCode(err), "%v", err)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pinocchio/internal/obs"
+	"pinocchio/internal/optimize"
 )
 
 // Metric names exported by the serving layer (catalogue in DESIGN.md
@@ -24,6 +25,11 @@ const (
 	mMutations    = "pinocchio_server_mutations_total"
 	mMutationSecs = "pinocchio_server_mutation_seconds"
 	mEpoch        = "pinocchio_server_epoch"
+
+	mOptimizeTotal   = "pinocchio_optimize_total"
+	mOptimizeSeconds = "pinocchio_optimize_seconds"
+	mOptimizeSwept   = "pinocchio_optimize_swept_rects_total"
+	mOptimizeSolves  = "pinocchio_optimize_refine_solves_total"
 )
 
 // recordHTTP folds one finished request into the registry.
@@ -111,4 +117,31 @@ func recordMutation(op string, epoch int64, dur time.Duration) {
 	r.Histogram(mMutationSecs, "Mutation wall time in seconds (lock wait included).",
 		obs.DefBuckets, obs.Labels{"op": op}).Observe(dur.Seconds())
 	r.Gauge(mEpoch, "Current dataset mutation epoch.", nil).Set(float64(epoch))
+}
+
+// recordOptimize folds one served optimize run into the registry:
+// outcome counts labeled by resolution and cache verdict, latency,
+// and the work the run's ledger accounted (swept rects, exact
+// refinement solves). Cache hits count an outcome but no work — the
+// run that populated the cache already recorded its own.
+func recordOptimize(resolved, cached bool, dur time.Duration, cost *optimize.Cost) {
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	r.Counter(mOptimizeTotal, "Optimize runs served.", obs.Labels{
+		"resolved": strconv.FormatBool(resolved),
+		"cached":   strconv.FormatBool(cached),
+	}).Inc()
+	if cached {
+		return
+	}
+	r.Histogram(mOptimizeSeconds, "Optimize run wall time in seconds.",
+		obs.DefBuckets, nil).Observe(dur.Seconds())
+	if cost != nil {
+		r.Counter(mOptimizeSwept, "Influence rectangles swept by optimize runs.", nil).
+			Add(cost.SweptRects)
+		r.Counter(mOptimizeSolves, "Exact influence solves performed by optimize refinement.", nil).
+			Add(cost.RefineSolves)
+	}
 }

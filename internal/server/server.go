@@ -50,6 +50,7 @@ import (
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
 	"pinocchio/internal/obs"
+	"pinocchio/internal/optimize"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/store"
 	"pinocchio/internal/subscribe"
@@ -287,9 +288,10 @@ type Server struct {
 	ckptRunning atomic.Bool
 	ckptWG      sync.WaitGroup
 
-	cache *resultCache
-	plans *planCache
-	mux   *http.ServeMux
+	cache    *lruCache[*QueryResponse]
+	optCache *lruCache[*OptimizeResponse]
+	plans    *planCache
+	mux      *http.ServeMux
 
 	// subs manages standing-query subscriptions; nil when MaxSubs < 0.
 	// The server itself is the manager's solve backend.
@@ -314,6 +316,15 @@ type Server struct {
 	workValidated atomic.Int64
 	workProbes    atomic.Int64
 	workQueries   atomic.Int64
+
+	// Cumulative candidate-free placement work (POST /v1/optimize),
+	// fed by every real optimize run (cache hits excluded).
+	optRuns     atomic.Int64
+	optSwept    atomic.Int64
+	optEvents   atomic.Int64
+	optCells    atomic.Int64
+	optSolves   atomic.Int64
+	optPairWork atomic.Int64
 }
 
 // addWork folds one solve's counters into the status totals.
@@ -323,6 +334,20 @@ func (s *Server) addWork(st *core.Stats) {
 	s.workPruned.Add(st.PrunedByIA + st.PrunedByNIB)
 	s.workValidated.Add(st.Validated)
 	s.workProbes.Add(st.PositionProbes)
+}
+
+// addOptimizeWork folds one optimize run's ledger into the status
+// totals.
+func (s *Server) addOptimizeWork(c *optimize.Cost) {
+	s.optRuns.Add(1)
+	if c == nil {
+		return
+	}
+	s.optSwept.Add(c.SweptRects)
+	s.optEvents.Add(c.SweepEvents)
+	s.optCells.Add(c.RefineCells)
+	s.optSolves.Add(c.RefineSolves)
+	s.optPairWork.Add(c.PairWork())
 }
 
 // workStatus shapes the cumulative work block of /v1/status.
@@ -340,6 +365,14 @@ func (s *Server) workStatus() map[string]any {
 		"pairs_validated": s.workValidated.Load(),
 		"position_probes": s.workProbes.Load(),
 		"prune_ratio":     ratio,
+		"optimize": map[string]any{
+			"runs":          s.optRuns.Load(),
+			"swept_rects":   s.optSwept.Load(),
+			"sweep_events":  s.optEvents.Load(),
+			"refine_cells":  s.optCells.Load(),
+			"refine_solves": s.optSolves.Load(),
+			"pair_work":     s.optPairWork.Load(),
+		},
 	}
 }
 
@@ -430,6 +463,7 @@ func NewWithShards(cfg Config, engines []*dynamic.Engine, epochs []int64) (*Serv
 		start:       time.Now(),
 		inflight:    make(chan struct{}, cfg.MaxInflight),
 		cache:       newResultCache(cfg.CacheSize),
+		optCache:    newLRU[*OptimizeResponse](cfg.CacheSize),
 		plans:       newPlanCache(cfg.PlanCacheSize),
 		mux:         http.NewServeMux(),
 		traces:      obs.NewTraceStore(cfg.TraceKeep),

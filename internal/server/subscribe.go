@@ -157,7 +157,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "append for object %d has no positions", a.ID)
 			return
 		}
-		rec.Appends[i] = store.Append{ID: int64(a.ID), Positions: toPoints(a.Positions)}
+		pts := toPoints(a.Positions)
+		if !finitePoints(w, pts) {
+			return
+		}
+		rec.Appends[i] = store.Append{ID: int64(a.ID), Positions: pts}
 		positions += len(a.Positions)
 	}
 	_, epoch, seq, err := s.mutate(r.Context(), rec)

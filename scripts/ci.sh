@@ -28,11 +28,19 @@ echo "== sharded parity -race"
 # the race detector even when the suite above is trimmed locally.
 go test -race -run 'TestSharded' ./internal/server
 
+echo "== optimize dominance -race"
+# The bound-soundness property: the candidate-free optimizer's answer
+# (plus its reported gap) must dominate any dense-grid enumeration.
+# Randomized, and the refinement heap is the newest pointer-heavy
+# code, so run it under the race detector explicitly.
+go test -race -run 'TestOptimizeDominatesGrid' ./internal/optimize
+
 echo "== fuzz smoke"
-# Short fuzz runs over the WAL frame and record codecs: enough to catch
-# coarse regressions without holding CI hostage.
+# Short fuzz runs over the WAL frame, record, and sweep-event codecs:
+# enough to catch coarse regressions without holding CI hostage.
 go test -run '^$' -fuzz '^FuzzFrame$' -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz '^FuzzRecord$' -fuzztime 10s ./internal/store
+go test -run '^$' -fuzz '^FuzzEventCodec$' -fuzztime 10s ./internal/optimize
 
 echo "== bench snapshot smoke"
 tmp=$(mktemp -d)

@@ -240,6 +240,56 @@ curl -fsS "http://$addr/v1/status" | grep -q '"checks_suppressed":[1-9]' || {
     exit 1
 }
 
+echo "== optimize"
+# Candidate-free placement: the returned best point's influence must
+# reproduce exactly when registered as a candidate and queried back
+# through the incremental engine (same PF/τ defaults on both paths).
+opt=$(curl -fsS "http://$addr/v1/optimize" -d '{"tau":0.7}')
+echo "$opt" | grep -q '"resolved":' || {
+    echo "optimize response missing resolution verdict: $opt" >&2
+    exit 1
+}
+opt_x=$(echo "$opt" | sed 's/.*"best":{"x":\([^,]*\),.*/\1/')
+opt_y=$(echo "$opt" | sed 's/.*"best":{"x":[^,]*,"y":\([^}]*\)}.*/\1/')
+opt_inf=$(echo "$opt" | sed 's/.*"best_influence":\([0-9]*\).*/\1/')
+opt_id=$(curl -fsS "http://$addr/v1/candidates" -d "{\"x\":$opt_x,\"y\":$opt_y}" |
+    sed 's/.*"id":\([0-9]*\).*/\1/')
+engine_inf=$(curl -fsS "http://$addr/v1/influence/$opt_id" |
+    sed 's/.*"influence":\([0-9]*\).*/\1/')
+echo "optimize placed at ($opt_x, $opt_y): influence $opt_inf, engine says $engine_inf"
+if [ "$opt_inf" != "$engine_inf" ]; then
+    echo "optimize influence $opt_inf diverges from engine influence $engine_inf" >&2
+    exit 1
+fi
+# A repeat on the mutated epoch is a fresh solve, not a stale hit; the
+# ledger travels with the response either way.
+opt2=$(curl -fsS "http://$addr/v1/optimize" -d '{"tau":0.7}')
+echo "$opt2" | grep -q '"cost":' || {
+    echo "optimize response missing cost ledger" >&2
+    exit 1
+}
+curl -fsS "http://$addr/metrics" | grep -q '^pinocchio_optimize_total' || {
+    echo "metrics missing pinocchio_optimize_total" >&2
+    exit 1
+}
+curl -fsS "http://$addr/metrics" | grep -q '^pinocchio_optimize_swept_rects_total' || {
+    echo "metrics missing pinocchio_optimize_swept_rects_total" >&2
+    exit 1
+}
+curl -fsS "http://$addr/v1/status" | grep -q '"optimize":{' &&
+    curl -fsS "http://$addr/v1/status" | grep -q '"runs":[1-9]' || {
+    echo "status work block missing optimize runs" >&2
+    exit 1
+}
+# Non-finite coordinates must be rejected before they can poison the
+# engine or WAL.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/objects" \
+    -d '{"id":8003,"positions":[{"x":1e999,"y":0}]}')
+if [ "$code" != "400" ]; then
+    echo "non-finite coordinate accepted with status $code" >&2
+    exit 1
+fi
+
 echo "== shutdown"
 kill -TERM "$pid"
 wait "$pid"
