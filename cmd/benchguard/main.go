@@ -1,0 +1,87 @@
+// Command benchguard compares two bench snapshots (BENCH_PR*.json) and
+// fails when the current one's warm-path algorithm wall times regressed
+// beyond a threshold against the baseline. The verdict is printed and,
+// with -write, stamped into the current snapshot's "guard" block so the
+// checked-in artifact carries its own comparison.
+//
+// Snapshots from different bench geometries or host widths are not
+// comparable; the guard then passes vacuously with an explanatory note
+// rather than failing CI on noise.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_PR7.json -current BENCH_PR10.json
+//	benchguard -baseline BENCH_PR7.json -current BENCH_PR10.json -threshold-pct 25 -write
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pinocchio/internal/experiments"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline snapshot path (required)")
+		current   = flag.String("current", "", "current snapshot path (required)")
+		threshold = flag.Float64("threshold-pct", 25, "max tolerated wall-time growth in percent")
+		write     = flag.Bool("write", false, "stamp the verdict into the current snapshot's guard block")
+	)
+	flag.Parse()
+	if err := run(*baseline, *current, *threshold, *write); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath string, threshold float64, write bool) error {
+	if baselinePath == "" || currentPath == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	if threshold <= 0 {
+		return fmt.Errorf("-threshold-pct must be positive, got %g", threshold)
+	}
+	base, err := experiments.LoadBenchSnapshot(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := experiments.LoadBenchSnapshot(currentPath)
+	if err != nil {
+		return err
+	}
+	v := experiments.GuardCompare(baselinePath, base, cur, threshold)
+
+	if !v.Comparable {
+		fmt.Printf("benchguard: snapshots not comparable — %s\n", v.Note)
+	}
+	for _, r := range v.Rows {
+		mark := "ok"
+		if !r.Pass {
+			mark = "REGRESSED"
+		}
+		fmt.Printf("%-10s baseline %8.3fms  current %8.3fms  %+6.1f%%  %s\n",
+			r.Algorithm, r.BaselineMs, r.CurrentMs, r.DeltaPct, mark)
+	}
+	fmt.Printf("benchguard: worst %+.1f%% against %s (threshold %g%%): pass=%v\n",
+		v.WorstPct, baselinePath, threshold, v.Pass)
+
+	if write {
+		cur.Guard = v
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(currentPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchguard: verdict written to %s\n", currentPath)
+	}
+	if !v.Pass {
+		return fmt.Errorf("warm-path regression beyond %g%% against %s", threshold, baselinePath)
+	}
+	return nil
+}

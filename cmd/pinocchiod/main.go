@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,8 +72,11 @@ type options struct {
 	fsync           string
 	checkpointEvery int
 
-	slowQuery time.Duration // slow-query log threshold (<= 0 disables)
-	traceKeep int           // retained traces per ring (<= 0 disables)
+	slowQuery  time.Duration // slow-query log threshold (<= 0 disables)
+	slowNotify time.Duration // slow-notify threshold (0 = slow-query)
+	slowSync   time.Duration // WAL fsync trace threshold (0 disables)
+	traceKeep  int           // retained traces per ring (<= 0 disables)
+	sloSpec    string        // latency objectives ("none" disables)
 
 	maxSubs   int // live standing-subscription cap (0 disables)
 	subBuffer int // per-subscription event backlog ring size
@@ -101,7 +105,10 @@ func main() {
 	flag.StringVar(&opts.fsync, "fsync", "always", "WAL durability policy: always, group or off")
 	flag.IntVar(&opts.checkpointEvery, "checkpoint-every", 10000, "checkpoint after this many mutations (negative disables automatic checkpoints)")
 	flag.DurationVar(&opts.slowQuery, "slow-query", 250*time.Millisecond, "log requests slower than this with their phase breakdown (0 disables)")
+	flag.DurationVar(&opts.slowNotify, "slow-notify", 0, "log notify pipelines slower than this with their stage breakdown (0 = -slow-query)")
+	flag.DurationVar(&opts.slowSync, "slow-sync", 25*time.Millisecond, "retain WAL fsyncs slower than this as background traces (0 disables)")
 	flag.IntVar(&opts.traceKeep, "trace-keep", 256, "retained request traces for /v1/debug/traces (0 disables tracing)")
+	flag.StringVar(&opts.sloSpec, "slo", "query_p99=5ms,notify_p99=250ms,ingest_p99=2ms", "latency objectives monitored as multi-window burn rates, name_pNN=duration comma-separated (\"none\" disables)")
 	flag.IntVar(&opts.maxSubs, "max-subs", 256, "live standing-subscription cap for /v1/subscribe (0 disables subscriptions)")
 	flag.IntVar(&opts.subBuffer, "sub-buffer", 16, "per-subscription event backlog before coalescing")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -161,6 +168,12 @@ func validateOptions(opts options) error {
 	if opts.slowQuery < 0 {
 		return fmt.Errorf("-slow-query must be >= 0 (got %v); use 0 to disable the slow-query log", opts.slowQuery)
 	}
+	if opts.slowNotify < 0 {
+		return fmt.Errorf("-slow-notify must be >= 0 (got %v); use 0 to inherit -slow-query", opts.slowNotify)
+	}
+	if opts.slowSync < 0 {
+		return fmt.Errorf("-slow-sync must be >= 0 (got %v); use 0 to disable WAL fsync tracing", opts.slowSync)
+	}
 	if opts.traceKeep < 0 {
 		return fmt.Errorf("-trace-keep must be >= 0 (got %d); use 0 to disable trace retention", opts.traceKeep)
 	}
@@ -200,9 +213,17 @@ func run(ctx context.Context, opts options) error {
 		MaxTimeout:    opts.maxTimeout,
 		Shards:        opts.shards,
 		SlowQuery:     opts.slowQuery,
+		SlowNotify:    opts.slowNotify,
 		TraceKeep:     opts.traceKeep,
 		MaxSubs:       opts.maxSubs,
 		SubBuffer:     opts.subBuffer,
+	}
+	if spec := strings.TrimSpace(opts.sloSpec); spec != "" && spec != "none" && spec != "off" {
+		slos, err := obs.ParseSLOs(spec)
+		if err != nil {
+			return err
+		}
+		cfg.SLOs = slos
 	}
 	// The flags' "0 disables" contract maps onto the Config convention
 	// where zero selects the default and negative disables.
@@ -224,6 +245,16 @@ func run(ctx context.Context, opts options) error {
 	sampler := obs.StartRuntimeSampler(nil, 0)
 	defer sampler.Close()
 
+	// The trace store is created here, before the server exists, so the
+	// work that happens between boot and serving — recovery replay, and
+	// later every WAL rotation or slow fsync — is debuggable through the
+	// same /v1/debug/traces the request traces land in.
+	var traces *obs.TraceStore
+	if opts.traceKeep > 0 {
+		traces = obs.NewTraceStore(opts.traceKeep)
+		cfg.Traces = traces
+	}
+
 	start := time.Now()
 	var srv *server.Server
 	var stores []*store.Store
@@ -232,7 +263,11 @@ func run(ctx context.Context, opts options) error {
 		if err != nil {
 			return err
 		}
-		stores, err = store.OpenSharded(opts.dataDir, opts.shards, store.Options{Fsync: policy})
+		stores, err = store.OpenSharded(opts.dataDir, opts.shards, store.Options{
+			Fsync:    policy,
+			Traces:   traces,
+			SlowSync: opts.slowSync,
+		})
 		if err != nil {
 			return err
 		}
@@ -247,7 +282,27 @@ func run(ctx context.Context, opts options) error {
 		// streams additionally carry the shard layout in their tags.
 		tag := fmt.Sprintf("pf=%s rho=%g lambda=%g tau=%g",
 			opts.pfName, opts.rho, opts.lambda, opts.tau)
+		recStart := time.Now()
 		results, err := store.RecoverSharded(stores, pf, opts.tau, tag)
+		if traces != nil {
+			// Retain the boot replay as a background trace with one
+			// subtree per shard stream: the per-shard Elapsed and replay
+			// counts show which stream dominated a slow boot.
+			root := obs.NewSpan("recovery")
+			root.SetAttr("shards", opts.shards)
+			root.SetAttr("dir", opts.dataDir)
+			for i, res := range results {
+				cs := root.Child("shard")
+				cs.SetAttr("shard", i)
+				cs.SetAttr("checkpoint_seq", res.CheckpointSeq)
+				cs.SetAttr("seq", res.Seq)
+				cs.SetAttr("replayed", res.Replayed)
+				cs.SetAttr("rejected", res.Rejected)
+				cs.Accumulate(res.Elapsed)
+				cs.End()
+			}
+			traces.AddBackground("recovery", recStart, root, err, opts.slowQuery)
+		}
 		if err != nil {
 			return err
 		}

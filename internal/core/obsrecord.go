@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"pinocchio/internal/obs"
@@ -33,6 +34,12 @@ const (
 	mNodeVisits   = "pinocchio_rtree_node_visits_total"
 	mGridCells    = "pinocchio_grid_cells_scanned_total"
 	mExplained    = "pinocchio_explained_queries_total"
+
+	// MetricScatterShard is the per-shard wall-time histogram of
+	// scattered solves, labeled {shard} — the straggler-attribution
+	// layer of DESIGN.md §15. Exported so the serving layer's status
+	// block and the metrics-exhaustiveness test can reference it.
+	MetricScatterShard = "pinocchio_scatter_shard_seconds"
 )
 
 // WorkBuckets grades per-query work counts (pairs, probes) on decades;
@@ -80,6 +87,56 @@ func finishSolve(sp *obs.Span, alg string, start time.Time, st *Stats, cost *Cos
 	r.Histogram(mQueryProbes, "Position probes per query.", WorkBuckets, lbl).Observe(float64(st.PositionProbes))
 	if cost != nil {
 		recordCost(r, alg, cost)
+	}
+}
+
+// RecordScatter closes out the gather step of a scattered operation:
+// straggler stats (max/min/mean shard wall time, imbalance ratio
+// max/mean) annotated on the gather root span, and one observation
+// per shard in the pinocchio_scatter_shard_seconds histogram. Empty
+// shards (zero duration) are excluded from both. SolveSharded calls
+// it for solves; the serving layer reuses it for other sharded
+// scatters (rect collection).
+func RecordScatter(sp *obs.Span, durs []time.Duration) {
+	var max, min, sum time.Duration
+	n := 0
+	for _, d := range durs {
+		if d <= 0 {
+			continue
+		}
+		if n == 0 || d > max {
+			max = d
+		}
+		if n == 0 || d < min {
+			min = d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	mean := sum / time.Duration(n)
+	imbalance := 1.0
+	if mean > 0 {
+		imbalance = float64(max) / float64(mean)
+	}
+	if sp != nil {
+		sp.SetAttr("shard_max_ms", float64(max)/float64(time.Millisecond))
+		sp.SetAttr("shard_min_ms", float64(min)/float64(time.Millisecond))
+		sp.SetAttr("shard_mean_ms", float64(mean)/float64(time.Millisecond))
+		sp.SetAttr("shard_imbalance", imbalance)
+	}
+	if !obs.Enabled() {
+		return
+	}
+	r := obs.Default()
+	for i, d := range durs {
+		if d <= 0 {
+			continue
+		}
+		r.Histogram(MetricScatterShard, "Per-shard wall time of scattered solves.",
+			obs.DefBuckets, obs.Labels{"shard": strconv.Itoa(i)}).Observe(d.Seconds())
 	}
 }
 

@@ -60,6 +60,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 			workerSp := p.Obs.Child(fmt.Sprintf("worker-%d", w))
 			pruneSp := workerSp.Child("prune")
 			valSp := workerSp.Child("validate")
+			valTimer := valSp.Sampler(validateSampleLog)
 			scanStart := pruneSp.StartTimer()
 			// A private Cost ledger per shard keeps the per-candidate
 			// tables contention-free; the parent merges them below.
@@ -82,7 +83,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 						}
 						lst.Validated++
 						local.cost.validated(cand, out != nil)
-						tw := valSp.StartTimer()
+						valTimer.Start()
 						var inf bool
 						if out != nil {
 							inf = replayEarlyStop(out, e.obj.N(), lst)
@@ -92,7 +93,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 						if inf {
 							local.influences[cand]++
 						}
-						valSp.StopTimer(tw)
+						valTimer.Stop()
 					})
 				lst.PrunedByIA += ia
 				lst.PrunedByNIB += int64(m) - touched
@@ -104,6 +105,7 @@ func PinocchioParallel(p *Problem, workers int) (*Result, error) {
 					break
 				}
 			}
+			valTimer.Finish()
 			pruneSp.EndExclusive(scanStart, valSp)
 			valSp.End()
 			workerSp.SetAttr("stats", local.stats)

@@ -53,6 +53,12 @@ func pruneObject(tree *rtree.Tree, e a2dEntry, nodes *int64, influenced func(can
 	return touched, iaHits, arcs
 }
 
+// validateSampleLog sets the validate phase's timer sampling: one
+// validation window in every 2^6 = 64 is timed and scaled up
+// (obs.Span.Sampler). Per-pair windows would otherwise spend more on
+// clock reads than small solves spend on validation itself.
+const validateSampleLog = 6
+
 // Pinocchio is Algorithm 2. The pruning phase resolves most
 // object/candidate pairs with the influence-arcs and non-influence
 // boundary rules; the remnant pairs are validated by the full
@@ -78,6 +84,9 @@ func Pinocchio(p *Problem) (*Result, error) {
 	// time exclusive of them.
 	pruneSp := p.Obs.Child("prune")
 	valSp := p.Obs.Child("validate")
+	// Sampled windows: validations are the per-pair hot path, and two
+	// clock reads each would dominate small traced solves.
+	valTimer := valSp.Sampler(validateSampleLog)
 	scanStart := pruneSp.StartTimer()
 	cc := canceller{ctx: p.Ctx}
 	cost := p.Cost
@@ -97,7 +106,7 @@ func Pinocchio(p *Problem) (*Result, error) {
 				}
 				st.Validated++
 				cost.validated(cand, out != nil)
-				w := valSp.StartTimer()
+				valTimer.Start()
 				var inf bool
 				if out != nil {
 					inf = replayFull(out, e.obj.N(), st)
@@ -107,7 +116,7 @@ func Pinocchio(p *Problem) (*Result, error) {
 				if inf {
 					res.Influences[cand]++
 				}
-				valSp.StopTimer(w)
+				valTimer.Stop()
 			})
 		st.PrunedByIA += ia
 		st.PrunedByNIB += int64(m) - touched
@@ -116,6 +125,7 @@ func Pinocchio(p *Problem) (*Result, error) {
 			break
 		}
 	}
+	valTimer.Finish()
 	pruneSp.EndExclusive(scanStart, valSp)
 	valSp.End()
 	if ctxErr != nil {

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
@@ -149,6 +150,12 @@ type Result struct {
 	// phase breakdown travels with the result instead of requiring the
 	// caller to keep the root around separately.
 	Trace *obs.Span
+
+	// ShardDurations, set only by SolveSharded, holds the wall time of
+	// each scattered part (zero for parts skipped as empty), indexed
+	// like the parts slice — the raw material for straggler
+	// attribution at the serving layer.
+	ShardDurations []time.Duration
 }
 
 // Stats instruments the algorithms: the counters behind Fig. 10

@@ -72,6 +72,7 @@ func SolveSharded(p *Problem, parts []*Problem, solve ShardSolve) (*Result, erro
 	type partResult struct {
 		res  *Result
 		cost *Cost
+		dur  time.Duration
 		err  error
 	}
 	results := make([]partResult, len(parts))
@@ -87,11 +88,17 @@ func SolveSharded(p *Problem, parts []*Problem, solve ShardSolve) (*Result, erro
 		if part.Obs == nil {
 			part.Obs = p.Obs.Child(fmt.Sprintf("shard-%d", i))
 		}
+		part.Obs.SetAttr("shard", i)
+		part.Obs.SetAttr("objects", len(part.Objects))
 		wg.Add(1)
 		go func(i int, part *Problem) {
 			defer wg.Done()
+			shardStart := time.Now()
 			r, err := solve(i, part)
-			results[i] = partResult{res: r, cost: part.Cost, err: err}
+			// End the per-shard span here so its recorded duration is the
+			// shard's wall time, not whenever the trace is snapshotted.
+			part.Obs.End()
+			results[i] = partResult{res: r, cost: part.Cost, dur: time.Since(shardStart), err: err}
 		}(i, part)
 	}
 	wg.Wait()
@@ -133,6 +140,11 @@ func SolveSharded(p *Problem, parts []*Problem, solve ShardSolve) (*Result, erro
 	res.BestIndex, res.BestInfluence = argmax(res.Influences)
 	p.Cost.finishExact(p, st, res.Influences, res.BestIndex)
 	res.Trace = p.Obs
+	res.ShardDurations = make([]time.Duration, len(parts))
+	for i := range results {
+		res.ShardDurations[i] = results[i].dur
+	}
+	RecordScatter(p.Obs, res.ShardDurations)
 	finishSolve(p.Obs, "SHARDED", start, st, p.Cost)
 	return res, nil
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// GuardRow is one algorithm's baseline-vs-current wall-time
+// comparison.
+type GuardRow struct {
+	Algorithm  string  `json:"algorithm"`
+	BaselineMs float64 `json:"baseline_ms"`
+	CurrentMs  float64 `json:"current_ms"`
+	// DeltaPct is (current − baseline)/baseline in percent; positive
+	// means the current snapshot is slower.
+	DeltaPct float64 `json:"delta_pct"`
+	Pass     bool    `json:"pass"`
+}
+
+// GuardVerdict is the warm-path regression check stamped into a bench
+// snapshot: every algorithms[] row shared with the baseline snapshot
+// must stay within ThresholdPct of its baseline wall time.
+type GuardVerdict struct {
+	Baseline     string     `json:"baseline"` // baseline snapshot path
+	ThresholdPct float64    `json:"threshold_pct"`
+	Rows         []GuardRow `json:"rows"`
+	WorstPct     float64    `json:"worst_pct"`
+	Pass         bool       `json:"pass"`
+	// Comparable is false when the two snapshots were not produced
+	// under the same bench geometry or host width — wall times then
+	// differ for reasons that are not regressions, and the verdict
+	// passes vacuously with a note instead of failing CI on noise.
+	Comparable bool   `json:"comparable"`
+	Note       string `json:"note,omitempty"`
+}
+
+// GuardCompare checks current's algorithms[] rows against baseline's.
+// Only algorithms present in both are compared; a row regresses when
+// its wall time grew by more than thresholdPct percent.
+func GuardCompare(baselinePath string, baseline, current *BenchSnapshot, thresholdPct float64) *GuardVerdict {
+	v := &GuardVerdict{
+		Baseline:     baselinePath,
+		ThresholdPct: thresholdPct,
+		Pass:         true,
+		Comparable:   true,
+	}
+	switch {
+	case baseline.Scale != current.Scale || baseline.Seed != current.Seed ||
+		baseline.Objects != current.Objects || baseline.Candidates != current.Candidates ||
+		baseline.Tau != current.Tau:
+		v.Comparable = false
+		v.Note = fmt.Sprintf(
+			"bench geometry differs (baseline %gx seed %d %d×%d τ=%g, current %gx seed %d %d×%d τ=%g); wall times not comparable",
+			baseline.Scale, baseline.Seed, baseline.Objects, baseline.Candidates, baseline.Tau,
+			current.Scale, current.Seed, current.Objects, current.Candidates, current.Tau)
+	case baseline.GoMaxProcs != current.GoMaxProcs || baseline.GOARCH != current.GOARCH:
+		v.Comparable = false
+		v.Note = fmt.Sprintf(
+			"host width differs (baseline %s/GOMAXPROCS=%d, current %s/GOMAXPROCS=%d); wall times not comparable",
+			baseline.GOARCH, baseline.GoMaxProcs, current.GOARCH, current.GoMaxProcs)
+	}
+	if !v.Comparable {
+		return v
+	}
+
+	base := make(map[string]float64, len(baseline.Algorithms))
+	for _, a := range baseline.Algorithms {
+		base[a.Algorithm] = a.WallMs
+	}
+	for _, a := range current.Algorithms {
+		b, ok := base[a.Algorithm]
+		if !ok || b <= 0 {
+			continue
+		}
+		row := GuardRow{
+			Algorithm:  a.Algorithm,
+			BaselineMs: b,
+			CurrentMs:  a.WallMs,
+			DeltaPct:   (a.WallMs - b) / b * 100,
+		}
+		row.Pass = row.DeltaPct <= thresholdPct
+		if row.DeltaPct > v.WorstPct {
+			v.WorstPct = row.DeltaPct
+		}
+		if !row.Pass {
+			v.Pass = false
+		}
+		v.Rows = append(v.Rows, row)
+	}
+	if len(v.Rows) == 0 {
+		v.Comparable = false
+		v.Note = "no shared algorithms[] rows between baseline and current"
+	}
+	return v
+}
+
+// LoadBenchSnapshot reads a snapshot file, rejecting unknown schemas.
+func LoadBenchSnapshot(path string) (*BenchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	if snap.Schema != BenchSchema {
+		return nil, fmt.Errorf("experiments: %s: schema %q, want %q", path, snap.Schema, BenchSchema)
+	}
+	return &snap, nil
+}

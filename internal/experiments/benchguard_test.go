@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func guardSnap(walls map[string]float64) *BenchSnapshot {
+	s := &BenchSnapshot{
+		Schema: BenchSchema, Scale: 0.12, Seed: 7,
+		Objects: 278, Candidates: 240, Tau: 0.7,
+		GOARCH: "amd64", GoMaxProcs: 1,
+	}
+	for name, ms := range walls {
+		s.Algorithms = append(s.Algorithms, BenchAlgo{Algorithm: name, WallMs: ms})
+	}
+	return s
+}
+
+func TestGuardCompare(t *testing.T) {
+	base := guardSnap(map[string]float64{"PIN": 10, "PIN-VO": 8, "NA": 100})
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		cur := guardSnap(map[string]float64{"PIN": 12, "PIN-VO": 7, "NA": 110})
+		v := GuardCompare("base.json", base, cur, 25)
+		if !v.Pass || !v.Comparable {
+			t.Fatalf("pass=%v comparable=%v, want both true: %+v", v.Pass, v.Comparable, v)
+		}
+		if len(v.Rows) != 3 {
+			t.Fatalf("%d rows, want 3", len(v.Rows))
+		}
+		if v.WorstPct < 19.9 || v.WorstPct > 20.1 {
+			t.Fatalf("worst = %g, want ~20 (PIN 10→12)", v.WorstPct)
+		}
+	})
+
+	t.Run("regression fails", func(t *testing.T) {
+		cur := guardSnap(map[string]float64{"PIN": 13, "PIN-VO": 8, "NA": 100})
+		v := GuardCompare("base.json", base, cur, 25)
+		if v.Pass {
+			t.Fatalf("30%% growth on PIN passed a 25%% threshold: %+v", v)
+		}
+		for _, r := range v.Rows {
+			if r.Algorithm == "PIN" && r.Pass {
+				t.Fatalf("PIN row marked pass: %+v", r)
+			}
+			if r.Algorithm != "PIN" && !r.Pass {
+				t.Fatalf("%s row marked fail: %+v", r.Algorithm, r)
+			}
+		}
+	})
+
+	t.Run("new algorithms are not compared", func(t *testing.T) {
+		cur := guardSnap(map[string]float64{"PIN": 10, "BRAND-NEW": 9999})
+		v := GuardCompare("base.json", base, cur, 25)
+		if !v.Pass || len(v.Rows) != 1 {
+			t.Fatalf("want 1 passing row for the shared algorithm, got %+v", v)
+		}
+	})
+
+	t.Run("different geometry is incomparable, not a failure", func(t *testing.T) {
+		cur := guardSnap(map[string]float64{"PIN": 1000})
+		cur.Scale = 0.5
+		v := GuardCompare("base.json", base, cur, 25)
+		if !v.Pass || v.Comparable || !strings.Contains(v.Note, "geometry") {
+			t.Fatalf("want vacuous pass with geometry note, got %+v", v)
+		}
+	})
+
+	t.Run("different host width is incomparable", func(t *testing.T) {
+		cur := guardSnap(map[string]float64{"PIN": 1000})
+		cur.GoMaxProcs = 8
+		v := GuardCompare("base.json", base, cur, 25)
+		if !v.Pass || v.Comparable || !strings.Contains(v.Note, "host width") {
+			t.Fatalf("want vacuous pass with host-width note, got %+v", v)
+		}
+	})
+}

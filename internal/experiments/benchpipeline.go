@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
+	"pinocchio/internal/server"
+)
+
+// BenchPipelineRow is one telemetry mode's profile of the
+// ingest→notify pipeline: warm end-to-end latency from the ingest call
+// to the drained subscription event, on a workload where every batch
+// flips the standing query's winner (so every batch is measured).
+type BenchPipelineRow struct {
+	// Telemetry reports whether the run had the full observability
+	// stack on: trace retention, pipeline spans, SLO monitor, metric
+	// recording. Off means TraceKeep<0 and metrics disabled — the
+	// nil-span fast path the instrumentation promises is free.
+	Telemetry   bool    `json:"telemetry"`
+	Batches     int     `json:"batches"`
+	Warmup      int     `json:"warmup_batches"`
+	Events      int64   `json:"events_total"`
+	NotifyP50Ms float64 `json:"notify_p50_ms"`
+	NotifyP95Ms float64 `json:"notify_p95_ms"`
+	// NotifyTraces counts retained kind=notify traces after the run
+	// (zero with telemetry off — the pipeline must not retain anything).
+	NotifyTraces int `json:"notify_traces"`
+}
+
+// BenchPipelineResult pairs the two modes with the headline number:
+// the relative cost of full telemetry on the warm notify path.
+type BenchPipelineResult struct {
+	Rows []BenchPipelineRow `json:"rows"`
+	// NotifyP50OverheadPct is (on − off)/off in percent on the warm
+	// p50; the acceptance bar for the observability layer is ≤10%.
+	NotifyP50OverheadPct float64 `json:"notify_p50_overhead_pct"`
+}
+
+// benchPipelineMode runs the flip workload against one server
+// configuration and reports its latency profile. The workload mirrors
+// the smoke test's subscription section: two candidates far outside
+// the seeded population's reach and a k=1 standing query restricted to
+// the pair. Each ingest batch moves a fresh pre-created object onto
+// the candidate currently behind (cumulative probability is monotone
+// in appended positions, so reusing one object would saturate both
+// sites after two batches) — the top-1 flips and publishes on every
+// batch, so every batch yields one ingest→notify latency sample.
+func benchPipelineMode(objs []*object.Object, cands []geo.Point, tau float64, telemetry bool, batches, warmup int) (*BenchPipelineRow, error) {
+	cfg := server.Config{PF: defaultPF(), Tau: tau}
+	if telemetry {
+		slos, err := obs.ParseSLOs("query_p99=5ms,notify_p99=250ms,ingest_p99=2ms")
+		if err != nil {
+			return nil, err
+		}
+		cfg.SLOs = slos
+		obs.Enable()
+	} else {
+		cfg.TraceKeep = -1
+		obs.Disable()
+	}
+	defer obs.Disable()
+
+	s, err := server.New(cfg, objs, cands)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	newCand := func(x, y float64) (int, error) {
+		w, err := call(s, "POST", "/v1/candidates", fmt.Sprintf(`{"x":%g,"y":%g}`, x, y))
+		if err != nil {
+			return 0, err
+		}
+		var resp struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(w.body.Bytes(), &resp); err != nil {
+			return 0, err
+		}
+		return resp.ID, nil
+	}
+	ca, err := newCand(500, 500)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := newCand(510, 510)
+	if err != nil {
+		return nil, err
+	}
+	// One object per batch, parked where it influences neither site
+	// ((560,560) is ~70 units out; the smoke test relies on the same
+	// geometry reading as influence zero).
+	const firstID = 900001
+	for b := 0; b < batches; b++ {
+		if _, err := call(s, "POST", "/v1/objects",
+			fmt.Sprintf(`{"id":%d,"positions":[{"x":560,"y":560}]}`, firstID+b)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := call(s, "POST", "/v1/subscribe",
+		fmt.Sprintf(`{"tau":%g,"k":1,"candidates":[%d,%d]}`, tau, ca, cb)); err != nil {
+		return nil, err
+	}
+
+	// ca (lower id) wins the initial influence-0 tie, so the first
+	// batch feeds cb: odd batches put cb one ahead, even batches
+	// restore the tie that ca wins — an ID change either way.
+	sites := [2]geo.Point{{X: 510, Y: 510}, {X: 500, Y: 500}}
+	var latencies []float64
+	for b := 0; b < batches; b++ {
+		p := sites[b%2]
+		body := fmt.Sprintf(`{"appends":[{"id":%d,"positions":[{"x":%g,"y":%g}]}]}`, firstID+b, p.X, p.Y)
+		start := time.Now()
+		if _, err := call(s, "POST", "/v1/ingest", body); err != nil {
+			return nil, err
+		}
+		s.DrainSubscriptions()
+		if b >= warmup {
+			latencies = append(latencies,
+				float64(time.Since(start))/float64(time.Millisecond))
+		}
+	}
+
+	w, err := call(s, "GET", "/v1/status", "")
+	if err != nil {
+		return nil, err
+	}
+	var status struct {
+		Subscriptions struct {
+			Events int64 `json:"events_total"`
+		} `json:"subscriptions"`
+	}
+	if err := json.Unmarshal(w.body.Bytes(), &status); err != nil {
+		return nil, err
+	}
+	row := &BenchPipelineRow{
+		Telemetry: telemetry,
+		Batches:   batches,
+		Warmup:    warmup,
+		Events:    status.Subscriptions.Events,
+	}
+	// Every post-subscribe batch flips the winner; fewer events than
+	// batches means the workload is not exercising the notify path and
+	// the latency numbers would be measuring a no-op.
+	if row.Events < int64(batches) {
+		return nil, fmt.Errorf("experiments: bench pipeline: %d events for %d flip batches",
+			row.Events, batches)
+	}
+	sort.Float64s(latencies)
+	row.NotifyP50Ms = nearestRank(latencies, 0.50)
+	row.NotifyP95Ms = nearestRank(latencies, 0.95)
+	if telemetry {
+		w, err := call(s, "GET", "/v1/debug/traces?kind=notify&limit=1000", "")
+		if err != nil {
+			return nil, err
+		}
+		var listing struct {
+			Traces []json.RawMessage `json:"traces"`
+		}
+		if err := json.Unmarshal(w.body.Bytes(), &listing); err != nil {
+			return nil, err
+		}
+		row.NotifyTraces = len(listing.Traces)
+	}
+	return row, nil
+}
+
+// benchPipeline runs the flip workload with the observability stack
+// off and on, reporting the telemetry overhead on warm notify latency.
+// Off runs first so the on run cannot borrow its page-cache or branch
+// warmth asymmetrically; both runs use fresh servers either way.
+func benchPipeline(objs []*object.Object, cands []geo.Point, tau float64) (*BenchPipelineResult, error) {
+	if len(objs) > 300 {
+		objs = objs[:300]
+	}
+	if len(cands) > 120 {
+		cands = cands[:120]
+	}
+	wasEnabled := obs.Enabled()
+	defer func() {
+		if wasEnabled {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+	}()
+
+	const batches, warmup = 400, 50
+	off, err := benchPipelineMode(objs, cands, tau, false, batches, warmup)
+	if err != nil {
+		return nil, err
+	}
+	on, err := benchPipelineMode(objs, cands, tau, true, batches, warmup)
+	if err != nil {
+		return nil, err
+	}
+	res := &BenchPipelineResult{Rows: []BenchPipelineRow{*off, *on}}
+	if off.NotifyP50Ms > 0 {
+		res.NotifyP50OverheadPct = (on.NotifyP50Ms - off.NotifyP50Ms) / off.NotifyP50Ms * 100
+	}
+	return res, nil
+}

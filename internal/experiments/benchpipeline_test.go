@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"pinocchio/internal/geo"
+	"pinocchio/internal/object"
+)
+
+// A short flip run in each telemetry mode: every batch must publish
+// (the latency samples are meaningless otherwise), the telemetry run
+// must retain notify traces, and the dark run must retain none.
+func TestBenchPipelineMode(t *testing.T) {
+	objs := []*object.Object{
+		object.MustNew(1, []geo.Point{{X: 1, Y: 1}}),
+		object.MustNew(2, []geo.Point{{X: 2, Y: 2}}),
+	}
+	cands := []geo.Point{{X: 0, Y: 0}, {X: 3, Y: 3}}
+	const batches, warmup = 12, 2
+
+	for _, telemetry := range []bool{false, true} {
+		row, err := benchPipelineMode(objs, cands, DefaultTau, telemetry, batches, warmup)
+		if err != nil {
+			t.Fatalf("telemetry=%v: %v", telemetry, err)
+		}
+		if row.Events < batches {
+			t.Fatalf("telemetry=%v: %d events for %d flip batches", telemetry, row.Events, batches)
+		}
+		if row.NotifyP50Ms <= 0 || row.NotifyP95Ms < row.NotifyP50Ms {
+			t.Fatalf("telemetry=%v: implausible percentiles p50=%g p95=%g",
+				telemetry, row.NotifyP50Ms, row.NotifyP95Ms)
+		}
+		if telemetry && row.NotifyTraces == 0 {
+			t.Fatal("telemetry run retained no notify traces")
+		}
+		if !telemetry && row.NotifyTraces != 0 {
+			t.Fatalf("dark run retained %d notify traces", row.NotifyTraces)
+		}
+	}
+}

@@ -139,6 +139,12 @@ type BenchSnapshot struct {
 	// Subscriptions reports ingest-to-event notify latency and the
 	// safe-region filter's suppression ratio for standing queries.
 	Subscriptions *BenchSubscription `json:"subscriptions,omitempty"`
+	// Pipeline compares warm notify latency with the observability
+	// stack off vs on — the telemetry-overhead budget of DESIGN.md §15.
+	Pipeline *BenchPipelineResult `json:"pipeline_telemetry,omitempty"`
+	// Guard is the regression verdict cmd/benchguard stamps into the
+	// snapshot when comparing it against a prior checked-in baseline.
+	Guard *GuardVerdict `json:"guard,omitempty"`
 }
 
 // RunBenchSnapshot builds a seeded Foursquare-like instance and times
@@ -261,6 +267,10 @@ func RunBenchSnapshot(cfg BenchConfig) (*BenchSnapshot, error) {
 		return nil, err
 	}
 	snap.Subscriptions, err = benchSubscriptions(env, objs, cs.Points, cfg.Tau)
+	if err != nil {
+		return nil, err
+	}
+	snap.Pipeline, err = benchPipeline(objs, cs.Points, cfg.Tau)
 	if err != nil {
 		return nil, err
 	}

@@ -125,7 +125,8 @@ type Report struct {
 	Queries   int64   `json:"queries"`
 	Mutations int64   `json:"mutations"`
 	Errors    int64   `json:"errors"`
-	Shed      int64   `json:"shed"` // 429s: admission control, not failures
+	Shed      int64   `json:"shed"`    // 429s: admission control, not failures
+	Expired   int64   `json:"expired"` // 503s: deadline expired mid-solve
 	OpsPerSec float64 `json:"ops_per_sec"`
 
 	QueryPerSec    float64   `json:"queries_per_sec"`
@@ -133,9 +134,35 @@ type Report struct {
 	QueryLatency   LatencyMs `json:"query_latency_ms"`
 	MutationLat    LatencyMs `json:"mutation_latency_ms"`
 
+	// QueryOutcomes and MutationOutcomes split each op class's
+	// responses by outcome, so a saturated run shows WHICH class the
+	// server shed or expired — overload policy per path, not just a
+	// global count.
+	QueryOutcomes    OutcomeBreakdown `json:"query_outcomes"`
+	MutationOutcomes OutcomeBreakdown `json:"mutation_outcomes"`
+
 	// Status is the server's post-run /v1/status shards block, so a
 	// run records how much of its traffic actually scattered.
 	Status *StatusShards `json:"server_shards,omitempty"`
+}
+
+// OutcomeBreakdown tallies one op class's responses by outcome. OK
+// counts completed ops (the ones with latency samples); Shed is 429
+// admission control, Expired is 503 deadline exhaustion, Errors is
+// every other non-2xx status or transport failure.
+type OutcomeBreakdown struct {
+	OK      int64 `json:"ok"`
+	Shed    int64 `json:"shed"`
+	Expired int64 `json:"expired"`
+	Errors  int64 `json:"errors"`
+}
+
+// add folds another breakdown into b.
+func (b *OutcomeBreakdown) add(o OutcomeBreakdown) {
+	b.OK += o.OK
+	b.Shed += o.Shed
+	b.Expired += o.Expired
+	b.Errors += o.Errors
 }
 
 // StatusShards is the /v1/status "shards" block the generator scrapes
@@ -155,6 +182,9 @@ type worker struct {
 	mutations  int64
 	errors     int64
 	shed       int64
+	expired    int64
+	qOut       OutcomeBreakdown
+	mOut       OutcomeBreakdown
 	queryLatMs []float64
 	mutLatMs   []float64
 }
@@ -215,6 +245,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Mutations += w.mutations
 		rep.Errors += w.errors
 		rep.Shed += w.shed
+		rep.Expired += w.expired
+		rep.QueryOutcomes.add(w.qOut)
+		rep.MutationOutcomes.add(w.mOut)
 		qLat = append(qLat, w.queryLatMs...)
 		mLat = append(mLat, w.mutLatMs...)
 	}
@@ -273,6 +306,10 @@ func (w *worker) step(ctx context.Context, cfg Config) {
 		path = "/v1/query"
 		body = fmt.Sprintf(`{"algorithm":%q,"tau":%g,"no_cache":true}`, alg, cfg.Tau)
 	}
+	out := &w.qOut
+	if mutate {
+		out = &w.mOut
+	}
 	start := time.Now()
 	code, err := post(ctx, cfg, path, body)
 	ms := float64(time.Since(start).Microseconds()) / 1000
@@ -280,16 +317,24 @@ func (w *worker) step(ctx context.Context, cfg Config) {
 	case err != nil:
 		if ctx.Err() == nil { // deadline cancellations are not errors
 			w.errors++
+			out.Errors++
 		}
 	case code == http.StatusTooManyRequests:
 		w.shed++
+		out.Shed++
+	case code == http.StatusServiceUnavailable:
+		w.expired++
+		out.Expired++
 	case code >= 300:
 		w.errors++
+		out.Errors++
 	case mutate:
 		w.mutations++
+		out.OK++
 		w.mutLatMs = append(w.mutLatMs, ms)
 	default:
 		w.queries++
+		out.OK++
 		w.queryLatMs = append(w.queryLatMs, ms)
 	}
 }

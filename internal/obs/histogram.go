@@ -146,6 +146,41 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// CumulativeAt estimates how many observations were <= v, assuming a
+// uniform spread inside the bucket containing v (the same estimator
+// Quantile applies in the other direction), plus the total observation
+// count from the same capture pass. Values at or above the highest
+// finite bound count the overflow bucket as fully below only when v is
+// +Inf; otherwise the overflow bucket is treated as entirely above v,
+// which makes the estimate conservative for SLO accounting.
+func (h *Histogram) CumulativeAt(v float64) (below float64, total int64) {
+	counts, total, _ := h.capture()
+	if total == 0 {
+		return 0, 0
+	}
+	if math.IsInf(v, 1) {
+		return float64(total), total
+	}
+	var cum float64
+	for i, upper := range h.bounds {
+		c := float64(counts[i])
+		if v < upper {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if upper < 0 {
+				lower = upper
+			}
+			if v > lower && upper > lower {
+				cum += c * (v - lower) / (upper - lower)
+			}
+			return cum, total
+		}
+		cum += c
+	}
+	return cum, total
+}
+
 // snapshot renders the histogram for expvar publication. Count, sum
 // and the cumulative buckets all come from one capture pass, so the
 // "+Inf" bucket always equals "count".

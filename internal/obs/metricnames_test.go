@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// metricName matches the project's metric naming convention: every
+// registered family is pinocchio_ followed by lowercase snake-case.
+var metricName = regexp.MustCompile(`^pinocchio_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// TestMetricNamesDeclaredOnce walks every non-test Go file in the
+// repository and asserts each pinocchio_* string literal appears at
+// exactly one source position. Metric names are declared as constants
+// and referenced through them; a second literal for the same name
+// means two packages (or two call sites) each minted the family
+// independently — the drift that lets help text, types or buckets
+// silently diverge between registration sites, and the failure mode
+// the DESIGN.md §6/§15 metric catalogue cannot catch on its own.
+func TestMetricNamesDeclaredOnce(t *testing.T) {
+	root := filepath.Join("..", "..")
+	sites := make(map[string][]string)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(s, "pinocchio_") {
+				return true
+			}
+			if !metricName.MatchString(s) {
+				t.Errorf("%s: metric name %q violates the pinocchio_snake_case convention",
+					fset.Position(lit.Pos()), s)
+				return true
+			}
+			sites[s] = append(sites[s], fset.Position(lit.Pos()).String())
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) < 30 {
+		t.Fatalf("found only %d pinocchio_* names; the walk missed the source tree", len(sites))
+	}
+	for name, at := range sites {
+		if len(at) != 1 {
+			t.Errorf("metric name %q declared at %d sites (want exactly 1):\n  %s",
+				name, len(at), strings.Join(at, "\n  "))
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLOObjective is one latency objective: "quantile of <base> requests
+// must complete within Target". The textual form is
+// "<base>_p<percentile>=<duration>", e.g. "query_p99=5ms".
+type SLOObjective struct {
+	Name     string  // full objective name, e.g. "query_p99"
+	Base     string  // histogram selector, e.g. "query"
+	Quantile float64 // e.g. 0.99
+	Target   float64 // seconds
+}
+
+// Budget is the tolerated fraction of requests slower than Target
+// (e.g. 0.01 for a p99 objective).
+func (o SLOObjective) Budget() float64 { return 1 - o.Quantile }
+
+// ParseSLOs parses a comma-separated objective list of the form
+// "query_p99=5ms,notify_p99=250ms,ingest_p99=2ms". Percentiles with
+// two digits are percent (p99 → 0.99), three digits per-mille
+// (p999 → 0.999).
+func ParseSLOs(spec string) ([]SLOObjective, error) {
+	var out []SLOObjective
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("slo %q: want <name>_p<nn>=<duration>", part)
+		}
+		name = strings.TrimSpace(name)
+		i := strings.LastIndex(name, "_p")
+		if i <= 0 {
+			return nil, fmt.Errorf("slo %q: objective name needs a _p<nn> percentile suffix", part)
+		}
+		digits := name[i+2:]
+		n, err := strconv.Atoi(digits)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("slo %q: bad percentile %q", part, digits)
+		}
+		var q float64
+		switch len(digits) {
+		case 1, 2:
+			q = float64(n) / 100
+		case 3:
+			q = float64(n) / 1000
+		default:
+			return nil, fmt.Errorf("slo %q: bad percentile %q", part, digits)
+		}
+		if q >= 1 {
+			return nil, fmt.Errorf("slo %q: percentile must be below 100%%", part)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(val))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("slo %q: bad target duration %q", part, val)
+		}
+		out = append(out, SLOObjective{
+			Name:     name,
+			Base:     name[:i],
+			Quantile: q,
+			Target:   d.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// SLOWindow is one burn-rate evaluation window.
+type SLOWindow struct {
+	Name string
+	Dur  time.Duration
+}
+
+// DefaultSLOWindows are the fast/slow pair burn rates are evaluated
+// over: the fast window catches a sudden budget fire, the slow one a
+// smoulder.
+var DefaultSLOWindows = []SLOWindow{
+	{Name: "5m", Dur: 5 * time.Minute},
+	{Name: "1h", Dur: time.Hour},
+}
+
+// MetricSLOBurnRate is the gauge family the monitor exports, labeled
+// {slo, window}.
+const MetricSLOBurnRate = "pinocchio_slo_burn_rate"
+
+// SLOWindowStatus is one window's burn evaluation. Burn 1.0 means the
+// error budget is being consumed exactly at the sustainable rate; 10
+// means the budget would be gone in a tenth of the period.
+type SLOWindowStatus struct {
+	Window      string  `json:"window"`
+	BurnRate    float64 `json:"burn_rate"`
+	BadFraction float64 `json:"bad_fraction"`
+	Samples     int64   `json:"samples"`
+}
+
+// SLOStatus is one objective's current state, the shape /v1/status
+// serves under "slo".
+type SLOStatus struct {
+	Name      string            `json:"name"`
+	Quantile  float64           `json:"quantile"`
+	TargetMS  float64           `json:"target_ms"`
+	CurrentMS float64           `json:"current_ms"`
+	Budget    float64           `json:"budget_fraction"`
+	Total     int64             `json:"total"`
+	Hot       bool              `json:"hot"`
+	Windows   []SLOWindowStatus `json:"windows"`
+}
+
+// sloSample is one periodic capture of an objective's histogram:
+// cumulative totals since process start.
+type sloSample struct {
+	at    time.Time
+	good  float64 // estimated observations <= target
+	total int64
+}
+
+// SLOConfig configures an SLOMonitor.
+type SLOConfig struct {
+	Objectives []SLOObjective
+	// Source resolves an objective's Base to the histogram it is
+	// evaluated against; returning nil rejects the objective at
+	// construction, so a typo in -slo fails fast.
+	Source func(base string) *Histogram
+	// Registry receives the pinocchio_slo_burn_rate gauges (nil skips
+	// gauge export).
+	Registry *Registry
+	Logger   *slog.Logger  // hot-burn warnings (nil disables)
+	Interval time.Duration // sampling period; 0 selects 5s
+	Windows  []SLOWindow   // nil selects DefaultSLOWindows
+	// HotBurn is the fast-window burn rate above which the monitor
+	// logs; 0 selects 10 (budget gone in 1/10 of the window period).
+	HotBurn float64
+}
+
+// SLOMonitor samples latency histograms on a fixed cadence and turns
+// the deltas into multi-window burn rates: the fraction of requests
+// that missed the objective's target inside the window, divided by the
+// objective's error budget. It owns one goroutine between Start and
+// Stop; Status may be called at any time and evaluates against a
+// fresh capture, so a caller never sees a stale block.
+type SLOMonitor struct {
+	objectives []SLOObjective
+	hists      []*Histogram
+	windows    []SLOWindow
+	interval   time.Duration
+	hotBurn    float64
+	logger     *slog.Logger
+	gauges     [][]*Gauge // [objective][window]
+	now        func() time.Time
+
+	mu       sync.Mutex
+	samples  [][]sloSample // [objective] ring, oldest first
+	lastWarn []time.Time
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// NewSLOMonitor validates that every objective resolves to a
+// histogram and returns a monitor ready to Start. An empty objective
+// list returns (nil, nil): SLO tracking disabled, and the nil monitor
+// is safe to Start/Stop/Status.
+func NewSLOMonitor(cfg SLOConfig) (*SLOMonitor, error) {
+	if len(cfg.Objectives) == 0 {
+		return nil, nil
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("slo: no histogram source")
+	}
+	m := &SLOMonitor{
+		objectives: cfg.Objectives,
+		windows:    cfg.Windows,
+		interval:   cfg.Interval,
+		hotBurn:    cfg.HotBurn,
+		logger:     cfg.Logger,
+		now:        time.Now,
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if len(m.windows) == 0 {
+		m.windows = DefaultSLOWindows
+	}
+	sort.Slice(m.windows, func(i, j int) bool { return m.windows[i].Dur < m.windows[j].Dur })
+	if m.interval <= 0 {
+		m.interval = 5 * time.Second
+	}
+	if m.hotBurn <= 0 {
+		m.hotBurn = 10
+	}
+	seen := make(map[string]bool, len(cfg.Objectives))
+	for _, o := range cfg.Objectives {
+		if seen[o.Name] {
+			return nil, fmt.Errorf("slo: duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+		h := cfg.Source(o.Base)
+		if h == nil {
+			return nil, fmt.Errorf("slo: no histogram for objective %q", o.Name)
+		}
+		m.hists = append(m.hists, h)
+		if cfg.Registry != nil {
+			var row []*Gauge
+			for _, w := range m.windows {
+				row = append(row, cfg.Registry.Gauge(MetricSLOBurnRate,
+					"Error-budget burn rate per SLO and window (1.0 = sustainable).",
+					Labels{"slo": o.Name, "window": w.Name}))
+			}
+			m.gauges = append(m.gauges, row)
+		}
+	}
+	m.samples = make([][]sloSample, len(cfg.Objectives))
+	m.lastWarn = make([]time.Time, len(cfg.Objectives))
+	m.sample(m.now()) // baseline so the first window has an anchor
+	return m, nil
+}
+
+// Start launches the sampling goroutine (no-op on nil).
+func (m *SLOMonitor) Start() {
+	if m == nil {
+		return
+	}
+	go func() {
+		defer close(m.done)
+		tick := time.NewTicker(m.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stopCh:
+				return
+			case <-tick.C:
+				now := m.now()
+				m.sample(now)
+				m.evaluate(now, true)
+			}
+		}
+	}()
+}
+
+// Stop terminates the sampling goroutine (idempotent, nil-safe).
+func (m *SLOMonitor) Stop() {
+	if m == nil {
+		return
+	}
+	m.stopOnce.Do(func() {
+		close(m.stopCh)
+		<-m.done
+	})
+}
+
+// sample captures every objective's histogram and appends to its
+// ring, pruning entries older than the longest window (plus one
+// interval of slack so the window always has an anchor sample).
+func (m *SLOMonitor) sample(now time.Time) {
+	keep := m.windows[len(m.windows)-1].Dur + m.interval
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, h := range m.hists {
+		good, total := h.CumulativeAt(m.objectives[i].Target)
+		ring := append(m.samples[i], sloSample{at: now, good: good, total: total})
+		cut := 0
+		// Keep one sample at or beyond the horizon as the anchor.
+		for cut < len(ring)-1 && now.Sub(ring[cut+1].at) >= keep {
+			cut++
+		}
+		m.samples[i] = ring[cut:]
+	}
+}
+
+// evaluate computes burn rates for every (objective, window), updates
+// gauges, and — when warn is set — logs objectives whose fast-window
+// burn exceeds HotBurn (rate-limited to one warning per objective per
+// minute).
+func (m *SLOMonitor) evaluate(now time.Time, warn bool) []SLOStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SLOStatus, 0, len(m.objectives))
+	for i, o := range m.objectives {
+		good, total := m.hists[i].CumulativeAt(o.Target)
+		cur := sloSample{at: now, good: good, total: total}
+		st := SLOStatus{
+			Name:      o.Name,
+			Quantile:  o.Quantile,
+			TargetMS:  o.Target * 1e3,
+			CurrentMS: m.hists[i].Quantile(o.Quantile) * 1e3,
+			Budget:    o.Budget(),
+			Total:     total,
+		}
+		for wi, w := range m.windows {
+			anchor := m.anchorLocked(i, now.Add(-w.Dur))
+			ws := SLOWindowStatus{Window: w.Name}
+			if dt := cur.total - anchor.total; dt > 0 {
+				bad := float64(dt) - (cur.good - anchor.good)
+				if bad < 0 {
+					bad = 0
+				}
+				ws.Samples = dt
+				ws.BadFraction = bad / float64(dt)
+				ws.BurnRate = ws.BadFraction / o.Budget()
+			}
+			if m.gauges != nil {
+				m.gauges[i][wi].Set(ws.BurnRate)
+			}
+			st.Windows = append(st.Windows, ws)
+		}
+		// The fast (shortest) window decides hotness.
+		if len(st.Windows) > 0 && st.Windows[0].BurnRate >= m.hotBurn {
+			st.Hot = true
+			if warn && m.logger != nil && now.Sub(m.lastWarn[i]) >= time.Minute {
+				m.lastWarn[i] = now
+				m.logger.Warn("slo error budget burning hot",
+					"slo", o.Name,
+					"window", st.Windows[0].Window,
+					"burn_rate", st.Windows[0].BurnRate,
+					"bad_fraction", st.Windows[0].BadFraction,
+					"target_ms", st.TargetMS,
+					"p_observed_ms", st.CurrentMS)
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// anchorLocked returns the newest sample at or before cutoff, falling
+// back to the oldest retained sample when the ring is younger than the
+// window (an effectively shorter window — correct for a young
+// process).
+func (m *SLOMonitor) anchorLocked(i int, cutoff time.Time) sloSample {
+	ring := m.samples[i]
+	best := ring[0]
+	for _, s := range ring {
+		if s.at.After(cutoff) {
+			break
+		}
+		best = s
+	}
+	return best
+}
+
+// Status evaluates every objective now (fresh capture, no waiting for
+// the next tick). Nil-safe: a disabled monitor returns nil.
+func (m *SLOMonitor) Status() []SLOStatus {
+	if m == nil {
+		return nil
+	}
+	return m.evaluate(m.now(), false)
+}

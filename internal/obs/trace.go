@@ -59,6 +59,20 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
+// Adopt attaches an independently created span (and its subtree) as a
+// child — the linking primitive for causal traces whose stages are
+// produced by different components (an ingest's WAL append, a
+// subscription re-solve) and joined after the fact. Nil-safe on both
+// sides.
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
 // End finalizes the span. When no StartTimer/StopTimer window was
 // accumulated the duration becomes the wall time since creation;
 // otherwise the accumulated total stands. End is idempotent.
@@ -107,6 +121,99 @@ func (s *Span) StopTimer(start time.Time) {
 	}
 	s.windows.Add(1)
 	s.durNS.Add(int64(time.Since(start)))
+}
+
+// A WindowSampler amortizes StartTimer/StopTimer over high-frequency
+// loops: it times one window out of every 2^logEvery and, at Finish,
+// accumulates the mean sampled window scaled by the total window
+// count, so per-item instrumentation costs two clock reads per
+// 2^logEvery items instead of two per item. Phase attribution becomes
+// an estimate; for loops whose items do near-identical work (the
+// position probes of a validation pass) the error stays far below
+// scheduler noise, while the clock-read tax per-pair windows put on
+// traced re-solves disappears. Scaling by the observed count rather
+// than the fixed interval keeps the estimate sound for loops shorter
+// than one interval — a single timed window never counts for more
+// iterations than actually ran.
+//
+// A sampler is single-goroutine state — each parallel worker builds
+// its own over its own span; only the span accumulation is shared.
+type WindowSampler struct {
+	sp       *Span
+	mask     uint64
+	count    uint64
+	samples  uint64
+	sum      time.Duration
+	overhead time.Duration
+	start    time.Time
+}
+
+// timerOverheadNS caches the measured cost of an empty timer window —
+// the clock-read tail of Start plus the call-to-clock-read head of
+// Stop. Sampled windows are often tens of nanoseconds of real work,
+// so leaving this in-window would bias the scaled estimate upward by
+// a large fraction; Stop subtracts it per sample.
+var timerOverheadNS atomic.Int64
+
+func timerOverhead() time.Duration {
+	if v := timerOverheadNS.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	min := time.Duration(1 << 62)
+	for i := 0; i < 64; i++ {
+		t0 := time.Now()
+		if d := time.Since(t0); d < min {
+			min = d
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	timerOverheadNS.Store(int64(min))
+	return min
+}
+
+// Sampler returns a WindowSampler over s timing one in every
+// 2^logEvery windows. Nil-safe: a nil span yields a nil sampler whose
+// methods do nothing, preserving the zero-cost untraced path.
+func (s *Span) Sampler(logEvery uint) *WindowSampler {
+	if s == nil {
+		return nil
+	}
+	return &WindowSampler{sp: s, mask: 1<<logEvery - 1, overhead: timerOverhead()}
+}
+
+// Start opens the window when this iteration is the sampled one.
+func (w *WindowSampler) Start() {
+	if w != nil && w.count&w.mask == 0 {
+		w.start = time.Now()
+	}
+}
+
+// Stop closes a window opened by Start, recording the sampled
+// duration.
+func (w *WindowSampler) Stop() {
+	if w == nil {
+		return
+	}
+	if w.count&w.mask == 0 {
+		if d := time.Since(w.start) - w.overhead; d > 0 {
+			w.sum += d
+		}
+		w.samples++
+	}
+	w.count++
+}
+
+// Finish accumulates the loop's estimated duration — mean sampled
+// window × total windows — into the span and resets the sampler for
+// reuse. Call it once after the loop, before the span's End.
+func (w *WindowSampler) Finish() {
+	if w == nil || w.samples == 0 {
+		return
+	}
+	w.sp.Accumulate(w.sum * time.Duration(w.count) / time.Duration(w.samples))
+	w.count, w.samples, w.sum = 0, 0, 0
 }
 
 // Accumulate adds d to the span's duration directly.

@@ -172,3 +172,68 @@ func TestPhaseMillis(t *testing.T) {
 		t.Fatal("root must not appear in phase map")
 	}
 }
+
+// A sampler over a nil span must be inert; over a live span it must
+// time one window in every 2^logEvery and, at Finish, scale the mean
+// sample by the total window count, so the accumulated duration
+// estimates the whole loop from the samples.
+func TestWindowSampler(t *testing.T) {
+	var nilSpan *Span
+	ns := nilSpan.Sampler(3)
+	if ns != nil {
+		t.Fatalf("nil span Sampler = %v, want nil", ns)
+	}
+	ns.Start()
+	ns.Stop()
+	ns.Finish() // must not panic
+
+	sp := NewSpan("validate")
+	w := sp.Sampler(3) // every 8th window timed
+	const iters = 64
+	wallStart := time.Now()
+	for i := 0; i < iters; i++ {
+		w.Start()
+		time.Sleep(100 * time.Microsecond)
+		w.Stop()
+	}
+	wall := time.Since(wallStart)
+	w.Finish()
+	sp.End()
+	// 8 sampled windows × the mean scale estimate the whole loop.
+	// Iterations are homogeneous (the same sleep, whatever the kernel
+	// rounds it to), so the estimate must track the measured wall time;
+	// a factor of two absorbs scheduler jitter on the sampled
+	// iterations.
+	got := sp.Duration()
+	if got < wall/2 || got > 2*wall {
+		t.Fatalf("sampled duration %v, want within 2x of the loop's %v wall time", got, wall)
+	}
+
+	// A loop shorter than one sampling interval must scale its single
+	// sample by the actual iteration count, not the interval — the old
+	// interval scaling over-attributed short validate phases enough to
+	// clamp the exclusive prune phase to zero.
+	short := NewSpan("short")
+	sw := short.Sampler(6) // interval 64, loop runs 3
+	shortStart := time.Now()
+	for i := 0; i < 3; i++ {
+		sw.Start()
+		time.Sleep(100 * time.Microsecond)
+		sw.Stop()
+	}
+	shortWall := time.Since(shortStart)
+	sw.Finish()
+	short.End()
+	if got := short.Duration(); got <= 0 || got > 2*shortWall {
+		t.Fatalf("short-loop estimate %v, want positive and ≤ 2x the loop's %v wall time", got, shortWall)
+	}
+
+	// Finish with zero windows accumulates nothing.
+	empty := NewSpan("empty")
+	ew := empty.Sampler(3)
+	ew.Finish()
+	empty.End()
+	if empty.Snapshot().DurationNS < 0 {
+		t.Fatal("negative duration after empty Finish")
+	}
+}

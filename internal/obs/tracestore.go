@@ -16,6 +16,18 @@ const (
 	OutcomeExpired = "expired"
 )
 
+// Trace kinds classify what produced a trace. Request/response solves
+// (queries and mutations alike) are "query"; the asynchronous
+// subscription pipeline emits "notify"; /v1/optimize emits "optimize";
+// daemon-internal work (checkpoints, WAL rotation, recovery replay)
+// emits "background".
+const (
+	KindQuery      = "query"
+	KindNotify     = "notify"
+	KindOptimize   = "optimize"
+	KindBackground = "background"
+)
+
 // Trace is the retained telemetry of one finished request: identity,
 // timing, outcome, the solver's span tree, and the serving-layer
 // annotations (epoch, plan-cache outcome, WAL sequence) that join it
@@ -23,6 +35,7 @@ const (
 // TraceStore.Add — the store hands the same pointer to every reader.
 type Trace struct {
 	ID         string    `json:"id"`
+	Kind       string    `json:"kind,omitempty"`
 	Route      string    `json:"route"`
 	Start      time.Time `json:"start"`
 	DurationMS float64   `json:"duration_ms"`
@@ -51,6 +64,13 @@ func (t *Trace) StartSpan(name string) *Span {
 	}
 	t.Root = NewSpan(name)
 	return t.Root
+}
+
+// SetKind records which pipeline produced the trace (nil-safe).
+func (t *Trace) SetKind(kind string) {
+	if t != nil {
+		t.Kind = kind
+	}
 }
 
 // SetAlgorithm records which solver served the request (nil-safe).
@@ -97,6 +117,7 @@ type TraceFilter struct {
 	MinMS     float64
 	Outcome   string
 	Algorithm string
+	Kind      string
 	Limit     int
 }
 
@@ -159,6 +180,35 @@ func (ts *TraceStore) Add(t *Trace) {
 	ts.mu.Unlock()
 }
 
+// AddBackground retains one finished background operation (a
+// checkpoint, WAL segment rotation, recovery replay, refine loop) as a
+// trace of kind "background" under a fresh ID, so slow daemon-internal
+// work is debuggable through /v1/debug/traces exactly like a slow
+// query. slow > 0 marks traces at or above that duration as Slow,
+// routing them into the always-keep ring. Returns the assigned trace
+// ID ("" when the store is disabled).
+func (ts *TraceStore) AddBackground(route string, start time.Time, root *Span, err error, slow time.Duration) string {
+	if ts == nil {
+		return ""
+	}
+	dur := time.Since(start)
+	t := &Trace{
+		ID:         NewTraceID(),
+		Kind:       KindBackground,
+		Route:      route,
+		Start:      start,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Outcome:    OutcomeOK,
+		Slow:       slow > 0 && dur >= slow,
+		Root:       root,
+	}
+	if err != nil {
+		t.Outcome = OutcomeError
+	}
+	ts.Add(t)
+	return t.ID
+}
+
 // Get returns the retained trace with the given ID. Client-supplied
 // IDs can repeat; the newest wins.
 func (ts *TraceStore) Get(id string) (*Trace, bool) {
@@ -193,6 +243,7 @@ func (ts *TraceStore) List(f TraceFilter) []*Trace {
 			case t.DurationMS < f.MinMS:
 			case f.Outcome != "" && t.Outcome != f.Outcome:
 			case f.Algorithm != "" && t.Algorithm != f.Algorithm:
+			case f.Kind != "" && t.Kind != f.Kind:
 			default:
 				seen[t.seq] = true
 				out = append(out, t)

@@ -361,6 +361,11 @@ func Optimize(p *Problem) (*Result, error) {
 
 	sp = root.Child("refine")
 	ref, err := refine(p, rs, live, nibSweep.slabs, seeds)
+	if p.Cost != nil {
+		sp.SetAttr("cells", p.Cost.RefineCells)
+		sp.SetAttr("solves", p.Cost.RefineSolves)
+	}
+	sp.SetAttr("resolved", ref.resolved)
 	sp.End()
 	if err != nil {
 		return nil, err

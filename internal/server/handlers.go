@@ -125,7 +125,7 @@ func (s *Server) routes() {
 	s.route("GET /healthz", kindOther, s.handleHealthz)
 	s.route("GET /v1/status", kindOther, s.handleStatus)
 	s.route("POST /v1/query", kindQuery, s.handleQuery)
-	s.route("POST /v1/optimize", kindQuery, s.handleOptimize)
+	s.route("POST /v1/optimize", kindOptimize, s.handleOptimize)
 	s.route("GET /v1/best", kindOther, s.handleBest)
 	s.route("GET /v1/influence/{id}", kindOther, s.handleInfluence)
 	s.route("POST /v1/objects", kindMutation, s.handleAddObject)
@@ -175,7 +175,7 @@ func (s *Server) route(pattern string, kind routeKind, h http.HandlerFunc) {
 		ctx := obs.WithTraceID(r.Context(), id)
 		var tr *obs.Trace
 		if kind != kindOther {
-			tr = &obs.Trace{ID: id, Route: pattern, Start: start}
+			tr = &obs.Trace{ID: id, Kind: kind.traceKind(), Route: pattern, Start: start}
 			ctx = withTrace(ctx, tr)
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -183,7 +183,7 @@ func (s *Server) route(pattern string, kind routeKind, h http.HandlerFunc) {
 		dur := time.Since(start)
 		recordHTTP(pattern, sw.code, dur)
 		switch {
-		case kind == kindQuery && sw.code == http.StatusOK:
+		case (kind == kindQuery || kind == kindOptimize) && sw.code == http.StatusOK:
 			s.latQuery.Observe(dur.Seconds())
 		case kind == kindMutation && sw.code < 300:
 			s.latMutation.Observe(dur.Seconds())
@@ -262,6 +262,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	planEntries := s.plans.len()
 	shardEpochs := make([]int64, len(s.shards))
 	shardObjects := make([]int, len(s.shards))
+	shardScatter := make([]map[string]any, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.RLock()
 		shardObjects[i] = sh.engine.Objects()
@@ -273,6 +274,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		stats.Add(sh.engine.Stats())
 		sh.mu.RUnlock()
 		planEntries += sh.plans.len()
+		// Straggler attribution: which shard's sub-solves dominate the
+		// scatter path, cumulative since boot.
+		const ms = float64(time.Millisecond)
+		solves := sh.scatterSolves.Load()
+		total := float64(sh.scatterNS.Load())
+		meanMS := 0.0
+		if solves > 0 {
+			meanMS = total / float64(solves) / ms
+		}
+		shardScatter[i] = map[string]any{
+			"shard":    i,
+			"solves":   solves,
+			"total_ms": total / ms,
+			"mean_ms":  meanMS,
+			"max_ms":   float64(sh.scatterMaxNS.Load()) / ms,
+		}
 	}
 	body := map[string]any{
 		"dataset":        s.cfg.DatasetName,
@@ -296,6 +313,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			"objects":        shardObjects,
 			"scatter_solves": s.scatterSolves.Load(),
 			"scatter_merges": s.scatterMerges.Load(),
+			"scatter":        shardScatter,
 		},
 		// The admission block makes shed decisions explainable: the cap,
 		// what it derives from, and the live pressure against it.
@@ -311,9 +329,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if s.subs != nil {
 		body["subscriptions"] = s.subs.Stats()
 	}
+	if s.slo != nil {
+		body["slo"] = s.slo.Status()
+	}
 	latency := map[string]any{
 		"query":    quantilesMS(s.latQuery),
 		"mutation": quantilesMS(s.latMutation),
+		"notify":   quantilesMS(s.latNotify),
 	}
 	if len(s.cfg.Stores) > 0 {
 		// Aggregates over the per-shard streams; with one shard these
@@ -350,7 +372,7 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	f := obs.TraceFilter{Outcome: q.Get("outcome"), Algorithm: q.Get("algorithm"), Limit: 100}
+	f := obs.TraceFilter{Outcome: q.Get("outcome"), Algorithm: q.Get("algorithm"), Kind: q.Get("kind"), Limit: 100}
 	if v := q.Get("min_ms"); v != "" {
 		ms, err := strconv.ParseFloat(v, 64)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"pinocchio/internal/core"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/obs"
 	"pinocchio/internal/optimize"
@@ -236,21 +237,31 @@ func (s *Server) solveOptimize(ctx context.Context, sn *snapshot, req *OptimizeR
 	root := tr.StartSpan("optimize")
 
 	// Scatter: one CollectRects per shard partition, concatenated into
-	// a single global rect set.
+	// a single global rect set. Each shard's extraction gets its own
+	// child span and the gather records straggler stats, same as the
+	// scattered solve path.
 	sp := root.Child("collect-rects")
 	parts := make([][]optimize.ObjectRects, len(sn.parts))
+	durs := make([]time.Duration, len(sn.parts))
 	var wg sync.WaitGroup
 	for i, ps := range sn.parts {
 		if len(ps.objects) == 0 {
 			continue
 		}
+		cs := sp.Child("shard")
+		cs.SetAttr("shard", i)
+		cs.SetAttr("objects", len(ps.objects))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			shardStart := time.Now()
 			parts[i] = optimize.CollectRects(ps.objects, pf, req.Tau)
+			durs[i] = time.Since(shardStart)
+			cs.End()
 		}()
 	}
 	wg.Wait()
+	core.RecordScatter(sp, durs)
 	sp.End()
 	var rects []optimize.ObjectRects
 	if len(parts) == 1 {

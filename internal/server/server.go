@@ -124,11 +124,33 @@ type Config struct {
 	// negative disables slow-query detection.
 	SlowQuery time.Duration
 
+	// SlowNotify is the subscription pipeline's counterpart of
+	// SlowQuery: a notify run (mutation apply to event publish) at or
+	// over it is marked slow — retained-ring trace plus a "slow notify"
+	// slog record with the stage breakdown. 0 selects the SlowQuery
+	// threshold; negative disables slow-notify detection.
+	SlowNotify time.Duration
+
+	// SLOs are the latency objectives the server monitors (see
+	// obs.ParseSLOs for the textual form). Objective bases resolve to
+	// the serving histograms: "query" (successful query wall time),
+	// "ingest"/"mutation" (applied mutation wall time), "notify"
+	// (subscription batch-apply-to-publish). Empty disables the monitor;
+	// /v1/status then omits its "slo" block.
+	SLOs []obs.SLOObjective
+
 	// TraceKeep sizes request-trace retention: the store keeps the
 	// last TraceKeep traces plus up to TraceKeep slow or non-ok ones,
 	// served at /v1/debug/traces. 0 selects 256; negative disables
 	// request tracing (the debug endpoints answer 404).
 	TraceKeep int
+
+	// Traces, when non-nil, is used as the trace store instead of one
+	// built from TraceKeep. The daemon creates it before the server
+	// exists so pre-serving work (recovery replay, WAL hooks wired via
+	// store.Options.Traces) lands in the same store the debug endpoints
+	// serve.
+	Traces *obs.TraceStore
 
 	// MaxSubs caps live standing-query subscriptions (default 256;
 	// negative disables the subscription endpoints entirely).
@@ -177,6 +199,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowQuery == 0 {
 		c.SlowQuery = 250 * time.Millisecond
+	}
+	if c.SlowNotify == 0 {
+		c.SlowNotify = c.SlowQuery
 	}
 	if c.TraceKeep == 0 {
 		c.TraceKeep = 256
@@ -301,12 +326,18 @@ type Server struct {
 	// nil when tracing is disabled (TraceKeep < 0).
 	traces *obs.TraceStore
 
-	// latQuery and latMutation feed the /v1/status latency
-	// percentiles. They record unconditionally (not gated on
-	// obs.Enabled) because the status endpoint is part of the API, not
-	// of the opt-in metrics surface.
+	// latQuery, latMutation and latNotify feed the /v1/status latency
+	// percentiles and the SLO monitor. They record unconditionally (not
+	// gated on obs.Enabled) because the status endpoint is part of the
+	// API, not of the opt-in metrics surface; latNotify is written by
+	// the subscription manager (Config.NotifyLatency).
 	latQuery    *obs.Histogram
 	latMutation *obs.Histogram
+	latNotify   *obs.Histogram
+
+	// slo samples the latency histograms into multi-window burn rates;
+	// nil when Config.SLOs is empty.
+	slo *obs.SLOMonitor
 
 	// Cumulative solved-query work, fed by every real solve (cache hits
 	// excluded — they do no work) and surfaced in /v1/status so
@@ -458,6 +489,10 @@ func NewWithShards(cfg Config, engines []*dynamic.Engine, epochs []int64) (*Serv
 	if len(cfg.Stores) > 0 && len(cfg.Stores) != len(engines) {
 		return nil, fmt.Errorf("server: %d stores for %d shards", len(cfg.Stores), len(engines))
 	}
+	traces := cfg.Traces
+	if traces == nil {
+		traces = obs.NewTraceStore(cfg.TraceKeep)
+	}
 	s := &Server{
 		cfg:         cfg,
 		start:       time.Now(),
@@ -466,9 +501,10 @@ func NewWithShards(cfg Config, engines []*dynamic.Engine, epochs []int64) (*Serv
 		optCache:    newLRU[*OptimizeResponse](cfg.CacheSize),
 		plans:       newPlanCache(cfg.PlanCacheSize),
 		mux:         http.NewServeMux(),
-		traces:      obs.NewTraceStore(cfg.TraceKeep),
+		traces:      traces,
 		latQuery:    obs.NewHistogram(nil),
 		latMutation: obs.NewHistogram(nil),
+		latNotify:   obs.NewHistogram(nil),
 	}
 	s.shards = make([]*shard, len(engines))
 	var total int64
@@ -487,13 +523,43 @@ func NewWithShards(cfg Config, engines []*dynamic.Engine, epochs []int64) (*Serv
 	if cfg.MaxSubs > 0 {
 		// Cannot fail: the backend (the server itself) is always set.
 		s.subs, _ = subscribe.NewManager(subscribe.Config{
-			MaxSubs: cfg.MaxSubs,
-			Buffer:  cfg.SubBuffer,
-			Backend: s,
+			MaxSubs:       cfg.MaxSubs,
+			Buffer:        cfg.SubBuffer,
+			Backend:       s,
+			Traces:        s.traces,
+			SlowNotify:    cfg.SlowNotify,
+			NotifyLatency: s.latNotify,
 		})
+	}
+	if len(cfg.SLOs) > 0 {
+		mon, err := obs.NewSLOMonitor(obs.SLOConfig{
+			Objectives: cfg.SLOs,
+			Source:     s.sloHistogram,
+			Registry:   obs.Default(),
+			Logger:     slog.Default(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.slo = mon
+		mon.Start()
 	}
 	s.routes()
 	return s, nil
+}
+
+// sloHistogram resolves an SLO objective base to the serving histogram
+// it is evaluated against.
+func (s *Server) sloHistogram(base string) *obs.Histogram {
+	switch base {
+	case "query":
+		return s.latQuery
+	case "ingest", "mutation":
+		return s.latMutation
+	case "notify":
+		return s.latNotify
+	}
+	return nil
 }
 
 // Shutdown terminates the subscription manager: every subscription
@@ -504,6 +570,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.subs != nil {
 		s.subs.Close()
 	}
+	s.slo.Stop()
 	return ctx.Err()
 }
 
@@ -559,11 +626,19 @@ func (s *Server) CheckpointNow() (uint64, error) {
 	if len(s.cfg.Stores) == 0 {
 		return 0, nil
 	}
+	start := time.Now()
+	var root *obs.Span
+	if s.traces != nil {
+		root = obs.NewSpan("checkpoint")
+	}
 	var seq0 uint64
+	var err error
 	for i, sh := range s.shards {
 		if sh.store == nil {
 			continue
 		}
+		cs := root.Child("shard")
+		cs.SetAttr("shard", i)
 		// The read lock orders the snapshot against mutations: LastSeq
 		// read under it is the seq of the last record already applied, so
 		// the exported state covers exactly the log prefix through seq.
@@ -572,12 +647,23 @@ func (s *Server) CheckpointNow() (uint64, error) {
 		epoch := sh.epoch
 		seq := sh.store.LastSeq()
 		sh.mu.RUnlock()
-		if err := sh.store.Checkpoint(st, epoch, seq); err != nil {
-			return 0, fmt.Errorf("shard %d: %w", i, err)
+		cs.SetAttr("seq", seq)
+		cs.SetAttr("epoch", epoch)
+		cerr := sh.store.Checkpoint(st, epoch, seq)
+		cs.End()
+		if cerr != nil {
+			err = fmt.Errorf("shard %d: %w", i, cerr)
+			break
 		}
 		if i == 0 {
 			seq0 = seq
 		}
+	}
+	if s.traces != nil {
+		s.traces.AddBackground("checkpoint", start, root, err, s.cfg.SlowQuery)
+	}
+	if err != nil {
+		return 0, err
 	}
 	return seq0, nil
 }

@@ -67,6 +67,14 @@ type shard struct {
 	// scatter path, keyed by the shard's own epoch (scalar — within one
 	// shard there is no vector to alias).
 	plans *planCache
+
+	// Scatter attribution: cumulative wall time, solve count and peak
+	// duration of this shard's sub-solves, fed by solveScattered from
+	// core.SolveSharded's per-part timings and surfaced per shard in
+	// /v1/status — which shard the stragglers live on, over all time.
+	scatterSolves atomic.Int64
+	scatterNS     atomic.Int64
+	scatterMaxNS  atomic.Int64
 }
 
 // shardSnap is one immutable view of a shard's objects.
@@ -208,26 +216,37 @@ func (s *Server) snapshotNow() *snapshot {
 // logged at on its — for candidate records: first — shard.
 func (s *Server) mutate(ctx context.Context, rec *store.Record) (id int, epoch int64, seq uint64, err error) {
 	start := time.Now()
+	tr := traceFrom(ctx)
+	root := tr.StartSpan("mutate")
+	root.SetAttr("op", rec.Op.String())
 	var note *subscribe.BatchNote
+	var walDur time.Duration
 	switch rec.Op {
 	case store.OpAddCandidate, store.OpRemoveCandidate:
-		id, epoch, seq, err = s.mutateAllShards(rec)
+		id, epoch, seq, walDur, err = s.mutateAllShards(rec)
 		if err == nil && s.subs != nil {
 			note = &subscribe.BatchNote{Epoch: epoch, At: start, DirtyAll: true}
 		}
 	case store.OpIngestBatch:
-		id, epoch, seq, note, err = s.mutateIngest(rec, start)
+		id, epoch, seq, walDur, note, err = s.mutateIngest(rec, start)
 	default:
-		id, epoch, seq, note, err = s.mutateOneShard(s.shardFor(int(rec.ID)), rec, start)
+		id, epoch, seq, walDur, note, err = s.mutateOneShard(s.shardFor(int(rec.ID)), rec, start)
+	}
+	if walDur > 0 {
+		// The WAL-append stage on the request's own trace; the same
+		// duration rides the BatchNote into the notify pipeline's trace,
+		// so both trees agree on where durability time went.
+		root.Child("wal-append").Accumulate(walDur)
 	}
 	if err != nil {
 		return 0, epoch, 0, err
 	}
 	recordMutation(rec.Op.String(), epoch, time.Since(start))
-	tr := traceFrom(ctx)
 	tr.SetEpoch(epoch)
 	tr.SetWALSeq(seq)
 	if note != nil {
+		note.WALDur = walDur
+		note.WALSeq = seq
 		if tr != nil {
 			note.TraceID = tr.ID
 		}
@@ -240,13 +259,15 @@ func (s *Server) mutate(ctx context.Context, rec *store.Record) (id int, epoch i
 // mutateOneShard is the single-shard path (all object records): log to
 // the shard's stream, apply to its engine, bump its epoch. Rejected
 // records stay in the log — replay rejects them identically.
-func (s *Server) mutateOneShard(sh *shard, rec *store.Record, start time.Time) (id int, epoch int64, seq uint64, note *subscribe.BatchNote, err error) {
+func (s *Server) mutateOneShard(sh *shard, rec *store.Record, start time.Time) (id int, epoch int64, seq uint64, walDur time.Duration, note *subscribe.BatchNote, err error) {
 	sh.mu.Lock()
 	if sh.store != nil {
+		walStart := time.Now()
 		if seq, err = sh.store.Append(rec); err != nil {
 			sh.mu.Unlock()
-			return 0, s.gepoch.Load(), 0, nil, err
+			return 0, s.gepoch.Load(), 0, 0, nil, err
 		}
+		walDur = time.Since(walStart)
 	}
 	id, err = rec.Apply(sh.engine)
 	if err == nil {
@@ -259,7 +280,7 @@ func (s *Server) mutateOneShard(sh *shard, rec *store.Record, start time.Time) (
 		epoch = s.gepoch.Load()
 	}
 	sh.mu.Unlock()
-	return id, epoch, seq, note, err
+	return id, epoch, seq, walDur, note, err
 }
 
 // mutateAllShards is the candidate-record path: every shard applies
@@ -272,7 +293,7 @@ func (s *Server) mutateOneShard(sh *shard, rec *store.Record, start time.Time) (
 // shard's stream (wal semantics) and surfaces as a 500 after shards
 // 0..k-1 already applied — the store layer's poisoning keeps the
 // divergence from ever being silently logged past.
-func (s *Server) mutateAllShards(rec *store.Record) (id int, epoch int64, seq uint64, err error) {
+func (s *Server) mutateAllShards(rec *store.Record) (id int, epoch int64, seq uint64, walDur time.Duration, err error) {
 	s.topoMu.Lock()
 	defer s.topoMu.Unlock()
 	for _, sh := range s.shards {
@@ -286,9 +307,11 @@ func (s *Server) mutateAllShards(rec *store.Record) (id int, epoch int64, seq ui
 	applied := false
 	for i, sh := range s.shards {
 		if sh.store != nil {
+			walStart := time.Now()
 			sq, aerr := sh.store.Append(rec)
+			walDur += time.Since(walStart)
 			if aerr != nil {
-				return 0, s.gepoch.Load(), 0, aerr
+				return 0, s.gepoch.Load(), 0, walDur, aerr
 			}
 			if i == 0 {
 				seq = sq
@@ -301,7 +324,7 @@ func (s *Server) mutateAllShards(rec *store.Record) (id int, epoch int64, seq ui
 			// Engines disagreeing on a candidate op would mean their
 			// candidate sets diverged — an invariant violation, not a
 			// client error.
-			return 0, s.gepoch.Load(), 0, fmt.Errorf("server: shard %d disagrees on %s (shard 0: %v, shard %d: %v)", i, rec.Op, err, i, aerr)
+			return 0, s.gepoch.Load(), 0, walDur, fmt.Errorf("server: shard %d disagrees on %s (shard 0: %v, shard %d: %v)", i, rec.Op, err, i, aerr)
 		}
 		if aerr == nil {
 			sh.epoch++
@@ -315,7 +338,7 @@ func (s *Server) mutateAllShards(rec *store.Record) (id int, epoch int64, seq ui
 	if err == nil {
 		atomic.AddInt64(&s.candGen, 1)
 	}
-	return id, epoch, seq, err
+	return id, epoch, seq, walDur, err
 }
 
 // mutateIngest splits an ingest batch by owning shard. A batch that
@@ -326,7 +349,7 @@ func (s *Server) mutateAllShards(rec *store.Record) (id int, epoch int64, seq ui
 // other, and replay would apply a half the live path refused. After
 // validation each shard logs and applies only its own appends, one
 // epoch bump per involved shard.
-func (s *Server) mutateIngest(rec *store.Record, start time.Time) (id int, epoch int64, seq uint64, note *subscribe.BatchNote, err error) {
+func (s *Server) mutateIngest(rec *store.Record, start time.Time) (id int, epoch int64, seq uint64, walDur time.Duration, note *subscribe.BatchNote, err error) {
 	n := len(s.shards)
 	groups := make(map[int][]store.Append)
 	for _, a := range rec.Appends {
@@ -357,7 +380,7 @@ func (s *Server) mutateIngest(rec *store.Record, start time.Time) (id int, epoch
 	for _, si := range idxs {
 		for _, a := range groups[si] {
 			if _, oerr := s.shards[si].engine.Object(int(a.ID)); oerr != nil {
-				return 0, s.gepoch.Load(), 0, nil, oerr
+				return 0, s.gepoch.Load(), 0, 0, nil, oerr
 			}
 		}
 	}
@@ -368,9 +391,11 @@ func (s *Server) mutateIngest(rec *store.Record, start time.Time) (id int, epoch
 		sh := s.shards[si]
 		sub := &store.Record{Op: store.OpIngestBatch, Appends: groups[si]}
 		if sh.store != nil {
+			walStart := time.Now()
 			sq, aerr := sh.store.Append(sub)
+			walDur += time.Since(walStart)
 			if aerr != nil {
-				return 0, s.gepoch.Load(), 0, nil, aerr
+				return 0, s.gepoch.Load(), 0, walDur, nil, aerr
 			}
 			if seq == 0 {
 				seq = sq
@@ -380,7 +405,7 @@ func (s *Server) mutateIngest(rec *store.Record, start time.Time) (id int, epoch
 			// Unreachable after pre-validation short of an engine edge
 			// (object.Extended); the sub-record is logged and replay
 			// rejects it identically, so per-shard consistency holds.
-			return 0, s.gepoch.Load(), 0, nil, aerr
+			return 0, s.gepoch.Load(), 0, walDur, nil, aerr
 		}
 		sh.epoch++
 		epoch = s.gepoch.Add(1)
@@ -402,7 +427,7 @@ func (s *Server) mutateIngest(rec *store.Record, start time.Time) (id int, epoch
 	if note != nil {
 		note.Epoch = epoch
 	}
-	return 0, epoch, seq, note, nil
+	return 0, epoch, seq, walDur, note, nil
 }
 
 // noteFor shapes the subscription BatchNote for an applied mutation.
@@ -530,6 +555,19 @@ func (s *Server) solveScattered(ctx context.Context, sn *snapshot, req *QueryReq
 	})
 	if err == nil {
 		s.scatterMerges.Add(1)
+		for i, d := range res.ShardDurations {
+			if d <= 0 || i >= len(s.shards) {
+				continue
+			}
+			sh := s.shards[i]
+			sh.scatterSolves.Add(1)
+			sh.scatterNS.Add(int64(d))
+			// Racy max is fine: a concurrent larger value winning is the
+			// correct outcome either way.
+			if old := sh.scatterMaxNS.Load(); int64(d) > old {
+				sh.scatterMaxNS.CompareAndSwap(old, int64(d))
+			}
+		}
 	}
 	return res, err
 }

@@ -70,12 +70,24 @@ func (s *Server) SolveTopK(q *subscribe.Query) (*subscribe.Solution, error) {
 	req := &QueryRequest{
 		Algorithm: q.Algorithm, PF: q.PF, Rho: q.RhoVal(), Lambda: q.LambdaVal(), Tau: q.Tau,
 	}
+	// With tracing on, the re-solve gets its own span tree; it returns
+	// through Solution.Trace, and the subscription pipeline adopts it
+	// under its "solve" stage — the causal link from an ingest's trace
+	// to the phases of the solve it triggered.
+	var sp *obs.Span
+	if s.traces != nil {
+		sp = obs.NewSpan("re-solve")
+		sp.SetAttr("algo", q.Algorithm)
+		sol.Trace = sp
+		defer sp.End()
+	}
 	p := &core.Problem{
 		Objects:    sn.objects,
 		Candidates: sn.candPts,
 		PF:         pf,
 		Tau:        q.Tau,
 		Ctx:        ctx,
+		Obs:        sp,
 		TraceID:    sol.TraceID,
 	}
 	var res *core.Result
@@ -320,6 +332,12 @@ func (s *Server) handleSubEvents(w http.ResponseWriter, r *http.Request) {
 		if coalesced {
 			fmt.Fprintf(w, ": coalesced past version %d\n\n", after)
 		}
+		// The flush stage is the pipeline's last hop: serialize + write +
+		// flush of a non-empty delivery, recorded per connection.
+		var flushStart time.Time
+		if len(evs) > 0 {
+			flushStart = time.Now()
+		}
 		for _, ev := range evs {
 			name := "result"
 			if ev.Terminal {
@@ -333,11 +351,15 @@ func (s *Server) handleSubEvents(w http.ResponseWriter, r *http.Request) {
 			after = ev.Version
 			if ev.Terminal {
 				_ = fl.Flush()
+				subscribe.RecordStage(subscribe.StageFlush, time.Since(flushStart))
 				return
 			}
 		}
 		if err := fl.Flush(); err != nil {
 			return
+		}
+		if !flushStart.IsZero() {
+			subscribe.RecordStage(subscribe.StageFlush, time.Since(flushStart))
 		}
 		select {
 		case <-r.Context().Done():

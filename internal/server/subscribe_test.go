@@ -488,6 +488,104 @@ func TestSSEResumeWithLastEventID(t *testing.T) {
 	}
 }
 
+// TestSSEResumeUnderConcurrentPublish hammers the resume path: a
+// publisher goroutine keeps growing c1's influence (one new object per
+// mutation, each a version bump) while the consumer deliberately drops
+// its SSE connection after every single event and reconnects with
+// Last-Event-ID. Versions must stay strictly increasing across every
+// reconnect — a duplicate means the resume position leaked backwards,
+// a decrease means the backlog ring served a stale frame — and the
+// goodbye published after the final mutation must still arrive. Run
+// with -race this also exercises publish/Since/Wait interleavings.
+func TestSSEResumeUnderConcurrentPublish(t *testing.T) {
+	s := newFlipServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, _ := registerSub(t, s, fmt.Sprintf(`{"tau":%g}`, subTau))
+
+	const publishes = 24
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < publishes; i++ {
+			// Alternate the new object between the two candidate sites so
+			// the winner keeps flipping — events only publish on a top-k
+			// ID change, and a monotonically growing single winner would
+			// emit exactly one.
+			x := 10
+			if i%2 == 1 {
+				x = 0
+			}
+			body := fmt.Sprintf(`{"id":%d,"positions":[{"x":%d,"y":%d}]}`, 100+i, x, x)
+			res, err := http.Post(ts.URL+"/v1/objects", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("publish %d: %v", i, err)
+				return
+			}
+			res.Body.Close()
+			if res.StatusCode != http.StatusCreated {
+				t.Errorf("publish %d: HTTP %d", i, res.StatusCode)
+				return
+			}
+			// Draining per publish keeps every flip a distinct version
+			// (the worker never coalesces two into one re-solve), so the
+			// consumer has a deterministic version sequence to resume
+			// through while the ring may still overwrite its tail.
+			s.DrainSubscriptions()
+		}
+	}()
+
+	// The final published state is unique and identifiable — after the
+	// last publish both candidates hold influence publishes/2 and the
+	// tie-break elects candidate 0 — so the consumer resumes until it
+	// reads exactly that event. Every earlier state has a strictly
+	// smaller winner influence, and every reconnect below version of
+	// that final event has pending frames, so no read ever blocks.
+	lastVer := uint64(1) // the registration result
+	lastInf := 0
+	conns, events := 0, 0
+	for lastInf < publishes/2 {
+		if conns > publishes+5 {
+			t.Fatalf("final state not reached after %d connections (last version %d, influence %d)",
+				conns, lastVer, lastInf)
+		}
+		req, _ := http.NewRequest("GET", ts.URL+resp.Events, nil)
+		req.Header.Set("Last-Event-ID", fmt.Sprint(lastVer))
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("reconnect %d: %v", conns, err)
+		}
+		conns++
+		ev := readSSE(t, bufio.NewScanner(res.Body))
+		res.Body.Close()
+		if ev.name != "result" {
+			t.Fatalf("conn %d frame %q, want result", conns, ev.name)
+		}
+		if ev.data.Version <= lastVer {
+			t.Fatalf("conn %d resumed after %d but delivered version %d", conns, lastVer, ev.data.Version)
+		}
+		lastVer = ev.data.Version
+		events++
+		if got := ids(ev.data.TopK); got[0] != 0 && got[0] != 1 {
+			t.Fatalf("conn %d winner %v, want candidate 0 or 1", conns, got)
+		}
+		// Both candidates' influence grows monotonically, so the winner's
+		// influence across published states can never decrease; a drop
+		// means a stale frame was served after resume.
+		if inf := ev.data.TopK[0].Influence; inf < lastInf {
+			t.Fatalf("conn %d influence went backwards: %d after %d", conns, inf, lastInf)
+		} else {
+			lastInf = inf
+		}
+	}
+	<-done
+	if conns < 3 {
+		t.Fatalf("only %d connections; the resume path was barely exercised", conns)
+	}
+	t.Logf("resumed across %d connections, %d events for %d publishes", conns, events, publishes)
+}
+
 func TestPollTimeoutAndDelivery(t *testing.T) {
 	s := newFlipServer(t, Config{})
 	resp, _ := registerSub(t, s, fmt.Sprintf(`{"tau":%g}`, subTau))

@@ -17,16 +17,28 @@ import (
 	"pinocchio/internal/obs"
 )
 
-// routeKind classifies a route for telemetry: queries and mutations
-// are traced and feed the status latency percentiles; everything else
-// only gets a trace ID.
+// routeKind classifies a route for telemetry: queries, optimizes and
+// mutations are traced and feed the status latency percentiles;
+// everything else only gets a trace ID.
 type routeKind int
 
 const (
 	kindOther routeKind = iota
 	kindQuery
 	kindMutation
+	kindOptimize
 )
+
+// traceKind maps a route kind to the trace-store kind vocabulary:
+// request/response solves (queries and mutations alike) are "query",
+// candidate-free placement is "optimize"; the asynchronous kinds
+// ("notify", "background") are stamped by their own pipelines.
+func (k routeKind) traceKind() string {
+	if k == kindOptimize {
+		return obs.KindOptimize
+	}
+	return obs.KindQuery
+}
 
 // traceKey is the context key the per-request *obs.Trace travels
 // under (distinct from the trace ID, which obs owns).

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"pinocchio/internal/dynamic"
+	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 	"pinocchio/internal/wal"
 )
@@ -54,6 +55,12 @@ type Options struct {
 	// segments are compacted only below the oldest kept checkpoint so
 	// the fallback can always replay forward.
 	KeepCheckpoints int
+	// Traces, when non-nil, is handed to the WAL so segment rotations
+	// and slow fsyncs are retained as background traces.
+	Traces *obs.TraceStore
+	// SlowSync is the WAL fsync-tracing threshold (see
+	// wal.Options.SlowSync).
+	SlowSync time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +103,8 @@ func Open(dir string, opt Options) (*Store, error) {
 		SegmentBytes: opt.SegmentBytes,
 		Policy:       opt.Fsync,
 		GroupWindow:  opt.GroupWindow,
+		Traces:       opt.Traces,
+		SlowSync:     opt.SlowSync,
 	})
 	if err != nil {
 		return nil, err

@@ -3,6 +3,8 @@ package subscribe
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"pinocchio/internal/dynamic"
 	"pinocchio/internal/geo"
 	"pinocchio/internal/object"
+	"pinocchio/internal/obs"
 	"pinocchio/internal/probfn"
 )
 
@@ -34,6 +37,10 @@ type Solution struct {
 	Epoch   int64
 	TraceID string
 	Ranked  []Candidate
+	// Trace is the solve's span tree (nil when the backend does not
+	// trace); the pipeline adopts it under its "solve" stage so a
+	// notify trace shows the re-solve's phase breakdown inline.
+	Trace *obs.Span
 }
 
 // BatchNote describes one applied mutation to the manager. Position
@@ -50,10 +57,21 @@ type BatchNote struct {
 	DirtyAll bool
 	// At is the enqueue time, the start of the notify-latency clock.
 	At time.Time
+	// WALDur is the wall time the batch spent in WAL appends (fsync
+	// included) before it was applied; 0 when the server is not
+	// durable. It becomes the "wal-append" stage of the pipeline trace.
+	WALDur time.Duration
+	// WALSeq is the WAL sequence the batch was logged at (first shard).
+	WALSeq uint64
 
 	// only targets a single subscription: the registration-race
 	// recheck. Internal to the manager.
 	only string
+	// enqueuedAt marks entry into the manager's queue — the start of
+	// the queue-wait stage (At, in contrast, starts at mutation apply).
+	enqueuedAt time.Time
+	// merged counts how many notes coalesced into this one.
+	merged int
 }
 
 // subState is the manager-worker-owned solver state of a subscription.
@@ -78,6 +96,20 @@ type Config struct {
 	Buffer int
 	// Backend performs the solves; required.
 	Backend Backend
+	// Traces, when non-nil, retains one kind="notify" trace per
+	// re-solved pipeline run (published, unchanged or errored), linked
+	// to the triggering mutation's trace ID, with wal-append /
+	// queue-wait / filter / solve / publish stage spans.
+	Traces *obs.TraceStore
+	// SlowNotify marks notify traces at or above this ingest-to-publish
+	// duration as slow (always-keep retention + slog warning); <= 0
+	// disables the flag.
+	SlowNotify time.Duration
+	// NotifyLatency, when non-nil, receives every delivered change's
+	// batch-apply-to-publish latency in seconds, unconditionally (not
+	// gated on obs.Enabled) — the serving layer's SLO monitor and
+	// /v1/status percentiles read it.
+	NotifyLatency *obs.Histogram
 }
 
 // Stats is the manager's cumulative filter and delivery accounting.
@@ -289,6 +321,7 @@ func (m *Manager) Notify(note BatchNote) {
 
 // enqueueLocked appends a note and wakes the worker. Caller holds mu.
 func (m *Manager) enqueueLocked(note BatchNote) {
+	note.enqueuedAt = time.Now()
 	m.pending = append(m.pending, note)
 	m.outstanding++
 	if note.Epoch > m.lastNoteEpoch {
@@ -435,13 +468,21 @@ func mergeNotes(notes []BatchNote, after int64) (*BatchNote, []*object.Object) {
 			continue
 		}
 		fresh = true
+		merged.merged++
 		if n.Epoch > merged.Epoch {
 			merged.Epoch = n.Epoch
 			merged.TraceID = n.TraceID
+			merged.WALSeq = n.WALSeq
 		}
 		if merged.At.IsZero() || n.At.Before(merged.At) {
 			merged.At = n.At
 		}
+		if merged.enqueuedAt.IsZero() || n.enqueuedAt.Before(merged.enqueuedAt) {
+			merged.enqueuedAt = n.enqueuedAt
+		}
+		// WAL time sums: the coalesced pipeline run covers every batch's
+		// append work.
+		merged.WALDur += n.WALDur
 		merged.DirtyAll = merged.DirtyAll || n.DirtyAll
 		for _, o := range n.Appends {
 			if i, ok := seen[o.ID]; ok {
@@ -459,7 +500,11 @@ func mergeNotes(notes []BatchNote, after int64) (*BatchNote, []*object.Object) {
 }
 
 // check runs one subscription against one (possibly merged) batch:
-// stale skip, guard certification, or re-solve + diff + publish.
+// stale skip, guard certification, or re-solve + diff + publish. A
+// run that reaches the solve produces a kind="notify" pipeline trace
+// under the triggering mutation's trace ID, with one child span per
+// stage, so GET /v1/debug/traces/{ingest-id} answers "why was this
+// notify late" stage by stage.
 func (m *Manager) check(sub *Subscription, note *BatchNote, appends []*object.Object) {
 	st := &sub.state
 	if note.Epoch <= st.solvedEpoch {
@@ -467,32 +512,143 @@ func (m *Manager) check(sub *Subscription, note *BatchNote, appends []*object.Ob
 		recordCheck("stale")
 		return
 	}
-	if !note.DirtyAll && st.guard.Certified() && st.guard.Observe(appends) {
+	checkStart := time.Now()
+	var queueWait time.Duration
+	if !note.enqueuedAt.IsZero() {
+		queueWait = checkStart.Sub(note.enqueuedAt)
+	}
+	recordStage(StageQueueWait, queueWait)
+	filterStart := time.Now()
+	suppressed := !note.DirtyAll && st.guard.Certified() && st.guard.Observe(appends)
+	filterDur := time.Since(filterStart)
+	recordStage(StageFilter, filterDur)
+	if suppressed {
 		st.suppressed++
 		m.suppressed.Add(1)
 		recordCheck("suppressed")
 		return
 	}
+	var root *obs.Span
+	if m.cfg.Traces != nil {
+		root = obs.NewSpan("notify")
+		root.SetAttr("subscription", sub.ID)
+		root.SetAttr("batches_coalesced", note.merged)
+		root.SetAttr("appends", len(appends))
+		if note.WALDur > 0 {
+			root.Child("wal-append").Accumulate(note.WALDur)
+		}
+		root.Child("queue-wait").Accumulate(queueWait)
+		fs := root.Child("filter")
+		fs.Accumulate(filterDur)
+		if note.DirtyAll {
+			fs.SetAttr("bypassed", "dirty-all")
+		}
+	}
+	solveStart := time.Now()
 	sol, err := m.cfg.Backend.SolveTopK(&sub.Query)
+	solveDur := time.Since(solveStart)
+	recordStage(StageSolve, solveDur)
 	if err != nil {
 		// Leave the guard broken: the next batch retries the solve.
 		st.guard.Invalidate()
 		m.errors.Add(1)
 		recordCheck("error")
+		if root != nil {
+			root.Child("solve").Accumulate(solveDur)
+			root.SetAttr("error", err.Error())
+		}
+		m.finishPipeline(sub, note, root, 0, err, false)
 		return
+	}
+	if root != nil {
+		ss := root.Child("solve")
+		ss.Accumulate(solveDur)
+		ss.Adopt(sol.Trace)
 	}
 	st.evaluations++
 	m.resolved.Add(1)
 	recordCheck("resolved")
 	prev := st.lastIDs
 	m.arm(sub, sol)
-	if !equalIDs(prev, st.lastIDs) {
-		if _, ok := sub.publish(sol.Epoch, sol.TraceID, st.lastTopK); ok {
+	changed := !equalIDs(prev, st.lastIDs)
+	if changed {
+		// The event carries the triggering mutation's trace ID when it
+		// has one, so a consumer can walk from the delivered event back
+		// to the full ingest→notify tree.
+		traceID := note.TraceID
+		if traceID == "" {
+			traceID = sol.TraceID
+		}
+		pubStart := time.Now()
+		_, ok := sub.publish(sol.Epoch, traceID, st.lastTopK)
+		pubDur := time.Since(pubStart)
+		recordStage(StagePublish, pubDur)
+		if ok {
 			m.events.Add(1)
 			recordEvent()
-			recordNotifyLatency(time.Since(note.At))
+			lat := time.Since(note.At)
+			recordNotifyLatency(lat)
+			if m.cfg.NotifyLatency != nil {
+				m.cfg.NotifyLatency.Observe(lat.Seconds())
+			}
 		}
+		root.Child("publish").Accumulate(pubDur)
 	}
+	m.finishPipeline(sub, note, root, sol.Epoch, nil, changed)
+}
+
+// finishPipeline retains one finished notify-pipeline run as a trace
+// of kind "notify" under the triggering mutation's trace ID (a fresh
+// ID when the batch was untraced), marking runs over SlowNotify slow —
+// which routes them into the store's always-keep ring — and logging
+// them the way slow queries are logged.
+func (m *Manager) finishPipeline(sub *Subscription, note *BatchNote, root *obs.Span, epoch int64, err error, changed bool) {
+	if m.cfg.Traces == nil {
+		return
+	}
+	dur := time.Since(note.At)
+	root.SetAttr("changed", changed)
+	id := note.TraceID
+	if id == "" {
+		id = obs.NewTraceID()
+	}
+	t := &obs.Trace{
+		ID:         id,
+		Kind:       obs.KindNotify,
+		Route:      "notify",
+		Start:      note.At,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Outcome:    obs.OutcomeOK,
+		Slow:       m.cfg.SlowNotify > 0 && dur >= m.cfg.SlowNotify,
+		Algorithm:  sub.Query.Algorithm,
+		Epoch:      epoch,
+		WALSeq:     note.WALSeq,
+		Root:       root,
+	}
+	if err != nil {
+		t.Outcome = obs.OutcomeError
+	}
+	phases := obs.PhaseMillis(root) // before Add snapshots and drops Root
+	m.cfg.Traces.Add(t)
+	if !t.Slow {
+		return
+	}
+	args := []any{
+		"trace_id", t.ID,
+		"subscription", sub.ID,
+		"outcome", t.Outcome,
+		"elapsed_ms", t.DurationMS,
+		"changed", changed,
+	}
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		args = append(args, "phase_"+name+"_ms", phases[name])
+	}
+	slog.Warn("slow notify", args...)
 }
 
 // arm installs a fresh solution: apply the candidate filter, cut the

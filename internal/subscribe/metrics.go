@@ -20,7 +20,44 @@ const (
 	// MetricNotifySeconds is the batch-enqueue-to-event-publish
 	// latency of delivered changes.
 	MetricNotifySeconds = "pinocchio_sub_notify_seconds"
+	// MetricPipelineStage is the per-stage latency histogram of the
+	// ingest→notify pipeline, labeled {stage}: where notify latency is
+	// actually spent (DESIGN.md §15).
+	MetricPipelineStage = "pinocchio_sub_pipeline_stage_seconds"
 )
+
+// Pipeline stage labels for MetricPipelineStage. Filter and
+// queue-wait are recorded for every checked batch; solve and publish
+// only when the pipeline reaches them; flush is recorded by the SSE
+// layer when an event is written to a client connection.
+const (
+	StageFilter    = "filter"
+	StageQueueWait = "queue-wait"
+	StageSolve     = "solve"
+	StagePublish   = "publish"
+	StageFlush     = "flush"
+)
+
+// StageBuckets grades pipeline stages: the cheap stages (filter,
+// publish) live in the microseconds, far below the latency
+// DefBuckets resolve.
+var StageBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, .01, .025, .05, .1, .25, .5, 1, 2.5,
+}
+
+// RecordStage folds one pipeline stage duration into the stage
+// histogram. Exported so the serving layer can record the flush stage
+// it alone observes.
+func RecordStage(stage string, d time.Duration) { recordStage(stage, d) }
+
+func recordStage(stage string, d time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default().Histogram(MetricPipelineStage,
+		"Ingest-to-notify pipeline stage latency in seconds.",
+		StageBuckets, obs.Labels{"stage": stage}).Observe(d.Seconds())
+}
 
 func recordActive(n int) {
 	if !obs.Enabled() {

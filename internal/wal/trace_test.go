@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"pinocchio/internal/obs"
+)
+
+// Rotations are always retained as background traces; fsyncs only at
+// or above SlowSync. SlowSync of 1ns makes every sync "slow", so both
+// routes must appear after enough appends to rotate.
+func TestBackgroundTraces(t *testing.T) {
+	ts := obs.NewTraceStore(32)
+	w, err := Open(t.TempDir(), Options{
+		SegmentBytes: 256,
+		Traces:       ts,
+		SlowSync:     time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 64)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rotations, fsyncs int
+	for _, tr := range ts.List(obs.TraceFilter{Kind: obs.KindBackground}) {
+		switch tr.Route {
+		case "wal-rotate":
+			rotations++
+			if tr.Spans == nil {
+				t.Fatalf("wal-rotate trace has no span tree")
+			}
+			names := map[string]bool{}
+			for _, c := range tr.Spans.Children {
+				names[c.Name] = true
+			}
+			if !names["seal-sync"] || !names["create-segment"] {
+				t.Fatalf("wal-rotate children = %v, want seal-sync and create-segment", names)
+			}
+		case "wal-fsync":
+			fsyncs++
+			if !tr.Slow {
+				t.Fatalf("wal-fsync trace not marked slow under 1ns threshold")
+			}
+		}
+	}
+	if rotations == 0 {
+		t.Fatalf("no wal-rotate traces after %d appends over a 256-byte segment cap", 10)
+	}
+	if fsyncs == 0 {
+		t.Fatalf("no wal-fsync traces despite 1ns SlowSync")
+	}
+}
+
+// Without a trace store the same workload must run clean — the tracing
+// hooks are nil-safe and off by default.
+func TestBackgroundTracesDisabled(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 64)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pinocchio/internal/obs"
 )
 
 // Policy selects when appended records are fsynced.
@@ -76,6 +78,15 @@ type Options struct {
 	Policy Policy
 	// GroupWindow is the PolicyGroup flush interval (default 5ms).
 	GroupWindow time.Duration
+	// Traces, when non-nil, retains background traces for segment
+	// rotations (every rotation — they are rare and latency-relevant)
+	// and for fsyncs at or above SlowSync (slow ones only — per-append
+	// fsyncs would flood the store).
+	Traces *obs.TraceStore
+	// SlowSync is the fsync duration at which a sync is retained as a
+	// slow background trace (and a rotation marked Slow). Zero disables
+	// fsync tracing; rotations are still traced when Traces is set.
+	SlowSync time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -322,7 +333,10 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	return seq, nil
 }
 
-// syncLocked fsyncs the current segment; w.mu must be held.
+// syncLocked fsyncs the current segment; w.mu must be held. Syncs at
+// or above Options.SlowSync are retained as background traces — the
+// only per-append path that can touch the trace store, and only when
+// the disk actually misbehaved.
 func (w *WAL) syncLocked() error {
 	if w.failed != nil {
 		return w.failed
@@ -331,28 +345,66 @@ func (w *WAL) syncLocked() error {
 		return nil
 	}
 	start := time.Now()
-	if err := w.f.Sync(); err != nil {
+	err := w.f.Sync()
+	dur := time.Since(start)
+	if err != nil {
 		w.failed = fmt.Errorf("wal: poisoned by failed sync: %w", err)
-		return w.failed
+		err = w.failed
+	} else {
+		w.dirty = false
+		recordFsync(dur)
 	}
-	w.dirty = false
-	recordFsync(time.Since(start))
-	return nil
+	if w.opt.Traces != nil && w.opt.SlowSync > 0 && (dur >= w.opt.SlowSync || err != nil) {
+		root := obs.NewSpan("fsync")
+		root.SetAttr("segment_first", w.segFirst)
+		root.SetAttr("segment_bytes", w.size)
+		root.SetAttr("policy", w.opt.Policy.String())
+		root.Accumulate(dur)
+		root.End()
+		w.opt.Traces.AddBackground("wal-fsync", start, root, err, w.opt.SlowSync)
+	}
+	return err
 }
 
 // rotateLocked seals the current segment and starts the next one;
-// w.mu must be held.
+// w.mu must be held. Every rotation is retained as a background trace
+// when the log carries a trace store — rotations are rare, hold the
+// append lock, and their seal-sync is a classic tail-latency source.
 func (w *WAL) rotateLocked() error {
-	// Seal with a sync regardless of policy: rotation is rare, and a
-	// sealed segment should never lose data to a later power cut.
-	if err := w.syncLocked(); err != nil {
+	if w.opt.Traces == nil {
+		return w.rotateStepsLocked(nil)
+	}
+	start := time.Now()
+	root := obs.NewSpan("wal-rotate")
+	root.SetAttr("sealed_first", w.segFirst)
+	root.SetAttr("sealed_bytes", w.size)
+	err := w.rotateStepsLocked(root)
+	if err == nil {
+		root.SetAttr("next_first", w.segFirst)
+	}
+	w.opt.Traces.AddBackground("wal-rotate", start, root, err, w.opt.SlowSync)
+	return err
+}
+
+// rotateStepsLocked is rotateLocked's body: seal the current segment
+// with a sync (regardless of policy — a sealed segment should never
+// lose data to a later power cut), close it, start the next one. root
+// may be nil (untraced rotation).
+func (w *WAL) rotateStepsLocked(root *obs.Span) error {
+	seal := root.Child("seal-sync")
+	err := w.syncLocked()
+	seal.End()
+	if err != nil {
 		return err
 	}
 	if err := w.f.Close(); err != nil {
 		w.failed = fmt.Errorf("wal: poisoned by failed close: %w", err)
 		return w.failed
 	}
-	return w.createSegment(w.lastSeq + 1)
+	cs := root.Child("create-segment")
+	err = w.createSegment(w.lastSeq + 1)
+	cs.End()
+	return err
 }
 
 // groupLoop is the PolicyGroup background flusher.

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Warm-path regression guard over checked-in bench snapshots: compare
+# the newest BENCH_PR*.json's algorithms[] wall times against the
+# previous snapshot that shares its bench geometry, failing on >25%
+# growth. Usage: scripts/benchguard.sh [baseline.json current.json]
+# (defaults: the two newest checked-in snapshots by PR number).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 2 ]; then
+    baseline=$1
+    current=$2
+else
+    # Newest two core-bench snapshots by PR number (ls -v sorts
+    # BENCH_PR10 after BENCH_PR9); shard/optimize snapshots carry
+    # other schemas and have no algorithms[] rows to guard.
+    set --
+    for f in $(ls -v BENCH_PR*.json); do
+        if grep -q '"schema": "pinocchio-bench/v1"' "$f"; then
+            set -- "$@" "$f"
+        fi
+    done
+    if [ "$#" -lt 2 ]; then
+        echo "benchguard.sh: need at least two pinocchio-bench/v1 snapshots" >&2
+        exit 1
+    fi
+    while [ "$#" -gt 2 ]; do shift; done
+    baseline=$1
+    current=$2
+fi
+
+echo "== benchguard: $current vs $baseline"
+go run ./cmd/benchguard -baseline "$baseline" -current "$current" -threshold-pct 25

@@ -42,6 +42,11 @@ go test -run '^$' -fuzz '^FuzzFrame$' -fuzztime 10s ./internal/wal
 go test -run '^$' -fuzz '^FuzzRecord$' -fuzztime 10s ./internal/store
 go test -run '^$' -fuzz '^FuzzEventCodec$' -fuzztime 10s ./internal/optimize
 
+echo "== benchguard"
+# Warm-path regression guard over the two newest checked-in core-bench
+# snapshots: >25% wall-time growth on any shared algorithms[] row fails.
+sh scripts/benchguard.sh
+
 echo "== bench snapshot smoke"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

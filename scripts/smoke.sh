@@ -21,9 +21,12 @@ go build -o "$tmp/pinocchiod" ./cmd/pinocchiod
 
 echo "== start"
 # -slow-query 1us makes every query slow so the slow-query log record
-# can be asserted below; stderr is kept for that check.
+# can be asserted below; stderr is kept for that check. The data dir
+# makes ingest batches pay a real WAL append, so the notify pipeline
+# trace asserted below carries a wal-append stage.
 "$tmp/pinocchiod" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
     -scale 0.05 -candidates 50 -cache-size 16 \
+    -data-dir "$tmp/main-state" \
     -slow-query 1us 2>"$tmp/daemon.log" &
 pid=$!
 
@@ -240,6 +243,66 @@ curl -fsS "http://$addr/v1/status" | grep -q '"checks_suppressed":[1-9]' || {
     exit 1
 }
 
+echo "== ingest pipeline trace"
+# An ingest that flips the standing top-1 must leave one causal trace
+# tree under the client's X-Request-ID: the asynchronous notify
+# pipeline (wal-append -> filter -> solve -> publish) is retained
+# under the same ID the ingest was traced with. Moving 8001 onto
+# candidate $ca ties the pair and the id tie-break flips the winner
+# back, so this batch provably publishes. The re-solve runs behind the
+# ingest response, hence the retry poll.
+curl -fsS "http://$addr/v1/ingest" -H "X-Request-ID: smoke-pipe-1" \
+    -d '{"appends":[{"id":8001,"positions":[{"x":500,"y":500}]}]}' >/dev/null
+i=0
+until curl -fsS "http://$addr/v1/debug/traces/smoke-pipe-1" 2>/dev/null |
+    grep -q '"publish"'; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && {
+        echo "no notify pipeline trace under the ingest trace ID" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+pipe=$(curl -fsS "http://$addr/v1/debug/traces/smoke-pipe-1")
+case "$pipe" in
+*'"kind":"notify"'*) ;;
+*) echo "trace under ingest ID is not the notify pipeline: $pipe" >&2; exit 1 ;;
+esac
+for span in wal-append queue-wait filter solve publish; do
+    case "$pipe" in
+    *"\"$span\""*) ;;
+    *) echo "pipeline trace missing $span span: $pipe" >&2; exit 1 ;;
+    esac
+done
+# The pipeline stage histogram fed by those spans is exported.
+curl -fsS "http://$addr/metrics" | grep -q '^pinocchio_sub_pipeline_stage_seconds' || {
+    echo "metrics missing pinocchio_sub_pipeline_stage_seconds" >&2
+    exit 1
+}
+
+echo "== slo status"
+# The default -slo spec arms the monitor; /v1/status must carry a
+# populated slo block with every objective and its burn-rate windows.
+slostatus=$(curl -fsS "http://$addr/v1/status")
+case "$slostatus" in
+*'"slo":['*) ;;
+*) echo "status missing slo block: $slostatus" >&2; exit 1 ;;
+esac
+for objective in query_p99 notify_p99 ingest_p99; do
+    case "$slostatus" in
+    *"\"name\":\"$objective\""*) ;;
+    *) echo "slo block missing $objective: $slostatus" >&2; exit 1 ;;
+    esac
+done
+case "$slostatus" in
+*'"windows":['*) ;;
+*) echo "slo block missing burn-rate windows: $slostatus" >&2; exit 1 ;;
+esac
+curl -fsS "http://$addr/metrics" | grep -q '^pinocchio_slo_burn_rate' || {
+    echo "metrics missing pinocchio_slo_burn_rate" >&2
+    exit 1
+}
+
 echo "== optimize"
 # Candidate-free placement: the returned best point's influence must
 # reproduce exactly when registered as a candidate and queried back
@@ -384,6 +447,50 @@ case "$status" in
 *'"durable":true'*) ;;
 *) echo "status not durable after restart: $status" >&2; exit 1 ;;
 esac
+kill -TERM "$pid"; wait "$pid"; pid=""
+
+echo "== scatter attribution"
+# A solve on a 4-shard daemon scatters per shard; its trace must carry
+# one child span per shard plus the gather's straggler accounting
+# (max/min/imbalance) so a slow shard is attributable from the trace
+# alone.
+rm -f "$tmp/addr6"
+"$tmp/pinocchiod" -addr 127.0.0.1:0 -addr-file "$tmp/addr6" \
+    -shards 4 -scale 0.05 -candidates 50 &
+pid=$!
+i=0
+while [ ! -s "$tmp/addr6" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "4-shard daemon did not write addr file" >&2
+        exit 1
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "4-shard daemon exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr6")
+curl -fsS "http://$addr/v1/query" -H "X-Request-ID: smoke-scatter-1" \
+    -d '{"tau":0.7,"algorithm":"pin","no_cache":true}' >/dev/null
+scatter=$(curl -fsS "http://$addr/v1/debug/traces/smoke-scatter-1")
+for span in shard-0 shard-1 shard-2 shard-3; do
+    case "$scatter" in
+    *"\"$span\""*) ;;
+    *) echo "scatter trace missing $span span: $scatter" >&2; exit 1 ;;
+    esac
+done
+for attr in shard_imbalance shard_max_ms shard_min_ms; do
+    case "$scatter" in
+    *"\"$attr\""*) ;;
+    *) echo "scatter trace missing $attr stat: $scatter" >&2; exit 1 ;;
+    esac
+done
+curl -fsS "http://$addr/v1/status" | grep -q '"scatter"' || {
+    echo "status missing per-shard scatter block" >&2
+    exit 1
+}
 kill -TERM "$pid"; wait "$pid"; pid=""
 
 echo "== smoke ok"
